@@ -1,0 +1,101 @@
+// Ablation 1: the paper's critical-cluster detector vs the Hierarchical
+// Heavy Hitters baseline (§7 argues HHH "is not directly applicable" —
+// here we quantify that against the planted ground truth).
+//
+// Both detectors run per epoch; a detection is a hit when it equals or
+// refines/coarsens an event scope active in that epoch. We report
+// precision-like and recall-like scores for both, plus parent-attribution
+// quality: HHH tends to report many overlapping cells per cause, the
+// critical-cluster method one minimal cell.
+
+#include <cstdio>
+#include <set>
+
+#include "bench/bench_common.h"
+#include "src/baseline/hhh.h"
+
+int main() {
+  using namespace vq;
+  const auto& exp = bench::default_experiment();
+
+  bench::print_header(
+      "Ablation 1: critical clusters vs hierarchical heavy hitters",
+      "critical clusters attribute each cause to one minimal cluster; HHH "
+      "volume-counting reports more clusters per true cause");
+
+  const auto matches = [](const ClusterKey& detected,
+                          const ClusterKey& scope) {
+    return scope.generalizes(detected) || detected.generalizes(scope);
+  };
+
+  HhhParams hhh_params;
+  hhh_params.phi = 0.05;
+
+  double critical_detections = 0;
+  double critical_hits = 0;
+  double hhh_detections = 0;
+  double hhh_hits = 0;
+  std::set<std::size_t> critical_events_found;
+  std::set<std::size_t> hhh_events_found;
+  std::set<std::size_t> scorable_events;
+
+  const std::uint32_t epochs = std::min(exp.result.num_epochs, 120u);
+  for (std::uint32_t e = 0; e < epochs; ++e) {
+    const auto active = exp.events.active_at(e);
+    for (std::size_t i = 0; i < active.size(); ++i) {
+      scorable_events.insert(active[i]);
+    }
+
+    for (const Metric m : kAllMetrics) {
+      for (const auto& c : exp.result.at(m, e).analysis.criticals) {
+        ++critical_detections;
+        for (const std::uint32_t idx : active) {
+          if (matches(c.key, exp.events.events()[idx].scope)) {
+            ++critical_hits;
+            critical_events_found.insert(idx);
+            break;
+          }
+        }
+      }
+      const auto hhh = find_hhh(exp.trace.epoch(e), exp.config.thresholds,
+                                hhh_params, m);
+      for (const auto& h : hhh) {
+        ++hhh_detections;
+        for (const std::uint32_t idx : active) {
+          if (matches(h.key, exp.events.events()[idx].scope)) {
+            ++hhh_hits;
+            hhh_events_found.insert(idx);
+            break;
+          }
+        }
+      }
+    }
+  }
+
+  const auto pct = [](double a, double b) {
+    return b > 0 ? 100.0 * a / b : 0.0;
+  };
+  std::printf("epochs scored: %u; active planted events: %zu\n\n", epochs,
+              scorable_events.size());
+  std::printf("%-22s %16s %16s\n", "", "critical", "HHH");
+  std::printf("%-22s %16.0f %16.0f\n", "detections", critical_detections,
+              hhh_detections);
+  std::printf("%-22s %15.1f%% %15.1f%%\n",
+              "precision (vs events)",
+              pct(critical_hits, critical_detections),
+              pct(hhh_hits, hhh_detections));
+  std::printf("%-22s %15.1f%% %15.1f%%\n", "event recall",
+              pct(static_cast<double>(critical_events_found.size()),
+                  static_cast<double>(scorable_events.size())),
+              pct(static_cast<double>(hhh_events_found.size()),
+                  static_cast<double>(scorable_events.size())));
+  std::printf("%-22s %16.1f %16.1f\n", "detections per epoch",
+              critical_detections / epochs / kNumMetrics,
+              hhh_detections / epochs / kNumMetrics);
+  std::printf(
+      "\nnote: 'precision' counts detections matching a *dynamic* planted "
+      "event; the remainder largely track chronic world structure (bad "
+      "ISPs, in-house CDNs, single-bitrate sites), which both methods "
+      "legitimately surface.\n");
+  return 0;
+}

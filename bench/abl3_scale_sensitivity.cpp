@@ -1,0 +1,79 @@
+// Ablation 3: dataset-scale sensitivity.
+//
+// The paper operates at ~900K sessions/epoch with a 1000-session cluster
+// floor; this repo defaults to ~8K/epoch with a 150-session floor.  This
+// bench sweeps epoch density (holding the floor's *statistical* calibration
+// fixed: min_sessions scales with sqrt-like significance, here linearly
+// capped) and shows the problem:critical cluster ratio growing with scale —
+// explaining why the paper sees ~50:1 where the default bench sees ~5-15:1.
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "src/core/prevalence.h"
+#include "src/core/whatif.h"
+
+int main() {
+  using namespace vq;
+
+  bench::print_header(
+      "Ablation 3: cluster-count scaling with dataset density",
+      "problem clusters grow superlinearly with sessions/epoch while "
+      "critical clusters track the (fixed) set of causes -> the paper's "
+      "50:1 ratio is a scale effect");
+
+  WorldConfig world_config;
+  world_config.num_asns = 2000;
+  const World world = World::build(world_config);
+
+  const std::uint32_t epochs = 48;
+  EventScheduleConfig event_config;
+  event_config.num_epochs = epochs;
+  const EventSchedule events = EventSchedule::generate(world, event_config);
+
+  std::printf("%14s %12s %14s %14s %8s %14s\n", "sessions/epoch", "min_sess",
+              "problem_clus", "critical_clus", "ratio", "med-persist>=2h");
+  for (const std::uint32_t per_epoch : {2'000u, 4'000u, 8'000u, 16'000u}) {
+    TraceConfig trace_config;
+    trace_config.num_epochs = epochs;
+    trace_config.sessions_per_epoch = per_epoch;
+    const SessionTable trace = generate_trace(world, events, trace_config);
+
+    PipelineConfig config;
+    // Keep the floor at the same fraction of epoch traffic the default
+    // bench uses (150 / 8000), mirroring the paper's ~1000 / 900K choice.
+    config.cluster_params.min_sessions =
+        std::max(30u, per_epoch * 150 / 8'000);
+    const PipelineResult result = run_pipeline(trace, config);
+
+    double problem = 0.0;
+    double critical = 0.0;
+    double persistent = 0.0;  // fraction of clusters with median streak >= 2h
+    for (const Metric m : kAllMetrics) {
+      const auto agg = result.aggregates(m);
+      problem += agg.mean_problem_clusters;
+      critical += agg.mean_critical_clusters;
+      const auto report =
+          build_prevalence(problem_cluster_keys(result, m), epochs);
+      std::size_t above = 0;
+      for (const auto& t : report.timelines) {
+        if (t.median_persistence >= 2) ++above;
+      }
+      persistent += report.timelines.empty()
+                        ? 0.0
+                        : static_cast<double>(above) /
+                              static_cast<double>(report.timelines.size());
+    }
+    problem /= kNumMetrics;
+    critical /= kNumMetrics;
+    persistent /= kNumMetrics;
+    std::printf("%14u %12u %14.1f %14.1f %7.1f:1 %13.1f%%\n", per_epoch,
+                config.cluster_params.min_sessions, problem, critical,
+                critical > 0 ? problem / critical : 0.0, 100.0 * persistent);
+  }
+  std::printf("\nexpected shape: the ratio column grows with density toward "
+              "the paper's ~50:1, and the persistence column toward its "
+              ">50%% — both are functions of per-cluster statistics "
+              "stabilising as epochs carry more sessions.\n");
+  return 0;
+}

@@ -1,0 +1,48 @@
+// Ablation 4: lattice arity cap vs analysis fidelity.
+//
+// DESIGN.md calls out the full 127-subset lattice as a deliberate choice;
+// this bench quantifies what capping the subset size (a large constant-
+// factor speedup, see perf_engine) costs in problem-cluster population and
+// critical-cluster coverage.
+
+#include <chrono>
+#include <cstdio>
+
+#include "bench/bench_common.h"
+
+int main() {
+  using namespace vq;
+  const auto& exp = bench::default_experiment();
+
+  bench::print_header(
+      "Ablation 4: lattice arity cap vs fidelity",
+      "arity 2-3 retains most coverage at a fraction of the lattice cells; "
+      "full arity is the faithful default");
+
+  std::printf("%6s %8s %14s %14s %12s %12s\n", "arity", "cells",
+              "problem_clus", "critical_clus", "cc-coverage", "runtime_s");
+  for (const int arity : {1, 2, 3, 5, 7}) {
+    PipelineConfig config = exp.config;
+    config.engine.max_arity = arity;
+    const auto start = std::chrono::steady_clock::now();
+    const PipelineResult result = run_pipeline(exp.trace, config);
+    const double seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      start)
+            .count();
+
+    double problem = 0.0;
+    double critical = 0.0;
+    double coverage = 0.0;
+    for (const Metric m : kAllMetrics) {
+      const auto agg = result.aggregates(m);
+      problem += agg.mean_problem_clusters;
+      critical += agg.mean_critical_clusters;
+      coverage += agg.mean_critical_coverage;
+    }
+    std::printf("%6d %8zu %14.1f %14.1f %12.3f %12.2f\n", arity,
+                lattice_masks(arity).size(), problem / kNumMetrics,
+                critical / kNumMetrics, coverage / kNumMetrics, seconds);
+  }
+  return 0;
+}

@@ -1,0 +1,261 @@
+// Shared setup for the per-figure/table bench harnesses.
+//
+// Every harness runs against the same "default experiment": a two-week
+// synthetic world scaled for a laptop (overridable through environment
+// variables).  Each binary prints the paper's reported numbers next to the
+// measured ones; absolute values differ (synthetic substrate, ~150x fewer
+// sessions) — the reproduction target is the SHAPE of every series.
+//
+// The default significance floor of 150 sessions follows the paper's own
+// calibration rule: its 1.5x multiplier "roughly represents two standard
+// deviations" of the per-cluster ratio distribution, which at a global
+// problem ratio around 0.1 requires n >= 16*(1-p)/p ~= 150 sessions.
+//
+//   VIDQUAL_EPOCHS              number of hourly epochs   (default 336)
+//   VIDQUAL_SESSIONS_PER_EPOCH  mean sessions per epoch   (default 8000)
+//   VIDQUAL_MIN_SESSIONS        problem-cluster floor     (default 150)
+//   VIDQUAL_SEED                master seed               (default 2013)
+
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <stdexcept>
+#include <string>
+
+#include "src/core/pipeline.h"
+#include "src/gen/events.h"
+#include "src/gen/trace_io.h"
+#include "src/gen/tracegen.h"
+#include "src/gen/world.h"
+
+namespace vq::bench {
+
+inline std::uint64_t env_u64(const char* name, std::uint64_t fallback) {
+  const char* value = std::getenv(name);
+  return value == nullptr ? fallback : std::strtoull(value, nullptr, 10);
+}
+
+struct Experiment {
+  World world;
+  EventSchedule events;
+  SessionTable trace;
+  PipelineConfig config;
+  PipelineResult result;
+};
+
+// --- pipeline-result cache ---------------------------------------------------
+// Like the trace cache below, this is output-neutral: run_pipeline is
+// deterministic in (trace, config), so serialising its result lets the other
+// 20+ bench binaries skip a minute of identical recomputation each.
+
+namespace detail {
+
+template <typename T>
+void put(std::ostream& out, T value) {
+  out.write(reinterpret_cast<const char*>(&value), sizeof value);
+}
+
+template <typename T>
+T get(std::istream& in) {
+  T value{};
+  in.read(reinterpret_cast<char*>(&value), sizeof value);
+  if (!in) throw std::runtime_error{"result cache: truncated"};
+  return value;
+}
+
+inline void save_result(const std::filesystem::path& path,
+                        const PipelineResult& result) {
+  std::ofstream out{path, std::ios::binary};
+  if (!out) throw std::runtime_error{"result cache: cannot open for write"};
+  out.write("VQPR", 4);
+  put<std::uint32_t>(out, 2);  // version
+  put<std::uint32_t>(out, result.num_epochs);
+  put<std::uint32_t>(out, result.config.cluster_params.min_sessions);
+  put<double>(out, result.config.cluster_params.ratio_multiplier);
+  for (const Metric m : kAllMetrics) {
+    for (std::uint32_t e = 0; e < result.num_epochs; ++e) {
+      const EpochMetricSummary& s = result.at(m, e);
+      const CriticalAnalysis& a = s.analysis;
+      put<std::uint64_t>(out, a.sessions);
+      put<std::uint64_t>(out, a.problem_sessions);
+      put<std::uint64_t>(out, a.problem_sessions_in_pc);
+      put<double>(out, a.global_ratio);
+      put<std::uint32_t>(out, a.num_problem_clusters);
+      put<double>(out, a.attributed_mass);
+      put<std::uint64_t>(out, a.criticals.size());
+      for (const CriticalRecord& c : a.criticals) {
+        put<std::uint64_t>(out, c.key.raw());
+        put<double>(out, c.attributed);
+        put<std::uint32_t>(out, c.stats.sessions);
+        for (int i = 0; i < kNumMetrics; ++i) {
+          put<std::uint32_t>(out, c.stats.problems[i]);
+        }
+      }
+      put<std::uint64_t>(out, s.problem_cluster_keys.size());
+      for (const std::uint64_t key : s.problem_cluster_keys) {
+        put<std::uint64_t>(out, key);
+      }
+    }
+  }
+  if (!out) throw std::runtime_error{"result cache: write failed"};
+}
+
+inline PipelineResult load_result(const std::filesystem::path& path,
+                                  const PipelineConfig& config) {
+  std::ifstream in{path, std::ios::binary};
+  if (!in) throw std::runtime_error{"result cache: cannot open"};
+  char magic[4];
+  in.read(magic, 4);
+  if (!in || std::string_view{magic, 4} != "VQPR") {
+    throw std::runtime_error{"result cache: bad magic"};
+  }
+  if (get<std::uint32_t>(in) != 2) {
+    throw std::runtime_error{"result cache: version mismatch"};
+  }
+  PipelineResult result;
+  result.config = config;
+  result.num_epochs = get<std::uint32_t>(in);
+  if (get<std::uint32_t>(in) != config.cluster_params.min_sessions ||
+      get<double>(in) != config.cluster_params.ratio_multiplier) {
+    throw std::runtime_error{"result cache: config mismatch"};
+  }
+  for (auto& v : result.per_metric) v.resize(result.num_epochs);
+  for (const Metric m : kAllMetrics) {
+    for (std::uint32_t e = 0; e < result.num_epochs; ++e) {
+      EpochMetricSummary& s =
+          result.per_metric[static_cast<std::uint8_t>(m)][e];
+      CriticalAnalysis& a = s.analysis;
+      a.epoch = e;
+      a.metric = m;
+      a.sessions = get<std::uint64_t>(in);
+      a.problem_sessions = get<std::uint64_t>(in);
+      a.problem_sessions_in_pc = get<std::uint64_t>(in);
+      a.global_ratio = get<double>(in);
+      a.num_problem_clusters = get<std::uint32_t>(in);
+      a.attributed_mass = get<double>(in);
+      const auto criticals = get<std::uint64_t>(in);
+      a.criticals.resize(criticals);
+      for (auto& c : a.criticals) {
+        c.key = ClusterKey::from_raw(get<std::uint64_t>(in));
+        c.attributed = get<double>(in);
+        c.stats.sessions = get<std::uint32_t>(in);
+        for (int i = 0; i < kNumMetrics; ++i) {
+          c.stats.problems[i] = get<std::uint32_t>(in);
+        }
+      }
+      const auto keys = get<std::uint64_t>(in);
+      s.problem_cluster_keys.resize(keys);
+      for (auto& key : s.problem_cluster_keys) {
+        key = get<std::uint64_t>(in);
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace detail
+
+/// Builds the default experiment once per process.
+inline const Experiment& default_experiment() {
+  static const Experiment experiment = [] {
+    const auto epochs =
+        static_cast<std::uint32_t>(env_u64("VIDQUAL_EPOCHS", 336));
+    const auto per_epoch = static_cast<std::uint32_t>(
+        env_u64("VIDQUAL_SESSIONS_PER_EPOCH", 8000));
+    const auto min_sessions = static_cast<std::uint32_t>(
+        env_u64("VIDQUAL_MIN_SESSIONS", 150));
+    const std::uint64_t seed = env_u64("VIDQUAL_SEED", 2013);
+
+    WorldConfig world_config;
+    world_config.num_asns = 2000;
+    world_config.seed = seed;
+    World world = World::build(world_config);
+
+    EventScheduleConfig event_config;
+    event_config.num_epochs = epochs;
+    event_config.seed = seed + 1;
+    EventSchedule events = EventSchedule::generate(world, event_config);
+
+    TraceConfig trace_config;
+    trace_config.num_epochs = epochs;
+    trace_config.sessions_per_epoch = per_epoch;
+    trace_config.seed = seed + 2;
+
+    // Generation is deterministic in the knobs, so a binary on-disk cache
+    // is output-neutral: each bench binary in a `for b in bench/*` sweep
+    // loads the identical trace instead of re-simulating it.
+    const std::filesystem::path cache =
+        std::filesystem::temp_directory_path() /
+        ("vidqual_bench_" + std::to_string(epochs) + "_" +
+         std::to_string(per_epoch) + "_" + std::to_string(seed) + ".vqtr");
+    SessionTable trace;
+    bool loaded = false;
+    if (std::filesystem::exists(cache)) {
+      try {
+        std::fprintf(stderr, "[bench] loading cached trace %s...\n",
+                     cache.string().c_str());
+        trace = read_trace_binary(cache).table;
+        loaded = true;
+      } catch (const std::exception& e) {
+        std::fprintf(stderr, "[bench] cache unusable (%s); regenerating\n",
+                     e.what());
+      }
+    }
+    if (!loaded) {
+      std::fprintf(stderr, "[bench] generating trace: %u epochs x ~%u...\n",
+                   epochs, per_epoch);
+      trace = generate_trace(world, events, trace_config);
+      try {
+        write_trace_binary(cache, trace, world.schema());
+      } catch (const std::exception& e) {
+        std::fprintf(stderr, "[bench] could not cache trace: %s\n", e.what());
+      }
+    }
+
+    PipelineConfig config;
+    config.cluster_params.min_sessions = min_sessions;
+
+    const std::filesystem::path result_cache =
+        std::filesystem::temp_directory_path() /
+        ("vidqual_bench_" + std::to_string(epochs) + "_" +
+         std::to_string(per_epoch) + "_" + std::to_string(seed) + "_" +
+         std::to_string(min_sessions) + ".vqpr");
+    PipelineResult result;
+    bool result_loaded = false;
+    if (std::filesystem::exists(result_cache)) {
+      try {
+        std::fprintf(stderr, "[bench] loading cached pipeline result...\n");
+        result = detail::load_result(result_cache, config);
+        result_loaded = true;
+      } catch (const std::exception& e) {
+        std::fprintf(stderr, "[bench] result cache unusable (%s)\n",
+                     e.what());
+      }
+    }
+    if (!result_loaded) {
+      std::fprintf(stderr, "[bench] running pipeline on %zu sessions...\n",
+                   trace.size());
+      result = run_pipeline(trace, config);
+      try {
+        detail::save_result(result_cache, result);
+      } catch (const std::exception& e) {
+        std::fprintf(stderr, "[bench] could not cache result: %s\n",
+                     e.what());
+      }
+    }
+
+    return Experiment{std::move(world), std::move(events), std::move(trace),
+                      config, std::move(result)};
+  }();
+  return experiment;
+}
+
+inline void print_header(const char* experiment_id, const char* paper_claim) {
+  std::printf("== %s ==\n", experiment_id);
+  std::printf("paper: %s\n\n", paper_claim);
+}
+
+}  // namespace vq::bench

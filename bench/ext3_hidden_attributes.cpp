@@ -1,0 +1,62 @@
+// Extension 3 (paper §6 "Hidden attributes"): geography as a derived
+// dimension.
+//
+// Per-ASN analysis fragments regional problems across many individually
+// insignificant ASNs; replacing the ASN dimension with the client's region
+// re-aggregates that mass. This bench runs the pipeline on both views and
+// compares how much problem mass the (coarse) geographic clusters explain.
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "src/core/overlap.h"
+#include "src/gen/derive.h"
+
+int main() {
+  using namespace vq;
+  const auto& exp = bench::default_experiment();
+
+  bench::print_header(
+      "Extension 3: geography as a derived attribute (paper §6)",
+      "region-level clusters recover problem mass that per-ASN analysis "
+      "fragments below significance");
+
+  std::fprintf(stderr, "[bench] coarsening + re-running pipeline...\n");
+  const SessionTable coarse = coarsen_asn_to_region(exp.trace, exp.world);
+  const PipelineResult coarse_result = run_pipeline(coarse, exp.config);
+  const AttributeSchema coarse_schema = region_schema(exp.world);
+
+  std::printf("%-12s | %26s | %26s\n", "", "per-ASN lattice",
+              "per-region lattice");
+  std::printf("%-12s | %12s %12s | %12s %12s\n", "metric", "Asn-attr %",
+              "cc-coverage", "Region-attr %", "cc-coverage");
+  for (const Metric m : kAllMetrics) {
+    const TypeBreakdown fine = critical_type_breakdown(exp.result, m);
+    const TypeBreakdown coarse_b = critical_type_breakdown(coarse_result, m);
+    const auto asn_share = [](const TypeBreakdown& b) {
+      double total = 0.0;
+      for (const auto& [mask, fraction] : b.by_mask) {
+        if ((mask & dim_bit(AttrDim::kAsn)) != 0) total += fraction;
+      }
+      return total;
+    };
+    std::printf("%-12s | %11.1f%% %12.3f | %11.1f%% %12.3f\n",
+                std::string(metric_name(m)).c_str(),
+                100.0 * asn_share(fine),
+                exp.result.aggregates(m).mean_critical_coverage,
+                100.0 * asn_share(coarse_b),
+                coarse_result.aggregates(m).mean_critical_coverage);
+  }
+
+  std::printf("\nmost-covered geographic critical clusters (BufRatio):\n");
+  for (const std::uint64_t raw :
+       top_critical_keys(coarse_result, Metric::kBufRatio, 8)) {
+    const ClusterKey key = ClusterKey::from_raw(raw);
+    if (!key.has(AttrDim::kAsn)) continue;
+    std::printf("  %s\n", coarse_schema.describe(key).c_str());
+  }
+  std::printf("\nreading: geographic attribution growing vs per-ASN means "
+              "regional footprint/peering problems were being fragmented — "
+              "the paper's suggestion to add geography pays off.\n");
+  return 0;
+}

@@ -1,0 +1,120 @@
+// Extension 4: closing the loop the paper left open — §5 concedes "we
+// cannot conclusively say that (a) the specific sessions we consider are
+// actually fixable". With a mechanistic substrate we can apply concrete
+// remedies to the top critical clusters, RE-SIMULATE the trace (identical
+// random streams), and compare the measured improvement against the §5
+// model's predicted alleviation.
+
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "src/core/overlap.h"
+#include "src/core/whatif.h"
+#include "src/gen/diagnose.h"
+#include "src/gen/tracegen.h"
+
+int main() {
+  using namespace vq;
+  const auto& exp = bench::default_experiment();
+  const WhatIfAnalyzer whatif{exp.result};
+
+  bench::print_header(
+      "Extension 4: re-simulated remedy validation (closes the paper's §5 "
+      "caveat)",
+      "the model's 'reduce to global average' prediction is in the right "
+      "range: concrete remedies recover a comparable share of problem "
+      "sessions");
+
+  // Pick the top coverage clusters per metric and derive a concrete remedy
+  // for each from its diagnosis.
+  std::vector<Remedy> remedies;
+  std::printf("remedies applied (top-3 critical clusters per metric):\n");
+  for (const Metric m : kAllMetrics) {
+    const auto top = top_critical_keys(exp.result, m, 3);
+    for (const std::uint64_t raw : top) {
+      const ClusterKey key = ClusterKey::from_raw(raw);
+      const Diagnosis diag = diagnose_cluster(key, exp.world);
+      Remedy remedy;
+      remedy.scope = key;
+      switch (diag.category) {
+        case CauseCategory::kInHouseCdn:
+        case CauseCategory::kOverloadedCdn:
+        case CauseCategory::kPoorIsp:
+        case CauseCategory::kNonUsRegion:
+          remedy.action = RemedyAction::kSwitchToBestCdn;
+          break;
+        case CauseCategory::kSingleBitrateSite:
+          remedy.action = RemedyAction::kAddBitrateLadder;
+          break;
+        case CauseCategory::kRemoteModulesSite:
+          remedy.action = RemedyAction::kLocalizePlayerModules;
+          break;
+        default:
+          remedy.action = RemedyAction::kSuppressEvents;
+          break;
+      }
+      remedies.push_back(remedy);
+      std::printf("  %-40s %-22s -> %s\n",
+                  exp.world.schema().describe(key).c_str(),
+                  std::string(cause_category_name(diag.category)).c_str(),
+                  remedy.action == RemedyAction::kSwitchToBestCdn
+                      ? "switch to best CDN"
+                      : remedy.action == RemedyAction::kAddBitrateLadder
+                            ? "add bitrate ladder"
+                            : remedy.action ==
+                                      RemedyAction::kLocalizePlayerModules
+                                  ? "localize player modules"
+                                  : "repair root cause");
+    }
+  }
+
+  // Re-simulate with remedies; need the same generation inputs as the
+  // default experiment, so rebuild them from the environment knobs.
+  std::fprintf(stderr, "[bench] re-simulating remedied trace...\n");
+  TraceConfig trace_config;
+  trace_config.num_epochs = exp.result.num_epochs;
+  trace_config.sessions_per_epoch = static_cast<std::uint32_t>(
+      bench::env_u64("VIDQUAL_SESSIONS_PER_EPOCH", 8000));
+  trace_config.seed = bench::env_u64("VIDQUAL_SEED", 2013) + 2;
+  const SessionTable remedied =
+      generate_trace(exp.world, exp.events, trace_config, remedies);
+  const PipelineResult remedied_result = run_pipeline(remedied, exp.config);
+
+  std::printf("\npredicted (model) vs measured (re-simulated) problem-"
+              "session reduction:\n");
+  std::printf("%-12s %12s %12s %12s %12s\n", "metric", "original",
+              "predicted", "measured", "after-fix");
+  for (const Metric m : kAllMetrics) {
+    const double original = static_cast<double>(
+        exp.result.total_problem_sessions(m, 0, exp.result.num_epochs));
+    const double after = static_cast<double>(
+        remedied_result.total_problem_sessions(m, 0,
+                                               remedied_result.num_epochs));
+    // Model prediction: sum the alleviated mass of the chosen clusters.
+    std::vector<std::uint64_t> chosen;
+    for (const Remedy& r : remedies) chosen.push_back(r.scope.raw());
+    const std::size_t distinct = whatif.distinct_critical_count(m);
+    const auto top = top_critical_keys(exp.result, m, 3);
+    double fraction_keys =
+        distinct == 0 ? 0.0
+                      : static_cast<double>(top.size()) /
+                            static_cast<double>(distinct);
+    const double fractions[] = {fraction_keys};
+    const auto sweep = whatif.topk_sweep(m, RankBy::kCoverage, fractions);
+    const double predicted = sweep[0].alleviated_fraction * original;
+
+    std::printf("%-12s %12.0f %11.0f%% %11.0f%% %12.0f\n",
+                std::string(metric_name(m)).c_str(), original,
+                original > 0 ? 100.0 * predicted / original : 0.0,
+                original > 0 ? 100.0 * (original - after) / original : 0.0,
+                after);
+  }
+  std::printf("\nnotes: remedies for one metric's clusters also help other "
+              "metrics (a real CDN switch fixes failures AND buffering), so "
+              "measured reductions can exceed the per-metric prediction; "
+              "remedies can also fall short when the concrete action does "
+              "not fully remove the cause (e.g. the best commercial CDN is "
+              "itself loaded at peak).\n");
+  return 0;
+}

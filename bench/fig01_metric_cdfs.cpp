@@ -1,0 +1,51 @@
+// Figure 1: CDFs of buffering ratio, average bitrate, and join time over the
+// whole trace.
+//
+// Paper shape targets: >5% of sessions with buffering ratio > 10%; >80% of
+// sessions below 2 Mbps average bitrate; >5% of sessions with join time
+// above 10 s.
+
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "src/stats/cdf.h"
+
+int main() {
+  using namespace vq;
+  const auto& exp = bench::default_experiment();
+
+  bench::print_header(
+      "Figure 1: CDFs of quality metrics",
+      ">5% sessions with bufratio>10%; >80% below 2Mbps; >5% join>10s");
+
+  std::vector<double> bufratio;
+  std::vector<double> bitrate;
+  std::vector<double> join_time;
+  for (const Session& s : exp.trace.sessions()) {
+    if (s.quality.join_failed) continue;  // undefined for failed joins
+    bufratio.push_back(s.quality.buffering_ratio);
+    bitrate.push_back(s.quality.bitrate_kbps);
+    join_time.push_back(s.quality.join_time_ms);
+  }
+
+  const EmpiricalCdf buf_cdf{std::move(bufratio)};
+  const EmpiricalCdf bit_cdf{std::move(bitrate)};
+  const EmpiricalCdf join_cdf{std::move(join_time)};
+
+  std::printf("(a) buffering ratio\n%s\n",
+              buf_cdf.table(15, "buffering_ratio").c_str());
+  std::printf("(b) average bitrate\n%s\n",
+              bit_cdf.table(15, "bitrate_kbps").c_str());
+  std::printf("(c) join time\n%s\n",
+              join_cdf.table(15, "join_time_ms").c_str());
+
+  std::printf("shape checks (paper -> measured):\n");
+  std::printf("  P(bufratio > 10%%)      >5%%    -> %5.1f%%\n",
+              100.0 * (1.0 - buf_cdf.at(0.10)));
+  std::printf("  P(bitrate < 2 Mbps)    >80%%   -> %5.1f%%\n",
+              100.0 * bit_cdf.at(2000.0));
+  std::printf("  P(join time > 10 s)    >5%%    -> %5.1f%%\n",
+              100.0 * (1.0 - join_cdf.at(10'000.0)));
+  return 0;
+}

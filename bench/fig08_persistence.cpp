@@ -1,0 +1,85 @@
+// Figure 8: inverse CDF of the median (a) and max (b) persistence of
+// problem clusters, in hours.
+//
+// Paper shape targets: >50-60% of problem clusters have a median event
+// duration >= 2 hours (3 of 4 metrics); >1% of clusters have a peak streak
+// longer than a day.
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "src/core/prevalence.h"
+
+namespace {
+
+void print_inverse_cdf(const char* title,
+                       const std::array<std::vector<double>, 4>& values) {
+  using namespace vq;
+  std::printf("%s\nfraction of problem clusters with persistence >= h\n",
+              title);
+  std::printf("%10s", "hours");
+  for (const Metric m : kAllMetrics) {
+    std::printf(" %12s", std::string(metric_name(m)).c_str());
+  }
+  std::printf("\n");
+  for (const double h : {1.0, 2.0, 4.0, 8.0, 16.0, 24.0, 48.0, 96.0}) {
+    std::printf("%10.0f", h);
+    for (int m = 0; m < kNumMetrics; ++m) {
+      std::size_t above = 0;
+      for (const double v : values[m]) {
+        if (v >= h) ++above;
+      }
+      std::printf(" %12.4f",
+                  values[m].empty() ? 0.0
+                                    : static_cast<double>(above) /
+                                          static_cast<double>(
+                                              values[m].size()));
+    }
+    std::printf("\n");
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  using namespace vq;
+  const auto& exp = bench::default_experiment();
+
+  bench::print_header(
+      "Figure 8: persistence of problem clusters",
+      ">50% of clusters with median streak >= 2h; ~1% with peak streak > 1 "
+      "day");
+
+  std::array<std::vector<double>, 4> medians;
+  std::array<std::vector<double>, 4> maxes;
+  for (const Metric m : kAllMetrics) {
+    const auto report = build_prevalence(
+        problem_cluster_keys(exp.result, m), exp.result.num_epochs);
+    medians[static_cast<int>(m)] = report.median_persistences();
+    maxes[static_cast<int>(m)] = report.max_persistences();
+  }
+
+  print_inverse_cdf("(a) median persistence", medians);
+  print_inverse_cdf("(b) max persistence", maxes);
+
+  std::printf("shape checks (paper -> measured):\n");
+  for (const Metric m : kAllMetrics) {
+    const auto& med = medians[static_cast<int>(m)];
+    const auto& mx = maxes[static_cast<int>(m)];
+    std::size_t med2 = 0;
+    std::size_t day = 0;
+    for (const double v : med) {
+      if (v >= 2.0) ++med2;
+    }
+    for (const double v : mx) {
+      if (v > 24.0) ++day;
+    }
+    std::printf(
+        "  %-12s median>=2h: >50%% -> %5.1f%% ; max>1day: ~1%% -> %5.2f%%\n",
+        std::string(metric_name(m)).c_str(),
+        med.empty() ? 0.0 : 100.0 * med2 / static_cast<double>(med.size()),
+        mx.empty() ? 0.0 : 100.0 * day / static_cast<double>(mx.size()));
+  }
+  return 0;
+}

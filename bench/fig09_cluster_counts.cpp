@@ -1,0 +1,43 @@
+// Figure 9: per-epoch counts of problem clusters vs critical clusters for
+// the join time metric.
+//
+// Paper shape target: critical clusters are a large constant factor (~50x
+// at 300M-session scale) fewer than problem clusters, consistently over
+// time.
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+
+int main() {
+  using namespace vq;
+  const auto& exp = bench::default_experiment();
+
+  bench::print_header(
+      "Figure 9: problem vs critical cluster counts over time (JoinTime)",
+      "critical clusters consistently ~50x fewer than problem clusters "
+      "(factor shrinks with dataset scale; see EXPERIMENTS.md)");
+
+  std::printf("%6s %16s %16s %8s\n", "epoch", "problem_clusters",
+              "critical_clusters", "ratio");
+  double sum_ratio = 0.0;
+  std::uint32_t counted = 0;
+  for (std::uint32_t e = 0; e < exp.result.num_epochs; ++e) {
+    const auto& summary = exp.result.at(Metric::kJoinTime, e);
+    const auto problems = summary.analysis.num_problem_clusters;
+    const auto criticals = summary.analysis.criticals.size();
+    const double ratio =
+        criticals == 0 ? 0.0
+                       : static_cast<double>(problems) /
+                             static_cast<double>(criticals);
+    if (criticals > 0) {
+      sum_ratio += ratio;
+      ++counted;
+    }
+    std::printf("%6u %16u %16zu %8.1f\n", e, problems, criticals, ratio);
+  }
+  std::printf("\nmean problem:critical ratio = %.1f : 1 (paper ~50:1 at "
+              "300M sessions)\n",
+              counted == 0 ? 0.0 : sum_ratio / counted);
+  return 0;
+}

@@ -1,0 +1,142 @@
+// Engine microbenchmarks (google-benchmark): cluster-key packing, the flat
+// hash map against std::unordered_map, lattice aggregation at several arity
+// caps, critical-cluster extraction, and end-to-end epoch analysis.
+
+#include <benchmark/benchmark.h>
+
+#include <unordered_map>
+
+#include "src/core/critical_cluster.h"
+#include "src/core/pipeline.h"
+#include "src/gen/tracegen.h"
+#include "src/util/flat_hash_map.h"
+
+namespace vq {
+namespace {
+
+const SessionTable& bench_trace() {
+  static const SessionTable trace = [] {
+    WorldConfig world_config;
+    world_config.num_asns = 1'000;
+    const World world = World::build(world_config);
+    EventScheduleConfig event_config;
+    event_config.num_epochs = 4;
+    const EventSchedule events = EventSchedule::generate(world, event_config);
+    TraceConfig trace_config;
+    trace_config.num_epochs = 4;
+    trace_config.sessions_per_epoch = 5'000;
+    return generate_trace(world, events, trace_config);
+  }();
+  return trace;
+}
+
+void BM_ClusterKeyPackProject(benchmark::State& state) {
+  AttrVec attrs;
+  attrs[AttrDim::kSite] = 123;
+  attrs[AttrDim::kCdn] = 7;
+  attrs[AttrDim::kAsn] = 4321;
+  attrs[AttrDim::kConnType] = 3;
+  for (auto _ : state) {
+    const ClusterKey leaf = ClusterKey::pack(kFullMask, attrs);
+    std::uint64_t acc = 0;
+    for (unsigned mask = 1; mask <= kFullMask; ++mask) {
+      acc ^= leaf.project(static_cast<std::uint8_t>(mask)).raw();
+    }
+    benchmark::DoNotOptimize(acc);
+  }
+  state.SetItemsProcessed(state.iterations() * 127);
+}
+BENCHMARK(BM_ClusterKeyPackProject);
+
+void BM_FlatMap64Upsert(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    FlatMap64<std::uint64_t> map;
+    map.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      map[splitmix64(i) >> 16] += i;
+    }
+    benchmark::DoNotOptimize(map.size());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<long>(n));
+}
+BENCHMARK(BM_FlatMap64Upsert)->Arg(1'000)->Arg(100'000);
+
+void BM_UnorderedMapUpsert(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    std::unordered_map<std::uint64_t, std::uint64_t> map;
+    map.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      map[splitmix64(i) >> 16] += i;
+    }
+    benchmark::DoNotOptimize(map.size());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<long>(n));
+}
+BENCHMARK(BM_UnorderedMapUpsert)->Arg(1'000)->Arg(100'000);
+
+void BM_AggregateEpoch(benchmark::State& state) {
+  const SessionTable& trace = bench_trace();
+  const ProblemThresholds thresholds;
+  ClusterEngineConfig config;
+  config.max_arity = static_cast<int>(state.range(0));
+  const auto sessions = trace.epoch(0);
+  for (auto _ : state) {
+    const auto table = aggregate_epoch(sessions, thresholds, config, 0);
+    benchmark::DoNotOptimize(table.clusters.size());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<long>(sessions.size()));
+}
+BENCHMARK(BM_AggregateEpoch)->Arg(2)->Arg(4)->Arg(7);
+
+void BM_CriticalClusters(benchmark::State& state) {
+  const SessionTable& trace = bench_trace();
+  const ProblemThresholds thresholds;
+  const ProblemClusterParams params{.ratio_multiplier = 1.5,
+                                    .min_sessions = 100};
+  const auto sessions = trace.epoch(0);
+  const auto table = aggregate_epoch(sessions, thresholds, {}, 0);
+  for (auto _ : state) {
+    const auto analysis = find_critical_clusters(
+        sessions, table, thresholds, params, Metric::kBufRatio);
+    benchmark::DoNotOptimize(analysis.criticals.size());
+  }
+}
+BENCHMARK(BM_CriticalClusters);
+
+void BM_FullPipelinePerEpoch(benchmark::State& state) {
+  const SessionTable& trace = bench_trace();
+  PipelineConfig config;
+  config.cluster_params.min_sessions = 100;
+  for (auto _ : state) {
+    const PipelineResult result = run_pipeline(trace, config);
+    benchmark::DoNotOptimize(result.num_epochs);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<long>(trace.size()));
+}
+BENCHMARK(BM_FullPipelinePerEpoch);
+
+void BM_TraceGeneration(benchmark::State& state) {
+  WorldConfig world_config;
+  world_config.num_asns = 1'000;
+  const World world = World::build(world_config);
+  const EventSchedule events = EventSchedule::none(1);
+  TraceConfig trace_config;
+  trace_config.num_epochs = 1;
+  trace_config.sessions_per_epoch =
+      static_cast<std::uint32_t>(state.range(0));
+  for (auto _ : state) {
+    const auto sessions = generate_epoch(world, events, trace_config, 0);
+    benchmark::DoNotOptimize(sessions.size());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_TraceGeneration)->Arg(1'000)->Arg(10'000);
+
+}  // namespace
+}  // namespace vq
+
+BENCHMARK_MAIN();

@@ -1,0 +1,69 @@
+// Table 1: mean problem-cluster and critical-cluster counts per epoch, and
+// the fraction of problem sessions covered by each.
+//
+// Paper row shape (week 1, 300M sessions):
+//   metric       problem  critical(%)    pc-coverage  cc-coverage(%)
+//   BufRatio       10433     286 (2%)          0.80     0.66 (82%)
+//   JoinTime        9953     247 (2%)          0.86     0.83 (96%)
+//   JoinFailure     9620     302 (3%)          0.87     0.84 (96%)
+//   Bitrate         9437     287 (3%)          0.57     0.44 (77%)
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+
+int main() {
+  using namespace vq;
+  const auto& exp = bench::default_experiment();
+
+  bench::print_header(
+      "Table 1: critical clusters are ~50x fewer than problem clusters yet "
+      "cover most clustered problem sessions",
+      "2-3% as many critical clusters; coverage 0.44-0.84 of problem "
+      "sessions (77-96% of the problem-cluster coverage)");
+
+  struct PaperRow {
+    Metric metric;
+    double problem_clusters;
+    double critical_clusters;
+    double pc_coverage;
+    double cc_coverage;
+  };
+  constexpr PaperRow kPaper[] = {
+      {Metric::kBufRatio, 10433, 286, 0.80, 0.66},
+      {Metric::kJoinTime, 9953, 247, 0.86, 0.83},
+      {Metric::kJoinFailure, 9620, 302, 0.87, 0.84},
+      {Metric::kBitrate, 9437, 287, 0.57, 0.44},
+  };
+
+  std::printf("%-12s | %26s | %26s\n", "", "paper", "measured");
+  std::printf("%-12s | %8s %8s %4s %4s | %8s %8s %4s %4s\n", "metric", "#prob",
+              "#crit", "pcC", "ccC", "#prob", "#crit", "pcC", "ccC");
+  for (const PaperRow& row : kPaper) {
+    const auto agg = exp.result.aggregates(row.metric);
+    std::printf(
+        "%-12s | %8.0f %8.0f %4.2f %4.2f | %8.1f %8.1f %4.2f %4.2f\n",
+        std::string(metric_name(row.metric)).c_str(), row.problem_clusters,
+        row.critical_clusters, row.pc_coverage, row.cc_coverage,
+        agg.mean_problem_clusters, agg.mean_critical_clusters,
+        agg.mean_problem_coverage, agg.mean_critical_coverage);
+  }
+
+  std::printf("\nshape checks:\n");
+  for (const PaperRow& row : kPaper) {
+    const auto agg = exp.result.aggregates(row.metric);
+    const double reduction =
+        agg.mean_problem_clusters > 0
+            ? agg.mean_critical_clusters / agg.mean_problem_clusters
+            : 0.0;
+    std::printf("  %-12s critical/problem clusters = %5.1f%% (paper 2-3%%), "
+                "cc/pc coverage = %5.1f%% (paper 77-96%%)\n",
+                std::string(metric_name(row.metric)).c_str(),
+                100.0 * reduction,
+                agg.mean_problem_coverage > 0
+                    ? 100.0 * agg.mean_critical_coverage /
+                          agg.mean_problem_coverage
+                    : 0.0);
+  }
+  return 0;
+}

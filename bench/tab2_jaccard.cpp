@@ -1,0 +1,65 @@
+// Table 2: Jaccard similarity between the top-100 critical clusters of each
+// metric pair.
+//
+// Paper row: BufRatio/Bitrate 0.07, BufRatio/JoinTime 0.23,
+// BufRatio/JoinFailure 0.13, Bitrate/JoinTime 0.08,
+// Bitrate/JoinFailure 0.01, JoinTime/JoinFailure 0.09.
+// Shape target: all pairs weakly overlapping (max ~0.23) — the same
+// attribute TYPES matter everywhere but the specific Sites/CDNs/ASNs differ
+// per metric.
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "src/core/overlap.h"
+
+int main() {
+  using namespace vq;
+  const auto& exp = bench::default_experiment();
+
+  bench::print_header(
+      "Table 2: cross-metric overlap of top-100 critical clusters",
+      "weak overlap everywhere; best pair ~0.23, worst ~0.01");
+
+  constexpr double kPaper[kNumMetrics][kNumMetrics] = {
+      // BufRatio Bitrate JoinTime JoinFailure
+      {1.00, 0.07, 0.23, 0.13},
+      {0.07, 1.00, 0.08, 0.01},
+      {0.23, 0.08, 1.00, 0.09},
+      {0.13, 0.01, 0.09, 1.00},
+  };
+
+  // Paper-literal top-100 plus a scale-adjusted variant: the paper draws
+  // 100 from thousands of distinct critical clusters, our synthetic trace
+  // only has a few hundred — top-10% keeps the selection pressure
+  // comparable.
+  std::size_t min_distinct = SIZE_MAX;
+  for (const Metric m : kAllMetrics) {
+    min_distinct = std::min(
+        min_distinct, top_critical_keys(exp.result, m, SIZE_MAX).size());
+  }
+  const std::size_t adjusted_k =
+      std::max<std::size_t>(10, min_distinct / 10);
+
+  const auto matrix100 = critical_overlap_matrix(exp.result, 100);
+  const auto matrix10pct = critical_overlap_matrix(exp.result, adjusted_k);
+
+  std::printf("%-26s %8s %8s %12s\n", "metric pair", "paper", "top-100",
+              ("top-" + std::to_string(adjusted_k)).c_str());
+  double max_measured = 0.0;
+  for (int a = 0; a < kNumMetrics; ++a) {
+    for (int b = a + 1; b < kNumMetrics; ++b) {
+      char pair[32];
+      std::snprintf(pair, sizeof pair, "%s/%s",
+                    std::string(metric_name(static_cast<Metric>(a))).c_str(),
+                    std::string(metric_name(static_cast<Metric>(b))).c_str());
+      std::printf("%-26s %8.2f %8.2f %12.2f\n", pair, kPaper[a][b],
+                  matrix100[a][b], matrix10pct[a][b]);
+      max_measured = std::max(max_measured, matrix10pct[a][b]);
+    }
+  }
+  std::printf("\nshape check: every pair weakly overlapping "
+              "(scale-adjusted max %.2f; paper max 0.23)\n",
+              max_measured);
+  return 0;
+}

@@ -1,0 +1,98 @@
+// Table 4: proactive history-based alleviation — identify the top 1% of
+// critical clusters (by coverage) on a training window, "fix" them wherever
+// they reappear later; compare against selecting on the future itself.
+//
+// Paper rows (alleviated fraction, % of the potential):
+//              intra-week          inter-week
+//   BufRatio    0.35 (71%)          0.19 (61%)
+//   Bitrate     0.13 (68%)          0.09 (64%)
+//   JoinTime    0.47 (84%)          0.42 (85%)
+//   JoinFail    0.68 (85%)          0.54 (86%)
+// Shape targets: proactive reaches 60-85% of the potential in both splits;
+// join time/failure transfer better than buffering/bitrate.
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "src/core/whatif.h"
+
+int main() {
+  using namespace vq;
+  const auto& exp = bench::default_experiment();
+  const WhatIfAnalyzer whatif{exp.result};
+
+  bench::print_header(
+      "Table 4: proactive (history-based) alleviation, top 1% by coverage",
+      "60-85% of the oracle potential, intra-week and inter-week");
+
+  const std::uint32_t n = exp.result.num_epochs;
+  const std::uint32_t week = n / 2;
+
+  struct PaperRow {
+    Metric metric;
+    double intra_new, intra_potential;
+    double inter_new, inter_potential;
+  };
+  constexpr PaperRow kPaper[] = {
+      {Metric::kBufRatio, 0.35, 0.49, 0.19, 0.31},
+      {Metric::kBitrate, 0.13, 0.19, 0.09, 0.14},
+      {Metric::kJoinTime, 0.47, 0.56, 0.42, 0.49},
+      {Metric::kJoinFailure, 0.68, 0.80, 0.54, 0.63},
+  };
+
+  std::printf("%-12s | %21s | %21s || %21s | %21s\n", "", "paper intra-week",
+              "measured intra-week", "paper inter-week",
+              "measured inter-week");
+  std::printf("%-12s | %10s %10s | %10s %10s || %10s %10s | %10s %10s\n",
+              "metric", "new", "potential", "new", "potential", "new",
+              "potential", "new", "potential");
+
+  for (const PaperRow& row : kPaper) {
+    // Intra-week: train on the first 4/7 of week one, test on the rest of
+    // week one (paper: first 4 days -> last 3 days).
+    const std::uint32_t four_days = week * 4 / 7;
+    const auto intra =
+        whatif.proactive(row.metric, 0.01, 0, four_days, four_days, week);
+    // Inter-week: train on week one, test on week two.
+    const auto inter = whatif.proactive(row.metric, 0.01, 0, week, week, n);
+    std::printf(
+        "%-12s | %10.2f %10.2f | %10.2f %10.2f || %10.2f %10.2f | %10.2f "
+        "%10.2f\n",
+        std::string(metric_name(row.metric)).c_str(), row.intra_new,
+        row.intra_potential, intra.alleviated_fraction,
+        intra.potential_fraction, row.inter_new, row.inter_potential,
+        inter.alleviated_fraction, inter.potential_fraction);
+  }
+
+  std::printf("\nshape checks (fraction of potential captured by history):\n");
+  // The paper's "top 1%" selects dozens of clusters from thousands; our
+  // synthetic pool holds a few hundred, so 1% is a brittle handful of keys.
+  // Report the paper-literal 1% and a scale-adjusted 5% side by side.
+  for (const double top_frac : {0.01, 0.05}) {
+    std::printf("(selecting the top %.0f%% of the training window's "
+                "critical clusters%s)\n",
+                100 * top_frac,
+                top_frac > 0.011 ? ", scale-adjusted" : ", paper-literal");
+    for (const PaperRow& row : kPaper) {
+      const std::uint32_t four_days = week * 4 / 7;
+      const auto intra = whatif.proactive(row.metric, top_frac, 0, four_days,
+                                          four_days, week);
+      const auto inter =
+          whatif.proactive(row.metric, top_frac, 0, week, week, n);
+      std::printf("  %-12s intra %5.1f%% (paper %2.0f%%), inter %5.1f%% "
+                  "(paper %2.0f%%)\n",
+                  std::string(metric_name(row.metric)).c_str(),
+                  intra.potential_fraction > 0
+                      ? 100.0 * intra.alleviated_fraction /
+                            intra.potential_fraction
+                      : 0.0,
+                  100.0 * row.intra_new / row.intra_potential,
+                  inter.potential_fraction > 0
+                      ? 100.0 * inter.alleviated_fraction /
+                            inter.potential_fraction
+                      : 0.0,
+                  100.0 * row.inter_new / row.inter_potential);
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,53 @@
+// Table 5: reactive alleviation — detect each critical cluster after one
+// hour of activity and fix it for the rest of its streak.
+//
+// Paper rows (alleviated fraction, % of potential):
+//   BufRatio    0.43 (95%) of 0.45
+//   Bitrate     0.12 (70%) of 0.17
+//   JoinTime    0.48 (78%) of 0.61
+//   JoinFail    0.51 (81%) of 0.63
+// Shape target: a 1-hour detection delay still captures 70-95% of the
+// oracle, because most attributed problem mass sits in multi-hour streaks.
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "src/core/whatif.h"
+
+int main() {
+  using namespace vq;
+  const auto& exp = bench::default_experiment();
+  const WhatIfAnalyzer whatif{exp.result};
+
+  bench::print_header(
+      "Table 5: reactive alleviation with a 1-hour detection delay",
+      "captures 70-95% of the oracle potential");
+
+  struct PaperRow {
+    Metric metric;
+    double paper_new, paper_potential;
+  };
+  constexpr PaperRow kPaper[] = {
+      {Metric::kBufRatio, 0.43, 0.45},
+      {Metric::kBitrate, 0.12, 0.17},
+      {Metric::kJoinTime, 0.48, 0.61},
+      {Metric::kJoinFailure, 0.51, 0.63},
+  };
+
+  std::printf("%-12s | %10s %10s | %10s %10s | %16s\n", "metric",
+              "paper new", "paper pot", "meas new", "meas pot",
+              "captured (paper)");
+  for (const PaperRow& row : kPaper) {
+    const auto outcome = whatif.reactive(row.metric, 1);
+    std::printf("%-12s | %10.2f %10.2f | %10.2f %10.2f | %7.0f%% (%3.0f%%)\n",
+                std::string(metric_name(row.metric)).c_str(), row.paper_new,
+                row.paper_potential, outcome.alleviated_fraction,
+                outcome.potential_fraction,
+                outcome.potential_fraction > 0
+                    ? 100.0 * outcome.alleviated_fraction /
+                          outcome.potential_fraction
+                    : 0.0,
+                100.0 * row.paper_new / row.paper_potential);
+  }
+  return 0;
+}

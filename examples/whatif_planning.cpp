@@ -1,0 +1,97 @@
+// Improvement planning: given two weeks of measurements, decide where to
+// spend remediation effort — which clusters, how many, proactive vs
+// reactive — by replaying the paper's §5 what-if machinery.
+//
+// Build & run: cmake --build build && ./build/examples/whatif_planning
+
+#include <cstdio>
+
+#include "src/core/overlap.h"
+#include "src/core/whatif.h"
+#include "src/gen/tracegen.h"
+
+int main() {
+  using namespace vq;
+
+  WorldConfig world_config;
+  world_config.num_asns = 1500;
+  const World world = World::build(world_config);
+
+  constexpr std::uint32_t kEpochs = 96;  // four days
+  EventScheduleConfig event_config;
+  event_config.num_epochs = kEpochs;
+  const EventSchedule events = EventSchedule::generate(world, event_config);
+  TraceConfig trace_config;
+  trace_config.num_epochs = kEpochs;
+  trace_config.sessions_per_epoch = 5000;
+  const SessionTable trace = generate_trace(world, events, trace_config);
+
+  PipelineConfig config;
+  config.cluster_params.min_sessions = 100;
+  const PipelineResult result = run_pipeline(trace, config);
+  const WhatIfAnalyzer whatif{result};
+
+  // ---- 1. Where is the repair budget best spent? --------------------------
+  std::printf("marginal value of fixing the top-k critical clusters "
+              "(coverage-ranked), per metric:\n");
+  const double fractions[] = {0.01, 0.05, 0.20};
+  std::printf("%-12s %10s %10s %10s\n", "metric", "top 1%", "top 5%",
+              "top 20%");
+  for (const Metric m : kAllMetrics) {
+    const auto sweep = whatif.topk_sweep(m, RankBy::kCoverage, fractions);
+    std::printf("%-12s %9.1f%% %9.1f%% %9.1f%%\n",
+                std::string(metric_name(m)).c_str(),
+                100 * sweep[0].alleviated_fraction,
+                100 * sweep[1].alleviated_fraction,
+                100 * sweep[2].alleviated_fraction);
+  }
+
+  // ---- 2. The shortlist: what exactly would we fix? ------------------------
+  std::printf("\nremediation shortlist (JoinFailure, top 5 by coverage):\n");
+  for (const std::uint64_t raw :
+       top_critical_keys(result, Metric::kJoinFailure, 5)) {
+    const ClusterKey key = ClusterKey::from_raw(raw);
+    std::string hint = "investigate";
+    if (key.has(AttrDim::kCdn)) {
+      hint = world.cdns()[key.value(AttrDim::kCdn)].in_house
+                 ? "contract a commercial CDN / add a second CDN"
+                 : "escalate to CDN operator";
+    } else if (key.has(AttrDim::kSite)) {
+      const SiteModel& site = world.sites()[key.value(AttrDim::kSite)];
+      if (site.single_bitrate) hint = "publish a multi-rate ladder";
+      if (site.remote_module_region >= 0) hint = "host player modules locally";
+    } else if (key.has(AttrDim::kAsn)) {
+      hint = "peering/transit review with the ISP";
+    }
+    std::printf("  %-32s -> %s\n", world.schema().describe(key).c_str(),
+                hint.c_str());
+  }
+
+  // ---- 3. Proactive or reactive? -------------------------------------------
+  std::printf("\nproactive (learn on days 1-2, apply on days 3-4) vs "
+              "reactive (fix after 1 h):\n");
+  std::printf("%-12s %22s %22s\n", "metric", "proactive (of potential)",
+              "reactive (of potential)");
+  for (const Metric m : kAllMetrics) {
+    const auto proactive =
+        whatif.proactive(m, 0.05, 0, kEpochs / 2, kEpochs / 2, kEpochs);
+    const auto reactive = whatif.reactive(m, 1);
+    std::printf("%-12s %12.1f%% (%4.0f%%) %13.1f%% (%4.0f%%)\n",
+                std::string(metric_name(m)).c_str(),
+                100 * proactive.alleviated_fraction,
+                proactive.potential_fraction > 0
+                    ? 100 * proactive.alleviated_fraction /
+                          proactive.potential_fraction
+                    : 0.0,
+                100 * reactive.alleviated_fraction,
+                reactive.potential_fraction > 0
+                    ? 100 * reactive.alleviated_fraction /
+                          reactive.potential_fraction
+                    : 0.0);
+  }
+  std::printf("\nreading: if the reactive column captures most of its "
+              "potential, persistent incidents dominate and a 1-hour "
+              "detection loop suffices; large gaps argue for proactive "
+              "fixes of recurrent offenders.\n");
+  return 0;
+}

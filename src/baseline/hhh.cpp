@@ -1,0 +1,77 @@
+#include "src/baseline/hhh.h"
+
+#include <algorithm>
+#include <bit>
+
+#include "src/util/flat_hash_map.h"
+
+namespace vq {
+
+std::vector<HhhCluster> find_hhh(std::span<const Session> sessions,
+                                 const ProblemThresholds& thresholds,
+                                 const HhhParams& params, Metric metric) {
+  // Residual problem mass per distinct leaf.
+  FlatMap64<double> residual;
+  double total_problem = 0.0;
+  for (const Session& s : sessions) {
+    if (!thresholds.is_problem(metric, s.quality)) continue;
+    residual[ClusterKey::pack(kFullMask, s.attrs).raw()] += 1.0;
+    total_problem += 1.0;
+  }
+  std::vector<HhhCluster> result;
+  if (total_problem <= 0.0) return result;
+  const double threshold = params.phi * total_problem;
+
+  // Masks grouped by arity, processed bottom-up (most specific first).
+  for (int arity = kNumDims; arity >= 1; --arity) {
+    std::vector<std::uint8_t> level_masks;
+    for (unsigned mask = 1; mask <= kFullMask; ++mask) {
+      if (std::popcount(mask) == arity) {
+        level_masks.push_back(static_cast<std::uint8_t>(mask));
+      }
+    }
+
+    // Aggregate residual leaf mass into this level's clusters.
+    FlatMap64<double> level_mass;
+    residual.for_each([&](std::uint64_t raw_leaf, double mass) {
+      if (mass <= 0.0) return;
+      const ClusterKey leaf = ClusterKey::from_raw(raw_leaf);
+      for (const std::uint8_t mask : level_masks) {
+        level_mass[leaf.project(mask).raw()] += mass;
+      }
+    });
+
+    // Mark heavy clusters.
+    FlatSet64 marked;
+    level_mass.for_each([&](std::uint64_t raw, double mass) {
+      if (mass >= threshold) {
+        marked.insert(raw);
+        result.push_back({ClusterKey::from_raw(raw), mass});
+      }
+    });
+    if (marked.empty()) continue;
+
+    // Claim the residual of every leaf under a marked cluster.
+    residual.for_each([&](std::uint64_t raw_leaf, double& mass) {
+      if (mass <= 0.0) return;
+      const ClusterKey leaf = ClusterKey::from_raw(raw_leaf);
+      for (const std::uint8_t mask : level_masks) {
+        if (marked.contains(leaf.project(mask).raw())) {
+          mass = 0.0;
+          return;
+        }
+      }
+    });
+  }
+
+  std::sort(result.begin(), result.end(),
+            [](const HhhCluster& a, const HhhCluster& b) {
+              if (a.residual_mass != b.residual_mass) {
+                return a.residual_mass > b.residual_mass;
+              }
+              return a.key.raw() < b.key.raw();
+            });
+  return result;
+}
+
+}  // namespace vq

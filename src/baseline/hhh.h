@@ -1,0 +1,43 @@
+// Hierarchical Heavy Hitters (HHH) baseline (Zhang et al., IMC'04 style,
+// adapted to the session-attribute lattice).
+//
+// The paper's related work (§7) argues HHH is *not* directly applicable to
+// root-causing quality problems because it counts volume rather than
+// attributing problems to one specific parent.  We implement it as the
+// baseline so that claim can be evaluated: `bench/abl1_hhh_vs_critical`
+// compares both detectors against the planted ground-truth events.
+//
+// Algorithm: process lattice levels bottom-up (arity 7 -> 1).  Each leaf
+// carries its problem-session count as residual mass.  At every level, a
+// cluster whose residual mass (sum over leaves beneath it not yet claimed
+// by a marked descendant) reaches phi * total problem sessions is marked an
+// HHH, and the leaves beneath it are claimed.
+
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "src/core/cluster_engine.h"
+#include "src/core/session.h"
+
+namespace vq {
+
+struct HhhParams {
+  /// Mass threshold as a fraction of the epoch's problem sessions.
+  double phi = 0.02;
+};
+
+struct HhhCluster {
+  ClusterKey key;
+  double residual_mass = 0.0;  // problem sessions claimed by this HHH
+};
+
+/// Finds the HHH set of one epoch for one metric. `sessions` must be the
+/// epoch's session span. Results are sorted by residual mass, descending.
+[[nodiscard]] std::vector<HhhCluster> find_hhh(
+    std::span<const Session> sessions, const ProblemThresholds& thresholds,
+    const HhhParams& params, Metric metric);
+
+}  // namespace vq

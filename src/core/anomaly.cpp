@@ -1,0 +1,70 @@
+#include "src/core/anomaly.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace vq {
+
+std::vector<SeriesAnomaly> detect_series_anomalies(
+    std::span<const double> series, const AnomalyParams& params) {
+  std::vector<SeriesAnomaly> anomalies;
+  if (series.empty()) return anomalies;
+
+  double mean = series.front();
+  double var = 0.0;
+  for (std::uint32_t i = 1; i < series.size(); ++i) {
+    const double x = series[i];
+    const double sigma = std::max(std::sqrt(var), params.min_sigma);
+    const double z = (x - mean) / sigma;
+    if (i >= params.warmup_epochs && std::abs(z) >= params.z_threshold) {
+      anomalies.push_back({i, x, mean, z});
+      // Do not absorb the outlier into the baseline: a one-epoch spike
+      // should not raise the bar for the next one.
+      continue;
+    }
+    const double delta = x - mean;
+    mean += params.ewma_alpha * delta;
+    var = (1.0 - params.ewma_alpha) * (var + params.ewma_alpha * delta * delta);
+  }
+  return anomalies;
+}
+
+std::vector<RatioAnomaly> detect_ratio_anomalies(const PipelineResult& result,
+                                                 const AnomalyParams& params,
+                                                 std::size_t max_suspects) {
+  std::vector<RatioAnomaly> out;
+  for (const Metric metric : kAllMetrics) {
+    std::vector<double> series;
+    series.reserve(result.num_epochs);
+    for (std::uint32_t e = 0; e < result.num_epochs; ++e) {
+      const auto& a = result.at(metric, e).analysis;
+      series.push_back(a.sessions == 0
+                           ? 0.0
+                           : static_cast<double>(a.problem_sessions) /
+                                 static_cast<double>(a.sessions));
+    }
+    for (const SeriesAnomaly& anomaly :
+         detect_series_anomalies(series, params)) {
+      RatioAnomaly flagged;
+      flagged.metric = metric;
+      flagged.anomaly = anomaly;
+      const auto& criticals =
+          result.at(metric, anomaly.index).analysis.criticals;
+      for (std::size_t i = 0;
+           i < std::min(max_suspects, criticals.size()); ++i) {
+        flagged.suspects.push_back(criticals[i].key);
+      }
+      out.push_back(std::move(flagged));
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const RatioAnomaly& a, const RatioAnomaly& b) {
+              if (a.anomaly.index != b.anomaly.index) {
+                return a.anomaly.index < b.anomaly.index;
+              }
+              return a.metric < b.metric;
+            });
+  return out;
+}
+
+}  // namespace vq

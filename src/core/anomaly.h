@@ -1,0 +1,53 @@
+// Global problem-ratio anomaly detection.
+//
+// Figure 2 of the paper shows per-metric hourly problem ratios that are
+// "consistently high" with "a small number of uncorrelated peaks".  This
+// module finds those peaks: an exponentially weighted mean/variance tracks
+// each metric's hourly ratio, and epochs whose ratio deviates beyond a
+// z-score threshold are flagged.  Combined with the per-epoch critical
+// clusters, a flagged peak comes with its likely culprits attached.
+
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "src/core/pipeline.h"
+
+namespace vq {
+
+struct AnomalyParams {
+  double z_threshold = 3.0;        // flag |z| above this
+  double ewma_alpha = 0.1;         // weight of the newest sample
+  std::uint32_t warmup_epochs = 8;  // no flags until the baseline settles
+  double min_sigma = 1e-4;         // variance floor (quiet series)
+};
+
+struct SeriesAnomaly {
+  std::uint32_t index = 0;   // epoch
+  double value = 0.0;        // observed ratio
+  double expected = 0.0;     // EWMA baseline at that point
+  double zscore = 0.0;
+};
+
+/// Flags anomalous points in any series (EWMA mean/variance, causal: each
+/// point is judged against the baseline of strictly earlier points).
+[[nodiscard]] std::vector<SeriesAnomaly> detect_series_anomalies(
+    std::span<const double> series, const AnomalyParams& params);
+
+struct RatioAnomaly {
+  Metric metric = Metric::kBufRatio;
+  SeriesAnomaly anomaly;
+  /// The epoch's top critical clusters (by attributed mass) — the starting
+  /// points for diagnosing the peak.
+  std::vector<ClusterKey> suspects;
+};
+
+/// Runs the detector over each metric's hourly problem-ratio series and
+/// attaches up to `max_suspects` critical clusters per flagged epoch.
+[[nodiscard]] std::vector<RatioAnomaly> detect_ratio_anomalies(
+    const PipelineResult& result, const AnomalyParams& params,
+    std::size_t max_suspects = 3);
+
+}  // namespace vq

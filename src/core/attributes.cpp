@@ -1,0 +1,119 @@
+#include "src/core/attributes.h"
+
+#include <bit>
+#include <stdexcept>
+
+namespace vq {
+
+namespace {
+
+constexpr std::array<DimField, kNumDims> build_fields() {
+  std::array<DimField, kNumDims> fields{};
+  int offset = kNumDims;  // low 7 bits hold the mask
+  for (int d = 0; d < kNumDims; ++d) {
+    fields[d] = {offset, kDimBits[d]};
+    offset += kDimBits[d];
+  }
+  return fields;
+}
+
+constexpr std::array<DimField, kNumDims> kFields = build_fields();
+
+constexpr std::array<std::string_view, kNumDims> kDimNames = {
+    "Site", "Cdn", "Asn", "ConnType", "Player", "Browser", "VodLive"};
+
+static_assert(kFields.back().offset + kFields.back().bits <= 63,
+              "cluster key layout must leave bit 63 clear for the hash-map "
+              "sentinel");
+
+}  // namespace
+
+std::string_view dim_name(AttrDim d) noexcept {
+  return kDimNames[static_cast<std::uint8_t>(d)];
+}
+
+DimField dim_field(AttrDim d) noexcept {
+  return kFields[static_cast<std::uint8_t>(d)];
+}
+
+ClusterKey ClusterKey::pack(std::uint8_t mask, const AttrVec& attrs) {
+  if (mask > kFullMask) throw std::out_of_range{"ClusterKey: bad mask"};
+  std::uint64_t raw = mask;
+  for (int d = 0; d < kNumDims; ++d) {
+    if ((mask & (1u << d)) == 0) continue;
+    const auto value = attrs.v[d];
+    const auto [offset, bits] = kFields[d];
+    if (value >= (1u << bits)) {
+      throw std::out_of_range{"ClusterKey: value does not fit field for " +
+                              std::string{kDimNames[d]}};
+    }
+    raw |= static_cast<std::uint64_t>(value) << offset;
+  }
+  return from_raw(raw);
+}
+
+int ClusterKey::arity() const noexcept { return std::popcount(mask()); }
+
+std::uint16_t ClusterKey::value(AttrDim d) const noexcept {
+  const auto [offset, bits] = dim_field(d);
+  return static_cast<std::uint16_t>((raw_ >> offset) & ((1u << bits) - 1));
+}
+
+bool ClusterKey::generalizes(const ClusterKey& other) const noexcept {
+  const std::uint8_t m = mask();
+  if ((m & other.mask()) != m) return false;
+  return other.project(m) == *this;
+}
+
+ClusterKey ClusterKey::project(std::uint8_t sub) const noexcept {
+  std::uint64_t raw = sub;
+  for (int d = 0; d < kNumDims; ++d) {
+    if ((sub & (1u << d)) == 0) continue;
+    const auto [offset, bits] = kFields[d];
+    raw |= raw_ & (((std::uint64_t{1} << bits) - 1) << offset);
+  }
+  return from_raw(raw);
+}
+
+std::uint16_t AttributeSchema::intern(AttrDim d, std::string_view name) {
+  auto& interner = interners_[static_cast<std::uint8_t>(d)];
+  const std::uint32_t id = interner.intern(name);
+  if (id > dim_capacity(d)) {
+    throw std::length_error{"AttributeSchema: id space exhausted for " +
+                            std::string{dim_name(d)}};
+  }
+  return static_cast<std::uint16_t>(id);
+}
+
+std::string_view AttributeSchema::name(AttrDim d, std::uint16_t id) const {
+  return interners_[static_cast<std::uint8_t>(d)].name(id);
+}
+
+std::size_t AttributeSchema::cardinality(AttrDim d) const noexcept {
+  return interners_[static_cast<std::uint8_t>(d)].size();
+}
+
+std::string AttributeSchema::describe(const ClusterKey& key) const {
+  if (key.mask() == 0) return "[*]";
+  std::string out = "[";
+  bool first = true;
+  for (int d = 0; d < kNumDims; ++d) {
+    const auto dim = static_cast<AttrDim>(d);
+    if (!key.has(dim)) continue;
+    if (!first) out += ", ";
+    first = false;
+    out += dim_name(dim);
+    out += '=';
+    const std::uint16_t id = key.value(dim);
+    if (id < cardinality(dim)) {
+      out += name(dim, id);
+    } else {
+      out += '#';
+      out += std::to_string(id);
+    }
+  }
+  out += ']';
+  return out;
+}
+
+}  // namespace vq

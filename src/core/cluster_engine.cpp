@@ -1,0 +1,74 @@
+#include "src/core/cluster_engine.h"
+
+#include <bit>
+#include <stdexcept>
+
+namespace vq {
+
+ClusterStats ClusterStats::minus(const ClusterStats& o) const noexcept {
+  ClusterStats out;
+  out.sessions = sessions >= o.sessions ? sessions - o.sessions : 0;
+  for (int m = 0; m < kNumMetrics; ++m) {
+    out.problems[m] =
+        problems[m] >= o.problems[m] ? problems[m] - o.problems[m] : 0;
+  }
+  return out;
+}
+
+ClusterStats EpochClusterTable::stats(const ClusterKey& key) const noexcept {
+  if (key.mask() == 0) return root;
+  if (const ClusterStats* found = clusters.find(key.raw())) return *found;
+  return ClusterStats{};
+}
+
+std::vector<std::uint8_t> lattice_masks(int max_arity) {
+  if (max_arity < 1 || max_arity > kNumDims) {
+    throw std::invalid_argument{"lattice_masks: max_arity out of range"};
+  }
+  std::vector<std::uint8_t> masks;
+  for (unsigned mask = 1; mask <= kFullMask; ++mask) {
+    if (std::popcount(mask) <= max_arity) {
+      masks.push_back(static_cast<std::uint8_t>(mask));
+    }
+  }
+  return masks;
+}
+
+EpochClusterTable aggregate_epoch(std::span<const Session> sessions,
+                                  const ProblemThresholds& thresholds,
+                                  const ClusterEngineConfig& config,
+                                  std::uint32_t epoch) {
+  const std::vector<std::uint8_t> masks = lattice_masks(config.max_arity);
+
+  EpochClusterTable table;
+  table.epoch = epoch;
+  // Rough sizing: small epochs have ~|masks| distinct cells per session with
+  // heavy sharing; reserving 4x sessions avoids most rehashes in practice.
+  table.clusters.reserve(sessions.size() * 4 + 64);
+
+  for (const Session& s : sessions) {
+    if (s.epoch != epoch) {
+      throw std::invalid_argument{
+          "aggregate_epoch: session epoch mismatch"};
+    }
+    const std::uint8_t bits = thresholds.problem_bits(s.quality);
+
+    table.root.sessions += 1;
+    for (int m = 0; m < kNumMetrics; ++m) {
+      table.root.problems[m] += (bits >> m) & 1u;
+    }
+
+    // Pack the full leaf once; every lattice cell is a projection of it.
+    const ClusterKey leaf = ClusterKey::pack(kFullMask, s.attrs);
+    for (const std::uint8_t mask : masks) {
+      ClusterStats& stats = table.clusters[leaf.project(mask).raw()];
+      stats.sessions += 1;
+      for (int m = 0; m < kNumMetrics; ++m) {
+        stats.problems[m] += (bits >> m) & 1u;
+      }
+    }
+  }
+  return table;
+}
+
+}  // namespace vq

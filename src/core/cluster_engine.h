@@ -1,0 +1,76 @@
+// Per-epoch cluster lattice aggregation (paper §3.1).
+//
+// For every session we bump {total, per-metric problem} counters in every
+// lattice cell the session belongs to: all non-empty subsets of its seven
+// attribute values (127 cells, optionally capped by arity).  The result is
+// one hash table per epoch mapping packed ClusterKey -> ClusterStats, plus
+// the epoch's global counters (the lattice root).
+
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "src/core/attributes.h"
+#include "src/core/session.h"
+#include "src/util/flat_hash_map.h"
+
+namespace vq {
+
+/// Counters for one cluster within one epoch.
+struct ClusterStats {
+  std::uint32_t sessions = 0;
+  std::array<std::uint32_t, kNumMetrics> problems{};
+
+  [[nodiscard]] double problem_ratio(Metric m) const noexcept {
+    return sessions == 0
+               ? 0.0
+               : static_cast<double>(
+                     problems[static_cast<std::uint8_t>(m)]) /
+                     static_cast<double>(sessions);
+  }
+
+  ClusterStats& operator+=(const ClusterStats& o) noexcept {
+    sessions += o.sessions;
+    for (int m = 0; m < kNumMetrics; ++m) problems[m] += o.problems[m];
+    return *this;
+  }
+
+  /// Saturating subtraction (used by the critical-cluster removal test).
+  [[nodiscard]] ClusterStats minus(const ClusterStats& o) const noexcept;
+};
+
+struct ClusterEngineConfig {
+  /// Largest attribute-subset size to materialise. kNumDims materialises the
+  /// full 127-cell lattice (default, what the paper's method implies); lower
+  /// caps trade fidelity for speed (explored in the perf benches).
+  int max_arity = kNumDims;
+};
+
+/// All cluster statistics of one epoch.
+struct EpochClusterTable {
+  std::uint32_t epoch = 0;
+  ClusterStats root;  // the epoch's global counters
+  FlatMap64<ClusterStats> clusters;
+
+  [[nodiscard]] double global_ratio(Metric m) const noexcept {
+    return root.problem_ratio(m);
+  }
+
+  /// Stats for a key; zeros when the cluster never appeared.
+  [[nodiscard]] ClusterStats stats(const ClusterKey& key) const noexcept;
+};
+
+/// Aggregates one epoch's sessions into a cluster table.
+/// All sessions must carry the same epoch id as `epoch`.
+[[nodiscard]] EpochClusterTable aggregate_epoch(
+    std::span<const Session> sessions, const ProblemThresholds& thresholds,
+    const ClusterEngineConfig& config, std::uint32_t epoch);
+
+/// The non-empty attribute masks the engine materialises for a given cap,
+/// in ascending mask order.
+[[nodiscard]] std::vector<std::uint8_t> lattice_masks(int max_arity);
+
+}  // namespace vq

@@ -1,0 +1,98 @@
+#include "src/core/compare.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+namespace vq {
+
+std::string_view cluster_fate_name(ClusterFate f) noexcept {
+  switch (f) {
+    case ClusterFate::kFixed:
+      return "fixed";
+    case ClusterFate::kImproved:
+      return "improved";
+    case ClusterFate::kPersisting:
+      return "persisting";
+    case ClusterFate::kRegressed:
+      return "regressed";
+    case ClusterFate::kNew:
+      return "new";
+  }
+  return "?";
+}
+
+namespace {
+
+std::unordered_map<std::uint64_t, double> attributed_mass(
+    const PipelineResult& result, Metric metric, std::uint32_t epochs) {
+  std::unordered_map<std::uint64_t, double> mass;
+  for (std::uint32_t e = 0; e < epochs; ++e) {
+    for (const auto& c : result.at(metric, e).analysis.criticals) {
+      mass[c.key.raw()] += c.attributed;
+    }
+  }
+  return mass;
+}
+
+double mean_problem_ratio(const PipelineResult& result, Metric metric,
+                          std::uint32_t epochs) {
+  if (epochs == 0) return 0.0;
+  double total = 0.0;
+  for (std::uint32_t e = 0; e < epochs; ++e) {
+    const auto& a = result.at(metric, e).analysis;
+    total += a.sessions == 0
+                 ? 0.0
+                 : static_cast<double>(a.problem_sessions) /
+                       static_cast<double>(a.sessions);
+  }
+  return total / static_cast<double>(epochs);
+}
+
+ClusterFate classify(double before, double after) {
+  if (after == 0.0) return ClusterFate::kFixed;
+  if (before == 0.0) return ClusterFate::kNew;
+  const double change = (after - before) / before;
+  if (change <= -0.25) return ClusterFate::kImproved;
+  if (change >= 0.25) return ClusterFate::kRegressed;
+  return ClusterFate::kPersisting;
+}
+
+}  // namespace
+
+TraceComparison compare_results(const PipelineResult& before,
+                                const PipelineResult& after) {
+  const std::uint32_t epochs = std::min(before.num_epochs, after.num_epochs);
+  TraceComparison comparison;
+  for (const Metric metric : kAllMetrics) {
+    MetricComparison& mc =
+        comparison.per_metric[static_cast<std::uint8_t>(metric)];
+    mc.metric = metric;
+    mc.problem_ratio_before = mean_problem_ratio(before, metric, epochs);
+    mc.problem_ratio_after = mean_problem_ratio(after, metric, epochs);
+
+    const auto mass_a = attributed_mass(before, metric, epochs);
+    const auto mass_b = attributed_mass(after, metric, epochs);
+    for (const auto& [raw, a] : mass_a) {
+      const auto it = mass_b.find(raw);
+      const double b = it == mass_b.end() ? 0.0 : it->second;
+      mc.clusters.push_back(
+          {ClusterKey::from_raw(raw), classify(a, b), a, b});
+    }
+    for (const auto& [raw, b] : mass_b) {
+      if (mass_a.contains(raw)) continue;
+      mc.clusters.push_back(
+          {ClusterKey::from_raw(raw), ClusterFate::kNew, 0.0, b});
+    }
+    std::sort(mc.clusters.begin(), mc.clusters.end(),
+              [](const ClusterDelta& x, const ClusterDelta& y) {
+                const double dx = std::abs(x.mass_after - x.mass_before);
+                const double dy = std::abs(y.mass_after - y.mass_before);
+                if (dx != dy) return dx > dy;
+                return x.key.raw() < y.key.raw();
+              });
+  }
+  return comparison;
+}
+
+}  // namespace vq

@@ -1,0 +1,65 @@
+// A/B trace comparison: before/after view of an intervention.
+//
+// Pairs with remedy re-simulation (gen/tracegen remedies): given the
+// pipeline results of a baseline and a treated trace, report per-metric
+// problem-ratio deltas and classify critical clusters as fixed (gone in B),
+// persisting, regressed (worse in B), or new. This is the evaluation a
+// quality team runs after shipping a remediation.
+
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "src/core/pipeline.h"
+
+namespace vq {
+
+enum class ClusterFate : std::uint8_t {
+  kFixed = 0,      // critical in A, absent in B
+  kImproved = 1,   // present in both, attributed mass down >= 25%
+  kPersisting = 2, // present in both, mass within +/-25%
+  kRegressed = 3,  // present in both, mass up >= 25%
+  kNew = 4,        // absent in A, critical in B
+};
+
+[[nodiscard]] std::string_view cluster_fate_name(ClusterFate f) noexcept;
+
+struct ClusterDelta {
+  ClusterKey key;
+  ClusterFate fate = ClusterFate::kPersisting;
+  double mass_before = 0.0;  // attributed problem sessions across the trace
+  double mass_after = 0.0;
+};
+
+struct MetricComparison {
+  Metric metric = Metric::kBufRatio;
+  double problem_ratio_before = 0.0;  // mean hourly
+  double problem_ratio_after = 0.0;
+  /// Relative change, negative = improvement.
+  [[nodiscard]] double relative_change() const noexcept {
+    return problem_ratio_before == 0.0
+               ? 0.0
+               : (problem_ratio_after - problem_ratio_before) /
+                     problem_ratio_before;
+  }
+  /// Cluster deltas sorted by |mass change| descending.
+  std::vector<ClusterDelta> clusters;
+};
+
+struct TraceComparison {
+  std::array<MetricComparison, kNumMetrics> per_metric;
+
+  [[nodiscard]] const MetricComparison& at(Metric m) const noexcept {
+    return per_metric[static_cast<std::uint8_t>(m)];
+  }
+};
+
+/// Compares two pipeline results over the same epoch span (typically the
+/// same workload with and without an intervention). Results with different
+/// epoch counts compare over the common prefix.
+[[nodiscard]] TraceComparison compare_results(const PipelineResult& before,
+                                              const PipelineResult& after);
+
+}  // namespace vq

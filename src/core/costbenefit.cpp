@@ -1,0 +1,101 @@
+#include "src/core/costbenefit.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace vq {
+
+double RemediationCostModel::cluster_cost(const ClusterKey& key,
+                                          double mean_sessions) const
+    noexcept {
+  double cost = 0.0;
+  for (int d = 0; d < kNumDims; ++d) {
+    if (key.has(static_cast<AttrDim>(d))) cost += dim_fixed_cost[d];
+  }
+  return cost + per_session_cost * mean_sessions;
+}
+
+CostBenefitPlanner::CostBenefitPlanner(const PipelineResult& result) {
+  for (const Metric metric : kAllMetrics) {
+    const auto mi = static_cast<std::uint8_t>(metric);
+    std::unordered_map<std::uint64_t, std::uint32_t> active_epochs;
+    for (std::uint32_t e = 0; e < result.num_epochs; ++e) {
+      const CriticalAnalysis& a = result.at(metric, e).analysis;
+      total_problem_sessions_[mi] +=
+          static_cast<double>(a.problem_sessions);
+      const double g = a.global_ratio;
+      for (const CriticalRecord& c : a.criticals) {
+        const double r = c.stats.problem_ratio(metric);
+        const double factor = r > 0.0 ? std::max(0.0, 1.0 - g / r) : 0.0;
+        KeyAggregate& agg = aggregates_[mi][c.key.raw()];
+        agg.alleviated += c.attributed * factor;
+        agg.mean_sessions += static_cast<double>(c.stats.sessions);
+        ++active_epochs[c.key.raw()];
+      }
+    }
+    for (auto& [raw, agg] : aggregates_[mi]) {
+      const auto epochs = active_epochs[raw];
+      if (epochs > 0) agg.mean_sessions /= static_cast<double>(epochs);
+    }
+  }
+}
+
+std::vector<PlanItem> CostBenefitPlanner::ranked_items(
+    Metric metric, const RemediationCostModel& costs) const {
+  const auto mi = static_cast<std::uint8_t>(metric);
+  std::vector<PlanItem> items;
+  items.reserve(aggregates_[mi].size());
+  for (const auto& [raw, agg] : aggregates_[mi]) {
+    PlanItem item;
+    item.key = ClusterKey::from_raw(raw);
+    item.alleviated = agg.alleviated;
+    item.cost = costs.cluster_cost(item.key, agg.mean_sessions);
+    item.benefit_per_cost =
+        item.cost > 0.0 ? item.alleviated / item.cost : 0.0;
+    items.push_back(item);
+  }
+  std::sort(items.begin(), items.end(),
+            [](const PlanItem& a, const PlanItem& b) {
+              if (a.benefit_per_cost != b.benefit_per_cost) {
+                return a.benefit_per_cost > b.benefit_per_cost;
+              }
+              return a.key.raw() < b.key.raw();
+            });
+  return items;
+}
+
+RemediationPlan CostBenefitPlanner::plan(Metric metric,
+                                         const RemediationCostModel& costs,
+                                         double budget) const {
+  const auto mi = static_cast<std::uint8_t>(metric);
+  RemediationPlan plan;
+  for (PlanItem& item : ranked_items(metric, costs)) {
+    if (plan.total_cost + item.cost > budget) continue;  // greedy skip
+    plan.total_cost += item.cost;
+    plan.total_alleviated += item.alleviated;
+    plan.items.push_back(std::move(item));
+  }
+  if (total_problem_sessions_[mi] > 0.0) {
+    plan.alleviated_fraction =
+        plan.total_alleviated / total_problem_sessions_[mi];
+  }
+  return plan;
+}
+
+std::vector<CostBenefitPlanner::FrontierPoint> CostBenefitPlanner::frontier(
+    Metric metric, const RemediationCostModel& costs) const {
+  const auto mi = static_cast<std::uint8_t>(metric);
+  std::vector<FrontierPoint> points;
+  double cost = 0.0;
+  double alleviated = 0.0;
+  const double total = total_problem_sessions_[mi];
+  points.push_back({0.0, 0.0});
+  for (const PlanItem& item : ranked_items(metric, costs)) {
+    cost += item.cost;
+    alleviated += item.alleviated;
+    points.push_back({cost, total > 0.0 ? alleviated / total : 0.0});
+  }
+  return points;
+}
+
+}  // namespace vq

@@ -1,0 +1,90 @@
+// Cost-benefit remediation planning — the extension the paper's §6 calls
+// for: "a natural cost-benefit analysis that considers the complexity of
+// upgrading or taking remedial actions for each critical cluster."
+//
+// A RemediationCostModel prices fixing one critical cluster: a fixed cost
+// per attribute dimension involved (renegotiating a CDN contract is not the
+// same effort as changing a site's bitrate ladder) plus a variable cost per
+// affected session (user disruption / migration traffic).  The planner then
+// either (a) greedily packs the best benefit-per-cost clusters into a
+// budget, or (b) traces the full cost-vs-alleviation frontier.
+
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "src/core/pipeline.h"
+
+namespace vq {
+
+struct RemediationCostModel {
+  /// Fixed engineering/contract cost for touching each attribute dimension
+  /// (summed over the dimensions a cluster fixes; abstract units).
+  std::array<double, kNumDims> dim_fixed_cost = {
+      2.0,   // Site: config/encoding change
+      8.0,   // Cdn: contract or capacity work
+      6.0,   // Asn: peering/transit engagement
+      4.0,   // ConnType: access-technology programme
+      1.5,   // Player: client update
+      1.5,   // Browser: client workaround
+      1.0,   // VodLive: packaging change
+  };
+  /// Cost per mean affected session per epoch (disruption during rollout).
+  double per_session_cost = 0.001;
+
+  /// Cost of remediating one cluster with the given mean epoch traffic.
+  [[nodiscard]] double cluster_cost(const ClusterKey& key,
+                                    double mean_sessions) const noexcept;
+};
+
+struct PlanItem {
+  ClusterKey key;
+  double alleviated = 0.0;  // problem sessions removed across the trace
+  double cost = 0.0;
+  double benefit_per_cost = 0.0;
+};
+
+struct RemediationPlan {
+  std::vector<PlanItem> items;  // in greedy pick order
+  double total_alleviated = 0.0;
+  double total_cost = 0.0;
+  /// Fraction of the metric's problem sessions alleviated.
+  double alleviated_fraction = 0.0;
+};
+
+class CostBenefitPlanner {
+ public:
+  explicit CostBenefitPlanner(const PipelineResult& result);
+
+  /// Greedy best-benefit-per-cost plan under a budget.
+  [[nodiscard]] RemediationPlan plan(Metric metric,
+                                     const RemediationCostModel& costs,
+                                     double budget) const;
+
+  /// The (cumulative cost, cumulative alleviated fraction) frontier when
+  /// clusters are fixed in benefit-per-cost order.
+  struct FrontierPoint {
+    double cost = 0.0;
+    double alleviated_fraction = 0.0;
+  };
+  [[nodiscard]] std::vector<FrontierPoint> frontier(
+      Metric metric, const RemediationCostModel& costs) const;
+
+ private:
+  struct KeyAggregate {
+    double alleviated = 0.0;
+    double mean_sessions = 0.0;  // mean cluster size over active epochs
+  };
+
+  [[nodiscard]] std::vector<PlanItem> ranked_items(
+      Metric metric, const RemediationCostModel& costs) const;
+
+  std::array<std::unordered_map<std::uint64_t, KeyAggregate>, kNumMetrics>
+      aggregates_;
+  std::array<double, kNumMetrics> total_problem_sessions_{};
+};
+
+}  // namespace vq

@@ -1,0 +1,141 @@
+#include "src/core/critical_cluster.h"
+
+#include <algorithm>
+#include <array>
+#include <bit>
+
+namespace vq {
+
+namespace {
+
+constexpr int kNumMasks = kFullMask + 1;  // 128 subsets incl. root
+
+struct LeafInfo {
+  std::vector<std::uint8_t> candidates;
+  bool in_problem_cluster = false;
+};
+
+}  // namespace
+
+std::vector<std::uint8_t> critical_candidate_masks(
+    const ClusterKey& leaf, const EpochClusterTable& table,
+    const ProblemClusterParams& params, Metric metric) {
+  const double global = table.global_ratio(metric);
+
+  std::array<ClusterStats, kNumMasks> stats;
+  std::array<bool, kNumMasks> flagged{};
+  stats[0] = table.root;
+  for (int mask = 1; mask < kNumMasks; ++mask) {
+    stats[mask] = table.stats(leaf.project(static_cast<std::uint8_t>(mask)));
+    flagged[mask] =
+        is_problem_cluster(stats[mask], global, params, metric);
+  }
+
+  std::vector<std::uint8_t> candidates;
+  for (int m = 1; m < kNumMasks; ++m) {
+    if (!flagged[m]) continue;
+
+    // (b) every significant descendant within the leaf is a problem cluster.
+    // Enumerate strict supersets of m by iterating subsets of its complement.
+    const unsigned complement = kFullMask & ~static_cast<unsigned>(m);
+    bool up_ok = true;
+    for (unsigned extra = complement; extra != 0;
+         extra = (extra - 1) & complement) {
+      const int s = m | static_cast<int>(extra);
+      if (is_significant(stats[s], params) && !flagged[s]) {
+        up_ok = false;
+        break;
+      }
+    }
+    if (!up_ok) continue;
+
+    // (c) removing this cluster's sessions un-flags every proper ancestor.
+    bool down_ok = true;
+    const unsigned mu = static_cast<unsigned>(m);
+    for (unsigned a = (mu - 1) & mu; a != 0; a = (a - 1) & mu) {
+      const ClusterStats remaining = stats[a].minus(stats[m]);
+      if (is_problem_cluster(remaining, global, params, metric)) {
+        down_ok = false;
+        break;
+      }
+    }
+    if (down_ok) candidates.push_back(static_cast<std::uint8_t>(m));
+  }
+
+  // Keep only masks minimal by inclusion ("closest to the root").
+  std::vector<std::uint8_t> minimal;
+  for (const std::uint8_t m : candidates) {
+    const bool dominated = std::any_of(
+        candidates.begin(), candidates.end(), [m](std::uint8_t other) {
+          return other != m && (other & m) == other;
+        });
+    if (!dominated) minimal.push_back(m);
+  }
+  return minimal;
+}
+
+CriticalAnalysis find_critical_clusters(std::span<const Session> sessions,
+                                        const EpochClusterTable& table,
+                                        const ProblemThresholds& thresholds,
+                                        const ProblemClusterParams& params,
+                                        Metric metric) {
+  CriticalAnalysis out;
+  out.epoch = table.epoch;
+  out.metric = metric;
+  out.sessions = table.root.sessions;
+  out.problem_sessions =
+      table.root.problems[static_cast<std::uint8_t>(metric)];
+  out.global_ratio = table.global_ratio(metric);
+  out.num_problem_clusters = static_cast<std::uint32_t>(
+      find_problem_clusters(table, params, metric).size());
+
+  const double global = out.global_ratio;
+
+  // Per distinct leaf, the candidate set and coverage are identical for all
+  // of its sessions; memoise.
+  FlatMap64<LeafInfo> leaf_memo;
+  FlatMap64<double> attribution;
+
+  for (const Session& s : sessions) {
+    if (!thresholds.is_problem(metric, s.quality)) continue;
+    const ClusterKey leaf = ClusterKey::pack(kFullMask, s.attrs);
+    LeafInfo* info = leaf_memo.find(leaf.raw());
+    if (info == nullptr) {
+      LeafInfo fresh;
+      fresh.candidates =
+          critical_candidate_masks(leaf, table, params, metric);
+      for (unsigned mask = 1; mask <= kFullMask && !fresh.in_problem_cluster;
+           ++mask) {
+        const ClusterStats stats =
+            table.stats(leaf.project(static_cast<std::uint8_t>(mask)));
+        fresh.in_problem_cluster =
+            is_problem_cluster(stats, global, params, metric);
+      }
+      info = &(leaf_memo[leaf.raw()] = std::move(fresh));
+    }
+
+    if (info->in_problem_cluster) ++out.problem_sessions_in_pc;
+    if (info->candidates.empty()) continue;
+    const double share = 1.0 / static_cast<double>(info->candidates.size());
+    for (const std::uint8_t mask : info->candidates) {
+      attribution[leaf.project(mask).raw()] += share;
+    }
+  }
+
+  out.criticals.reserve(attribution.size());
+  attribution.for_each([&](std::uint64_t raw, double mass) {
+    const ClusterKey key = ClusterKey::from_raw(raw);
+    out.criticals.push_back({key, mass, table.stats(key)});
+    out.attributed_mass += mass;
+  });
+  std::sort(out.criticals.begin(), out.criticals.end(),
+            [](const CriticalRecord& a, const CriticalRecord& b) {
+              if (a.attributed != b.attributed) {
+                return a.attributed > b.attributed;
+              }
+              return a.key.raw() < b.key.raw();
+            });
+  return out;
+}
+
+}  // namespace vq

@@ -1,0 +1,88 @@
+// Critical-cluster identification via the phase-transition rule (paper §3.2)
+// and per-session attribution.
+//
+// Intuition (paper Fig. 5): walking any root->leaf chain of a problem
+// session's attribute lattice, the *critical cluster* is the point closest
+// to the root where the problem "switches on": the cluster itself and all of
+// its chain descendants are problem clusters, while removing the cluster's
+// sessions leaves every ancestor below the problem threshold.
+//
+// Concretely, a mask m over a problem session's leaf attributes is a
+// critical candidate when:
+//   (a) cluster(m) is a problem cluster;
+//   (b) every *significant* superset cluster within the leaf is a problem
+//       cluster (insignificant descendants sit below the paper's
+//       1000-session noise floor and cannot veto);
+//   (c) for every proper non-empty subset a of m, cluster(a) minus
+//       cluster(m)'s sessions is no longer a problem cluster ("once removing
+//       it every ancestor is not a problem cluster");
+// and m is minimal by inclusion among such masks ("closest to the root").
+// When several minimal candidates exist (correlated attributes), the
+// session's mass is divided equally among them, exactly as the paper does.
+
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "src/core/cluster_engine.h"
+#include "src/core/problem_cluster.h"
+#include "src/core/session.h"
+#include "src/util/flat_hash_map.h"
+
+namespace vq {
+
+/// A critical cluster of one epoch with its attributed problem-session mass.
+struct CriticalRecord {
+  ClusterKey key;
+  double attributed = 0.0;  // fractional problem-session mass
+  ClusterStats stats;       // the cluster's own counters in this epoch
+};
+
+/// Full per-epoch, per-metric critical analysis output.
+struct CriticalAnalysis {
+  std::uint32_t epoch = 0;
+  Metric metric = Metric::kBufRatio;
+
+  std::uint64_t sessions = 0;          // epoch session count
+  std::uint64_t problem_sessions = 0;  // epoch problem sessions (this metric)
+  /// Problem sessions belonging to >= 1 problem cluster (Table 1 "problem
+  /// cluster coverage" numerator).
+  std::uint64_t problem_sessions_in_pc = 0;
+  double global_ratio = 0.0;
+  std::uint32_t num_problem_clusters = 0;
+
+  /// Critical clusters sorted by attributed mass, descending.
+  std::vector<CriticalRecord> criticals;
+  /// Sum of attributed masses (Table 1 "critical cluster coverage"
+  /// numerator); <= problem_sessions_in_pc <= problem_sessions.
+  double attributed_mass = 0.0;
+
+  [[nodiscard]] double problem_cluster_coverage() const noexcept {
+    return problem_sessions == 0
+               ? 0.0
+               : static_cast<double>(problem_sessions_in_pc) /
+                     static_cast<double>(problem_sessions);
+  }
+  [[nodiscard]] double critical_cluster_coverage() const noexcept {
+    return problem_sessions == 0
+               ? 0.0
+               : attributed_mass / static_cast<double>(problem_sessions);
+  }
+};
+
+/// Runs the phase-transition algorithm for one epoch and metric.
+/// `sessions` must be the span the `table` was aggregated from.
+[[nodiscard]] CriticalAnalysis find_critical_clusters(
+    std::span<const Session> sessions, const EpochClusterTable& table,
+    const ProblemThresholds& thresholds, const ProblemClusterParams& params,
+    Metric metric);
+
+/// Critical candidate masks for a single leaf (exposed for tests and the
+/// HHH comparison bench). Returns minimal candidate masks, ascending.
+[[nodiscard]] std::vector<std::uint8_t> critical_candidate_masks(
+    const ClusterKey& leaf, const EpochClusterTable& table,
+    const ProblemClusterParams& params, Metric metric);
+
+}  // namespace vq

@@ -1,0 +1,95 @@
+// Engagement impact model — connecting quality problems back to the
+// paper's motivation (§1): quality determines engagement and thus revenue.
+//
+// The model encodes the findings the paper builds on (Dobrian et al.,
+// SIGCOMM'11; Krishnan & Sitaraman, IMC'12):
+//   - buffering ratio is the dominant factor: ~3 minutes of lost viewing
+//     per additional 1% of buffering (saturating at high ratios);
+//   - join time does not cut the current session short but reduces the
+//     probability of return visits; beyond a tolerance threshold viewers
+//     abandon;
+//   - join failures forfeit the entire expected session;
+//   - low bitrate mildly depresses viewing time.
+//
+// The model converts a session's QualityMetrics into expected lost viewing
+// minutes, which the what-if layer can use to rank remediations by
+// *engagement* saved rather than problem-session counts.
+
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "src/core/pipeline.h"
+#include "src/core/session.h"
+
+namespace vq {
+
+struct EngagementModel {
+  double expected_session_minutes = 18.0;  // mean intended viewing time
+  double minutes_lost_per_buffering_pct = 3.0;   // Dobrian et al.
+  double max_buffering_loss_minutes = 15.0;      // saturation
+  double join_abandon_threshold_ms = 2'000.0;    // patience begins here
+  double abandon_prob_per_second = 0.06;         // per second past threshold
+  double bitrate_loss_minutes_per_mbps = 1.0;    // below 2 Mbps reference
+  double bitrate_reference_kbps = 2'000.0;
+
+  /// Expected viewing minutes lost for one session (0 for a perfect one).
+  [[nodiscard]] double lost_minutes(const QualityMetrics& q) const noexcept;
+};
+
+/// Aggregate engagement loss over a trace.
+struct EngagementReport {
+  double total_lost_minutes = 0.0;
+  double mean_lost_minutes_per_session = 0.0;
+  /// Decomposition by proximate cause (same order as Metric).
+  std::array<double, kNumMetrics> lost_by_cause{};
+};
+
+[[nodiscard]] EngagementReport engagement_report(
+    const SessionTable& table, const EngagementModel& model);
+
+/// Engagement-weighted cluster ranking: expected viewing minutes recovered
+/// by fixing each critical cluster (reducing its problem ratio to the
+/// epoch's global average, as in the §5 what-if machinery, but weighting
+/// each attributed problem session by its expected engagement loss).
+class EngagementWhatIf {
+ public:
+  /// `table` must be the trace `result` was computed from.
+  EngagementWhatIf(const SessionTable& table, const PipelineResult& result,
+                   const EngagementModel& model);
+
+  struct RankedCluster {
+    ClusterKey key;
+    double minutes_recovered = 0.0;
+    double sessions_alleviated = 0.0;
+  };
+
+  /// Clusters ranked by recoverable engagement minutes, descending.
+  [[nodiscard]] std::vector<RankedCluster> ranking(Metric metric) const;
+
+  /// Minutes recovered by fixing the top fraction of distinct critical
+  /// clusters under engagement ranking vs session-count ranking.
+  struct Comparison {
+    double minutes_engagement_ranked = 0.0;
+    double minutes_session_ranked = 0.0;
+  };
+  [[nodiscard]] Comparison compare_rankings(Metric metric,
+                                            double top_fraction) const;
+
+  [[nodiscard]] double total_lost_minutes(Metric metric) const noexcept {
+    return total_lost_[static_cast<std::uint8_t>(metric)];
+  }
+
+ private:
+  struct KeyImpact {
+    double minutes = 0.0;
+    double sessions = 0.0;
+  };
+  std::array<std::unordered_map<std::uint64_t, KeyImpact>, kNumMetrics>
+      impact_;
+  std::array<double, kNumMetrics> total_lost_{};
+};
+
+}  // namespace vq

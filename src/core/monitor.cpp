@@ -1,0 +1,105 @@
+#include "src/core/monitor.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace vq {
+
+std::string_view incident_update_name(IncidentUpdate u) noexcept {
+  switch (u) {
+    case IncidentUpdate::kNew:
+      return "new";
+    case IncidentUpdate::kEscalated:
+      return "escalated";
+    case IncidentUpdate::kCleared:
+      return "cleared";
+  }
+  return "?";
+}
+
+std::vector<IncidentEvent> StreamingDetector::ingest(
+    std::span<const Session> sessions, std::uint32_t epoch) {
+  if (has_ingested_ && epoch <= last_epoch_) {
+    throw std::invalid_argument{
+        "StreamingDetector::ingest: epochs must be strictly increasing"};
+  }
+  const bool contiguous = !has_ingested_ || epoch == last_epoch_ + 1;
+  last_epoch_ = epoch;
+  has_ingested_ = true;
+
+  const EpochClusterTable lattice =
+      aggregate_epoch(sessions, config_.thresholds, config_.engine, epoch);
+
+  std::vector<IncidentEvent> events;
+  for (const Metric metric : kAllMetrics) {
+    const auto mi = static_cast<std::uint8_t>(metric);
+    auto& incidents = registry_[mi];
+
+    const CriticalAnalysis analysis =
+        find_critical_clusters(sessions, lattice, config_.thresholds,
+                               config_.cluster_params, metric);
+
+    // Mark every open incident as unseen; re-arm those still present.
+    for (auto& [raw, incident] : incidents) incident.attributed = -1.0;
+
+    for (const CriticalRecord& c : analysis.criticals) {
+      auto [it, inserted] = incidents.try_emplace(c.key.raw());
+      Incident& incident = it->second;
+      if (inserted || !contiguous) {
+        incident.key = c.key;
+        incident.metric = metric;
+        incident.first_epoch = epoch;
+        incident.streak = 0;
+        incident.escalated = false;
+        if (inserted) ++opened_[mi];
+      }
+      incident.streak += 1;
+      incident.attributed = c.attributed;
+      incident.stats = c.stats;
+      if (inserted) {
+        events.push_back({IncidentUpdate::kNew, epoch, incident});
+      }
+      if (!incident.escalated && incident.streak > config_.escalate_after) {
+        incident.escalated = true;
+        events.push_back({IncidentUpdate::kEscalated, epoch, incident});
+      }
+    }
+
+    // Close incidents that did not recur (or everything after a gap that
+    // also failed to recur — their streak is stale either way).
+    for (auto it = incidents.begin(); it != incidents.end();) {
+      if (it->second.attributed < 0.0) {
+        it->second.attributed = 0.0;
+        events.push_back({IncidentUpdate::kCleared, epoch, it->second});
+        it = incidents.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+
+  std::sort(events.begin(), events.end(),
+            [](const IncidentEvent& a, const IncidentEvent& b) {
+              if (a.incident.metric != b.incident.metric) {
+                return a.incident.metric < b.incident.metric;
+              }
+              if (a.incident.key.raw() != b.incident.key.raw()) {
+                return a.incident.key.raw() < b.incident.key.raw();
+              }
+              return a.update < b.update;
+            });
+  return events;
+}
+
+std::vector<Incident> StreamingDetector::active(Metric metric) const {
+  std::vector<Incident> out;
+  const auto& incidents = registry_[static_cast<std::uint8_t>(metric)];
+  out.reserve(incidents.size());
+  for (const auto& [raw, incident] : incidents) out.push_back(incident);
+  std::sort(out.begin(), out.end(), [](const Incident& a, const Incident& b) {
+    return a.key.raw() < b.key.raw();
+  });
+  return out;
+}
+
+}  // namespace vq

@@ -1,0 +1,94 @@
+// StreamingDetector: the online counterpart of the batch pipeline.
+//
+// The paper's reactive strategy (§5.3) presumes a system that watches each
+// epoch as it closes, notices when a critical cluster emerges, and
+// escalates once it has persisted past a detection delay.  This class is
+// that loop as a library: feed it one epoch of sessions at a time and it
+// returns incident lifecycle events (new / escalated / cleared) while
+// maintaining the active-incident registry.
+
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "src/core/cluster_engine.h"
+#include "src/core/critical_cluster.h"
+#include "src/core/problem_cluster.h"
+#include "src/core/session.h"
+
+namespace vq {
+
+struct MonitorConfig {
+  ProblemThresholds thresholds;
+  ProblemClusterParams cluster_params{.ratio_multiplier = 1.5,
+                                      .min_sessions = 1000};
+  ClusterEngineConfig engine;
+  /// Consecutive epochs a critical cluster must persist before it
+  /// escalates (the paper's reactive strategy uses 1).
+  std::uint32_t escalate_after = 1;
+};
+
+/// One tracked incident: a critical cluster with a live streak.
+struct Incident {
+  ClusterKey key;
+  Metric metric = Metric::kBufRatio;
+  std::uint32_t first_epoch = 0;
+  std::uint32_t streak = 0;       // consecutive epochs active, inclusive
+  bool escalated = false;
+  double attributed = 0.0;        // problem-session mass, latest epoch
+  ClusterStats stats;             // cluster counters, latest epoch
+};
+
+enum class IncidentUpdate : std::uint8_t {
+  kNew = 0,        // first epoch a critical cluster appears
+  kEscalated = 1,  // streak crossed escalate_after
+  kCleared = 2,    // no longer a critical cluster this epoch
+};
+
+[[nodiscard]] std::string_view incident_update_name(
+    IncidentUpdate u) noexcept;
+
+struct IncidentEvent {
+  IncidentUpdate update = IncidentUpdate::kNew;
+  std::uint32_t epoch = 0;
+  Incident incident;
+};
+
+class StreamingDetector {
+ public:
+  explicit StreamingDetector(const MonitorConfig& config)
+      : config_(config) {}
+
+  /// Processes one closed epoch. Epochs must be fed in strictly increasing
+  /// order (gaps allowed: a gap clears all incidents). Returns the
+  /// lifecycle events raised by this epoch, in (metric, key) order.
+  std::vector<IncidentEvent> ingest(std::span<const Session> sessions,
+                                    std::uint32_t epoch);
+
+  /// Currently open incidents for a metric (unspecified order).
+  [[nodiscard]] std::vector<Incident> active(Metric metric) const;
+
+  /// Total incidents ever opened for a metric.
+  [[nodiscard]] std::uint64_t total_opened(Metric metric) const noexcept {
+    return opened_[static_cast<std::uint8_t>(metric)];
+  }
+
+  [[nodiscard]] const MonitorConfig& config() const noexcept {
+    return config_;
+  }
+
+ private:
+  MonitorConfig config_;
+  std::array<std::unordered_map<std::uint64_t, Incident>, kNumMetrics>
+      registry_;
+  std::array<std::uint64_t, kNumMetrics> opened_{};
+  std::uint32_t last_epoch_ = 0;
+  bool has_ingested_ = false;
+};
+
+}  // namespace vq

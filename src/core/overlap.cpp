@@ -1,0 +1,90 @@
+#include "src/core/overlap.h"
+
+#include <algorithm>
+#include <string>
+#include <unordered_map>
+
+#include "src/stats/jaccard.h"
+
+namespace vq {
+
+std::vector<std::uint64_t> top_critical_keys(const PipelineResult& result,
+                                             Metric metric, std::size_t k) {
+  std::unordered_map<std::uint64_t, double> mass;
+  for (const auto& summary :
+       result.per_metric[static_cast<std::uint8_t>(metric)]) {
+    for (const auto& c : summary.analysis.criticals) {
+      mass[c.key.raw()] += c.attributed;
+    }
+  }
+  std::vector<std::pair<std::uint64_t, double>> ranked(mass.begin(),
+                                                       mass.end());
+  std::sort(ranked.begin(), ranked.end(), [](const auto& a, const auto& b) {
+    if (a.second != b.second) return a.second > b.second;
+    return a.first < b.first;
+  });
+  if (ranked.size() > k) ranked.resize(k);
+  std::vector<std::uint64_t> keys;
+  keys.reserve(ranked.size());
+  for (const auto& [key, m] : ranked) keys.push_back(key);
+  return keys;
+}
+
+std::array<std::array<double, kNumMetrics>, kNumMetrics>
+critical_overlap_matrix(const PipelineResult& result, std::size_t k) {
+  std::array<std::vector<std::uint64_t>, kNumMetrics> tops;
+  for (const Metric m : kAllMetrics) {
+    tops[static_cast<std::uint8_t>(m)] = top_critical_keys(result, m, k);
+  }
+  std::array<std::array<double, kNumMetrics>, kNumMetrics> matrix{};
+  for (int a = 0; a < kNumMetrics; ++a) {
+    for (int b = 0; b < kNumMetrics; ++b) {
+      matrix[a][b] = jaccard_index(tops[a], tops[b]);
+    }
+  }
+  return matrix;
+}
+
+TypeBreakdown critical_type_breakdown(const PipelineResult& result,
+                                      Metric metric) {
+  TypeBreakdown breakdown;
+  double total_problem = 0.0;
+  double total_in_pc = 0.0;
+  double total_attributed = 0.0;
+  std::unordered_map<std::uint8_t, double> by_mask;
+
+  for (const auto& summary :
+       result.per_metric[static_cast<std::uint8_t>(metric)]) {
+    const CriticalAnalysis& a = summary.analysis;
+    total_problem += static_cast<double>(a.problem_sessions);
+    total_in_pc += static_cast<double>(a.problem_sessions_in_pc);
+    total_attributed += a.attributed_mass;
+    for (const auto& c : a.criticals) {
+      by_mask[c.key.mask()] += c.attributed;
+    }
+  }
+  if (total_problem <= 0.0) return breakdown;
+  for (const auto& [mask, mass] : by_mask) {
+    breakdown.by_mask[mask] = mass / total_problem;
+  }
+  breakdown.not_in_any_cluster =
+      (total_problem - total_in_pc) / total_problem;
+  breakdown.not_attributed = (total_in_pc - total_attributed) / total_problem;
+  return breakdown;
+}
+
+std::string mask_label(std::uint8_t mask) {
+  std::string out = "[";
+  for (int d = 0; d < kNumDims; ++d) {
+    if (d > 0) out += ", ";
+    if ((mask & (1u << d)) != 0) {
+      out += dim_name(static_cast<AttrDim>(d));
+    } else {
+      out += '*';
+    }
+  }
+  out += ']';
+  return out;
+}
+
+}  // namespace vq

@@ -1,0 +1,43 @@
+// Cross-metric structure of critical clusters (paper §4.3): attribute-type
+// breakdown (Fig. 10) and top-k Jaccard overlap between metrics (Table 2).
+
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "src/core/pipeline.h"
+
+namespace vq {
+
+/// Top-k critical cluster keys for a metric, ranked by total attributed
+/// problem-session mass across all epochs.
+[[nodiscard]] std::vector<std::uint64_t> top_critical_keys(
+    const PipelineResult& result, Metric metric, std::size_t k);
+
+/// Jaccard similarity of the top-k critical clusters for every metric pair;
+/// entry [a][b] uses metrics a and b (diagonal = 1 when non-empty).
+[[nodiscard]] std::array<std::array<double, kNumMetrics>, kNumMetrics>
+critical_overlap_matrix(const PipelineResult& result, std::size_t k);
+
+/// Fig. 10 breakdown: fraction of a metric's problem sessions attributed to
+/// each attribute-combination type (keyed by presence mask), plus the
+/// unattributed remainder.
+struct TypeBreakdown {
+  /// mask -> fraction of all problem sessions attributed to critical
+  /// clusters with exactly this attribute combination.
+  std::map<std::uint8_t, double> by_mask;
+  double not_attributed = 0.0;      // in a problem cluster, but no critical
+  double not_in_any_cluster = 0.0;  // outside every problem cluster
+};
+
+[[nodiscard]] TypeBreakdown critical_type_breakdown(
+    const PipelineResult& result, Metric metric);
+
+/// Human-readable label for an attribute mask, paper style:
+/// "[Site, *, *, *, *, *, *]".
+[[nodiscard]] std::string mask_label(std::uint8_t mask);
+
+}  // namespace vq

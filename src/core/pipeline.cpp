@@ -1,0 +1,72 @@
+#include "src/core/pipeline.h"
+
+#include <stdexcept>
+
+#include "src/util/thread_pool.h"
+
+namespace vq {
+
+std::uint64_t PipelineResult::total_problem_sessions(Metric m,
+                                                     std::uint32_t begin,
+                                                     std::uint32_t end) const {
+  const auto& summaries = per_metric[static_cast<std::uint8_t>(m)];
+  std::uint64_t total = 0;
+  for (std::uint32_t e = begin; e < end && e < summaries.size(); ++e) {
+    total += summaries[e].analysis.problem_sessions;
+  }
+  return total;
+}
+
+PipelineResult::MetricAggregates PipelineResult::aggregates(Metric m) const {
+  MetricAggregates agg;
+  const auto& summaries = per_metric[static_cast<std::uint8_t>(m)];
+  if (summaries.empty()) return agg;
+  for (const auto& s : summaries) {
+    agg.mean_problem_clusters += s.analysis.num_problem_clusters;
+    agg.mean_critical_clusters +=
+        static_cast<double>(s.analysis.criticals.size());
+    agg.mean_problem_coverage += s.analysis.problem_cluster_coverage();
+    agg.mean_critical_coverage += s.analysis.critical_cluster_coverage();
+  }
+  const auto n = static_cast<double>(summaries.size());
+  agg.mean_problem_clusters /= n;
+  agg.mean_critical_clusters /= n;
+  agg.mean_problem_coverage /= n;
+  agg.mean_critical_coverage /= n;
+  return agg;
+}
+
+PipelineResult run_pipeline(const SessionTable& table,
+                            const PipelineConfig& config) {
+  PipelineResult result;
+  result.config = config;
+  result.num_epochs = table.num_epochs();
+  for (auto& v : result.per_metric) v.resize(result.num_epochs);
+
+  const auto process_epoch = [&](std::size_t e) {
+    const auto epoch = static_cast<std::uint32_t>(e);
+    const std::span<const Session> sessions = table.epoch(epoch);
+    const EpochClusterTable lattice =
+        aggregate_epoch(sessions, config.thresholds, config.engine, epoch);
+    for (const Metric m : kAllMetrics) {
+      EpochMetricSummary& summary =
+          result.per_metric[static_cast<std::uint8_t>(m)][epoch];
+      summary.analysis = find_critical_clusters(
+          sessions, lattice, config.thresholds, config.cluster_params, m);
+      for (const ProblemCluster& pc :
+           find_problem_clusters(lattice, config.cluster_params, m)) {
+        summary.problem_cluster_keys.push_back(pc.key.raw());
+      }
+    }
+  };
+
+  if (config.workers == 1 || result.num_epochs <= 1) {
+    for (std::uint32_t e = 0; e < result.num_epochs; ++e) process_epoch(e);
+  } else {
+    ThreadPool pool{config.workers};
+    pool.parallel_for(0, result.num_epochs, process_epoch);
+  }
+  return result;
+}
+
+}  // namespace vq

@@ -1,0 +1,68 @@
+// End-to-end analysis pipeline: epochs -> cluster lattice -> problem
+// clusters -> critical clusters, per metric.
+//
+// This is the library's primary entry point.  It processes epochs one at a
+// time (optionally in parallel), discards the bulky per-epoch lattice tables
+// after extracting what the longitudinal analyses need, and returns a
+// PipelineResult the §4/§5 analytics (prevalence, persistence, overlap,
+// what-if) consume.
+
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "src/core/cluster_engine.h"
+#include "src/core/critical_cluster.h"
+#include "src/core/problem_cluster.h"
+#include "src/core/session.h"
+
+namespace vq {
+
+struct PipelineConfig {
+  ProblemThresholds thresholds;
+  ProblemClusterParams cluster_params{.ratio_multiplier = 1.5,
+                                      .min_sessions = 1000};
+  ClusterEngineConfig engine;
+  /// Worker threads for per-epoch parallelism; 0 = hardware concurrency.
+  std::size_t workers = 1;
+};
+
+/// Everything retained per (epoch, metric).
+struct EpochMetricSummary {
+  CriticalAnalysis analysis;
+  /// Raw keys of this epoch's problem clusters (for prevalence/persistence).
+  std::vector<std::uint64_t> problem_cluster_keys;
+};
+
+struct PipelineResult {
+  PipelineConfig config;
+  std::uint32_t num_epochs = 0;
+
+  /// per_metric[m][e] summarises metric m in epoch e.
+  std::array<std::vector<EpochMetricSummary>, kNumMetrics> per_metric;
+
+  [[nodiscard]] const EpochMetricSummary& at(Metric m,
+                                             std::uint32_t epoch) const {
+    return per_metric[static_cast<std::uint8_t>(m)].at(epoch);
+  }
+
+  /// Total problem sessions for a metric across an epoch range [begin, end).
+  [[nodiscard]] std::uint64_t total_problem_sessions(
+      Metric m, std::uint32_t begin, std::uint32_t end) const;
+
+  /// Mean per-epoch counts/coverage for Table 1.
+  struct MetricAggregates {
+    double mean_problem_clusters = 0.0;
+    double mean_critical_clusters = 0.0;
+    double mean_problem_coverage = 0.0;   // of problem sessions, in clusters
+    double mean_critical_coverage = 0.0;  // of problem sessions, attributed
+  };
+  [[nodiscard]] MetricAggregates aggregates(Metric m) const;
+};
+
+[[nodiscard]] PipelineResult run_pipeline(const SessionTable& table,
+                                          const PipelineConfig& config);
+
+}  // namespace vq

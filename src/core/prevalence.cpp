@@ -1,0 +1,98 @@
+#include "src/core/prevalence.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "src/stats/timeseries.h"
+
+namespace vq {
+
+std::vector<double> PrevalenceReport::prevalences() const {
+  std::vector<double> out;
+  out.reserve(timelines.size());
+  for (const auto& t : timelines) out.push_back(t.prevalence);
+  return out;
+}
+
+std::vector<double> PrevalenceReport::median_persistences() const {
+  std::vector<double> out;
+  out.reserve(timelines.size());
+  for (const auto& t : timelines) {
+    out.push_back(static_cast<double>(t.median_persistence));
+  }
+  return out;
+}
+
+std::vector<double> PrevalenceReport::max_persistences() const {
+  std::vector<double> out;
+  out.reserve(timelines.size());
+  for (const auto& t : timelines) {
+    out.push_back(static_cast<double>(t.max_persistence));
+  }
+  return out;
+}
+
+PrevalenceReport build_prevalence(
+    std::span<const std::vector<std::uint64_t>> keys_by_epoch,
+    std::uint32_t num_epochs) {
+  PrevalenceReport report;
+  report.num_epochs = num_epochs;
+  if (num_epochs == 0) return report;
+
+  std::unordered_map<std::uint64_t, std::vector<std::uint32_t>> by_key;
+  for (std::uint32_t e = 0; e < keys_by_epoch.size(); ++e) {
+    for (const std::uint64_t key : keys_by_epoch[e]) {
+      by_key[key].push_back(e);
+    }
+  }
+
+  report.timelines.reserve(by_key.size());
+  for (auto& [raw, epochs] : by_key) {
+    std::sort(epochs.begin(), epochs.end());
+    epochs.erase(std::unique(epochs.begin(), epochs.end()), epochs.end());
+    ClusterTimeline timeline;
+    timeline.key = ClusterKey::from_raw(raw);
+    timeline.prevalence = static_cast<double>(epochs.size()) /
+                          static_cast<double>(num_epochs);
+    const auto lengths = streak_lengths_from_epochs(epochs);
+    timeline.median_persistence = median_streak(lengths);
+    timeline.max_persistence = max_streak(lengths);
+    timeline.epochs = std::move(epochs);
+    report.timelines.push_back(std::move(timeline));
+  }
+  // Deterministic order regardless of hash-map iteration.
+  std::sort(report.timelines.begin(), report.timelines.end(),
+            [](const ClusterTimeline& a, const ClusterTimeline& b) {
+              return a.key.raw() < b.key.raw();
+            });
+  return report;
+}
+
+std::vector<std::vector<std::uint64_t>> problem_cluster_keys(
+    const PipelineResult& result, Metric metric) {
+  std::vector<std::vector<std::uint64_t>> out;
+  out.reserve(result.num_epochs);
+  for (const auto& summary :
+       result.per_metric[static_cast<std::uint8_t>(metric)]) {
+    out.push_back(summary.problem_cluster_keys);
+  }
+  return out;
+}
+
+std::vector<std::vector<std::uint64_t>> critical_cluster_keys(
+    const PipelineResult& result, Metric metric) {
+  std::vector<std::vector<std::uint64_t>> out;
+  out.reserve(result.num_epochs);
+  for (const auto& summary :
+       result.per_metric[static_cast<std::uint8_t>(metric)]) {
+    std::vector<std::uint64_t> keys;
+    keys.reserve(summary.analysis.criticals.size());
+    for (const auto& c : summary.analysis.criticals) {
+      keys.push_back(c.key.raw());
+    }
+    out.push_back(std::move(keys));
+  }
+  return out;
+}
+
+}  // namespace vq

@@ -1,0 +1,52 @@
+// Longitudinal prevalence / persistence analytics (paper §4.1, Figs. 6–8).
+//
+//   prevalence(cluster)  = fraction of epochs in which the cluster is
+//                          flagged (problem or critical, caller's choice)
+//   persistence(cluster) = distribution of the lengths of its maximal
+//                          consecutive-epoch streaks; we report the median
+//                          and the maximum, as the paper does.
+
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "src/core/attributes.h"
+#include "src/core/pipeline.h"
+
+namespace vq {
+
+/// One cluster's activity across the trace.
+struct ClusterTimeline {
+  ClusterKey key;
+  std::vector<std::uint32_t> epochs;  // ascending epochs where flagged
+  double prevalence = 0.0;
+  std::uint32_t median_persistence = 0;  // epochs (hours)
+  std::uint32_t max_persistence = 0;
+};
+
+struct PrevalenceReport {
+  std::uint32_t num_epochs = 0;
+  std::vector<ClusterTimeline> timelines;  // one per distinct cluster
+
+  [[nodiscard]] std::vector<double> prevalences() const;
+  [[nodiscard]] std::vector<double> median_persistences() const;
+  [[nodiscard]] std::vector<double> max_persistences() const;
+};
+
+/// Builds timelines from per-epoch key lists: `keys_by_epoch[e]` holds the
+/// flagged cluster keys of epoch e.
+[[nodiscard]] PrevalenceReport build_prevalence(
+    std::span<const std::vector<std::uint64_t>> keys_by_epoch,
+    std::uint32_t num_epochs);
+
+/// Per-epoch problem-cluster keys for a metric from a pipeline result.
+[[nodiscard]] std::vector<std::vector<std::uint64_t>> problem_cluster_keys(
+    const PipelineResult& result, Metric metric);
+
+/// Per-epoch critical-cluster keys for a metric from a pipeline result.
+[[nodiscard]] std::vector<std::vector<std::uint64_t>> critical_cluster_keys(
+    const PipelineResult& result, Metric metric);
+
+}  // namespace vq

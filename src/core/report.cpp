@@ -1,0 +1,136 @@
+#include "src/core/report.h"
+
+#include <cstdio>
+
+#include "src/core/anomaly.h"
+#include "src/core/overlap.h"
+#include "src/core/prevalence.h"
+#include "src/core/whatif.h"
+#include "src/stats/histogram.h"
+
+namespace vq {
+
+namespace {
+
+void append_line(std::string& out, const char* format, auto... args) {
+  char line[256];
+  std::snprintf(line, sizeof line, format, args...);
+  out += line;
+  out += '\n';
+}
+
+}  // namespace
+
+std::string render_report(const SessionTable& table,
+                          const PipelineResult& result,
+                          const AttributeSchema& schema,
+                          const ReportOptions& options) {
+  std::string out;
+  out += "==================== video quality report ====================\n";
+  append_line(out, "sessions: %zu   epochs: %u   (hourly)", table.size(),
+              result.num_epochs);
+
+  // ---- headline ratios ------------------------------------------------------
+  out += "\n-- problem ratios (mean per hour) --\n";
+  for (const Metric m : kAllMetrics) {
+    double ratio = 0.0;
+    for (std::uint32_t e = 0; e < result.num_epochs; ++e) {
+      const auto& a = result.at(m, e).analysis;
+      ratio += a.sessions == 0
+                   ? 0.0
+                   : static_cast<double>(a.problem_sessions) /
+                         static_cast<double>(a.sessions);
+    }
+    ratio /= std::max(1u, result.num_epochs);
+    const auto agg = result.aggregates(m);
+    append_line(out,
+                "%-12s %6.3f | problem clusters/h %6.1f | critical %5.1f | "
+                "attributed %4.0f%%",
+                std::string(metric_name(m)).c_str(), ratio,
+                agg.mean_problem_clusters, agg.mean_critical_clusters,
+                100.0 * agg.mean_critical_coverage);
+  }
+
+  // ---- distributions ---------------------------------------------------------
+  out += "\n-- buffering ratio distribution (playing sessions) --\n";
+  Histogram buffering = Histogram::logarithmic(0.001, 1.0, 8);
+  std::size_t clean = 0;
+  for (const Session& s : table.sessions()) {
+    if (s.quality.join_failed) continue;
+    if (s.quality.buffering_ratio <= 0.001F) {
+      ++clean;
+    } else {
+      buffering.add(s.quality.buffering_ratio);
+    }
+  }
+  append_line(out, "<= 0.1%%: %zu sessions", clean);
+  out += buffering.render(36);
+
+  // ---- top offenders ---------------------------------------------------------
+  out += "\n-- top recurrent critical clusters --\n";
+  for (const Metric m : kAllMetrics) {
+    append_line(out, "%s:", std::string(metric_name(m)).c_str());
+    for (const std::uint64_t raw :
+         top_critical_keys(result, m, options.top_clusters)) {
+      const ClusterKey key = ClusterKey::from_raw(raw);
+      std::string line = "  " + schema.describe(key);
+      if (options.annotate) {
+        const std::string note = options.annotate(key);
+        if (!note.empty()) line += "  <- " + note;
+      }
+      out += line;
+      out += '\n';
+    }
+  }
+
+  // ---- persistence -----------------------------------------------------------
+  out += "\n-- persistence (problem clusters) --\n";
+  for (const Metric m : kAllMetrics) {
+    const auto report = build_prevalence(problem_cluster_keys(result, m),
+                                         result.num_epochs);
+    std::size_t multi_hour = 0;
+    std::uint32_t longest = 0;
+    for (const auto& t : report.timelines) {
+      if (t.median_persistence >= 2) ++multi_hour;
+      longest = std::max(longest, t.max_persistence);
+    }
+    append_line(out,
+                "%-12s %4zu clusters | %4zu with median streak >= 2h | "
+                "longest %u h",
+                std::string(metric_name(m)).c_str(),
+                report.timelines.size(), multi_hour, longest);
+  }
+
+  // ---- anomalies -------------------------------------------------------------
+  const auto anomalies = detect_ratio_anomalies(result, {});
+  out += "\n-- anomalous hours --\n";
+  if (anomalies.empty()) out += "none\n";
+  for (const RatioAnomaly& a : anomalies) {
+    append_line(out, "epoch %3u %-12s ratio %.3f (expected %.3f, z=%.1f)",
+                a.anomaly.index, std::string(metric_name(a.metric)).c_str(),
+                a.anomaly.value, a.anomaly.expected, a.anomaly.zscore);
+    for (const ClusterKey& suspect : a.suspects) {
+      append_line(out, "    suspect %s", schema.describe(suspect).c_str());
+    }
+  }
+
+  // ---- recommendations -------------------------------------------------------
+  const WhatIfAnalyzer whatif{result};
+  out += "\n-- what fixing the top clusters would buy --\n";
+  const double fractions[] = {options.whatif_top_fraction};
+  for (const Metric m : kAllMetrics) {
+    const auto sweep = whatif.topk_sweep(m, RankBy::kCoverage, fractions);
+    const auto reactive = whatif.reactive(m, 1);
+    append_line(out,
+                "%-12s top %.0f%% of clusters -> %4.1f%% alleviated | "
+                "reactive(1h) -> %4.1f%%",
+                std::string(metric_name(m)).c_str(),
+                100.0 * options.whatif_top_fraction,
+                100.0 * sweep[0].alleviated_fraction,
+                100.0 * reactive.alleviated_fraction);
+  }
+  out += "===============================================================\n";
+  return out;
+}
+
+}  // namespace vq

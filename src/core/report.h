@@ -1,0 +1,31 @@
+// Weekly quality report: a single text artifact summarising everything an
+// operations review needs — headline ratios, distributions, top recurrent
+// critical clusters with optional diagnoses, persistence structure, and
+// what-if recommendations.  Used by the CLI's `report` subcommand and the
+// remedy A/B example.
+
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "src/core/pipeline.h"
+#include "src/core/session.h"
+
+namespace vq {
+
+struct ReportOptions {
+  std::size_t top_clusters = 5;        // per metric
+  double whatif_top_fraction = 0.05;   // what-if recommendation budget
+  /// Optional annotator: given a cluster, return a one-line cause/remedy
+  /// hint (e.g. gen/diagnose); empty return -> omitted.
+  std::function<std::string(const ClusterKey&)> annotate;
+};
+
+/// Renders the full report. `table` must be the trace `result` came from.
+[[nodiscard]] std::string render_report(const SessionTable& table,
+                                        const PipelineResult& result,
+                                        const AttributeSchema& schema,
+                                        const ReportOptions& options = {});
+
+}  // namespace vq

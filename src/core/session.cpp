@@ -1,0 +1,88 @@
+#include "src/core/session.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace vq {
+
+std::string_view metric_name(Metric m) noexcept {
+  switch (m) {
+    case Metric::kBufRatio:
+      return "BufRatio";
+    case Metric::kBitrate:
+      return "Bitrate";
+    case Metric::kJoinTime:
+      return "JoinTime";
+    case Metric::kJoinFailure:
+      return "JoinFailure";
+  }
+  return "?";
+}
+
+bool ProblemThresholds::is_problem(Metric m, const QualityMetrics& q) const
+    noexcept {
+  // A failed join never played content: buffering ratio and bitrate are
+  // undefined for it, so it only counts against the JoinFailure metric
+  // (the paper studies the metrics independently).
+  // Thresholds are compared in float: measurements are float, and mixed
+  // float/double comparison would misclassify exact-boundary values.
+  switch (m) {
+    case Metric::kBufRatio:
+      return !q.join_failed &&
+             q.buffering_ratio > static_cast<float>(max_buffering_ratio);
+    case Metric::kBitrate:
+      return !q.join_failed &&
+             q.bitrate_kbps < static_cast<float>(min_bitrate_kbps);
+    case Metric::kJoinTime:
+      return !q.join_failed &&
+             q.join_time_ms > static_cast<float>(max_join_time_ms);
+    case Metric::kJoinFailure:
+      return q.join_failed;
+  }
+  return false;
+}
+
+std::uint8_t ProblemThresholds::problem_bits(const QualityMetrics& q) const
+    noexcept {
+  std::uint8_t bits = 0;
+  for (const Metric m : kAllMetrics) {
+    if (is_problem(m, q)) {
+      bits |= static_cast<std::uint8_t>(1u << static_cast<std::uint8_t>(m));
+    }
+  }
+  return bits;
+}
+
+SessionTable::SessionTable(std::vector<Session> sessions)
+    : sessions_(std::move(sessions)) {
+  finalize();
+}
+
+std::span<const Session> SessionTable::epoch(std::uint32_t e) const {
+  if (!finalized_) {
+    throw std::logic_error{"SessionTable::epoch: finalize() not called"};
+  }
+  if (e >= num_epochs_) return {};
+  return std::span<const Session>{sessions_}.subspan(
+      epoch_offsets_[e], epoch_offsets_[e + 1] - epoch_offsets_[e]);
+}
+
+void SessionTable::append(const Session& s) {
+  sessions_.push_back(s);
+  finalized_ = false;
+}
+
+void SessionTable::finalize() {
+  std::stable_sort(
+      sessions_.begin(), sessions_.end(),
+      [](const Session& a, const Session& b) { return a.epoch < b.epoch; });
+  num_epochs_ = sessions_.empty() ? 0 : sessions_.back().epoch + 1;
+  epoch_offsets_.assign(num_epochs_ + 1, 0);
+  for (const auto& s : sessions_) ++epoch_offsets_[s.epoch + 1];
+  for (std::uint32_t e = 0; e < num_epochs_; ++e) {
+    epoch_offsets_[e + 1] += epoch_offsets_[e];
+  }
+  finalized_ = true;
+}
+
+}  // namespace vq

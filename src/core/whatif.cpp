@@ -1,0 +1,249 @@
+#include "src/core/whatif.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/stats/timeseries.h"
+
+namespace vq {
+
+std::string_view rank_by_name(RankBy r) noexcept {
+  switch (r) {
+    case RankBy::kCoverage:
+      return "coverage";
+    case RankBy::kPrevalence:
+      return "prevalence";
+    case RankBy::kPersistence:
+      return "persistence";
+  }
+  return "?";
+}
+
+WhatIfAnalyzer::WhatIfAnalyzer(const PipelineResult& result)
+    : num_epochs_(result.num_epochs) {
+  for (const Metric metric : kAllMetrics) {
+    const auto mi = static_cast<std::uint8_t>(metric);
+    auto& index = index_[mi];
+    auto& problem_series = problem_per_epoch_[mi];
+    auto& attributed_series = attributed_per_epoch_[mi];
+    problem_series.assign(num_epochs_, 0.0);
+    attributed_series.assign(num_epochs_, 0.0);
+
+    for (std::uint32_t e = 0; e < num_epochs_; ++e) {
+      const CriticalAnalysis& a = result.per_metric[mi][e].analysis;
+      problem_series[e] = static_cast<double>(a.problem_sessions);
+      total_problem_sessions_[mi] += problem_series[e];
+      attributed_series[e] = a.attributed_mass;
+      const double g = a.global_ratio;
+      for (const CriticalRecord& c : a.criticals) {
+        const double r = c.stats.problem_ratio(metric);
+        const double factor = r > 0.0 ? std::max(0.0, 1.0 - g / r) : 0.0;
+        KeyInfo& info = index[c.key.raw()];
+        info.entries.push_back({e, c.attributed, c.attributed * factor});
+        info.total_mass += c.attributed;
+        info.total_alleviated += c.attributed * factor;
+      }
+    }
+
+    for (auto& [raw, info] : index) {
+      std::sort(info.entries.begin(), info.entries.end(),
+                [](const EpochEntry& a, const EpochEntry& b) {
+                  return a.epoch < b.epoch;
+                });
+      std::vector<std::uint32_t> epochs;
+      epochs.reserve(info.entries.size());
+      for (const auto& entry : info.entries) epochs.push_back(entry.epoch);
+      info.prevalence = num_epochs_ == 0
+                            ? 0.0
+                            : static_cast<double>(epochs.size()) /
+                                  static_cast<double>(num_epochs_);
+      info.max_persistence = max_streak(streak_lengths_from_epochs(epochs));
+    }
+  }
+}
+
+double WhatIfAnalyzer::rank_value(const KeyInfo& info,
+                                  RankBy rank_by) const noexcept {
+  switch (rank_by) {
+    case RankBy::kCoverage:
+      return info.total_mass;
+    case RankBy::kPrevalence:
+      return info.prevalence;
+    case RankBy::kPersistence:
+      return static_cast<double>(info.max_persistence);
+  }
+  return 0.0;
+}
+
+std::size_t WhatIfAnalyzer::distinct_critical_count(Metric metric) const {
+  return index_[static_cast<std::uint8_t>(metric)].size();
+}
+
+std::vector<WhatIfAnalyzer::SweepPoint> WhatIfAnalyzer::topk_sweep(
+    Metric metric, RankBy rank_by, std::span<const double> fractions) const {
+  return sweep_impl(metric, rank_by, fractions, {});
+}
+
+std::vector<WhatIfAnalyzer::SweepPoint> WhatIfAnalyzer::topk_sweep_masks(
+    Metric metric, RankBy rank_by, std::span<const double> fractions,
+    std::span<const std::uint8_t> allowed_masks) const {
+  return sweep_impl(metric, rank_by, fractions, allowed_masks);
+}
+
+std::vector<WhatIfAnalyzer::SweepPoint> WhatIfAnalyzer::sweep_impl(
+    Metric metric, RankBy rank_by, std::span<const double> fractions,
+    std::span<const std::uint8_t> allowed_masks) const {
+  const auto mi = static_cast<std::uint8_t>(metric);
+  const KeyIndex& index = index_[mi];
+  const double total_problem = total_problem_sessions_[mi];
+  const std::size_t total_keys = index.size();
+
+  std::vector<std::pair<double, double>> ranked;  // (rank value, alleviated)
+  std::vector<std::pair<std::uint64_t, const KeyInfo*>> eligible;
+  for (const auto& [raw, info] : index) {
+    const auto mask = ClusterKey::from_raw(raw).mask();
+    const bool allowed =
+        allowed_masks.empty() ||
+        std::find(allowed_masks.begin(), allowed_masks.end(), mask) !=
+            allowed_masks.end();
+    if (allowed) eligible.emplace_back(raw, &info);
+  }
+  ranked.reserve(eligible.size());
+  // Stable deterministic order: rank value desc, then raw key.
+  std::sort(eligible.begin(), eligible.end(),
+            [&](const auto& a, const auto& b) {
+              const double ra = rank_value(*a.second, rank_by);
+              const double rb = rank_value(*b.second, rank_by);
+              if (ra != rb) return ra > rb;
+              return a.first < b.first;
+            });
+  for (const auto& [raw, info] : eligible) {
+    ranked.emplace_back(rank_value(*info, rank_by), info->total_alleviated);
+  }
+
+  std::vector<double> cumulative(ranked.size() + 1, 0.0);
+  for (std::size_t i = 0; i < ranked.size(); ++i) {
+    cumulative[i + 1] = cumulative[i] + ranked[i].second;
+  }
+
+  std::vector<SweepPoint> out;
+  out.reserve(fractions.size());
+  for (const double f : fractions) {
+    // Fractions are normalised by ALL distinct critical clusters (Fig. 12's
+    // x-axis), even when a mask restriction shrinks the eligible pool.
+    const auto k = std::min(
+        ranked.size(),
+        static_cast<std::size_t>(std::ceil(
+            f * static_cast<double>(std::max<std::size_t>(total_keys, 1)))));
+    const double alleviated = cumulative[k];
+    out.push_back(
+        {f, total_problem > 0.0 ? alleviated / total_problem : 0.0});
+  }
+  return out;
+}
+
+WhatIfAnalyzer::ProactiveOutcome WhatIfAnalyzer::proactive(
+    Metric metric, double top_fraction, std::uint32_t train_begin,
+    std::uint32_t train_end, std::uint32_t test_begin,
+    std::uint32_t test_end) const {
+  const auto mi = static_cast<std::uint8_t>(metric);
+  const KeyIndex& index = index_[mi];
+
+  const auto window_mass = [](const KeyInfo& info, std::uint32_t begin,
+                              std::uint32_t end) {
+    double mass = 0.0;
+    for (const auto& e : info.entries) {
+      if (e.epoch >= begin && e.epoch < end) mass += e.mass;
+    }
+    return mass;
+  };
+  const auto window_alleviated = [](const KeyInfo& info, std::uint32_t begin,
+                                    std::uint32_t end) {
+    double mass = 0.0;
+    for (const auto& e : info.entries) {
+      if (e.epoch >= begin && e.epoch < end) mass += e.alleviated;
+    }
+    return mass;
+  };
+
+  double test_problem = 0.0;
+  for (std::uint32_t e = test_begin;
+       e < test_end && e < problem_per_epoch_[mi].size(); ++e) {
+    test_problem += problem_per_epoch_[mi][e];
+  }
+  if (test_problem <= 0.0) return {};
+
+  // Rank clusters by coverage within a window, keep the top fraction of the
+  // window's distinct clusters, return alleviated mass on the test window.
+  const auto select_and_score = [&](std::uint32_t rank_begin,
+                                    std::uint32_t rank_end) {
+    std::vector<std::pair<std::uint64_t, double>> ranked;
+    for (const auto& [raw, info] : index) {
+      const double mass = window_mass(info, rank_begin, rank_end);
+      if (mass > 0.0) ranked.emplace_back(raw, mass);
+    }
+    std::sort(ranked.begin(), ranked.end(),
+              [](const auto& a, const auto& b) {
+                if (a.second != b.second) return a.second > b.second;
+                return a.first < b.first;
+              });
+    const auto k = static_cast<std::size_t>(std::ceil(
+        top_fraction * static_cast<double>(ranked.size())));
+    double alleviated = 0.0;
+    for (std::size_t i = 0; i < std::min(k, ranked.size()); ++i) {
+      alleviated += window_alleviated(index.at(ranked[i].first), test_begin,
+                                      test_end);
+    }
+    return alleviated / test_problem;
+  };
+
+  ProactiveOutcome outcome;
+  outcome.alleviated_fraction = select_and_score(train_begin, train_end);
+  outcome.potential_fraction = select_and_score(test_begin, test_end);
+  return outcome;
+}
+
+WhatIfAnalyzer::ReactiveOutcome WhatIfAnalyzer::reactive(
+    Metric metric, std::uint32_t delay_epochs) const {
+  const auto mi = static_cast<std::uint8_t>(metric);
+  ReactiveOutcome outcome;
+  outcome.original = problem_per_epoch_[mi];
+  outcome.after_reactive = problem_per_epoch_[mi];
+  outcome.outside_critical.resize(num_epochs_);
+  for (std::uint32_t e = 0; e < num_epochs_; ++e) {
+    outcome.outside_critical[e] =
+        problem_per_epoch_[mi][e] - attributed_per_epoch_[mi][e];
+  }
+
+  double alleviated_total = 0.0;
+  double potential_total = 0.0;
+  for (const auto& [raw, info] : index_[mi]) {
+    // Walk the entries streak by streak; fix from `delay_epochs` into each.
+    std::size_t i = 0;
+    while (i < info.entries.size()) {
+      std::size_t j = i;
+      while (j + 1 < info.entries.size() &&
+             info.entries[j + 1].epoch == info.entries[j].epoch + 1) {
+        ++j;
+      }
+      for (std::size_t p = i; p <= j; ++p) {
+        potential_total += info.entries[p].alleviated;
+        if (p - i >= delay_epochs) {
+          alleviated_total += info.entries[p].alleviated;
+          outcome.after_reactive[info.entries[p].epoch] -=
+              info.entries[p].alleviated;
+        }
+      }
+      i = j + 1;
+    }
+  }
+
+  const double total_problem = total_problem_sessions_[mi];
+  if (total_problem > 0.0) {
+    outcome.alleviated_fraction = alleviated_total / total_problem;
+    outcome.potential_fraction = potential_total / total_problem;
+  }
+  return outcome;
+}
+
+}  // namespace vq

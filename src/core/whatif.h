@@ -1,0 +1,125 @@
+// What-if improvement analysis (paper §5).
+//
+// "Fixing" a critical cluster in an epoch means reducing the problem ratio
+// of the sessions attributed to it down to that epoch's global average (the
+// unavoidable background level).  With attributed mass a, cluster problem
+// ratio r, and global ratio g, the alleviated problem-session mass is
+// a * max(0, 1 - g/r): the attributed problem mass shrinks proportionally
+// as the cluster's ratio drops from r to g.  Because attribution splits each
+// problem session's unit mass disjointly across critical clusters, summing
+// alleviated masses over any key selection never double-counts.
+//
+// Three strategies are modelled:
+//   - oracle top-k  (Fig. 11/12): pick the top fraction of distinct critical
+//     clusters over the whole trace, ranked by coverage, prevalence, or
+//     persistence, optionally restricted to attribute types;
+//   - proactive     (Table 4): rank on a training window, fix those clusters
+//     wherever they appear in a later test window;
+//   - reactive      (Table 5, Fig. 13): detect a critical cluster once it has
+//     been active for `delay` consecutive epochs, fix it for the remainder
+//     of that streak.
+
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "src/core/pipeline.h"
+
+namespace vq {
+
+enum class RankBy : std::uint8_t {
+  kCoverage = 0,     // total attributed problem-session mass
+  kPrevalence = 1,   // fraction of epochs active as a critical cluster
+  kPersistence = 2,  // longest consecutive-epoch streak
+};
+
+[[nodiscard]] std::string_view rank_by_name(RankBy r) noexcept;
+
+class WhatIfAnalyzer {
+ public:
+  explicit WhatIfAnalyzer(const PipelineResult& result);
+
+  struct SweepPoint {
+    double top_fraction = 0.0;         // of distinct critical clusters
+    double alleviated_fraction = 0.0;  // of all problem sessions
+  };
+
+  /// Oracle fixing of the top fraction(s) of distinct critical clusters.
+  [[nodiscard]] std::vector<SweepPoint> topk_sweep(
+      Metric metric, RankBy rank_by,
+      std::span<const double> fractions) const;
+
+  /// Same, restricted to critical clusters whose attribute mask is in
+  /// `allowed_masks` (empty = no restriction). Fractions remain normalised
+  /// by the total number of distinct critical clusters, as in Fig. 12.
+  [[nodiscard]] std::vector<SweepPoint> topk_sweep_masks(
+      Metric metric, RankBy rank_by, std::span<const double> fractions,
+      std::span<const std::uint8_t> allowed_masks) const;
+
+  struct ProactiveOutcome {
+    double alleviated_fraction = 0.0;  // history-selected clusters, test window
+    double potential_fraction = 0.0;   // test-window-selected clusters
+  };
+
+  /// Ranks by coverage on [train_begin, train_end), fixes the top
+  /// `top_fraction` of that window's distinct critical clusters wherever
+  /// they re-appear in [test_begin, test_end).
+  [[nodiscard]] ProactiveOutcome proactive(Metric metric, double top_fraction,
+                                           std::uint32_t train_begin,
+                                           std::uint32_t train_end,
+                                           std::uint32_t test_begin,
+                                           std::uint32_t test_end) const;
+
+  struct ReactiveOutcome {
+    double alleviated_fraction = 0.0;  // with the detection delay
+    double potential_fraction = 0.0;   // delay = 0 upper bound
+    /// Per-epoch problem sessions: original, after the reactive fix, and the
+    /// share not attributed to any critical cluster (Fig. 13's three lines).
+    std::vector<double> original;
+    std::vector<double> after_reactive;
+    std::vector<double> outside_critical;
+  };
+
+  /// Reactive repair of every critical cluster after `delay_epochs` of
+  /// consecutive activity (paper uses 1 hour).
+  [[nodiscard]] ReactiveOutcome reactive(Metric metric,
+                                         std::uint32_t delay_epochs) const;
+
+  /// Number of distinct critical clusters seen for a metric over the trace.
+  [[nodiscard]] std::size_t distinct_critical_count(Metric metric) const;
+
+ private:
+  struct EpochEntry {
+    std::uint32_t epoch = 0;
+    double mass = 0.0;        // attributed problem-session mass
+    double alleviated = 0.0;  // mass * max(0, 1 - g/r)
+  };
+  struct KeyInfo {
+    double total_mass = 0.0;
+    double total_alleviated = 0.0;
+    double prevalence = 0.0;
+    std::uint32_t max_persistence = 0;
+    std::vector<EpochEntry> entries;  // ascending epoch
+  };
+
+  using KeyIndex = std::unordered_map<std::uint64_t, KeyInfo>;
+
+  [[nodiscard]] std::vector<SweepPoint> sweep_impl(
+      Metric metric, RankBy rank_by, std::span<const double> fractions,
+      std::span<const std::uint8_t> allowed_masks) const;
+
+  [[nodiscard]] double rank_value(const KeyInfo& info,
+                                  RankBy rank_by) const noexcept;
+
+  std::uint32_t num_epochs_ = 0;
+  std::array<KeyIndex, kNumMetrics> index_;
+  std::array<double, kNumMetrics> total_problem_sessions_{};
+  std::array<std::vector<double>, kNumMetrics> problem_per_epoch_;
+  std::array<std::vector<double>, kNumMetrics> attributed_per_epoch_;
+};
+
+}  // namespace vq

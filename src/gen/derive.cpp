@@ -1,0 +1,38 @@
+#include "src/gen/derive.h"
+
+#include <vector>
+
+namespace vq {
+
+SessionTable coarsen_asn_to_region(const SessionTable& table,
+                                   const World& world) {
+  std::vector<Session> sessions(table.sessions().begin(),
+                                table.sessions().end());
+  for (Session& s : sessions) {
+    const AsnModel& asn = world.asns()[s.attrs[AttrDim::kAsn]];
+    s.attrs[AttrDim::kAsn] =
+        static_cast<std::uint16_t>(asn.region);
+  }
+  return SessionTable{std::move(sessions)};
+}
+
+AttributeSchema region_schema(const World& world) {
+  AttributeSchema schema;
+  for (int d = 0; d < kNumDims; ++d) {
+    const auto dim = static_cast<AttrDim>(d);
+    if (dim == AttrDim::kAsn) {
+      for (int r = 0; r < kNumRegions; ++r) {
+        (void)schema.intern(dim, region_name(static_cast<Region>(r)));
+      }
+      continue;
+    }
+    const std::size_t n = world.schema().cardinality(dim);
+    for (std::size_t id = 0; id < n; ++id) {
+      (void)schema.intern(
+          dim, world.schema().name(dim, static_cast<std::uint16_t>(id)));
+    }
+  }
+  return schema;
+}
+
+}  // namespace vq

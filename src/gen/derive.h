@@ -1,0 +1,27 @@
+// Derived ("hidden") attributes — paper §6: "we found many ASNs in non-US
+// regions, so it is natural to consider geography as an additional
+// attribute."
+//
+// The analysis engine is attribute-agnostic: any relabeling of a dimension
+// yields a new lattice. coarsen_asn_to_region() replaces the ASN value of
+// every session with its region id, so the pipeline surfaces geography-
+// level critical clusters (e.g. "China") that per-ASN analysis fragments
+// into many small, individually insignificant clusters.
+
+#pragma once
+
+#include "src/core/session.h"
+#include "src/gen/world.h"
+
+namespace vq {
+
+/// A copy of `table` with each session's ASN replaced by the region id of
+/// that ASN in `world` (region ids index kRegionWeights / region_name).
+[[nodiscard]] SessionTable coarsen_asn_to_region(const SessionTable& table,
+                                                 const World& world);
+
+/// A schema for the coarsened table: identical to the world's schema except
+/// the Asn dimension holds region names.
+[[nodiscard]] AttributeSchema region_schema(const World& world);
+
+}  // namespace vq

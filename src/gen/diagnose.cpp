@@ -1,0 +1,175 @@
+#include "src/gen/diagnose.h"
+
+#include <cstdio>
+
+namespace vq {
+
+std::string_view cause_category_name(CauseCategory c) noexcept {
+  switch (c) {
+    case CauseCategory::kUnknown:
+      return "unknown";
+    case CauseCategory::kActiveEvent:
+      return "active-event";
+    case CauseCategory::kInHouseCdn:
+      return "in-house-cdn";
+    case CauseCategory::kOverloadedCdn:
+      return "overloaded-cdn";
+    case CauseCategory::kSingleBitrateSite:
+      return "single-bitrate-site";
+    case CauseCategory::kWeakOriginSite:
+      return "weak-origin-site";
+    case CauseCategory::kRemoteModulesSite:
+      return "remote-modules-site";
+    case CauseCategory::kPoorIsp:
+      return "poor-isp";
+    case CauseCategory::kWirelessCarrier:
+      return "wireless-carrier";
+    case CauseCategory::kNonUsRegion:
+      return "non-us-region";
+    case CauseCategory::kRadioAccess:
+      return "radio-access";
+  }
+  return "?";
+}
+
+Diagnosis diagnose_cluster(const ClusterKey& key, const World& world,
+                           const EventSchedule* events,
+                           std::optional<std::uint32_t> epoch) {
+  Diagnosis d;
+  char line[160];
+
+  // 1. A live planted event whose scope explains this cluster.
+  if (events != nullptr && epoch.has_value()) {
+    for (const std::uint32_t idx : events->active_at(*epoch)) {
+      const ProblemEvent& event = events->events()[idx];
+      if (event.scope.generalizes(key) || key.generalizes(event.scope)) {
+        std::snprintf(line, sizeof line,
+                      "%s event at %s since epoch %u (planned duration %u h)",
+                      std::string(event_kind_name(event.kind)).c_str(),
+                      world.schema().describe(event.scope).c_str(),
+                      event.start_epoch, event.duration_epochs);
+        d.category = CauseCategory::kActiveEvent;
+        d.summary = line;
+        d.recommendation = "reactive mitigation: reroute or degrade "
+                           "gracefully until the event clears";
+        return d;
+      }
+    }
+  }
+
+  // 2. Server side: CDN, then Site.
+  if (key.has(AttrDim::kCdn)) {
+    const CdnModel& cdn = world.cdns()[key.value(AttrDim::kCdn)];
+    if (cdn.in_house) {
+      std::snprintf(line, sizeof line,
+                    "in-house CDN (base failure %.1f%%, overload "
+                    "sensitivity %.2f)",
+                    100.0 * cdn.base_fail_prob, cdn.overload_sensitivity);
+      d.category = CauseCategory::kInHouseCdn;
+      d.summary = line;
+      d.recommendation =
+          "contract a commercial CDN or adopt multi-CDN delivery";
+      return d;
+    }
+    if (cdn.overload_sensitivity > 0.2) {
+      std::snprintf(line, sizeof line,
+                    "commercial CDN degrading under peak load (sensitivity "
+                    "%.2f)",
+                    cdn.overload_sensitivity);
+      d.category = CauseCategory::kOverloadedCdn;
+      d.summary = line;
+      d.recommendation = "add peak capacity or spill peak traffic to a "
+                         "second CDN";
+      return d;
+    }
+  }
+  if (key.has(AttrDim::kSite)) {
+    const SiteModel& site = world.sites()[key.value(AttrDim::kSite)];
+    if (site.single_bitrate) {
+      std::snprintf(line, sizeof line,
+                    "site publishes a single %d kbps rendition",
+                    static_cast<int>(site.abr.ladder_kbps.front()));
+      d.category = CauseCategory::kSingleBitrateSite;
+      d.summary = line;
+      d.recommendation = "offer a finer-grained bitrate ladder";
+      return d;
+    }
+    if (site.remote_module_region >= 0) {
+      std::snprintf(
+          line, sizeof line,
+          "player modules load cross-continent for %s clients (+%.0f ms)",
+          std::string(region_name(static_cast<Region>(
+                          site.remote_module_region)))
+              .c_str(),
+          site.remote_module_penalty_ms);
+      d.category = CauseCategory::kRemoteModulesSite;
+      d.summary = line;
+      d.recommendation = "serve third-party player modules from a local CDN";
+      return d;
+    }
+    if (site.origin_quality < 0.85) {
+      std::snprintf(line, sizeof line,
+                    "under-provisioned origin/packaging (throughput factor "
+                    "%.2f)",
+                    site.origin_quality);
+      d.category = CauseCategory::kWeakOriginSite;
+      d.summary = line;
+      d.recommendation = "upgrade origin capacity or enable origin shielding";
+      return d;
+    }
+  }
+
+  // 3. Client side: ASN, then access technology.
+  if (key.has(AttrDim::kAsn)) {
+    const AsnModel& asn = world.asns()[key.value(AttrDim::kAsn)];
+    if (asn.wireless_provider) {
+      std::snprintf(line, sizeof line,
+                    "wireless carrier in %s (quality factor %.2f)",
+                    std::string(region_name(asn.region)).c_str(),
+                    asn.quality);
+      d.category = CauseCategory::kWirelessCarrier;
+      d.summary = line;
+      d.recommendation =
+          "lower the default rendition and extend buffers for this carrier";
+      return d;
+    }
+    if (asn.quality < 0.7) {
+      std::snprintf(line, sizeof line,
+                    "chronically slow ISP in %s (quality factor %.2f)",
+                    std::string(region_name(asn.region)).c_str(),
+                    asn.quality);
+      d.category = CauseCategory::kPoorIsp;
+      d.summary = line;
+      d.recommendation = "peering/transit review; consider an in-region CDN";
+      return d;
+    }
+    if (asn.region != Region::kUS) {
+      std::snprintf(line, sizeof line,
+                    "%s ISP outside primary CDN footprints",
+                    std::string(region_name(asn.region)).c_str());
+      d.category = CauseCategory::kNonUsRegion;
+      d.summary = line;
+      d.recommendation = "contract a local/regional CDN operator";
+      return d;
+    }
+  }
+  if (key.has(AttrDim::kConnType)) {
+    const auto conn = key.value(AttrDim::kConnType);
+    if (conn == kConnMobileWireless || conn >= 5) {
+      std::snprintf(line, sizeof line, "radio access technology (%s)",
+                    std::string(kConnTypeNames[conn]).c_str());
+      d.category = CauseCategory::kRadioAccess;
+      d.summary = line;
+      d.recommendation =
+          "tune ABR for radio links: lower startup rung, larger reservoir";
+      return d;
+    }
+  }
+
+  d.summary = "no chronic cause on record; candidate for manual analysis";
+  d.recommendation = "trigger fine-grained measurements (server load, "
+                     "per-hop probes) for this combination";
+  return d;
+}
+
+}  // namespace vq

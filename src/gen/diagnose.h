@@ -1,0 +1,53 @@
+// Ground-truth-aware diagnosis of critical clusters — the "more diagnostic
+// capabilities" direction of the paper's §6.
+//
+// The paper explains its prevalent critical clusters through manual domain
+// analysis (Table 3). Our world model makes those explanations mechanical:
+// given a critical cluster, consult the world's metadata (in-house CDNs,
+// bitrate ladders, ISP quality, regions) and the planted event schedule to
+// produce a human-readable hypothesis plus a machine-checkable category.
+
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "src/core/attributes.h"
+#include "src/gen/events.h"
+#include "src/gen/world.h"
+
+namespace vq {
+
+enum class CauseCategory : std::uint8_t {
+  kUnknown = 0,
+  kActiveEvent,         // matches a planted event live at this epoch
+  kInHouseCdn,          // chronically under-provisioned in-house CDN
+  kOverloadedCdn,       // commercial CDN with peak-hour overload
+  kSingleBitrateSite,   // single-rung provider
+  kWeakOriginSite,      // under-provisioned origin/packaging
+  kRemoteModulesSite,   // player modules loaded cross-continent
+  kPoorIsp,             // chronically slow ASN
+  kWirelessCarrier,     // mobile carrier ASN
+  kNonUsRegion,         // regional footprint/peering gap
+  kRadioAccess,         // mobile/fixed wireless/satellite access
+};
+
+[[nodiscard]] std::string_view cause_category_name(CauseCategory c) noexcept;
+
+struct Diagnosis {
+  CauseCategory category = CauseCategory::kUnknown;
+  std::string summary;        // human-readable hypothesis
+  std::string recommendation; // the "simple known solution" (§1) if any
+};
+
+/// Diagnoses a critical cluster against the world's chronic structure and —
+/// when `events`+`epoch` are supplied — the events active in that epoch.
+/// Checks are ordered: active events first, then server-side, client-side.
+[[nodiscard]] Diagnosis diagnose_cluster(
+    const ClusterKey& key, const World& world,
+    const EventSchedule* events = nullptr,
+    std::optional<std::uint32_t> epoch = std::nullopt);
+
+}  // namespace vq

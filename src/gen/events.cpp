@@ -1,0 +1,223 @@
+#include "src/gen/events.h"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+
+namespace vq {
+
+std::string_view event_kind_name(EventKind k) noexcept {
+  switch (k) {
+    case EventKind::kThroughputCollapse:
+      return "ThroughputCollapse";
+    case EventKind::kFailureSpike:
+      return "FailureSpike";
+    case EventKind::kLatencyInflation:
+      return "LatencyInflation";
+  }
+  return "?";
+}
+
+namespace {
+
+enum class ScopeType : std::uint8_t {
+  kSite,
+  kCdn,
+  kAsn,
+  kConn,
+  kSiteConn,
+  kCdnAsn,
+  kCdnConn,
+  kSiteBrowser,
+  kAsnConn,
+};
+
+EventImpact sample_impact(EventKind kind, Xoshiro256ss& rng) {
+  EventImpact impact;
+  switch (kind) {
+    case EventKind::kThroughputCollapse:
+      impact.bw_multiplier = rng.uniform(0.15, 0.5);
+      break;
+    case EventKind::kFailureSpike:
+      impact.fail_prob_add = rng.uniform(0.08, 0.55);
+      break;
+    case EventKind::kLatencyInflation:
+      impact.rtt_multiplier = rng.uniform(3.0, 9.0);
+      impact.startup_add_ms = rng.uniform(4'000.0, 18'000.0);
+      break;
+  }
+  return impact;
+}
+
+EventKind sample_kind(ScopeType scope, Xoshiro256ss& rng) {
+  // Mechanism mix depends on where the problem sits: client-side scopes
+  // skew to throughput problems, server-side scopes to failures/latency.
+  const double u = rng.uniform01();
+  switch (scope) {
+    case ScopeType::kAsn:
+    case ScopeType::kConn:
+    case ScopeType::kAsnConn:
+      return u < 0.7 ? EventKind::kThroughputCollapse
+                     : (u < 0.85 ? EventKind::kLatencyInflation
+                                 : EventKind::kFailureSpike);
+    case ScopeType::kSite:
+    case ScopeType::kSiteBrowser:
+      return u < 0.45 ? EventKind::kFailureSpike
+                      : (u < 0.75 ? EventKind::kThroughputCollapse
+                                  : EventKind::kLatencyInflation);
+    case ScopeType::kCdn:
+    case ScopeType::kCdnAsn:
+    case ScopeType::kCdnConn:
+    case ScopeType::kSiteConn:
+      return u < 0.45 ? EventKind::kThroughputCollapse
+                      : (u < 0.8 ? EventKind::kFailureSpike
+                                 : EventKind::kLatencyInflation);
+  }
+  return EventKind::kThroughputCollapse;
+}
+
+}  // namespace
+
+EventSchedule EventSchedule::generate(const World& world,
+                                      const EventScheduleConfig& config) {
+  Xoshiro256ss rng{config.seed};
+  EventSchedule schedule;
+  schedule.num_epochs_ = config.num_epochs;
+
+  const std::array<double, 9> weights = {
+      config.w_site,      config.w_cdn,      config.w_asn,
+      config.w_conn,      config.w_site_conn, config.w_cdn_asn,
+      config.w_cdn_conn,  config.w_site_browser, config.w_asn_conn};
+  const DiscreteSampler scope_sampler{std::span<const double>{weights}};
+
+  for (std::uint32_t epoch = 0; epoch < config.num_epochs; ++epoch) {
+    // Poisson arrivals via thinning-free inversion (rate is small).
+    std::uint32_t arrivals = 0;
+    double p = std::exp(-config.events_per_epoch);
+    double cumulative = p;
+    const double u = rng.uniform01();
+    while (u > cumulative && arrivals < 64) {
+      ++arrivals;
+      p *= config.events_per_epoch / static_cast<double>(arrivals);
+      cumulative += p;
+    }
+
+    for (std::uint32_t a = 0; a < arrivals; ++a) {
+      const auto scope_type = static_cast<ScopeType>(scope_sampler(rng));
+
+      AttrVec attrs;
+      std::uint8_t mask = 0;
+      const auto pick_site = [&] {
+        attrs[AttrDim::kSite] =
+            static_cast<std::uint16_t>(world.site_sampler()(rng));
+        mask |= dim_bit(AttrDim::kSite);
+      };
+      const auto pick_cdn = [&] {
+        attrs[AttrDim::kCdn] =
+            static_cast<std::uint16_t>(rng.below(world.cdns().size()));
+        mask |= dim_bit(AttrDim::kCdn);
+      };
+      const auto pick_asn = [&] {
+        attrs[AttrDim::kAsn] =
+            static_cast<std::uint16_t>(world.asn_sampler()(rng));
+        mask |= dim_bit(AttrDim::kAsn);
+      };
+      const auto pick_conn = [&] {
+        attrs[AttrDim::kConnType] =
+            static_cast<std::uint16_t>(rng.below(kConnTypeNames.size()));
+        mask |= dim_bit(AttrDim::kConnType);
+      };
+      const auto pick_browser = [&] {
+        attrs[AttrDim::kBrowser] =
+            static_cast<std::uint16_t>(rng.below(kBrowserNames.size()));
+        mask |= dim_bit(AttrDim::kBrowser);
+      };
+
+      switch (scope_type) {
+        case ScopeType::kSite:
+          pick_site();
+          break;
+        case ScopeType::kCdn:
+          pick_cdn();
+          break;
+        case ScopeType::kAsn:
+          pick_asn();
+          break;
+        case ScopeType::kConn:
+          pick_conn();
+          break;
+        case ScopeType::kSiteConn:
+          pick_site();
+          pick_conn();
+          break;
+        case ScopeType::kCdnAsn:
+          pick_cdn();
+          pick_asn();
+          break;
+        case ScopeType::kCdnConn:
+          pick_cdn();
+          pick_conn();
+          break;
+        case ScopeType::kSiteBrowser:
+          pick_site();
+          pick_browser();
+          break;
+        case ScopeType::kAsnConn:
+          pick_asn();
+          pick_conn();
+          break;
+      }
+
+      ProblemEvent event;
+      event.scope = ClusterKey::pack(mask, attrs);
+      event.kind = sample_kind(scope_type, rng);
+      event.impact = sample_impact(event.kind, rng);
+      event.start_epoch = epoch;
+      const double raw_duration =
+          rng.pareto(1.0, config.duration_pareto_alpha);
+      event.duration_epochs = static_cast<std::uint32_t>(std::clamp(
+          raw_duration, 1.0,
+          static_cast<double>(config.max_duration_epochs)));
+      schedule.events_.push_back(event);
+    }
+  }
+
+  schedule.build_index();
+  return schedule;
+}
+
+EventSchedule EventSchedule::none(std::uint32_t num_epochs) {
+  EventSchedule schedule;
+  schedule.num_epochs_ = num_epochs;
+  schedule.build_index();
+  return schedule;
+}
+
+EventSchedule EventSchedule::from_events(std::vector<ProblemEvent> events,
+                                         std::uint32_t num_epochs) {
+  EventSchedule schedule;
+  schedule.events_ = std::move(events);
+  schedule.num_epochs_ = num_epochs;
+  schedule.build_index();
+  return schedule;
+}
+
+std::span<const std::uint32_t> EventSchedule::active_at(
+    std::uint32_t epoch) const noexcept {
+  if (epoch >= active_by_epoch_.size()) return {};
+  return active_by_epoch_[epoch];
+}
+
+void EventSchedule::build_index() {
+  active_by_epoch_.assign(num_epochs_, {});
+  for (std::uint32_t i = 0; i < events_.size(); ++i) {
+    const ProblemEvent& event = events_[i];
+    const std::uint32_t end = std::min(
+        num_epochs_, event.start_epoch + event.duration_epochs);
+    for (std::uint32_t e = event.start_epoch; e < end; ++e) {
+      active_by_epoch_[e].push_back(i);
+    }
+  }
+}
+
+}  // namespace vq

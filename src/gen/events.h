@@ -1,0 +1,111 @@
+// Planted problem events: the dataset's dynamic ground truth.
+//
+// The paper infers problem events from observations; we *generate* them so
+// that detection quality can be validated.  Each event scopes to an
+// attribute combination (a ClusterKey: one specific Site, CDN, ASN,
+// ConnType, or a pair), spans a contiguous run of epochs with a heavy-tailed
+// duration (so the paper's persistence findings — 50% of events >= 2 h, a
+// tail of day-long outages — can emerge), and degrades the delivery
+// *mechanism* of matching sessions: throughput collapse, failure spikes, or
+// latency/startup inflation.  Mechanistic impacts mean different event kinds
+// surface on different quality metrics, which is what drives the paper's
+// low cross-metric overlap (Table 2).
+
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "src/core/attributes.h"
+#include "src/gen/world.h"
+#include "src/util/rng.h"
+
+namespace vq {
+
+/// How an active event degrades a matching session's delivery conditions.
+struct EventImpact {
+  double bw_multiplier = 1.0;    // multiplies mean throughput
+  double rtt_multiplier = 1.0;   // multiplies control RTT
+  double fail_prob_add = 0.0;    // adds to join-failure probability
+  double startup_add_ms = 0.0;   // adds startup latency
+};
+
+/// Failure-mechanism families (each maps to a characteristic impact).
+enum class EventKind : std::uint8_t {
+  kThroughputCollapse = 0,  // congestion / under-provisioning
+  kFailureSpike = 1,        // missing content, origin or edge errors
+  kLatencyInflation = 2,    // slow control path, remote player modules
+};
+
+[[nodiscard]] std::string_view event_kind_name(EventKind k) noexcept;
+
+struct ProblemEvent {
+  ClusterKey scope;  // sessions with scope.generalizes(leaf) are affected
+  EventKind kind = EventKind::kThroughputCollapse;
+  EventImpact impact;
+  std::uint32_t start_epoch = 0;
+  std::uint32_t duration_epochs = 1;  // >= 1
+
+  [[nodiscard]] bool active_at(std::uint32_t epoch) const noexcept {
+    return epoch >= start_epoch && epoch < start_epoch + duration_epochs;
+  }
+};
+
+struct EventScheduleConfig {
+  std::uint32_t num_epochs = 336;  // two weeks of hourly epochs
+  double events_per_epoch = 1.2;   // arrival rate (Poisson)
+  /// Pareto duration: xm = 1 epoch, this alpha; capped below.
+  double duration_pareto_alpha = 1.05;
+  std::uint32_t max_duration_epochs = 72;
+  /// Scope-type mix (normalised internally): single attributes and pairs.
+  double w_site = 0.36;
+  double w_cdn = 0.16;
+  double w_asn = 0.22;
+  double w_conn = 0.03;
+  double w_site_conn = 0.06;
+  double w_cdn_asn = 0.08;
+  double w_cdn_conn = 0.04;
+  double w_site_browser = 0.04;
+  double w_asn_conn = 0.04;
+  std::uint64_t seed = 77;
+};
+
+/// Immutable event schedule with a per-epoch active index.
+class EventSchedule {
+ public:
+  /// Samples a schedule for `world`. Scope values are drawn from the world's
+  /// popularity distributions, so events hit entities with enough traffic to
+  /// form statistically significant clusters.
+  [[nodiscard]] static EventSchedule generate(const World& world,
+                                              const EventScheduleConfig&
+                                                  config);
+
+  /// An empty schedule (baseline: only chronic world structure).
+  [[nodiscard]] static EventSchedule none(std::uint32_t num_epochs);
+
+  /// A schedule of explicitly supplied events (scenario scripting: planted
+  /// outages in examples and experiments).
+  [[nodiscard]] static EventSchedule from_events(
+      std::vector<ProblemEvent> events, std::uint32_t num_epochs);
+
+  [[nodiscard]] std::span<const ProblemEvent> events() const noexcept {
+    return events_;
+  }
+  [[nodiscard]] std::uint32_t num_epochs() const noexcept {
+    return num_epochs_;
+  }
+
+  /// Indices into events() active during `epoch`.
+  [[nodiscard]] std::span<const std::uint32_t> active_at(
+      std::uint32_t epoch) const noexcept;
+
+ private:
+  void build_index();
+
+  std::vector<ProblemEvent> events_;
+  std::vector<std::vector<std::uint32_t>> active_by_epoch_;
+  std::uint32_t num_epochs_ = 0;
+};
+
+}  // namespace vq

@@ -1,0 +1,253 @@
+#include "src/gen/trace_io.h"
+
+#include <array>
+#include <bit>
+#include <charconv>
+#include <cstring>
+#include <fstream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace vq {
+
+namespace {
+
+constexpr std::string_view kHeader =
+    "epoch,site,cdn,asn,conn_type,player,browser,vod_live,"
+    "buffering_ratio,bitrate_kbps,join_time_ms,join_failed";
+
+constexpr std::array<AttrDim, kNumDims> kColumnDims = {
+    AttrDim::kSite,     AttrDim::kCdn,    AttrDim::kAsn,
+    AttrDim::kConnType, AttrDim::kPlayer, AttrDim::kBrowser,
+    AttrDim::kVodLive};
+
+std::vector<std::string_view> split_csv(std::string_view line) {
+  std::vector<std::string_view> fields;
+  std::size_t start = 0;
+  for (std::size_t i = 0; i <= line.size(); ++i) {
+    if (i == line.size() || line[i] == ',') {
+      fields.push_back(line.substr(start, i - start));
+      start = i + 1;
+    }
+  }
+  return fields;
+}
+
+template <typename T>
+T parse_number(std::string_view field, std::size_t line_no) {
+  T value{};
+  const auto [ptr, ec] =
+      std::from_chars(field.data(), field.data() + field.size(), value);
+  if (ec != std::errc{} || ptr != field.data() + field.size()) {
+    throw std::runtime_error{"read_trace_csv: bad numeric field at line " +
+                             std::to_string(line_no)};
+  }
+  return value;
+}
+
+}  // namespace
+
+void write_trace_csv(std::ostream& out, const SessionTable& table,
+                     const AttributeSchema& schema) {
+  // max_digits10 for float: values survive a write/read round trip exactly.
+  out.precision(9);
+  out << kHeader << '\n';
+  for (const Session& s : table.sessions()) {
+    out << s.epoch;
+    for (const AttrDim dim : kColumnDims) {
+      out << ',' << schema.name(dim, s.attrs[dim]);
+    }
+    out << ',' << s.quality.buffering_ratio << ',' << s.quality.bitrate_kbps
+        << ',' << s.quality.join_time_ms << ','
+        << (s.quality.join_failed ? 1 : 0) << '\n';
+  }
+}
+
+void write_trace_csv(const std::filesystem::path& path,
+                     const SessionTable& table,
+                     const AttributeSchema& schema) {
+  std::ofstream out{path};
+  if (!out) {
+    throw std::runtime_error{"write_trace_csv: cannot open " + path.string()};
+  }
+  write_trace_csv(out, table, schema);
+}
+
+LoadedTrace read_trace_csv(std::istream& in) {
+  LoadedTrace loaded;
+  std::string line;
+  if (!std::getline(in, line)) {
+    throw std::runtime_error{"read_trace_csv: empty input"};
+  }
+  if (line != kHeader) {
+    throw std::runtime_error{"read_trace_csv: unexpected header"};
+  }
+
+  std::vector<Session> sessions;
+  std::size_t line_no = 1;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    const auto fields = split_csv(line);
+    if (fields.size() != 12) {
+      throw std::runtime_error{"read_trace_csv: expected 12 fields at line " +
+                               std::to_string(line_no)};
+    }
+    Session s;
+    s.epoch = parse_number<std::uint32_t>(fields[0], line_no);
+    for (std::size_t d = 0; d < kColumnDims.size(); ++d) {
+      s.attrs[kColumnDims[d]] =
+          loaded.schema.intern(kColumnDims[d], fields[1 + d]);
+    }
+    s.quality.buffering_ratio = parse_number<float>(fields[8], line_no);
+    s.quality.bitrate_kbps = parse_number<float>(fields[9], line_no);
+    s.quality.join_time_ms = parse_number<float>(fields[10], line_no);
+    s.quality.join_failed = parse_number<int>(fields[11], line_no) != 0;
+    sessions.push_back(s);
+  }
+  loaded.table = SessionTable{std::move(sessions)};
+  return loaded;
+}
+
+LoadedTrace read_trace_csv(const std::filesystem::path& path) {
+  std::ifstream in{path};
+  if (!in) {
+    throw std::runtime_error{"read_trace_csv: cannot open " + path.string()};
+  }
+  return read_trace_csv(in);
+}
+
+// --- binary format -----------------------------------------------------------
+
+namespace {
+
+constexpr char kMagic[4] = {'V', 'Q', 'T', 'R'};
+constexpr std::uint32_t kBinaryVersion = 1;
+
+template <typename T>
+void write_pod(std::ostream& out, T value) {
+  // Little-endian hosts only (checked below); fine for this project's
+  // deployment targets.
+  out.write(reinterpret_cast<const char*>(&value), sizeof value);
+}
+
+template <typename T>
+T read_pod(std::istream& in) {
+  T value{};
+  in.read(reinterpret_cast<char*>(&value), sizeof value);
+  if (!in) throw std::runtime_error{"read_trace_binary: truncated input"};
+  return value;
+}
+
+static_assert(std::endian::native == std::endian::little,
+              "binary trace format assumes a little-endian host");
+
+}  // namespace
+
+void write_trace_binary(std::ostream& out, const SessionTable& table,
+                        const AttributeSchema& schema) {
+  out.write(kMagic, sizeof kMagic);
+  write_pod(out, kBinaryVersion);
+  for (int d = 0; d < kNumDims; ++d) {
+    const auto dim = static_cast<AttrDim>(d);
+    const auto count = static_cast<std::uint32_t>(schema.cardinality(dim));
+    write_pod(out, count);
+    for (std::uint32_t id = 0; id < count; ++id) {
+      const std::string_view name =
+          schema.name(dim, static_cast<std::uint16_t>(id));
+      write_pod(out, static_cast<std::uint16_t>(name.size()));
+      out.write(name.data(), static_cast<std::streamsize>(name.size()));
+    }
+  }
+  write_pod(out, static_cast<std::uint64_t>(table.size()));
+  for (const Session& s : table.sessions()) {
+    for (int d = 0; d < kNumDims; ++d) write_pod(out, s.attrs.v[d]);
+    write_pod(out, s.epoch);
+    write_pod(out, s.quality.buffering_ratio);
+    write_pod(out, s.quality.bitrate_kbps);
+    write_pod(out, s.quality.join_time_ms);
+    write_pod(out, static_cast<std::uint8_t>(s.quality.join_failed ? 1 : 0));
+  }
+  if (!out) throw std::runtime_error{"write_trace_binary: write failed"};
+}
+
+void write_trace_binary(const std::filesystem::path& path,
+                        const SessionTable& table,
+                        const AttributeSchema& schema) {
+  std::ofstream out{path, std::ios::binary};
+  if (!out) {
+    throw std::runtime_error{"write_trace_binary: cannot open " +
+                             path.string()};
+  }
+  write_trace_binary(out, table, schema);
+}
+
+LoadedTrace read_trace_binary(std::istream& in) {
+  char magic[4];
+  in.read(magic, sizeof magic);
+  if (!in || std::memcmp(magic, kMagic, sizeof kMagic) != 0) {
+    throw std::runtime_error{"read_trace_binary: bad magic"};
+  }
+  const auto version = read_pod<std::uint32_t>(in);
+  if (version != kBinaryVersion) {
+    throw std::runtime_error{"read_trace_binary: unsupported version " +
+                             std::to_string(version)};
+  }
+  LoadedTrace loaded;
+  for (int d = 0; d < kNumDims; ++d) {
+    const auto dim = static_cast<AttrDim>(d);
+    const auto count = read_pod<std::uint32_t>(in);
+    if (count > dim_capacity(dim) + 1u) {
+      throw std::runtime_error{"read_trace_binary: schema too large for " +
+                               std::string{dim_name(dim)}};
+    }
+    std::string name;
+    for (std::uint32_t id = 0; id < count; ++id) {
+      const auto len = read_pod<std::uint16_t>(in);
+      name.resize(len);
+      in.read(name.data(), len);
+      if (!in) throw std::runtime_error{"read_trace_binary: truncated name"};
+      const std::uint16_t assigned = loaded.schema.intern(dim, name);
+      if (assigned != id) {
+        throw std::runtime_error{
+            "read_trace_binary: duplicate name in schema section"};
+      }
+    }
+  }
+  const auto count = read_pod<std::uint64_t>(in);
+  std::vector<Session> sessions;
+  sessions.reserve(count);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    Session s;
+    for (int d = 0; d < kNumDims; ++d) {
+      s.attrs.v[d] = read_pod<std::uint16_t>(in);
+      const auto dim = static_cast<AttrDim>(d);
+      if (s.attrs.v[d] >= loaded.schema.cardinality(dim)) {
+        throw std::runtime_error{
+            "read_trace_binary: attribute id outside schema"};
+      }
+    }
+    s.epoch = read_pod<std::uint32_t>(in);
+    s.quality.buffering_ratio = read_pod<float>(in);
+    s.quality.bitrate_kbps = read_pod<float>(in);
+    s.quality.join_time_ms = read_pod<float>(in);
+    s.quality.join_failed = read_pod<std::uint8_t>(in) != 0;
+    sessions.push_back(s);
+  }
+  loaded.table = SessionTable{std::move(sessions)};
+  return loaded;
+}
+
+LoadedTrace read_trace_binary(const std::filesystem::path& path) {
+  std::ifstream in{path, std::ios::binary};
+  if (!in) {
+    throw std::runtime_error{"read_trace_binary: cannot open " +
+                             path.string()};
+  }
+  return read_trace_binary(in);
+}
+
+}  // namespace vq

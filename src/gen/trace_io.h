@@ -1,0 +1,59 @@
+// CSV serialisation of session traces.
+//
+// Lets users run the analysis on externally collected data (the library's
+// public entry point for real measurements) and lets generated traces be
+// archived and reloaded.  Format: one header line, then one row per session:
+//   epoch,site,cdn,asn,conn_type,player,browser,vod_live,
+//   buffering_ratio,bitrate_kbps,join_time_ms,join_failed
+
+#pragma once
+
+#include <filesystem>
+#include <iosfwd>
+
+#include "src/core/attributes.h"
+#include "src/core/session.h"
+
+namespace vq {
+
+/// Writes the trace as CSV with attribute names from `schema`.
+void write_trace_csv(std::ostream& out, const SessionTable& table,
+                     const AttributeSchema& schema);
+void write_trace_csv(const std::filesystem::path& path,
+                     const SessionTable& table, const AttributeSchema& schema);
+
+/// Parsed result of read_trace_csv: the table plus the schema populated with
+/// every attribute name encountered (ids assigned in first-seen order).
+struct LoadedTrace {
+  SessionTable table;
+  AttributeSchema schema;
+};
+
+/// Reads a trace written by write_trace_csv (or produced by any compliant
+/// exporter). Throws std::runtime_error on malformed input.
+[[nodiscard]] LoadedTrace read_trace_csv(std::istream& in);
+[[nodiscard]] LoadedTrace read_trace_csv(const std::filesystem::path& path);
+
+// --- binary format -----------------------------------------------------------
+// Compact little-endian container (~31 bytes/session vs ~100 for CSV) for
+// archiving large traces:
+//   magic "VQTR", u32 version,
+//   7 x [u32 name_count, name_count x (u16 len, bytes)]  (per-dim schema)
+//   u64 session_count,
+//   session_count x [7 x u16 attrs, u32 epoch, f32 bufratio, f32 bitrate,
+//                    f32 join_ms, u8 join_failed]
+
+/// Writes the binary container. Every attribute id present in `table` must
+/// be registered in `schema`.
+void write_trace_binary(std::ostream& out, const SessionTable& table,
+                        const AttributeSchema& schema);
+void write_trace_binary(const std::filesystem::path& path,
+                        const SessionTable& table,
+                        const AttributeSchema& schema);
+
+/// Reads the binary container. Throws std::runtime_error on corruption,
+/// truncation, or version mismatch.
+[[nodiscard]] LoadedTrace read_trace_binary(std::istream& in);
+[[nodiscard]] LoadedTrace read_trace_binary(const std::filesystem::path& path);
+
+}  // namespace vq

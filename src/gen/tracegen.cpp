@@ -1,0 +1,259 @@
+#include "src/gen/tracegen.h"
+
+#include "src/simnet/tcp.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+namespace vq {
+
+namespace {
+
+/// Per-region player/browser habit differences are mild; connection mix is
+/// driven by the ASN (wireless carriers are mostly mobile clients).
+std::uint16_t sample_conn_type(const AsnModel& asn, Xoshiro256ss& rng) {
+  if (asn.wireless_provider) {
+    const double u = rng.uniform01();
+    if (u < 0.75) return kConnMobileWireless;
+    if (u < 0.90) return 5;  // FixedWireless
+    return 1;                // Cable (tethered/home product)
+  }
+  const double u = rng.uniform01();
+  if (u < 0.30) return 0;  // DSL
+  if (u < 0.63) return 1;  // Cable
+  if (u < 0.80) return 2;  // Fiber
+  if (u < 0.89) return 3;  // Ethernet
+  if (u < 0.94) return kConnMobileWireless;  // 2013: mobile still a niche
+  if (u < 0.985) return 5;  // FixedWireless
+  return 6;                 // Satellite
+}
+
+std::uint16_t sample_player(Xoshiro256ss& rng) {
+  const double u = rng.uniform01();
+  if (u < 0.55) return 0;  // Flash (it is 2013)
+  if (u < 0.70) return 1;  // Silverlight
+  if (u < 0.90) return 2;  // HTML5
+  return 3;                // NativeApp
+}
+
+std::uint16_t sample_browser(Xoshiro256ss& rng) {
+  const double u = rng.uniform01();
+  if (u < 0.35) return 0;  // Chrome
+  if (u < 0.60) return 1;  // Firefox
+  if (u < 0.82) return 2;  // MSIE
+  if (u < 0.93) return 3;  // Safari
+  return 4;                // Other
+}
+
+double sample_duration_s(bool live, Xoshiro256ss& rng) {
+  // VoD sessions: median ~5 min, heavy tail; Live: longer.
+  return live ? rng.lognormal(std::log(900.0), 0.8)
+              : rng.lognormal(std::log(300.0), 0.9);
+}
+
+}  // namespace
+
+std::uint32_t sessions_in_epoch(const TraceConfig& config,
+                                std::uint32_t epoch) noexcept {
+  // 24-hour sinusoid peaking at "evening" (epoch 20 of each day).
+  const double phase =
+      2.0 * std::numbers::pi * static_cast<double>(epoch % 24) / 24.0;
+  const double factor =
+      1.0 + config.diurnal_amplitude * std::sin(phase - 2.0);
+  const double n = static_cast<double>(config.sessions_per_epoch) * factor;
+  return static_cast<std::uint32_t>(std::max(1.0, n));
+}
+
+namespace {
+
+/// Best-footprint commercial CDN for a region (deterministic).
+std::uint16_t best_commercial_cdn(const World& world, Region region) {
+  std::uint16_t best = 0;
+  double best_presence = -1.0;
+  for (const CdnModel& cdn : world.cdns()) {
+    if (cdn.in_house) continue;
+    const double presence =
+        cdn.presence[static_cast<std::size_t>(region)] -
+        0.5 * cdn.overload_sensitivity;
+    if (presence > best_presence) {
+      best_presence = presence;
+      best = cdn.id;
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+std::vector<Session> generate_epoch(const World& world,
+                                    const EventSchedule& events,
+                                    const TraceConfig& config,
+                                    std::uint32_t epoch,
+                                    std::span<const Remedy> remedies) {
+  // Derivation by (seed, epoch) keeps epochs independent and the whole
+  // trace reproducible regardless of generation order.
+  Xoshiro256ss epoch_rng =
+      Xoshiro256ss{config.seed}.derive(0xE0000000ULL + epoch);
+
+  const std::uint32_t count = sessions_in_epoch(config, epoch);
+  std::vector<Session> sessions;
+  sessions.reserve(count);
+
+  const auto active = events.active_at(epoch);
+
+  for (std::uint32_t i = 0; i < count; ++i) {
+    Session s;
+    s.epoch = epoch;
+
+    // ---- attribute sampling --------------------------------------------
+    const auto site_id =
+        static_cast<std::uint16_t>(world.site_sampler()(epoch_rng));
+    const auto asn_id =
+        static_cast<std::uint16_t>(world.asn_sampler()(epoch_rng));
+    const SiteModel& site = world.sites()[site_id];
+    const AsnModel& asn = world.asns()[asn_id];
+
+    s.attrs[AttrDim::kSite] = site_id;
+    s.attrs[AttrDim::kAsn] = asn_id;
+    s.attrs[AttrDim::kCdn] =
+        site.cdn_ids[epoch_rng.below(site.cdn_ids.size())];
+    s.attrs[AttrDim::kConnType] = sample_conn_type(asn, epoch_rng);
+    s.attrs[AttrDim::kPlayer] = sample_player(epoch_rng);
+    s.attrs[AttrDim::kBrowser] = sample_browser(epoch_rng);
+    s.attrs[AttrDim::kVodLive] =
+        epoch_rng.bernoulli(site.live_fraction) ? kLive : kVod;
+
+    // ---- remedies: match on the as-sampled attributes -------------------
+    bool remedy_ladder = false;
+    bool remedy_local_modules = false;
+    bool remedy_suppress_events = false;
+    ClusterKey suppress_scope;
+    if (!remedies.empty()) {
+      const ClusterKey sampled_leaf = ClusterKey::pack(kFullMask, s.attrs);
+      for (const Remedy& remedy : remedies) {
+        if (!remedy.scope.generalizes(sampled_leaf)) continue;
+        switch (remedy.action) {
+          case RemedyAction::kSwitchToBestCdn:
+            s.attrs[AttrDim::kCdn] = best_commercial_cdn(world, asn.region);
+            break;
+          case RemedyAction::kAddBitrateLadder:
+            remedy_ladder = true;
+            break;
+          case RemedyAction::kLocalizePlayerModules:
+            remedy_local_modules = true;
+            break;
+          case RemedyAction::kSuppressEvents:
+            remedy_suppress_events = true;
+            suppress_scope = remedy.scope;
+            break;
+        }
+      }
+    }
+
+    const CdnModel& cdn = world.cdns()[s.attrs[AttrDim::kCdn]];
+    const auto region = static_cast<std::size_t>(asn.region);
+
+    // ---- delivery conditions ---------------------------------------------
+    const std::uint16_t conn = s.attrs[AttrDim::kConnType];
+    DeliveryConditions cond;
+    const double presence = cdn.presence[region];
+    // Heavy per-session heterogeneity (plan quality, home wiring, cross
+    // traffic): this idiosyncratic spread is what keeps a share of problem
+    // sessions outside any statistically significant cluster (Table 1).
+    // Diurnal CDN congestion: under-provisioned CDNs degrade every peak
+    // hour — the recurring daily problem events behind the paper's
+    // prevalence findings (Fig. 7).
+    const double load = static_cast<double>(sessions_in_epoch(config, epoch)) /
+                        static_cast<double>(config.sessions_per_epoch);
+    const double congestion =
+        1.0 - cdn.overload_sensitivity * std::max(0.0, load - 0.95);
+
+    const double access_kbps = kConnMeanKbps[conn] * asn.quality *
+                               site.origin_quality *
+                               (0.3 + 0.7 * presence) * congestion *
+                               epoch_rng.lognormal(0.0, 0.5);
+    cond.rtt_ms = cdn.rtt_base_ms * (1.0 + 3.5 * (1.0 - presence));
+    // Transport ceiling (Mathis): long-RTT lossy paths to poorly present
+    // CDNs cap below the access rate, whatever the client's line speed.
+    TcpPathParams tcp;
+    tcp.rtt_ms = cond.rtt_ms;
+    tcp.loss_rate = 0.0004 + 0.006 * (1.0 - presence) +
+                    0.004 * std::max(0.0, 1.0 - congestion);
+    cond.bandwidth_mean_kbps =
+        std::min(access_kbps, tcp_pool_ceiling_kbps(tcp));
+    cond.bandwidth_sigma = kConnSigma[conn];
+    // Deep fades: frequent on radio links, rarer on wired plants.
+    cond.fade_prob = conn == kConnMobileWireless || conn >= 5 ? 0.018 : 0.012;
+    cond.fade_depth = 0.18;
+    cond.join_failure_prob = cdn.base_fail_prob + site.base_fail_prob +
+                             cdn.overload_sensitivity *
+                                 std::max(0.0, load - 1.15) * 0.15;
+    cond.startup_overhead_ms = site.startup_overhead_ms;
+    if (!remedy_local_modules &&
+        site.remote_module_region == static_cast<int>(asn.region)) {
+      cond.startup_overhead_ms += site.remote_module_penalty_ms;
+    }
+
+    // ---- planted events ---------------------------------------------------
+    const ClusterKey leaf = ClusterKey::pack(kFullMask, s.attrs);
+    for (const std::uint32_t idx : active) {
+      const ProblemEvent& event = events.events()[idx];
+      if (!event.scope.generalizes(leaf)) continue;
+      if (remedy_suppress_events &&
+          (suppress_scope.generalizes(event.scope) ||
+           event.scope.generalizes(suppress_scope))) {
+        continue;  // the root cause was repaired
+      }
+      cond.apply_impact(event.impact.bw_multiplier,
+                        event.impact.rtt_multiplier,
+                        event.impact.fail_prob_add,
+                        event.impact.startup_add_ms);
+    }
+    cond.clamp();
+
+    // ---- playback ----------------------------------------------------------
+    const bool live = s.attrs[AttrDim::kVodLive] == kLive;
+    const double duration = sample_duration_s(live, epoch_rng);
+    // A slice of the catalogue is only encoded at low rates (old uploads,
+    // UGC): those sessions fall below the paper's 700 kbps line wherever
+    // they play, which is why bitrate problems are the least clustered
+    // metric (Table 1's 0.57 coverage; the paper notes bitrate thresholds
+    // are content-dependent).
+    const bool content_capped =
+        !site.single_bitrate && epoch_rng.bernoulli(0.08);
+    if (content_capped) {
+      // Low-rate-only content: a ladder remedy cannot help what was never
+      // encoded.
+      AbrConfig capped = site.abr;
+      capped.ladder_kbps = {300, 560};
+      s.quality = simulate_playback(cond, capped, config.player, duration,
+                                    epoch_rng.derive(i));
+    } else if (remedy_ladder && site.single_bitrate) {
+      AbrConfig full;
+      full.kind = AbrKind::kRateBased;
+      full.ladder_kbps = {400, 800, 1500, 2500};
+      s.quality = simulate_playback(cond, full, config.player, duration,
+                                    epoch_rng.derive(i));
+    } else {
+      s.quality = simulate_playback(cond, site.abr, config.player, duration,
+                                    epoch_rng.derive(i));
+    }
+    sessions.push_back(s);
+  }
+  return sessions;
+}
+
+SessionTable generate_trace(const World& world, const EventSchedule& events,
+                            const TraceConfig& config,
+                            std::span<const Remedy> remedies) {
+  std::vector<Session> all;
+  for (std::uint32_t epoch = 0; epoch < config.num_epochs; ++epoch) {
+    std::vector<Session> chunk =
+        generate_epoch(world, events, config, epoch, remedies);
+    all.insert(all.end(), chunk.begin(), chunk.end());
+  }
+  return SessionTable{std::move(all)};
+}
+
+}  // namespace vq

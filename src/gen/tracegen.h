@@ -1,0 +1,73 @@
+// Trace generation: composes the world model, the planted event schedule and
+// the delivery simulation into a SessionTable — the synthetic stand-in for
+// the paper's 300M-session client-side measurement dataset.
+
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "src/core/session.h"
+#include "src/gen/events.h"
+#include "src/gen/world.h"
+#include "src/simnet/player.h"
+
+namespace vq {
+
+struct TraceConfig {
+  std::uint32_t num_epochs = 336;          // two weeks, hourly
+  std::uint32_t sessions_per_epoch = 4000;  // mean; diurnally modulated
+  double diurnal_amplitude = 0.35;          // peak/trough swing, in [0,1)
+  std::uint64_t seed = 7;
+  PlayerConfig player;
+};
+
+// --- remedies ---------------------------------------------------------------
+// The paper (§5) models "fixing" a cluster as resetting its problem ratio to
+// the global average and concedes it "cannot conclusively say that the
+// specific sessions are actually fixable". With a mechanistic substrate we
+// can close that loop: re-simulate the trace with a concrete remedy applied
+// to the sessions a scope matches, holding all random streams fixed so only
+// the remedied delivery paths change.
+
+enum class RemedyAction : std::uint8_t {
+  /// Reassign matching sessions to the commercial CDN with the best
+  /// regional footprint for the client.
+  kSwitchToBestCdn = 0,
+  /// Replace the site's ladder with a full adaptive one for matching
+  /// sessions (fixes single-bitrate providers).
+  kAddBitrateLadder = 1,
+  /// Serve third-party player modules locally (drops the cross-continent
+  /// startup penalty).
+  kLocalizePlayerModules = 2,
+  /// Suppress planted problem events whose scope this remedy's scope
+  /// matches (the idealised "root cause repaired" fix).
+  kSuppressEvents = 3,
+};
+
+struct Remedy {
+  ClusterKey scope;  // sessions with scope.generalizes(leaf) are remedied
+  RemedyAction action = RemedyAction::kSwitchToBestCdn;
+};
+
+/// Generates sessions for a single epoch (exposed for streaming consumers
+/// and tests; generate_trace loops this over all epochs). An empty remedy
+/// list reproduces the unremedied trace bit-for-bit.
+[[nodiscard]] std::vector<Session> generate_epoch(
+    const World& world, const EventSchedule& events, const TraceConfig& config,
+    std::uint32_t epoch, std::span<const Remedy> remedies = {});
+
+/// Generates the full trace. Deterministic in (world, events, config,
+/// remedies); sessions untouched by every remedy are identical to the
+/// remedy-free trace.
+[[nodiscard]] SessionTable generate_trace(const World& world,
+                                          const EventSchedule& events,
+                                          const TraceConfig& config,
+                                          std::span<const Remedy> remedies =
+                                              {});
+
+/// Expected session count for an epoch after diurnal modulation.
+[[nodiscard]] std::uint32_t sessions_in_epoch(const TraceConfig& config,
+                                              std::uint32_t epoch) noexcept;
+
+}  // namespace vq

@@ -1,0 +1,205 @@
+#include "src/gen/world.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <stdexcept>
+
+namespace vq {
+
+std::string_view region_name(Region r) noexcept {
+  switch (r) {
+    case Region::kUS:
+      return "US";
+    case Region::kEurope:
+      return "Europe";
+    case Region::kChina:
+      return "China";
+    case Region::kAsiaOther:
+      return "AsiaOther";
+    case Region::kLatAm:
+      return "LatAm";
+    case Region::kOther:
+      return "Other";
+  }
+  return "?";
+}
+
+namespace {
+
+AbrConfig make_full_ladder_abr(Xoshiro256ss& rng) {
+  AbrConfig abr;
+  abr.kind = rng.bernoulli(0.5) ? AbrKind::kRateBased : AbrKind::kBufferBased;
+  // Sites encode different ladder depths (2013: most content tops out well
+  // below "HD"; only well-provisioned providers publish high rungs).
+  const double u = rng.uniform01();
+  if (u < 0.45) {
+    abr.ladder_kbps = {400, 800, 1500};
+  } else if (u < 0.80) {
+    abr.ladder_kbps = {400, 800, 1500, 2500};
+  } else {
+    abr.ladder_kbps = {400, 800, 1500, 2500, 4500};
+  }
+  return abr;
+}
+
+AbrConfig make_single_bitrate_abr(Xoshiro256ss& rng) {
+  AbrConfig abr;
+  abr.kind = AbrKind::kFixedSingle;
+  // Single-rung providers typically publish one mid/high rate; on slow
+  // paths this is exactly what buffers (paper Table 3 "single bitrate").
+  abr.ladder_kbps = {rng.bernoulli(0.5) ? 1'800.0 : 1'200.0};
+  return abr;
+}
+
+Region sample_region(Xoshiro256ss& rng, const DiscreteSampler& sampler) {
+  return static_cast<Region>(sampler(rng));
+}
+
+}  // namespace
+
+World World::build(const WorldConfig& config) {
+  if (config.num_sites == 0 || config.num_cdns == 0 || config.num_asns == 0) {
+    throw std::invalid_argument{"WorldConfig: empty population"};
+  }
+  if (config.num_sites > dim_capacity(AttrDim::kSite) ||
+      config.num_cdns > dim_capacity(AttrDim::kCdn) ||
+      config.num_asns > dim_capacity(AttrDim::kAsn)) {
+    throw std::invalid_argument{
+        "WorldConfig: population exceeds attribute id space"};
+  }
+
+  Xoshiro256ss rng{config.seed};
+  World world{config, ZipfSampler{config.num_sites, config.site_zipf},
+              ZipfSampler{config.num_asns, config.asn_zipf}};
+
+  const DiscreteSampler region_sampler{
+      std::span<const double>{kRegionWeights}};
+
+  char name[32];
+
+  // ---- CDNs ---------------------------------------------------------------
+  const auto num_inhouse = static_cast<std::uint32_t>(
+      static_cast<double>(config.num_cdns) * config.inhouse_cdn_fraction);
+  world.cdns_.reserve(config.num_cdns);
+  for (std::uint32_t i = 0; i < config.num_cdns; ++i) {
+    CdnModel cdn;
+    cdn.in_house = i >= config.num_cdns - num_inhouse;
+    std::snprintf(name, sizeof name, "%s-%02u",
+                  cdn.in_house ? "inhouse" : "cdn", i);
+    cdn.id = world.schema_.intern(AttrDim::kCdn, name);
+    // A couple of in-house CDNs are chronically awful (the paper's
+    // "low priority service" providers): stable, dominant join-failure
+    // critical clusters week after week. The rest are merely mediocre.
+    const bool awful =
+        cdn.in_house && i < config.num_cdns - num_inhouse + 2;
+    cdn.base_fail_prob = awful ? rng.uniform(0.07, 0.12)
+                               : cdn.in_house ? rng.uniform(0.01, 0.03)
+                                              : rng.uniform(0.001, 0.008);
+    cdn.rtt_base_ms = rng.uniform(25.0, 60.0);
+    cdn.overload_sensitivity =
+        cdn.in_house ? rng.uniform(0.35, 0.75) : rng.uniform(0.0, 0.3);
+    for (int r = 0; r < kNumRegions; ++r) {
+      const bool home = (r == 0);  // every CDN is strongest in the US here
+      double presence = home ? rng.uniform(0.85, 1.0)
+                             : rng.uniform(cdn.in_house ? 0.15 : 0.35, 0.9);
+      // A couple of commercial CDNs are truly global.
+      if (!cdn.in_house && i < 3) presence = rng.uniform(0.8, 1.0);
+      cdn.presence[static_cast<std::size_t>(r)] = presence;
+    }
+    world.cdns_.push_back(cdn);
+  }
+
+  // ---- Sites --------------------------------------------------------------
+  world.sites_.reserve(config.num_sites);
+  for (std::uint32_t i = 0; i < config.num_sites; ++i) {
+    SiteModel site;
+    std::snprintf(name, sizeof name, "site-%04u", i);
+    site.id = world.schema_.intern(AttrDim::kSite, name);
+
+    // Popularity rank correlates with provisioning: low-rank (less popular)
+    // sites are likelier to be single-bitrate, single-CDN, in-house; major
+    // providers almost never ship a single rung.
+    const double rank_frac =
+        static_cast<double>(i) / static_cast<double>(config.num_sites);
+    const bool poorly_provisioned =
+        rng.bernoulli(config.single_bitrate_site_fraction *
+                      (0.3 + 1.8 * rank_frac * rank_frac));
+    site.single_bitrate = poorly_provisioned;
+    site.abr = poorly_provisioned ? make_single_bitrate_abr(rng)
+                                  : make_full_ladder_abr(rng);
+
+    const bool uses_inhouse = num_inhouse > 0 && rng.bernoulli(0.25);
+    if (uses_inhouse) {
+      const std::uint32_t pick =
+          config.num_cdns - num_inhouse +
+          static_cast<std::uint32_t>(rng.below(num_inhouse));
+      site.cdn_ids = {static_cast<std::uint16_t>(pick)};
+    } else {
+      const auto commercial = config.num_cdns - num_inhouse;
+      site.cdn_ids = {
+          static_cast<std::uint16_t>(rng.below(commercial))};
+      if (rng.bernoulli(config.multi_cdn_site_fraction)) {
+        const auto second =
+            static_cast<std::uint16_t>(rng.below(commercial));
+        if (second != site.cdn_ids[0]) site.cdn_ids.push_back(second);
+      }
+    }
+
+    site.live_fraction = rng.bernoulli(0.15) ? rng.uniform(0.4, 0.9)
+                                             : rng.uniform(0.0, 0.15);
+    site.base_fail_prob = rng.uniform(0.001, 0.006);
+    site.startup_overhead_ms = rng.uniform(200.0, 900.0);
+    // A slice of the long tail runs weak origins/packagers: a chronic
+    // site-level throughput handicap on every path.
+    if (rank_frac > 0.25 && rng.bernoulli(0.15)) {
+      site.origin_quality = rng.uniform(0.45, 0.75);
+    }
+    if (rng.bernoulli(config.remote_module_site_fraction)) {
+      // e.g. a Chinese site whose player loads analytics/module blobs from a
+      // US CDN: that region's clients pay seconds of extra join time.
+      site.remote_module_region = static_cast<int>(Region::kChina);
+      site.remote_module_penalty_ms = rng.uniform(5'000.0, 15'000.0);
+    }
+    world.sites_.push_back(site);
+  }
+
+  // ---- ASNs ---------------------------------------------------------------
+  world.asns_.reserve(config.num_asns);
+  for (std::uint32_t i = 0; i < config.num_asns; ++i) {
+    AsnModel asn;
+    std::snprintf(name, sizeof name, "AS%05u", 1'000 + i);
+    asn.id = world.schema_.intern(AttrDim::kAsn, name);
+    asn.region = sample_region(rng, region_sampler);
+    // Most ISPs are fine; a tail is chronically under-provisioned, more so
+    // outside the US (paper Table 3: "Asian ISPs").
+    const double bad_isp_prob =
+        asn.region == Region::kUS ? 0.06 : 0.16;
+    asn.quality = rng.bernoulli(bad_isp_prob) ? rng.uniform(0.2, 0.55)
+                                              : rng.lognormal(0.0, 0.22);
+    asn.wireless_provider = rng.bernoulli(config.wireless_asn_fraction);
+    // Wireless carriers run congested radio backhauls: the badness of
+    // mobile sessions concentrates in these specific ASNs rather than in
+    // the MobileWireless connection type globally (paper Table 3 lists a
+    // "wireless provider" under the ASN column of the bitrate row).
+    if (asn.wireless_provider) asn.quality *= rng.uniform(0.55, 0.85);
+    world.asns_.push_back(asn);
+  }
+
+  // ---- Fixed vocabularies ---------------------------------------------------
+  for (const auto n : kConnTypeNames) {
+    (void)world.schema_.intern(AttrDim::kConnType, n);
+  }
+  for (const auto n : kPlayerNames) {
+    (void)world.schema_.intern(AttrDim::kPlayer, n);
+  }
+  for (const auto n : kBrowserNames) {
+    (void)world.schema_.intern(AttrDim::kBrowser, n);
+  }
+  for (const auto n : kVodLiveNames) {
+    (void)world.schema_.intern(AttrDim::kVodLive, n);
+  }
+
+  return world;
+}
+
+}  // namespace vq

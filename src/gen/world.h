@@ -1,0 +1,168 @@
+// Static world model: the population of content providers (sites), CDNs,
+// client ASNs, and device platforms that sessions are drawn from.
+//
+// Substitutes for the demographic structure of the paper's dataset (§2):
+// 379 sites, 19 CDNs (commercial + in-house), ~15K ASNs across 213 countries
+// (~55% US / ~12% EU / ~8% CN viewers), diverse players/browsers/connection
+// types.  The world also encodes the *chronic* structural causes the paper
+// surfaces in Table 3 — single-bitrate sites, under-provisioned in-house
+// CDNs, low-quality regional ISPs, mobile wireless providers, and sites that
+// load player modules from another continent.
+
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "src/core/attributes.h"
+#include "src/simnet/abr.h"
+#include "src/util/rng.h"
+
+namespace vq {
+
+enum class Region : std::uint8_t {
+  kUS = 0,
+  kEurope = 1,
+  kChina = 2,
+  kAsiaOther = 3,
+  kLatAm = 4,
+  kOther = 5,
+};
+inline constexpr int kNumRegions = 6;
+
+[[nodiscard]] std::string_view region_name(Region r) noexcept;
+
+/// Session share per region, mirroring the paper's viewer mix.
+inline constexpr std::array<double, kNumRegions> kRegionWeights = {
+    0.55, 0.12, 0.08, 0.10, 0.08, 0.07};
+
+// --- fixed small-cardinality attribute vocabularies -----------------------
+// Interned in this order during World::build, so the array index IS the
+// attribute value id.
+
+inline constexpr std::array<std::string_view, 7> kConnTypeNames = {
+    "DSL",           "Cable",         "Fiber",    "Ethernet",
+    "MobileWireless", "FixedWireless", "Satellite"};
+inline constexpr std::uint16_t kConnMobileWireless = 4;
+
+inline constexpr std::array<std::string_view, 4> kPlayerNames = {
+    "Flash", "Silverlight", "HTML5", "NativeApp"};
+
+inline constexpr std::array<std::string_view, 5> kBrowserNames = {
+    "Chrome", "Firefox", "MSIE", "Safari", "Other"};
+
+inline constexpr std::array<std::string_view, 2> kVodLiveNames = {"VoD",
+                                                                  "Live"};
+inline constexpr std::uint16_t kVod = 0;
+inline constexpr std::uint16_t kLive = 1;
+
+/// Mean achievable throughput (kbps) and per-chunk variability by access
+/// technology, indexed by connection-type id. 2013-era values: most fixed
+/// lines sit in the low single-digit Mbps, mobile wireless well below.
+inline constexpr std::array<double, 7> kConnMeanKbps = {
+    3'200, 6'500, 12'000, 8'000, 2'600, 3'200, 1'900};
+inline constexpr std::array<double, 7> kConnSigma = {
+    0.38, 0.32, 0.20, 0.25, 0.55, 0.45, 0.55};
+
+// --- world entities --------------------------------------------------------
+
+struct SiteModel {
+  std::uint16_t id = 0;
+  AbrConfig abr;
+  bool single_bitrate = false;
+  std::vector<std::uint16_t> cdn_ids;  // contracted CDNs (>=1)
+  double live_fraction = 0.1;          // P(session is Live)
+  double base_fail_prob = 0.002;       // origin/packaging failures
+  double startup_overhead_ms = 350.0;  // player bootstrap
+  /// Origin/packaging throughput factor in (0, 1]; below 1 for a slice of
+  /// under-provisioned (typically UGC) providers — a chronic Site-level
+  /// cause (paper Table 3: "UGC Sites").
+  double origin_quality = 1.0;
+  /// When >= 0: clients in this region load third-party player modules from
+  /// far away and pay `remote_module_penalty_ms` extra at startup (the
+  /// paper's China/US-CDN join-time anecdote, §4.3).
+  int remote_module_region = -1;
+  double remote_module_penalty_ms = 0.0;
+};
+
+struct CdnModel {
+  std::uint16_t id = 0;
+  bool in_house = false;      // run by a site, not a commercial operator
+  double base_fail_prob = 0.004;
+  double rtt_base_ms = 40.0;
+  /// Edge footprint per region in (0, 1]; poor presence inflates RTT and
+  /// deflates throughput for that region's clients.
+  std::array<double, kNumRegions> presence{};
+  /// How strongly peak-hour load degrades this CDN's delivery (0 = fully
+  /// provisioned). In-house CDNs run hotter — the recurring daily
+  /// congestion behind much of the paper's prevalence structure.
+  double overload_sensitivity = 0.0;
+};
+
+struct AsnModel {
+  std::uint16_t id = 0;
+  Region region = Region::kUS;
+  double quality = 1.0;            // multiplicative throughput factor
+  bool wireless_provider = false;  // mobile carrier (conn mix skews mobile)
+};
+
+struct WorldConfig {
+  std::uint32_t num_sites = 379;
+  std::uint32_t num_cdns = 19;
+  std::uint32_t num_asns = 3000;
+  double site_zipf = 0.9;  // popularity skew across sites
+  double asn_zipf = 1.0;   // popularity skew across ASNs
+  double single_bitrate_site_fraction = 0.20;
+  double multi_cdn_site_fraction = 0.25;
+  double inhouse_cdn_fraction = 0.35;
+  double wireless_asn_fraction = 0.06;
+  double remote_module_site_fraction = 0.05;
+  std::uint64_t seed = 2013;
+};
+
+/// The immutable world. Attribute value ids index the sites()/cdns()/asns()
+/// vectors directly and are registered in schema() with readable names.
+class World {
+ public:
+  [[nodiscard]] static World build(const WorldConfig& config);
+
+  [[nodiscard]] const WorldConfig& config() const noexcept { return config_; }
+  [[nodiscard]] std::span<const SiteModel> sites() const noexcept {
+    return sites_;
+  }
+  [[nodiscard]] std::span<const CdnModel> cdns() const noexcept {
+    return cdns_;
+  }
+  [[nodiscard]] std::span<const AsnModel> asns() const noexcept {
+    return asns_;
+  }
+  [[nodiscard]] const AttributeSchema& schema() const noexcept {
+    return schema_;
+  }
+
+  [[nodiscard]] const ZipfSampler& site_sampler() const noexcept {
+    return site_sampler_;
+  }
+  [[nodiscard]] const ZipfSampler& asn_sampler() const noexcept {
+    return asn_sampler_;
+  }
+
+ private:
+  World(WorldConfig config, ZipfSampler site_sampler, ZipfSampler asn_sampler)
+      : config_(config),
+        site_sampler_(std::move(site_sampler)),
+        asn_sampler_(std::move(asn_sampler)) {}
+
+  WorldConfig config_;
+  std::vector<SiteModel> sites_;
+  std::vector<CdnModel> cdns_;
+  std::vector<AsnModel> asns_;
+  AttributeSchema schema_;
+  ZipfSampler site_sampler_;
+  ZipfSampler asn_sampler_;
+};
+
+}  // namespace vq

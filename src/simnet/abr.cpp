@@ -1,0 +1,77 @@
+#include "src/simnet/abr.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace vq {
+
+std::string_view abr_kind_name(AbrKind kind) noexcept {
+  switch (kind) {
+    case AbrKind::kFixedSingle:
+      return "FixedSingle";
+    case AbrKind::kRateBased:
+      return "RateBased";
+    case AbrKind::kBufferBased:
+      return "BufferBased";
+  }
+  return "?";
+}
+
+AbrController::AbrController(const AbrConfig& config) : config_(config) {
+  if (config_.ladder_kbps.empty()) {
+    throw std::invalid_argument{"AbrController: empty bitrate ladder"};
+  }
+  if (!std::is_sorted(config_.ladder_kbps.begin(),
+                      config_.ladder_kbps.end())) {
+    throw std::invalid_argument{"AbrController: ladder must be ascending"};
+  }
+  if (config_.kind == AbrKind::kFixedSingle) {
+    // Degenerate ladder: keep only the single configured rung.
+    config_.ladder_kbps.resize(1);
+  }
+}
+
+double AbrController::highest_rung_below(double kbps) const noexcept {
+  const auto& ladder = config_.ladder_kbps;
+  auto it = std::upper_bound(ladder.begin(), ladder.end(), kbps);
+  if (it == ladder.begin()) return ladder.front();
+  return *(it - 1);
+}
+
+double AbrController::initial_bitrate(double estimated_kbps) noexcept {
+  estimate_kbps_ = std::max(estimated_kbps, 1.0);
+  switch (config_.kind) {
+    case AbrKind::kFixedSingle:
+      return config_.ladder_kbps.front();
+    case AbrKind::kRateBased:
+    case AbrKind::kBufferBased:
+      // Both start conservatively from the throughput guess.
+      return highest_rung_below(config_.safety_factor * estimate_kbps_);
+  }
+  return config_.ladder_kbps.front();
+}
+
+double AbrController::next_bitrate(double observed_kbps,
+                                   double buffer_s) noexcept {
+  estimate_kbps_ = config_.ewma_alpha * std::max(observed_kbps, 1.0) +
+                   (1.0 - config_.ewma_alpha) * estimate_kbps_;
+  const auto& ladder = config_.ladder_kbps;
+  switch (config_.kind) {
+    case AbrKind::kFixedSingle:
+      return ladder.front();
+    case AbrKind::kRateBased:
+      return highest_rung_below(config_.safety_factor * estimate_kbps_);
+    case AbrKind::kBufferBased: {
+      if (buffer_s <= config_.buffer_low_s) return ladder.front();
+      if (buffer_s >= config_.buffer_high_s) return ladder.back();
+      const double t = (buffer_s - config_.buffer_low_s) /
+                       (config_.buffer_high_s - config_.buffer_low_s);
+      const auto idx = static_cast<std::size_t>(
+          t * static_cast<double>(ladder.size() - 1) + 0.5);
+      return ladder[std::min(idx, ladder.size() - 1)];
+    }
+  }
+  return ladder.front();
+}
+
+}  // namespace vq

@@ -1,0 +1,65 @@
+// Adaptive bitrate (ABR) controllers.
+//
+// The paper's dataset spans providers with "different types of bitrate
+// adaptation algorithms" (§2) and calls out sites that only offer a single
+// bitrate as a recurrent problem cause (Table 3).  We implement the three
+// classic controller families plus the degenerate single-rung ladder:
+//   kFixedSingle  — no adaptation; one rung (the paper's "single bitrate"
+//                   providers whose sessions buffer on slow paths)
+//   kRateBased    — EWMA throughput estimate, pick the largest rung below
+//                   safety * estimate (classic Smooth Streaming style)
+//   kBufferBased  — map buffer occupancy linearly onto the ladder (BBA-0,
+//                   Huang et al.)
+
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string_view>
+#include <vector>
+
+namespace vq {
+
+enum class AbrKind : std::uint8_t {
+  kFixedSingle = 0,
+  kRateBased = 1,
+  kBufferBased = 2,
+};
+
+[[nodiscard]] std::string_view abr_kind_name(AbrKind kind) noexcept;
+
+struct AbrConfig {
+  AbrKind kind = AbrKind::kRateBased;
+  /// Ascending playback rates in kbps; must be non-empty.
+  std::vector<double> ladder_kbps = {400, 800, 1500, 2500, 4500};
+  double safety_factor = 0.8;   // rate-based: fraction of estimate to use
+  double ewma_alpha = 0.4;      // rate-based: weight of newest sample
+  double buffer_low_s = 5.0;    // buffer-based: reservoir
+  double buffer_high_s = 20.0;  // buffer-based: cushion top
+};
+
+class AbrController {
+ public:
+  /// Throws std::invalid_argument on an empty or unsorted ladder.
+  explicit AbrController(const AbrConfig& config);
+
+  /// Rung for the very first chunk given an a-priori bandwidth guess.
+  [[nodiscard]] double initial_bitrate(double estimated_kbps) noexcept;
+
+  /// Rung for the next chunk. `observed_kbps` is the throughput of the chunk
+  /// just downloaded; `buffer_s` the current buffer occupancy.
+  [[nodiscard]] double next_bitrate(double observed_kbps,
+                                    double buffer_s) noexcept;
+
+  [[nodiscard]] std::span<const double> ladder() const noexcept {
+    return config_.ladder_kbps;
+  }
+
+ private:
+  [[nodiscard]] double highest_rung_below(double kbps) const noexcept;
+
+  AbrConfig config_;
+  double estimate_kbps_ = 0.0;
+};
+
+}  // namespace vq

@@ -1,0 +1,39 @@
+#include "src/simnet/bandwidth.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace vq {
+
+BandwidthProcess::BandwidthProcess(const BandwidthParams& params,
+                                   Xoshiro256ss rng) noexcept
+    : params_(params), rng_(rng) {
+  params_.mean_kbps = std::max(params_.mean_kbps, 1.0);
+  params_.sigma = std::max(params_.sigma, 0.0);
+  params_.reversion = std::clamp(params_.reversion, 0.0, 1.0);
+  // Start at a random point of the stationary distribution.
+  log_state_ = rng_.normal(0.0, params_.sigma);
+}
+
+double BandwidthProcess::next_kbps() noexcept {
+  // AR(1) on the log deviation; innovation variance chosen so the
+  // stationary stddev equals sigma.
+  const double rho = 1.0 - params_.reversion;
+  const double innovation_sigma =
+      params_.sigma * std::sqrt(std::max(0.0, 1.0 - rho * rho));
+  log_state_ = rho * log_state_ + rng_.normal(0.0, innovation_sigma);
+  // Log-normal mean correction keeps E[throughput] == mean_kbps
+  // (outside fades).
+  const double correction = -0.5 * params_.sigma * params_.sigma;
+  double kbps = params_.mean_kbps * std::exp(log_state_ + correction);
+
+  if (in_fade_) {
+    in_fade_ = rng_.bernoulli(params_.fade_continue);
+  } else {
+    in_fade_ = rng_.bernoulli(params_.fade_prob);
+  }
+  if (in_fade_) kbps *= params_.fade_depth;
+  return kbps;
+}
+
+}  // namespace vq

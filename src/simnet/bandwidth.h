@@ -1,0 +1,50 @@
+// Per-session available-bandwidth process.
+//
+// The paper's substrate is the real Internet; our substitute is a two-level
+// stochastic model: a session draws its mean achievable throughput from a
+// log-normal (parameterised by access technology, ISP quality, CDN path
+// factor, and any active problem events), then per-chunk throughput follows
+// a mean-reverting multiplicative AR(1) process around that mean — bursty
+// enough to starve ABR buffers occasionally, stable enough that good paths
+// stay good, which is what shapes the buffering-ratio tail of Fig. 1(a).
+
+#pragma once
+
+#include "src/util/rng.h"
+
+namespace vq {
+
+struct BandwidthParams {
+  double mean_kbps = 5000.0;  // session mean achievable throughput
+  double sigma = 0.35;        // per-chunk log-space deviation
+  double reversion = 0.6;     // AR(1) pull toward the mean, in [0,1]
+  /// Deep-fade regime (wifi interference, cross traffic, radio handover):
+  /// each chunk enters a fade with probability fade_prob; a fade multiplies
+  /// throughput by fade_depth and persists per chunk with fade_continue.
+  /// Fades are what starve an ABR buffer mid-stream — smooth AR(1) noise
+  /// alone rarely does.
+  double fade_prob = 0.0;
+  double fade_depth = 0.2;
+  double fade_continue = 0.65;
+};
+
+class BandwidthProcess {
+ public:
+  /// rng is held by value: each session owns an independent stream.
+  BandwidthProcess(const BandwidthParams& params, Xoshiro256ss rng) noexcept;
+
+  /// Throughput for the next chunk download, in kbps (always > 0).
+  [[nodiscard]] double next_kbps() noexcept;
+
+  [[nodiscard]] double mean_kbps() const noexcept {
+    return params_.mean_kbps;
+  }
+
+ private:
+  BandwidthParams params_;
+  Xoshiro256ss rng_;
+  double log_state_ = 0.0;  // deviation from log-mean
+  bool in_fade_ = false;
+};
+
+}  // namespace vq

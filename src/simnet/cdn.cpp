@@ -1,0 +1,27 @@
+#include "src/simnet/cdn.h"
+
+#include <algorithm>
+
+namespace vq {
+
+void DeliveryConditions::apply_impact(double bw_multiplier,
+                                      double rtt_multiplier,
+                                      double fail_prob_add,
+                                      double startup_add_ms) noexcept {
+  bandwidth_mean_kbps *= bw_multiplier;
+  rtt_ms *= rtt_multiplier;
+  join_failure_prob += fail_prob_add;
+  startup_overhead_ms += startup_add_ms;
+}
+
+void DeliveryConditions::clamp() noexcept {
+  bandwidth_mean_kbps = std::max(bandwidth_mean_kbps, 10.0);
+  bandwidth_sigma = std::clamp(bandwidth_sigma, 0.0, 2.0);
+  fade_prob = std::clamp(fade_prob, 0.0, 0.5);
+  fade_depth = std::clamp(fade_depth, 0.01, 1.0);
+  rtt_ms = std::clamp(rtt_ms, 1.0, 10'000.0);
+  join_failure_prob = std::clamp(join_failure_prob, 0.0, 1.0);
+  startup_overhead_ms = std::clamp(startup_overhead_ms, 0.0, 60'000.0);
+}
+
+}  // namespace vq

@@ -1,0 +1,29 @@
+// Delivery-path conditions: everything between a client and the CDN edge
+// that the playback simulation needs.  The world model (gen/) composes one
+// DeliveryConditions per session from client access technology, ISP quality,
+// CDN capacity/geography and any active planted problem events.
+
+#pragma once
+
+namespace vq {
+
+struct DeliveryConditions {
+  double bandwidth_mean_kbps = 5000.0;  // end-to-end achievable throughput
+  double bandwidth_sigma = 0.35;        // per-chunk variability (log-space)
+  double fade_prob = 0.0;               // deep-fade entry probability/chunk
+  double fade_depth = 0.2;              // throughput multiplier inside fades
+  double rtt_ms = 60.0;                 // control RTT (connect, manifest)
+  double join_failure_prob = 0.0;       // P(session never starts)
+  double startup_overhead_ms = 300.0;   // player bootstrap / module loads
+
+  /// Applies one problem-event impact (multiplicative on bandwidth and RTT,
+  /// additive on failure probability and startup overhead).
+  void apply_impact(double bw_multiplier, double rtt_multiplier,
+                    double fail_prob_add, double startup_add_ms) noexcept;
+
+  /// Clamps every field into physically meaningful ranges; call once after
+  /// all impacts are applied.
+  void clamp() noexcept;
+};
+
+}  // namespace vq

@@ -1,0 +1,89 @@
+#include "src/simnet/player.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace vq {
+
+QualityMetrics simulate_playback(const DeliveryConditions& conditions,
+                                 const AbrConfig& abr,
+                                 const PlayerConfig& player,
+                                 double duration_s, Xoshiro256ss rng) {
+  QualityMetrics q;
+
+  // ---- Join phase -------------------------------------------------------
+  if (rng.bernoulli(conditions.join_failure_prob)) {
+    q.join_failed = true;
+    q.join_time_ms = static_cast<float>(player.join_timeout_ms);
+    return q;
+  }
+
+  BandwidthParams bw_params;
+  bw_params.mean_kbps = conditions.bandwidth_mean_kbps;
+  bw_params.sigma = conditions.bandwidth_sigma;
+  bw_params.fade_prob = conditions.fade_prob;
+  bw_params.fade_depth = conditions.fade_depth;
+  BandwidthProcess bandwidth{bw_params, rng.derive(1)};
+  AbrController controller{abr};
+
+  // The player's a-priori estimate is noisy (historical/probe based);
+  // overestimates cause high initial rungs and slow startup fills.
+  const double estimate =
+      conditions.bandwidth_mean_kbps * rng.lognormal(0.0, 0.4);
+  double bitrate = controller.initial_bitrate(estimate);
+
+  // Connect + manifest round trips, player bootstrap, then fill the startup
+  // buffer at the initial bitrate.
+  double join_ms = conditions.startup_overhead_ms + 3.0 * conditions.rtt_ms;
+  double startup_media = 0.0;
+  while (startup_media < player.startup_buffer_seconds) {
+    const double kbps = bandwidth.next_kbps();
+    join_ms += 1000.0 * player.chunk_seconds * bitrate / kbps;
+    startup_media += player.chunk_seconds;
+    if (join_ms > player.join_timeout_ms) {
+      // Startup starved outright: the client gives up — a join failure
+      // ("the CDN is under overload or other unknown reasons", §2).
+      q.join_failed = true;
+      q.join_time_ms = static_cast<float>(player.join_timeout_ms);
+      return q;
+    }
+  }
+  q.join_time_ms = static_cast<float>(join_ms);
+
+  // ---- Steady-state playback -------------------------------------------
+  const int chunks = std::clamp(
+      static_cast<int>(std::ceil(duration_s / player.chunk_seconds)), 1,
+      player.max_chunks);
+
+  double buffer_s = startup_media;
+  double rebuffer_s = 0.0;
+  double bitrate_weighted = 0.0;
+  double media_played = 0.0;
+
+  for (int i = 0; i < chunks; ++i) {
+    const double kbps = bandwidth.next_kbps();
+    const double download_s = player.chunk_seconds * bitrate / kbps;
+
+    // Playback drains the buffer while the chunk downloads.
+    if (download_s > buffer_s) {
+      rebuffer_s += download_s - buffer_s;
+      buffer_s = 0.0;
+    } else {
+      buffer_s -= download_s;
+    }
+    buffer_s = std::min(buffer_s + player.chunk_seconds,
+                        player.max_buffer_seconds);
+
+    bitrate_weighted += bitrate * player.chunk_seconds;
+    media_played += player.chunk_seconds;
+
+    bitrate = controller.next_bitrate(kbps, buffer_s);
+  }
+
+  q.buffering_ratio =
+      static_cast<float>(rebuffer_s / (media_played + rebuffer_s));
+  q.bitrate_kbps = static_cast<float>(bitrate_weighted / media_played);
+  return q;
+}
+
+}  // namespace vq

@@ -1,0 +1,36 @@
+// Chunked streaming playback simulation.
+//
+// Produces exactly the four client-side measurements the paper's
+// instrumentation reports per session (§2): join failure, join time,
+// buffering ratio, and time-weighted average bitrate.  The model is a
+// standard discrete chunk loop: join phase (connect + manifest + initial
+// buffer fill), then alternate chunk downloads against a stochastic
+// bandwidth process while draining the playback buffer; stalls accumulate
+// buffering time.
+
+#pragma once
+
+#include "src/core/session.h"
+#include "src/simnet/abr.h"
+#include "src/simnet/bandwidth.h"
+#include "src/simnet/cdn.h"
+#include "src/util/rng.h"
+
+namespace vq {
+
+struct PlayerConfig {
+  double chunk_seconds = 4.0;           // media per chunk
+  double startup_buffer_seconds = 6.0;  // buffer needed to start playback
+  double max_buffer_seconds = 24.0;     // player buffer cap
+  int max_chunks = 240;                 // simulation cap (16 min of media)
+  double join_timeout_ms = 30'000.0;    // reported join time on failure
+};
+
+/// Simulates one session end to end. `duration_s` is how much media the
+/// viewer intends to watch. `rng` is consumed by value so each session is an
+/// independent reproducible stream.
+[[nodiscard]] QualityMetrics simulate_playback(
+    const DeliveryConditions& conditions, const AbrConfig& abr,
+    const PlayerConfig& player, double duration_s, Xoshiro256ss rng);
+
+}  // namespace vq

@@ -1,0 +1,25 @@
+#include "src/simnet/tcp.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace vq {
+
+double mathis_throughput_kbps(double rtt_ms, double loss_rate,
+                              double mss_bytes) {
+  constexpr double kMathisC = 1.22;
+  rtt_ms = std::max(rtt_ms, 1.0);
+  loss_rate = std::clamp(loss_rate, 1e-6, 0.5);
+  const double rate_bytes_per_s =
+      mss_bytes / (rtt_ms / 1'000.0) * kMathisC / std::sqrt(loss_rate);
+  return rate_bytes_per_s * 8.0 / 1'000.0;
+}
+
+double tcp_pool_ceiling_kbps(const TcpPathParams& params) {
+  const int pool = std::max(params.parallel_connections, 1);
+  return static_cast<double>(pool) *
+         mathis_throughput_kbps(params.rtt_ms, params.loss_rate,
+                                params.mss_bytes);
+}
+
+}  // namespace vq

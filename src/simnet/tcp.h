@@ -1,0 +1,30 @@
+// TCP throughput ceiling via the Mathis model.
+//
+// Access technology sets one throughput bound; the transport sets another:
+// a loss-limited TCP connection cannot exceed  MSS/RTT * C/sqrt(p)
+// (Mathis et al., CCR'97, C ~= 1.22 for periodic loss).  2013-era players
+// fetch chunks over a handful of parallel HTTP connections, so the
+// effective ceiling is the per-connection rate times the pool size.  This
+// is what makes long-RTT, lossy paths (clients far from a CDN's footprint)
+// slow even when the access line is fast — the mechanism behind the
+// paper's non-US problem clusters.
+
+#pragma once
+
+namespace vq {
+
+struct TcpPathParams {
+  double rtt_ms = 50.0;
+  double loss_rate = 0.001;       // packet loss probability
+  double mss_bytes = 1460.0;      // segment size
+  int parallel_connections = 6;   // player HTTP connection pool
+};
+
+/// Single-connection Mathis ceiling, in kbps.
+[[nodiscard]] double mathis_throughput_kbps(double rtt_ms, double loss_rate,
+                                            double mss_bytes = 1460.0);
+
+/// Effective transport ceiling for a player connection pool, in kbps.
+[[nodiscard]] double tcp_pool_ceiling_kbps(const TcpPathParams& params);
+
+}  // namespace vq

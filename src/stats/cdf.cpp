@@ -1,0 +1,80 @@
+#include "src/stats/cdf.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+
+namespace vq {
+
+EmpiricalCdf::EmpiricalCdf(std::span<const double> samples)
+    : sorted_(samples.begin(), samples.end()) {
+  std::sort(sorted_.begin(), sorted_.end());
+}
+
+EmpiricalCdf::EmpiricalCdf(std::vector<double> samples)
+    : sorted_(std::move(samples)) {
+  std::sort(sorted_.begin(), sorted_.end());
+}
+
+double EmpiricalCdf::at(double x) const noexcept {
+  if (sorted_.empty()) return 0.0;
+  const auto it = std::upper_bound(sorted_.begin(), sorted_.end(), x);
+  return static_cast<double>(it - sorted_.begin()) /
+         static_cast<double>(sorted_.size());
+}
+
+double EmpiricalCdf::quantile(double q) const {
+  if (sorted_.empty()) {
+    throw std::invalid_argument{"EmpiricalCdf::quantile: empty CDF"};
+  }
+  if (q < 0.0 || q > 1.0) {
+    throw std::invalid_argument{"EmpiricalCdf::quantile: q outside [0,1]"};
+  }
+  if (q == 0.0) return sorted_.front();
+  const auto rank = static_cast<std::size_t>(
+      std::ceil(q * static_cast<double>(sorted_.size())));
+  return sorted_[std::min(rank == 0 ? 0 : rank - 1, sorted_.size() - 1)];
+}
+
+double EmpiricalCdf::min() const {
+  if (sorted_.empty()) throw std::invalid_argument{"EmpiricalCdf: empty"};
+  return sorted_.front();
+}
+
+double EmpiricalCdf::max() const {
+  if (sorted_.empty()) throw std::invalid_argument{"EmpiricalCdf: empty"};
+  return sorted_.back();
+}
+
+std::vector<EmpiricalCdf::Point> EmpiricalCdf::curve(
+    std::size_t points) const {
+  std::vector<Point> out;
+  if (sorted_.empty() || points == 0) return out;
+  out.reserve(points);
+  for (std::size_t i = 0; i < points; ++i) {
+    const double q = (points == 1)
+                         ? 1.0
+                         : static_cast<double>(i) /
+                               static_cast<double>(points - 1);
+    out.push_back({quantile(q), q});
+  }
+  return out;
+}
+
+std::string EmpiricalCdf::table(std::size_t points,
+                                std::string_view value_label) const {
+  std::string out;
+  char line[128];
+  std::snprintf(line, sizeof line, "%20.*s  %10s\n",
+                static_cast<int>(value_label.size()), value_label.data(),
+                "P(X<=v)");
+  out += line;
+  for (const auto& [value, probability] : curve(points)) {
+    std::snprintf(line, sizeof line, "%20.6g  %10.4f\n", value, probability);
+    out += line;
+  }
+  return out;
+}
+
+}  // namespace vq

@@ -1,0 +1,52 @@
+// Empirical CDF over a sample vector; the building block for every
+// distribution figure in the paper (Fig. 1, 7, 8).
+
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+namespace vq {
+
+class EmpiricalCdf {
+ public:
+  EmpiricalCdf() = default;
+
+  /// Copies and sorts the samples.
+  explicit EmpiricalCdf(std::span<const double> samples);
+
+  /// Takes ownership; sorts in place.
+  explicit EmpiricalCdf(std::vector<double> samples);
+
+  [[nodiscard]] bool empty() const noexcept { return sorted_.empty(); }
+  [[nodiscard]] std::size_t size() const noexcept { return sorted_.size(); }
+
+  /// P(X <= x). 0 for empty CDFs.
+  [[nodiscard]] double at(double x) const noexcept;
+
+  /// Smallest sample value v with P(X <= v) >= q, q in [0, 1].
+  /// Throws std::invalid_argument on empty CDFs or q outside [0, 1].
+  [[nodiscard]] double quantile(double q) const;
+
+  [[nodiscard]] double min() const;
+  [[nodiscard]] double max() const;
+
+  /// Evenly spaced (in quantile space) curve points for plotting/printing:
+  /// `points` pairs of (value, cumulative probability).
+  struct Point {
+    double value;
+    double probability;
+  };
+  [[nodiscard]] std::vector<Point> curve(std::size_t points) const;
+
+  /// Renders an aligned two-column table ("value  P(X<=value)") with a
+  /// header line; used by the bench harnesses to print figure data.
+  [[nodiscard]] std::string table(std::size_t points,
+                                  std::string_view value_label) const;
+
+ private:
+  std::vector<double> sorted_;
+};
+
+}  // namespace vq

@@ -1,0 +1,95 @@
+#include "src/stats/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+
+namespace vq {
+
+Histogram::Histogram(std::vector<double> edges)
+    : edges_(std::move(edges)), counts_(edges_.size() - 1, 0) {}
+
+Histogram Histogram::linear(double lo, double hi, std::size_t bins) {
+  if (!(lo < hi) || bins == 0) {
+    throw std::invalid_argument{"Histogram::linear: need lo < hi, bins > 0"};
+  }
+  std::vector<double> edges(bins + 1);
+  for (std::size_t i = 0; i <= bins; ++i) {
+    edges[i] = lo + (hi - lo) * static_cast<double>(i) /
+                        static_cast<double>(bins);
+  }
+  return Histogram{std::move(edges)};
+}
+
+Histogram Histogram::logarithmic(double lo, double hi, std::size_t bins) {
+  if (!(0.0 < lo && lo < hi) || bins == 0) {
+    throw std::invalid_argument{
+        "Histogram::logarithmic: need 0 < lo < hi, bins > 0"};
+  }
+  std::vector<double> edges(bins + 1);
+  const double log_lo = std::log(lo);
+  const double log_hi = std::log(hi);
+  for (std::size_t i = 0; i <= bins; ++i) {
+    edges[i] = std::exp(log_lo + (log_hi - log_lo) * static_cast<double>(i) /
+                                     static_cast<double>(bins));
+  }
+  return Histogram{std::move(edges)};
+}
+
+std::size_t Histogram::bin_of(double value) const noexcept {
+  const auto it = std::upper_bound(edges_.begin(), edges_.end(), value);
+  if (it == edges_.begin()) return 0;
+  const auto idx = static_cast<std::size_t>(it - edges_.begin()) - 1;
+  return std::min(idx, counts_.size() - 1);
+}
+
+void Histogram::add(double value) noexcept {
+  ++counts_[bin_of(value)];
+  ++total_;
+}
+
+std::uint64_t Histogram::count(std::size_t bin) const {
+  return counts_.at(bin);
+}
+
+std::pair<double, double> Histogram::bounds(std::size_t bin) const {
+  if (bin >= counts_.size()) {
+    throw std::out_of_range{"Histogram::bounds: bin out of range"};
+  }
+  return {edges_[bin], edges_[bin + 1]};
+}
+
+double Histogram::cumulative_fraction(double value) const noexcept {
+  if (total_ == 0) return 0.0;
+  std::uint64_t below = 0;
+  for (std::size_t b = 0; b < counts_.size(); ++b) {
+    if (edges_[b + 1] <= value) {
+      below += counts_[b];
+    } else {
+      break;
+    }
+  }
+  return static_cast<double>(below) / static_cast<double>(total_);
+}
+
+std::string Histogram::render(std::size_t bar_width) const {
+  std::string out;
+  std::uint64_t peak = 1;
+  for (const auto c : counts_) peak = std::max(peak, c);
+  char line[160];
+  for (std::size_t b = 0; b < counts_.size(); ++b) {
+    const auto width = static_cast<std::size_t>(
+        static_cast<double>(counts_[b]) / static_cast<double>(peak) *
+        static_cast<double>(bar_width));
+    std::snprintf(line, sizeof line, "[%10.4g, %10.4g) %8llu |", edges_[b],
+                  edges_[b + 1],
+                  static_cast<unsigned long long>(counts_[b]));
+    out += line;
+    out.append(width, '#');
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace vq

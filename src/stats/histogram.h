@@ -1,0 +1,47 @@
+// Fixed-bin and logarithmic histograms with text rendering — used by the
+// report generator to show metric distributions without external plotting.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace vq {
+
+class Histogram {
+ public:
+  /// Linear bins over [lo, hi); values outside clamp into the end bins.
+  static Histogram linear(double lo, double hi, std::size_t bins);
+
+  /// Logarithmic bins over [lo, hi), lo > 0; non-positive samples clamp
+  /// into the first bin.
+  static Histogram logarithmic(double lo, double hi, std::size_t bins);
+
+  void add(double value) noexcept;
+
+  [[nodiscard]] std::uint64_t total() const noexcept { return total_; }
+  [[nodiscard]] std::size_t bin_count() const noexcept {
+    return counts_.size();
+  }
+  [[nodiscard]] std::uint64_t count(std::size_t bin) const;
+  /// [lower, upper) bounds of a bin.
+  [[nodiscard]] std::pair<double, double> bounds(std::size_t bin) const;
+
+  /// Fraction of samples at or below `value` (by bin resolution).
+  [[nodiscard]] double cumulative_fraction(double value) const noexcept;
+
+  /// Multi-line ASCII rendering: one row per bin with a proportional bar.
+  [[nodiscard]] std::string render(std::size_t bar_width = 40) const;
+
+ private:
+  Histogram(std::vector<double> edges);
+
+  [[nodiscard]] std::size_t bin_of(double value) const noexcept;
+
+  std::vector<double> edges_;  // bin_count()+1 ascending edges
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace vq

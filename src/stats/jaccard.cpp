@@ -1,0 +1,33 @@
+#include "src/stats/jaccard.h"
+
+#include <algorithm>
+#include <vector>
+
+namespace vq {
+
+double jaccard_index(std::span<const std::uint64_t> a,
+                     std::span<const std::uint64_t> b) {
+  if (a.empty() && b.empty()) return 0.0;
+  std::vector<std::uint64_t> sa(a.begin(), a.end());
+  std::vector<std::uint64_t> sb(b.begin(), b.end());
+  std::sort(sa.begin(), sa.end());
+  std::sort(sb.begin(), sb.end());
+  std::size_t inter = 0;
+  auto ia = sa.begin();
+  auto ib = sb.begin();
+  while (ia != sa.end() && ib != sb.end()) {
+    if (*ia < *ib) {
+      ++ia;
+    } else if (*ib < *ia) {
+      ++ib;
+    } else {
+      ++inter;
+      ++ia;
+      ++ib;
+    }
+  }
+  const std::size_t uni = sa.size() + sb.size() - inter;
+  return static_cast<double>(inter) / static_cast<double>(uni);
+}
+
+}  // namespace vq

@@ -1,0 +1,16 @@
+// Jaccard similarity between sets of 64-bit keys (paper Table 2: overlap of
+// top-100 critical clusters across quality metrics).
+
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+namespace vq {
+
+/// |A ∩ B| / |A ∪ B| for two key sets given as unsorted spans with unique
+/// elements. Returns 0 when both sets are empty.
+[[nodiscard]] double jaccard_index(std::span<const std::uint64_t> a,
+                                   std::span<const std::uint64_t> b);
+
+}  // namespace vq

@@ -1,0 +1,44 @@
+#include "src/stats/summary.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace vq {
+
+void StreamingSummary::add(double x) noexcept {
+  ++n_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+  min_ = std::min(min_, x);
+  max_ = std::max(max_, x);
+}
+
+double StreamingSummary::variance() const noexcept {
+  return n_ < 2 ? 0.0 : m2_ / static_cast<double>(n_ - 1);
+}
+
+double StreamingSummary::stddev() const noexcept {
+  return std::sqrt(variance());
+}
+
+void StreamingSummary::merge(const StreamingSummary& other) noexcept {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const double na = static_cast<double>(n_);
+  const double nb = static_cast<double>(other.n_);
+  const double delta = other.mean_ - mean_;
+  const double combined = na + nb;
+  mean_ += delta * nb / combined;
+  m2_ += other.m2_ + delta * delta * na * nb / combined;
+  n_ += other.n_;
+  sum_ += other.sum_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+}  // namespace vq

@@ -1,0 +1,63 @@
+#include "src/stats/timeseries.h"
+
+#include <algorithm>
+
+namespace vq {
+
+std::vector<std::uint32_t> streak_lengths(std::span<const bool> active) {
+  std::vector<std::uint32_t> lengths;
+  std::uint32_t run = 0;
+  for (const bool flag : active) {
+    if (flag) {
+      ++run;
+    } else if (run > 0) {
+      lengths.push_back(run);
+      run = 0;
+    }
+  }
+  if (run > 0) lengths.push_back(run);
+  return lengths;
+}
+
+std::vector<std::uint32_t> streak_lengths_from_epochs(
+    std::span<const std::uint32_t> active_epochs) {
+  std::vector<std::uint32_t> lengths;
+  for (const auto& streak : streaks_from_epochs(active_epochs)) {
+    lengths.push_back(streak.length);
+  }
+  return lengths;
+}
+
+std::vector<Streak> streaks_from_epochs(
+    std::span<const std::uint32_t> active_epochs) {
+  std::vector<Streak> out;
+  if (active_epochs.empty()) return out;
+  std::uint32_t start = active_epochs.front();
+  std::uint32_t prev = start;
+  for (std::size_t i = 1; i < active_epochs.size(); ++i) {
+    const std::uint32_t e = active_epochs[i];
+    if (e == prev + 1) {
+      prev = e;
+      continue;
+    }
+    out.push_back({start, prev - start + 1});
+    start = prev = e;
+  }
+  out.push_back({start, prev - start + 1});
+  return out;
+}
+
+std::uint32_t median_streak(std::vector<std::uint32_t> lengths) {
+  if (lengths.empty()) return 0;
+  const std::size_t mid = (lengths.size() - 1) / 2;  // lower median
+  std::nth_element(lengths.begin(), lengths.begin() + mid, lengths.end());
+  return lengths[mid];
+}
+
+std::uint32_t max_streak(std::span<const std::uint32_t> lengths) noexcept {
+  std::uint32_t best = 0;
+  for (const auto len : lengths) best = std::max(best, len);
+  return best;
+}
+
+}  // namespace vq

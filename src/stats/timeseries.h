@@ -1,0 +1,40 @@
+// Fixed-length per-epoch time series plus the streak decomposition used by
+// the persistence analysis (paper §4.1): consecutive flagged epochs coalesce
+// into one logical problem event.
+
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace vq {
+
+/// Decomposes a boolean per-epoch activity series into maximal runs of
+/// consecutive `true` epochs and reports their lengths (in epochs).
+[[nodiscard]] std::vector<std::uint32_t> streak_lengths(
+    std::span<const bool> active);
+
+/// Streak lengths from a sorted list of active epoch indices (ascending,
+/// unique). Equivalent to streak_lengths over the implied boolean series.
+[[nodiscard]] std::vector<std::uint32_t> streak_lengths_from_epochs(
+    std::span<const std::uint32_t> active_epochs);
+
+/// Median of an unsorted list of streak lengths (lower median); 0 if empty.
+[[nodiscard]] std::uint32_t median_streak(std::vector<std::uint32_t> lengths);
+
+/// Maximum streak length; 0 if empty.
+[[nodiscard]] std::uint32_t max_streak(
+    std::span<const std::uint32_t> lengths) noexcept;
+
+/// A streak with its position: [start, start + length) epochs.
+struct Streak {
+  std::uint32_t start;
+  std::uint32_t length;
+};
+
+/// Positioned streaks from sorted unique active epoch indices.
+[[nodiscard]] std::vector<Streak> streaks_from_epochs(
+    std::span<const std::uint32_t> active_epochs);
+
+}  // namespace vq

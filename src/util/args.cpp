@@ -1,0 +1,100 @@
+#include "src/util/args.h"
+
+#include <charconv>
+#include <stdexcept>
+
+namespace vq {
+
+ArgParser::ArgParser(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg.size() < 3 || arg.substr(0, 2) != "--") {
+      positionals_.emplace_back(arg);
+      continue;
+    }
+    const std::string_view body = arg.substr(2);
+    if (const auto eq = body.find('='); eq != std::string_view::npos) {
+      options_.push_back({std::string{body.substr(0, eq)},
+                          std::string{body.substr(eq + 1)}});
+      continue;
+    }
+    // `--key value` unless the next token is itself an option or missing.
+    if (i + 1 < argc) {
+      const std::string_view next = argv[i + 1];
+      if (next.size() < 2 || next.substr(0, 2) != "--") {
+        options_.push_back({std::string{body}, std::string{next}});
+        ++i;
+        continue;
+      }
+    }
+    options_.push_back({std::string{body}, std::nullopt});
+  }
+}
+
+std::string_view ArgParser::positional(std::size_t i) const noexcept {
+  return i < positionals_.size() ? std::string_view{positionals_[i]}
+                                 : std::string_view{};
+}
+
+std::optional<std::string_view> ArgParser::option(
+    std::string_view name) const noexcept {
+  for (const Option& opt : options_) {
+    if (opt.name == name && opt.value.has_value()) {
+      return std::string_view{*opt.value};
+    }
+  }
+  return std::nullopt;
+}
+
+bool ArgParser::flag(std::string_view name) const noexcept {
+  for (const Option& opt : options_) {
+    if (opt.name == name) return true;
+  }
+  return false;
+}
+
+std::uint64_t ArgParser::option_u64(std::string_view name,
+                                    std::uint64_t fallback) const {
+  const auto value = option(name);
+  if (!value.has_value()) return fallback;
+  std::uint64_t out = 0;
+  const auto [ptr, ec] =
+      std::from_chars(value->data(), value->data() + value->size(), out);
+  if (ec != std::errc{} || ptr != value->data() + value->size()) {
+    throw std::invalid_argument{"--" + std::string{name} +
+                                ": expected an unsigned integer"};
+  }
+  return out;
+}
+
+double ArgParser::option_double(std::string_view name,
+                                double fallback) const {
+  const auto value = option(name);
+  if (!value.has_value()) return fallback;
+  double out = 0.0;
+  const auto [ptr, ec] =
+      std::from_chars(value->data(), value->data() + value->size(), out);
+  if (ec != std::errc{} || ptr != value->data() + value->size()) {
+    throw std::invalid_argument{"--" + std::string{name} +
+                                ": expected a number"};
+  }
+  return out;
+}
+
+std::vector<std::string> ArgParser::unknown_options(
+    std::initializer_list<std::string_view> allowed) const {
+  std::vector<std::string> unknown;
+  for (const Option& opt : options_) {
+    bool found = false;
+    for (const std::string_view name : allowed) {
+      if (opt.name == name) {
+        found = true;
+        break;
+      }
+    }
+    if (!found) unknown.push_back(opt.name);
+  }
+  return unknown;
+}
+
+}  // namespace vq

@@ -1,0 +1,54 @@
+// Minimal command-line argument parser for the vidqual CLI tool.
+//
+// Grammar: positionals and `--key value` / `--key=value` options (a `--key`
+// followed by another option or end-of-line is a bare flag). No short
+// options, no combining — deliberately small and predictable.
+
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace vq {
+
+class ArgParser {
+ public:
+  /// Parses argv[1..argc); argv[0] is skipped as the program name.
+  ArgParser(int argc, const char* const* argv);
+
+  [[nodiscard]] std::size_t positional_count() const noexcept {
+    return positionals_.size();
+  }
+  /// i-th positional; empty view when out of range.
+  [[nodiscard]] std::string_view positional(std::size_t i) const noexcept;
+
+  /// Value of `--name value` / `--name=value`; nullopt when absent or bare.
+  [[nodiscard]] std::optional<std::string_view> option(
+      std::string_view name) const noexcept;
+
+  /// True when `--name` appeared (with or without a value).
+  [[nodiscard]] bool flag(std::string_view name) const noexcept;
+
+  /// Numeric conveniences; throw std::invalid_argument on malformed values.
+  [[nodiscard]] std::uint64_t option_u64(std::string_view name,
+                                         std::uint64_t fallback) const;
+  [[nodiscard]] double option_double(std::string_view name,
+                                     double fallback) const;
+
+  /// Option names seen that are not in `allowed` (for strict commands).
+  [[nodiscard]] std::vector<std::string> unknown_options(
+      std::initializer_list<std::string_view> allowed) const;
+
+ private:
+  struct Option {
+    std::string name;
+    std::optional<std::string> value;
+  };
+  std::vector<std::string> positionals_;
+  std::vector<Option> options_;
+};
+
+}  // namespace vq

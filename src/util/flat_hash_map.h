@@ -1,0 +1,153 @@
+// FlatMap64<V>: open-addressing hash map specialised for uint64_t keys.
+//
+// This is the hot-path container of the cluster engine: every session
+// increments counters in up to 127 lattice cells per epoch, so lookup/insert
+// must be a handful of instructions.  Linear probing over a power-of-two
+// table with a reserved empty sentinel beats std::unordered_map by a wide
+// margin here (no per-node allocation, no pointer chasing).
+//
+// Constraint: the key value FlatMap64::kEmptyKey (all ones) is reserved and
+// must never be inserted.  vidqual cluster keys use at most 62 bits, so this
+// never collides in practice and is checked in debug builds.
+
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "src/util/rng.h"  // splitmix64
+
+namespace vq {
+
+template <typename V>
+class FlatMap64 {
+ public:
+  static constexpr std::uint64_t kEmptyKey = ~std::uint64_t{0};
+
+  FlatMap64() = default;
+
+  explicit FlatMap64(std::size_t expected_size) { reserve(expected_size); }
+
+  /// Number of stored entries.
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+  [[nodiscard]] bool empty() const noexcept { return size_ == 0; }
+
+  /// Ensures capacity for at least n entries without rehashing.
+  void reserve(std::size_t n) {
+    std::size_t needed = 16;
+    // Keep load factor below ~0.75.
+    while (needed * 3 < n * 4) needed <<= 1;
+    if (needed > capacity()) rehash(needed);
+  }
+
+  /// Removes all entries but keeps the allocated table.
+  void clear() noexcept {
+    for (auto& slot : slots_) slot.first = kEmptyKey;
+    size_ = 0;
+  }
+
+  /// Returns a reference to the value for `key`, default-constructing it on
+  /// first access (same contract as std::unordered_map::operator[]).
+  V& operator[](std::uint64_t key) {
+    assert(key != kEmptyKey && "FlatMap64: reserved sentinel key");
+    if (slots_.empty() || (size_ + 1) * 4 > capacity() * 3) {
+      rehash(capacity() == 0 ? 16 : capacity() * 2);
+    }
+    std::size_t i = probe_start(key);
+    for (;;) {
+      auto& slot = slots_[i];
+      if (slot.first == key) return slot.second;
+      if (slot.first == kEmptyKey) {
+        slot.first = key;
+        slot.second = V{};
+        ++size_;
+        return slot.second;
+      }
+      i = (i + 1) & mask_;
+    }
+  }
+
+  /// Returns a pointer to the value for `key`, or nullptr when absent.
+  [[nodiscard]] const V* find(std::uint64_t key) const noexcept {
+    if (slots_.empty()) return nullptr;
+    std::size_t i = probe_start(key);
+    for (;;) {
+      const auto& slot = slots_[i];
+      if (slot.first == key) return &slot.second;
+      if (slot.first == kEmptyKey) return nullptr;
+      i = (i + 1) & mask_;
+    }
+  }
+
+  [[nodiscard]] V* find(std::uint64_t key) noexcept {
+    return const_cast<V*>(std::as_const(*this).find(key));
+  }
+
+  [[nodiscard]] bool contains(std::uint64_t key) const noexcept {
+    return find(key) != nullptr;
+  }
+
+  /// Invokes fn(key, value) for every entry (unspecified order).
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    for (const auto& slot : slots_) {
+      if (slot.first != kEmptyKey) fn(slot.first, slot.second);
+    }
+  }
+
+  template <typename Fn>
+  void for_each(Fn&& fn) {
+    for (auto& slot : slots_) {
+      if (slot.first != kEmptyKey) fn(slot.first, slot.second);
+    }
+  }
+
+ private:
+  [[nodiscard]] std::size_t capacity() const noexcept { return slots_.size(); }
+
+  [[nodiscard]] std::size_t probe_start(std::uint64_t key) const noexcept {
+    return static_cast<std::size_t>(splitmix64(key)) & mask_;
+  }
+
+  void rehash(std::size_t new_capacity) {
+    std::vector<std::pair<std::uint64_t, V>> old = std::move(slots_);
+    slots_.assign(new_capacity, {kEmptyKey, V{}});
+    mask_ = new_capacity - 1;
+    size_ = 0;
+    for (auto& slot : old) {
+      if (slot.first != kEmptyKey) (*this)[slot.first] = std::move(slot.second);
+    }
+  }
+
+  std::vector<std::pair<std::uint64_t, V>> slots_;
+  std::size_t mask_ = 0;
+  std::size_t size_ = 0;
+};
+
+/// FlatSet64: companion set with the same storage discipline.
+class FlatSet64 {
+ public:
+  FlatSet64() = default;
+  explicit FlatSet64(std::size_t expected_size) : map_(expected_size) {}
+
+  void insert(std::uint64_t key) { map_[key] = true; }
+  [[nodiscard]] bool contains(std::uint64_t key) const noexcept {
+    return map_.contains(key);
+  }
+  [[nodiscard]] std::size_t size() const noexcept { return map_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return map_.empty(); }
+  void clear() noexcept { map_.clear(); }
+
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    map_.for_each([&fn](std::uint64_t key, bool) { fn(key); });
+  }
+
+ private:
+  FlatMap64<bool> map_;
+};
+
+}  // namespace vq

@@ -1,0 +1,28 @@
+#include "src/util/intern.h"
+
+#include <stdexcept>
+
+namespace vq {
+
+std::uint32_t StringInterner::intern(std::string_view name) {
+  if (const auto it = ids_.find(name); it != ids_.end()) return it->second;
+  const auto id = static_cast<std::uint32_t>(names_.size());
+  names_.emplace_back(name);
+  ids_.emplace(std::string_view{names_.back()}, id);
+  return id;
+}
+
+std::optional<std::uint32_t> StringInterner::lookup(
+    std::string_view name) const {
+  if (const auto it = ids_.find(name); it != ids_.end()) return it->second;
+  return std::nullopt;
+}
+
+std::string_view StringInterner::name(std::uint32_t id) const {
+  if (id >= names_.size()) {
+    throw std::out_of_range{"StringInterner::name: unknown id"};
+  }
+  return names_[id];
+}
+
+}  // namespace vq

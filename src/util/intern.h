@@ -1,0 +1,45 @@
+// StringInterner: bidirectional string <-> dense-id mapping with stable
+// storage, used to give human-readable names (site/CDN/ASN labels) to the
+// dense attribute-value ids the analysis engine works with.
+
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+namespace vq {
+
+class StringInterner {
+ public:
+  StringInterner() = default;
+  // Copying would leave the map's string_view keys pointing into the source
+  // interner's storage; moves keep allocations stable and are safe.
+  StringInterner(const StringInterner&) = delete;
+  StringInterner& operator=(const StringInterner&) = delete;
+  StringInterner(StringInterner&&) = default;
+  StringInterner& operator=(StringInterner&&) = default;
+
+  /// Returns the id for `name`, interning it on first sight.
+  std::uint32_t intern(std::string_view name);
+
+  /// Returns the id for `name` if already interned.
+  [[nodiscard]] std::optional<std::uint32_t> lookup(
+      std::string_view name) const;
+
+  /// Returns the name for a previously returned id. Throws std::out_of_range
+  /// on unknown ids.
+  [[nodiscard]] std::string_view name(std::uint32_t id) const;
+
+  [[nodiscard]] std::size_t size() const noexcept { return names_.size(); }
+
+ private:
+  // deque keeps string storage stable so string_views into it never dangle.
+  std::deque<std::string> names_;
+  std::unordered_map<std::string_view, std::uint32_t> ids_;
+};
+
+}  // namespace vq

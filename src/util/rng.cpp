@@ -1,0 +1,162 @@
+#include "src/util/rng.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace vq {
+
+namespace {
+
+constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+  return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+Xoshiro256ss::Xoshiro256ss(std::uint64_t seed) noexcept {
+  std::uint64_t x = seed;
+  for (auto& word : s_) {
+    x = splitmix64(x);
+    word = x;
+  }
+  // xoshiro must not start in the all-zero state.
+  if (s_[0] == 0 && s_[1] == 0 && s_[2] == 0 && s_[3] == 0) {
+    s_[0] = 0x9e3779b97f4a7c15ULL;
+  }
+}
+
+Xoshiro256ss::result_type Xoshiro256ss::operator()() noexcept {
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+double Xoshiro256ss::uniform01() noexcept {
+  // 53 high-quality bits -> double in [0, 1).
+  return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+}
+
+double Xoshiro256ss::uniform(double lo, double hi) noexcept {
+  return lo + (hi - lo) * uniform01();
+}
+
+std::uint64_t Xoshiro256ss::below(std::uint64_t n) noexcept {
+  // Lemire's nearly-divisionless bounded sampling; bias is negligible for
+  // the n (< 2^32) used in this project, and we debias with a retry loop.
+  const std::uint64_t threshold = (~n + 1) % n;  // 2^64 mod n
+  for (;;) {
+    const std::uint64_t r = (*this)();
+    if (r >= threshold) return r % n;
+  }
+}
+
+bool Xoshiro256ss::bernoulli(double p) noexcept {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return uniform01() < p;
+}
+
+double Xoshiro256ss::normal() noexcept {
+  if (has_cached_normal_) {
+    has_cached_normal_ = false;
+    return cached_normal_;
+  }
+  // Box-Muller; u1 in (0,1] to avoid log(0).
+  const double u1 = 1.0 - uniform01();
+  const double u2 = uniform01();
+  const double radius = std::sqrt(-2.0 * std::log(u1));
+  const double theta = 2.0 * std::numbers::pi * u2;
+  cached_normal_ = radius * std::sin(theta);
+  has_cached_normal_ = true;
+  return radius * std::cos(theta);
+}
+
+double Xoshiro256ss::normal(double mean, double stddev) noexcept {
+  return mean + stddev * normal();
+}
+
+double Xoshiro256ss::lognormal(double mu, double sigma) noexcept {
+  return std::exp(normal(mu, sigma));
+}
+
+double Xoshiro256ss::exponential(double mean) noexcept {
+  const double u = 1.0 - uniform01();  // (0, 1]
+  return -mean * std::log(u);
+}
+
+double Xoshiro256ss::pareto(double xm, double alpha) noexcept {
+  const double u = 1.0 - uniform01();  // (0, 1]
+  return xm * std::pow(u, -1.0 / alpha);
+}
+
+Xoshiro256ss Xoshiro256ss::derive(std::uint64_t stream_id) const noexcept {
+  // Mix the current state with the stream id; deterministic and independent
+  // of how far this generator has advanced only through its state snapshot.
+  std::uint64_t mixed = s_[0];
+  mixed = splitmix64(mixed ^ splitmix64(stream_id));
+  return Xoshiro256ss{mixed};
+}
+
+ZipfSampler::ZipfSampler(std::size_t n, double exponent) {
+  if (n == 0) throw std::invalid_argument{"ZipfSampler: n must be >= 1"};
+  if (exponent < 0.0) {
+    throw std::invalid_argument{"ZipfSampler: exponent must be >= 0"};
+  }
+  cdf_.resize(n);
+  double total = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    total += 1.0 / std::pow(static_cast<double>(i + 1), exponent);
+    cdf_[i] = total;
+  }
+  for (auto& c : cdf_) c /= total;
+  cdf_.back() = 1.0;  // guard against accumulated rounding
+}
+
+std::size_t ZipfSampler::operator()(Xoshiro256ss& rng) const noexcept {
+  const double u = rng.uniform01();
+  const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  return static_cast<std::size_t>(it - cdf_.begin());
+}
+
+double ZipfSampler::pmf(std::size_t rank) const {
+  if (rank >= cdf_.size()) {
+    throw std::out_of_range{"ZipfSampler::pmf: rank out of range"};
+  }
+  return rank == 0 ? cdf_[0] : cdf_[rank] - cdf_[rank - 1];
+}
+
+DiscreteSampler::DiscreteSampler(std::span<const double> weights) {
+  if (weights.empty()) {
+    throw std::invalid_argument{"DiscreteSampler: empty weights"};
+  }
+  cdf_.resize(weights.size());
+  double total = 0.0;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    if (weights[i] < 0.0) {
+      throw std::invalid_argument{"DiscreteSampler: negative weight"};
+    }
+    total += weights[i];
+    cdf_[i] = total;
+  }
+  if (total <= 0.0) {
+    throw std::invalid_argument{"DiscreteSampler: weights sum to zero"};
+  }
+  for (auto& c : cdf_) c /= total;
+  cdf_.back() = 1.0;
+}
+
+std::size_t DiscreteSampler::operator()(Xoshiro256ss& rng) const noexcept {
+  const double u = rng.uniform01();
+  const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  return static_cast<std::size_t>(it - cdf_.begin());
+}
+
+}  // namespace vq

@@ -1,0 +1,111 @@
+// Deterministic pseudo-random number generation and the distributions used by
+// the workload/world generators.
+//
+// All simulation randomness in vidqual flows through Xoshiro256ss seeded via
+// splitmix64 so that every experiment is exactly reproducible from a single
+// 64-bit seed.  Stream derivation (`derive`) lets independent subsystems
+// (world building, event scheduling, per-session simulation) draw from
+// decorrelated streams without sharing mutable state.
+
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace vq {
+
+/// splitmix64 step; used for seeding and cheap stateless hashing of ids.
+[[nodiscard]] constexpr std::uint64_t splitmix64(std::uint64_t x) noexcept {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// xoshiro256** 1.0 — fast, high-quality 64-bit generator.
+class Xoshiro256ss {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds the full 256-bit state from a single 64-bit seed via splitmix64.
+  explicit Xoshiro256ss(std::uint64_t seed = 0x6a6a6a2013ULL) noexcept;
+
+  [[nodiscard]] static constexpr result_type min() noexcept { return 0; }
+  [[nodiscard]] static constexpr result_type max() noexcept {
+    return ~std::uint64_t{0};
+  }
+
+  result_type operator()() noexcept;
+
+  /// Uniform double in [0, 1).
+  [[nodiscard]] double uniform01() noexcept;
+
+  /// Uniform double in [lo, hi).
+  [[nodiscard]] double uniform(double lo, double hi) noexcept;
+
+  /// Uniform integer in [0, n). Requires n > 0.
+  [[nodiscard]] std::uint64_t below(std::uint64_t n) noexcept;
+
+  /// Bernoulli trial with success probability p (clamped to [0,1]).
+  [[nodiscard]] bool bernoulli(double p) noexcept;
+
+  /// Standard normal via Box-Muller (cached second value).
+  [[nodiscard]] double normal() noexcept;
+
+  /// Normal with the given mean and standard deviation.
+  [[nodiscard]] double normal(double mean, double stddev) noexcept;
+
+  /// Log-normal: exp(N(mu, sigma)). mu/sigma are in log space.
+  [[nodiscard]] double lognormal(double mu, double sigma) noexcept;
+
+  /// Exponential with the given mean (> 0).
+  [[nodiscard]] double exponential(double mean) noexcept;
+
+  /// Pareto (Lomax-shifted classic): xm * U^(-1/alpha), heavy-tailed.
+  [[nodiscard]] double pareto(double xm, double alpha) noexcept;
+
+  /// A new generator whose stream is decorrelated from this one, derived
+  /// deterministically from the given stream id. Does not advance *this.
+  [[nodiscard]] Xoshiro256ss derive(std::uint64_t stream_id) const noexcept;
+
+ private:
+  std::array<std::uint64_t, 4> s_{};
+  double cached_normal_ = 0.0;
+  bool has_cached_normal_ = false;
+};
+
+/// Bounded Zipf(s) sampler over ranks {0, ..., n-1} with precomputed inverse
+/// CDF table. Rank 0 is the most popular item. O(log n) per sample.
+class ZipfSampler {
+ public:
+  /// n >= 1; exponent s >= 0 (s = 0 degenerates to uniform).
+  ZipfSampler(std::size_t n, double exponent);
+
+  [[nodiscard]] std::size_t operator()(Xoshiro256ss& rng) const noexcept;
+
+  [[nodiscard]] std::size_t size() const noexcept { return cdf_.size(); }
+
+  /// Probability mass of a given rank.
+  [[nodiscard]] double pmf(std::size_t rank) const;
+
+ private:
+  std::vector<double> cdf_;  // cdf_[i] = P(rank <= i)
+};
+
+/// Weighted discrete sampler (alias-free, binary search over CDF).
+class DiscreteSampler {
+ public:
+  /// Weights must be non-negative with a positive sum.
+  explicit DiscreteSampler(std::span<const double> weights);
+
+  [[nodiscard]] std::size_t operator()(Xoshiro256ss& rng) const noexcept;
+
+  [[nodiscard]] std::size_t size() const noexcept { return cdf_.size(); }
+
+ private:
+  std::vector<double> cdf_;
+};
+
+}  // namespace vq

@@ -1,0 +1,84 @@
+#include "src/util/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+
+namespace vq {
+
+ThreadPool::ThreadPool(std::size_t workers) {
+  if (workers == 0) {
+    workers = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  }
+  threads_.reserve(workers);
+  for (std::size_t i = 0; i < workers; ++i) {
+    threads_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    const std::lock_guard lock{mutex_};
+    stopping_ = true;
+  }
+  work_available_.notify_all();
+  for (auto& t : threads_) t.join();
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  {
+    const std::lock_guard lock{mutex_};
+    queue_.push_back(std::move(task));
+    ++in_flight_;
+  }
+  work_available_.notify_one();
+}
+
+void ThreadPool::wait_idle() {
+  std::unique_lock lock{mutex_};
+  idle_.wait(lock, [this] { return in_flight_ == 0; });
+}
+
+void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
+                              const std::function<void(std::size_t)>& fn) {
+  if (begin >= end) return;
+  const std::size_t n = end - begin;
+  if (threads_.size() <= 1 || n == 1) {
+    for (std::size_t i = begin; i < end; ++i) fn(i);
+    return;
+  }
+  // One shared atomic cursor: workers pull indices until exhausted, which
+  // load-balances uneven per-epoch costs better than static chunking.
+  auto cursor = std::make_shared<std::atomic<std::size_t>>(begin);
+  const std::size_t tasks = std::min(threads_.size(), n);
+  for (std::size_t t = 0; t < tasks; ++t) {
+    submit([cursor, end, &fn] {
+      for (;;) {
+        const std::size_t i = cursor->fetch_add(1);
+        if (i >= end) return;
+        fn(i);
+      }
+    });
+  }
+  wait_idle();
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock lock{mutex_};
+      work_available_.wait(lock,
+                           [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping_ with a drained queue
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+    {
+      const std::lock_guard lock{mutex_};
+      if (--in_flight_ == 0) idle_.notify_all();
+    }
+  }
+}
+
+}  // namespace vq

@@ -1,0 +1,59 @@
+// Minimal fixed-size thread pool with a parallel_for convenience wrapper.
+//
+// The analysis pipeline processes epochs independently; on multi-core hosts
+// parallel_for spreads epochs across workers, on single-core hosts it runs
+// inline with zero thread overhead (worker count 0 or 1 short-circuits).
+
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace vq {
+
+class ThreadPool {
+ public:
+  /// workers == 0 selects hardware_concurrency(); pool of size 1 executes
+  /// submitted work on its single worker thread.
+  explicit ThreadPool(std::size_t workers = 0);
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  ~ThreadPool();
+
+  [[nodiscard]] std::size_t worker_count() const noexcept {
+    return threads_.size();
+  }
+
+  /// Enqueues a task; tasks must not throw (they run on worker threads with
+  /// no channel back to the caller — wrap fallible work yourself).
+  void submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has finished.
+  void wait_idle();
+
+  /// Runs fn(i) for i in [begin, end), partitioned across workers; blocks
+  /// until complete. Runs inline when the range is small or the pool has a
+  /// single worker.
+  void parallel_for(std::size_t begin, std::size_t end,
+                    const std::function<void(std::size_t)>& fn);
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> threads_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable work_available_;
+  std::condition_variable idle_;
+  std::size_t in_flight_ = 0;
+  bool stopping_ = false;
+};
+
+}  // namespace vq

@@ -1,0 +1,150 @@
+// Anomaly detection and the Mathis TCP ceiling.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/core/anomaly.h"
+#include "src/simnet/tcp.h"
+#include "tests/test_support.h"
+
+namespace vq {
+namespace {
+
+using test::Attrs;
+
+TEST(Mathis, MatchesClosedForm) {
+  // 1460 B MSS, 100 ms RTT, 1% loss:
+  // 1460/0.1 * 1.22/0.1 = 178120 B/s = 1424.96 kbps.
+  EXPECT_NEAR(mathis_throughput_kbps(100.0, 0.01), 1'424.96, 0.5);
+}
+
+TEST(Mathis, ScalesInverselyWithRttAndSqrtLoss) {
+  const double base = mathis_throughput_kbps(50.0, 0.001);
+  EXPECT_NEAR(mathis_throughput_kbps(100.0, 0.001), base / 2.0, 1e-6);
+  EXPECT_NEAR(mathis_throughput_kbps(50.0, 0.004), base / 2.0, 1e-6);
+}
+
+TEST(Mathis, ClampsDegenerateInputs) {
+  EXPECT_GT(mathis_throughput_kbps(0.0, 0.001), 0.0);     // rtt floor
+  EXPECT_GT(mathis_throughput_kbps(50.0, 0.0), 0.0);      // loss floor
+  EXPECT_GT(mathis_throughput_kbps(50.0, 0.0),
+            mathis_throughput_kbps(50.0, 0.01));
+  EXPECT_LT(mathis_throughput_kbps(50.0, 1.0),            // loss ceiling
+            mathis_throughput_kbps(50.0, 0.01));
+}
+
+TEST(TcpPool, MultipliesByConnectionCount) {
+  TcpPathParams params;
+  params.rtt_ms = 80.0;
+  params.loss_rate = 0.002;
+  params.parallel_connections = 6;
+  EXPECT_NEAR(tcp_pool_ceiling_kbps(params),
+              6.0 * mathis_throughput_kbps(80.0, 0.002), 1e-9);
+  params.parallel_connections = 0;  // clamped to 1
+  EXPECT_NEAR(tcp_pool_ceiling_kbps(params),
+              mathis_throughput_kbps(80.0, 0.002), 1e-9);
+}
+
+TEST(SeriesAnomalies, QuietSeriesHasNone) {
+  std::vector<double> series(50, 0.1);
+  EXPECT_TRUE(detect_series_anomalies(series, {}).empty());
+}
+
+TEST(SeriesAnomalies, FlagsInjectedSpike) {
+  std::vector<double> series(50, 0.1);
+  for (std::size_t i = 0; i < series.size(); ++i) {
+    series[i] += 0.002 * std::sin(static_cast<double>(i));  // mild noise
+  }
+  series[30] = 0.5;
+  const auto anomalies = detect_series_anomalies(series, {});
+  ASSERT_EQ(anomalies.size(), 1u);
+  EXPECT_EQ(anomalies[0].index, 30u);
+  EXPECT_NEAR(anomalies[0].value, 0.5, 1e-12);
+  EXPECT_GT(anomalies[0].zscore, 3.0);
+  EXPECT_NEAR(anomalies[0].expected, 0.1, 0.01);
+}
+
+TEST(SeriesAnomalies, SpikeDoesNotPoisonBaseline) {
+  // Two identical spikes: both must be flagged (the first must not raise
+  // the EWMA so much that the second passes).
+  std::vector<double> series(60, 0.1);
+  for (std::size_t i = 0; i < series.size(); ++i) {
+    series[i] += 0.002 * std::sin(static_cast<double>(i) * 1.7);
+  }
+  series[25] = 0.4;
+  series[40] = 0.4;
+  const auto anomalies = detect_series_anomalies(series, {});
+  ASSERT_EQ(anomalies.size(), 2u);
+  EXPECT_EQ(anomalies[0].index, 25u);
+  EXPECT_EQ(anomalies[1].index, 40u);
+}
+
+TEST(SeriesAnomalies, WarmupSuppressesEarlyFlags) {
+  std::vector<double> series(20, 0.1);
+  series[2] = 0.9;  // inside the warmup window
+  AnomalyParams params;
+  params.warmup_epochs = 8;
+  EXPECT_TRUE(detect_series_anomalies(series, params).empty());
+}
+
+TEST(SeriesAnomalies, EmptyAndSingleton) {
+  EXPECT_TRUE(detect_series_anomalies({}, {}).empty());
+  const std::vector<double> one = {0.5};
+  EXPECT_TRUE(detect_series_anomalies(one, {}).empty());
+}
+
+TEST(RatioAnomalies, FlagsEpochWithInjectedOutageAndNamesSuspects) {
+  // 20 calm epochs, then one with a catastrophic CDN outage.
+  std::vector<Session> sessions;
+  for (std::uint32_t e = 0; e < 21; ++e) {
+    const bool outage = e == 18;
+    for (std::uint16_t asn = 1; asn <= 4; ++asn) {
+      test::add_sessions(sessions, e, Attrs{.cdn = 1, .asn = asn},
+                         outage ? test::failed_join() : test::good_quality(),
+                         50);
+    }
+    for (std::uint16_t asn = 10; asn < 20; ++asn) {
+      test::add_sessions(sessions, e, Attrs{.cdn = 2, .asn = asn},
+                         test::good_quality(), 49);
+      test::add_sessions(sessions, e, Attrs{.cdn = 2, .asn = asn},
+                         test::failed_join(), 1);
+    }
+  }
+  PipelineConfig config;
+  config.cluster_params.min_sessions = 50;
+  const PipelineResult result =
+      run_pipeline(SessionTable{std::move(sessions)}, config);
+
+  const auto anomalies = detect_ratio_anomalies(result, {});
+  ASSERT_FALSE(anomalies.empty());
+  bool found = false;
+  for (const RatioAnomaly& a : anomalies) {
+    if (a.metric != Metric::kJoinFailure || a.anomaly.index != 18) continue;
+    found = true;
+    ASSERT_FALSE(a.suspects.empty());
+    EXPECT_TRUE(a.suspects[0].has(AttrDim::kCdn));
+    EXPECT_EQ(a.suspects[0].value(AttrDim::kCdn), 1);
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(RatioAnomalies, CalmTraceProducesNone) {
+  std::vector<Session> sessions;
+  for (std::uint32_t e = 0; e < 20; ++e) {
+    for (std::uint16_t asn = 1; asn <= 6; ++asn) {
+      test::add_sessions(sessions, e, Attrs{.cdn = 1, .asn = asn},
+                         test::good_quality(), 49);
+      test::add_sessions(sessions, e, Attrs{.cdn = 1, .asn = asn},
+                         test::bad_buffering(), 1);
+    }
+  }
+  PipelineConfig config;
+  config.cluster_params.min_sessions = 50;
+  const PipelineResult result =
+      run_pipeline(SessionTable{std::move(sessions)}, config);
+  EXPECT_TRUE(detect_ratio_anomalies(result, {}).empty());
+}
+
+}  // namespace
+}  // namespace vq

@@ -1,0 +1,86 @@
+#include "src/util/args.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace vq {
+namespace {
+
+ArgParser parse(std::initializer_list<const char*> argv) {
+  std::vector<const char*> full = {"vidqual"};
+  full.insert(full.end(), argv.begin(), argv.end());
+  return ArgParser{static_cast<int>(full.size()), full.data()};
+}
+
+TEST(ArgParser, Positionals) {
+  const ArgParser args = parse({"analyze", "extra"});
+  EXPECT_EQ(args.positional_count(), 2u);
+  EXPECT_EQ(args.positional(0), "analyze");
+  EXPECT_EQ(args.positional(1), "extra");
+  EXPECT_EQ(args.positional(2), "");
+}
+
+TEST(ArgParser, SpaceSeparatedOption) {
+  const ArgParser args = parse({"generate", "--out", "trace.csv"});
+  ASSERT_TRUE(args.option("out").has_value());
+  EXPECT_EQ(*args.option("out"), "trace.csv");
+  EXPECT_TRUE(args.flag("out"));
+}
+
+TEST(ArgParser, EqualsSeparatedOption) {
+  const ArgParser args = parse({"--epochs=48", "--seed=7"});
+  EXPECT_EQ(args.option_u64("epochs", 0), 48u);
+  EXPECT_EQ(args.option_u64("seed", 0), 7u);
+}
+
+TEST(ArgParser, BareFlagBeforeAnotherOption) {
+  const ArgParser args = parse({"--no-events", "--out", "x.csv"});
+  EXPECT_TRUE(args.flag("no-events"));
+  EXPECT_FALSE(args.option("no-events").has_value());
+  EXPECT_EQ(*args.option("out"), "x.csv");
+}
+
+TEST(ArgParser, TrailingBareFlag) {
+  const ArgParser args = parse({"--verbose"});
+  EXPECT_TRUE(args.flag("verbose"));
+  EXPECT_FALSE(args.option("verbose").has_value());
+}
+
+TEST(ArgParser, MissingOptionFallsBack) {
+  const ArgParser args = parse({"analyze"});
+  EXPECT_FALSE(args.option("in").has_value());
+  EXPECT_FALSE(args.flag("in"));
+  EXPECT_EQ(args.option_u64("epochs", 336), 336u);
+  EXPECT_DOUBLE_EQ(args.option_double("top-frac", 0.01), 0.01);
+}
+
+TEST(ArgParser, NumericParsing) {
+  const ArgParser args = parse({"--n", "123", "--f", "0.25"});
+  EXPECT_EQ(args.option_u64("n", 0), 123u);
+  EXPECT_DOUBLE_EQ(args.option_double("f", 0.0), 0.25);
+}
+
+TEST(ArgParser, MalformedNumbersThrow) {
+  const ArgParser args = parse({"--n", "12x", "--f", "zero"});
+  EXPECT_THROW((void)args.option_u64("n", 0), std::invalid_argument);
+  EXPECT_THROW((void)args.option_double("f", 0.0), std::invalid_argument);
+}
+
+TEST(ArgParser, UnknownOptionDetection) {
+  const ArgParser args = parse({"--in", "x", "--bogus", "--top", "3"});
+  const auto unknown = args.unknown_options({"in", "top"});
+  ASSERT_EQ(unknown.size(), 1u);
+  EXPECT_EQ(unknown[0], "bogus");
+  EXPECT_TRUE(args.unknown_options({"in", "top", "bogus"}).empty());
+}
+
+TEST(ArgParser, DoubleDashAloneIsPositional) {
+  // "--" has length 2 (< 3) so it is not treated as an option.
+  const ArgParser args = parse({"--", "file"});
+  EXPECT_EQ(args.positional_count(), 2u);
+  EXPECT_EQ(args.positional(0), "--");
+}
+
+}  // namespace
+}  // namespace vq

@@ -1,0 +1,157 @@
+#include "src/core/attributes.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <stdexcept>
+
+#include "tests/test_support.h"
+
+namespace vq {
+namespace {
+
+using test::Attrs;
+
+TEST(ClusterKey, RootHasEmptyMaskAndZeroRaw) {
+  const ClusterKey root = ClusterKey::root();
+  EXPECT_EQ(root.mask(), 0);
+  EXPECT_EQ(root.arity(), 0);
+  EXPECT_EQ(root.raw(), 0u);
+}
+
+TEST(ClusterKey, PackRoundTripsEveryDimension) {
+  const AttrVec attrs =
+      Attrs{.site = 378, .cdn = 18, .asn = 14999, .conn = 6, .player = 3,
+            .browser = 4, .vod = 1}
+          .vec();
+  const ClusterKey key = ClusterKey::pack(kFullMask, attrs);
+  EXPECT_EQ(key.mask(), kFullMask);
+  EXPECT_EQ(key.arity(), kNumDims);
+  EXPECT_EQ(key.value(AttrDim::kSite), 378);
+  EXPECT_EQ(key.value(AttrDim::kCdn), 18);
+  EXPECT_EQ(key.value(AttrDim::kAsn), 14999);
+  EXPECT_EQ(key.value(AttrDim::kConnType), 6);
+  EXPECT_EQ(key.value(AttrDim::kPlayer), 3);
+  EXPECT_EQ(key.value(AttrDim::kBrowser), 4);
+  EXPECT_EQ(key.value(AttrDim::kVodLive), 1);
+}
+
+TEST(ClusterKey, PackIgnoresUnselectedDimensions) {
+  const AttrVec a = Attrs{.site = 5, .cdn = 7, .asn = 100}.vec();
+  const AttrVec b = Attrs{.site = 5, .cdn = 3, .asn = 999}.vec();
+  const auto mask = dim_bit(AttrDim::kSite);
+  EXPECT_EQ(ClusterKey::pack(mask, a), ClusterKey::pack(mask, b));
+}
+
+TEST(ClusterKey, DistinctMasksGiveDistinctKeys) {
+  const AttrVec attrs = Attrs{.site = 1, .cdn = 1, .asn = 1, .conn = 1,
+                              .player = 1, .browser = 1, .vod = 1}
+                            .vec();
+  std::set<std::uint64_t> raws;
+  for (unsigned mask = 0; mask <= kFullMask; ++mask) {
+    raws.insert(
+        ClusterKey::pack(static_cast<std::uint8_t>(mask), attrs).raw());
+  }
+  EXPECT_EQ(raws.size(), 128u);
+}
+
+TEST(ClusterKey, ValueOverflowThrows) {
+  AttrVec attrs;
+  attrs[AttrDim::kCdn] = 64;  // field width is 6 bits -> max 63
+  EXPECT_THROW(ClusterKey::pack(dim_bit(AttrDim::kCdn), attrs),
+               std::out_of_range);
+}
+
+TEST(ClusterKey, MaskOverflowThrows) {
+  AttrVec attrs;
+  EXPECT_THROW(ClusterKey::pack(0xFF, attrs), std::out_of_range);
+}
+
+TEST(ClusterKey, TopBitNeverSet) {
+  AttrVec attrs;
+  for (int d = 0; d < kNumDims; ++d) {
+    attrs.v[d] = dim_capacity(static_cast<AttrDim>(d));
+  }
+  const ClusterKey key = ClusterKey::pack(kFullMask, attrs);
+  EXPECT_EQ(key.raw() >> 63, 0u);
+  EXPECT_NE(key.raw(), ~std::uint64_t{0});  // never the hash-map sentinel
+}
+
+TEST(ClusterKey, ProjectKeepsSelectedValues) {
+  const AttrVec attrs = Attrs{.site = 9, .cdn = 4, .asn = 77}.vec();
+  const ClusterKey leaf = ClusterKey::pack(kFullMask, attrs);
+  const auto mask =
+      static_cast<std::uint8_t>(dim_bit(AttrDim::kCdn) |
+                                dim_bit(AttrDim::kAsn));
+  const ClusterKey projected = leaf.project(mask);
+  EXPECT_EQ(projected.mask(), mask);
+  EXPECT_EQ(projected.value(AttrDim::kCdn), 4);
+  EXPECT_EQ(projected.value(AttrDim::kAsn), 77);
+  EXPECT_EQ(projected, ClusterKey::pack(mask, attrs));
+}
+
+TEST(ClusterKey, ProjectToEmptyMaskIsRoot) {
+  const ClusterKey leaf =
+      ClusterKey::pack(kFullMask, Attrs{.site = 3}.vec());
+  EXPECT_EQ(leaf.project(0), ClusterKey::root());
+}
+
+TEST(ClusterKey, GeneralizesMatchingDescendant) {
+  const AttrVec attrs = Attrs{.site = 2, .cdn = 5, .asn = 10}.vec();
+  const ClusterKey parent =
+      ClusterKey::pack(dim_bit(AttrDim::kCdn), attrs);
+  const ClusterKey child = ClusterKey::pack(
+      dim_bit(AttrDim::kCdn) | dim_bit(AttrDim::kAsn), attrs);
+  EXPECT_TRUE(parent.generalizes(child));
+  EXPECT_FALSE(child.generalizes(parent));
+  EXPECT_TRUE(parent.generalizes(parent));
+  EXPECT_TRUE(ClusterKey::root().generalizes(child));
+}
+
+TEST(ClusterKey, GeneralizesRejectsValueMismatch) {
+  const ClusterKey parent =
+      ClusterKey::pack(dim_bit(AttrDim::kCdn), Attrs{.cdn = 5}.vec());
+  const ClusterKey other = ClusterKey::pack(
+      dim_bit(AttrDim::kCdn) | dim_bit(AttrDim::kAsn),
+      Attrs{.cdn = 6, .asn = 10}.vec());
+  EXPECT_FALSE(parent.generalizes(other));
+}
+
+TEST(AttributeSchema, InternAssignsDenseIdsAndNames) {
+  AttributeSchema schema;
+  EXPECT_EQ(schema.intern(AttrDim::kCdn, "akamai-like"), 0);
+  EXPECT_EQ(schema.intern(AttrDim::kCdn, "limelight-like"), 1);
+  EXPECT_EQ(schema.intern(AttrDim::kCdn, "akamai-like"), 0);  // idempotent
+  EXPECT_EQ(schema.name(AttrDim::kCdn, 1), "limelight-like");
+  EXPECT_EQ(schema.cardinality(AttrDim::kCdn), 2u);
+  EXPECT_EQ(schema.cardinality(AttrDim::kSite), 0u);
+}
+
+TEST(AttributeSchema, DescribeRendersNamesAndWildcards) {
+  AttributeSchema schema;
+  (void)schema.intern(AttrDim::kCdn, "cdn-A");
+  (void)schema.intern(AttrDim::kAsn, "AS100");
+  const ClusterKey key = ClusterKey::pack(
+      dim_bit(AttrDim::kCdn) | dim_bit(AttrDim::kAsn),
+      Attrs{.cdn = 0, .asn = 0}.vec());
+  EXPECT_EQ(schema.describe(key), "[Cdn=cdn-A, Asn=AS100]");
+  EXPECT_EQ(schema.describe(ClusterKey::root()), "[*]");
+}
+
+TEST(AttributeSchema, DescribeUnknownIdFallsBackToNumber) {
+  AttributeSchema schema;
+  const ClusterKey key =
+      ClusterKey::pack(dim_bit(AttrDim::kSite), Attrs{.site = 42}.vec());
+  EXPECT_EQ(schema.describe(key), "[Site=#42]");
+}
+
+TEST(DimNames, AllDistinct) {
+  std::set<std::string_view> names;
+  for (int d = 0; d < kNumDims; ++d) {
+    names.insert(dim_name(static_cast<AttrDim>(d)));
+  }
+  EXPECT_EQ(names.size(), static_cast<std::size_t>(kNumDims));
+}
+
+}  // namespace
+}  // namespace vq

@@ -1,0 +1,111 @@
+// The bench harness's pipeline-result cache must be exactly round-trip
+// faithful — a silent mismatch would corrupt every figure downstream.
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+
+#include "bench/bench_common.h"
+#include "src/gen/tracegen.h"
+#include "tests/test_support.h"
+
+namespace vq {
+namespace {
+
+using test::Attrs;
+
+PipelineResult make_result(PipelineConfig& config) {
+  std::vector<Session> sessions;
+  for (std::uint32_t e = 0; e < 4; ++e) {
+    for (std::uint16_t asn = 1; asn <= 4; ++asn) {
+      test::add_sessions(sessions, e, Attrs{.cdn = 1, .asn = asn},
+                         test::bad_buffering(), 15);
+      test::add_sessions(sessions, e, Attrs{.cdn = 1, .asn = asn},
+                         test::failed_join(), 5);
+      test::add_sessions(sessions, e, Attrs{.cdn = 2, .asn = asn},
+                         test::good_quality(), 200);
+    }
+  }
+  config.cluster_params.min_sessions = 50;
+  return run_pipeline(SessionTable{std::move(sessions)}, config);
+}
+
+void expect_equal(const PipelineResult& a, const PipelineResult& b) {
+  ASSERT_EQ(a.num_epochs, b.num_epochs);
+  for (const Metric m : kAllMetrics) {
+    for (std::uint32_t e = 0; e < a.num_epochs; ++e) {
+      const auto& x = a.at(m, e);
+      const auto& y = b.at(m, e);
+      EXPECT_EQ(x.analysis.sessions, y.analysis.sessions);
+      EXPECT_EQ(x.analysis.problem_sessions, y.analysis.problem_sessions);
+      EXPECT_EQ(x.analysis.problem_sessions_in_pc,
+                y.analysis.problem_sessions_in_pc);
+      EXPECT_DOUBLE_EQ(x.analysis.global_ratio, y.analysis.global_ratio);
+      EXPECT_EQ(x.analysis.num_problem_clusters,
+                y.analysis.num_problem_clusters);
+      EXPECT_DOUBLE_EQ(x.analysis.attributed_mass,
+                       y.analysis.attributed_mass);
+      ASSERT_EQ(x.analysis.criticals.size(), y.analysis.criticals.size());
+      for (std::size_t i = 0; i < x.analysis.criticals.size(); ++i) {
+        EXPECT_EQ(x.analysis.criticals[i].key, y.analysis.criticals[i].key);
+        EXPECT_DOUBLE_EQ(x.analysis.criticals[i].attributed,
+                         y.analysis.criticals[i].attributed);
+        EXPECT_EQ(x.analysis.criticals[i].stats.sessions,
+                  y.analysis.criticals[i].stats.sessions);
+        EXPECT_EQ(x.analysis.criticals[i].stats.problems,
+                  y.analysis.criticals[i].stats.problems);
+      }
+      EXPECT_EQ(x.problem_cluster_keys, y.problem_cluster_keys);
+    }
+  }
+}
+
+TEST(BenchResultCache, RoundTripsExactly) {
+  PipelineConfig config;
+  const PipelineResult original = make_result(config);
+  const auto path = std::filesystem::temp_directory_path() /
+                    "vidqual_test_result_cache.vqpr";
+  bench::detail::save_result(path, original);
+  const PipelineResult loaded = bench::detail::load_result(path, config);
+  expect_equal(original, loaded);
+  std::filesystem::remove(path);
+}
+
+TEST(BenchResultCache, RejectsConfigMismatch) {
+  PipelineConfig config;
+  const PipelineResult original = make_result(config);
+  const auto path = std::filesystem::temp_directory_path() /
+                    "vidqual_test_result_cache2.vqpr";
+  bench::detail::save_result(path, original);
+  PipelineConfig other = config;
+  other.cluster_params.min_sessions += 1;
+  EXPECT_THROW((void)bench::detail::load_result(path, other),
+               std::runtime_error);
+  std::filesystem::remove(path);
+}
+
+TEST(BenchResultCache, RejectsGarbage) {
+  const auto path = std::filesystem::temp_directory_path() /
+                    "vidqual_test_result_cache3.vqpr";
+  {
+    std::ofstream out{path, std::ios::binary};
+    out << "not a cache";
+  }
+  EXPECT_THROW((void)bench::detail::load_result(path, {}),
+               std::runtime_error);
+  std::filesystem::remove(path);
+  EXPECT_THROW((void)bench::detail::load_result(path, {}),
+               std::runtime_error);  // missing file
+}
+
+TEST(BenchEnv, EnvParsingFallsBack) {
+  ::unsetenv("VIDQUAL_TEST_KNOB");
+  EXPECT_EQ(bench::env_u64("VIDQUAL_TEST_KNOB", 42), 42u);
+  ::setenv("VIDQUAL_TEST_KNOB", "17", 1);
+  EXPECT_EQ(bench::env_u64("VIDQUAL_TEST_KNOB", 42), 17u);
+  ::unsetenv("VIDQUAL_TEST_KNOB");
+}
+
+}  // namespace
+}  // namespace vq

@@ -1,0 +1,180 @@
+#include "src/core/cluster_engine.h"
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <stdexcept>
+
+#include "tests/test_support.h"
+
+namespace vq {
+namespace {
+
+using test::Attrs;
+
+TEST(LatticeMasks, FullLatticeHas127Cells) {
+  const auto masks = lattice_masks(kNumDims);
+  EXPECT_EQ(masks.size(), 127u);
+}
+
+TEST(LatticeMasks, ArityCapFiltersByPopcount) {
+  const auto masks = lattice_masks(2);
+  // C(7,1) + C(7,2) = 7 + 21.
+  EXPECT_EQ(masks.size(), 28u);
+  for (const auto mask : masks) EXPECT_LE(std::popcount(mask), 2);
+}
+
+TEST(LatticeMasks, RejectsBadArity) {
+  EXPECT_THROW((void)lattice_masks(0), std::invalid_argument);
+  EXPECT_THROW((void)lattice_masks(8), std::invalid_argument);
+}
+
+TEST(AggregateEpoch, RootCountsEverySession) {
+  std::vector<Session> sessions;
+  test::add_sessions(sessions, 0, Attrs{.site = 1}, test::good_quality(), 10);
+  test::add_sessions(sessions, 0, Attrs{.site = 2}, test::bad_buffering(), 4);
+  const auto table = aggregate_epoch(sessions, {}, {}, 0);
+
+  EXPECT_EQ(table.root.sessions, 14u);
+  EXPECT_EQ(table.root.problems[static_cast<int>(Metric::kBufRatio)], 4u);
+  EXPECT_EQ(table.root.problems[static_cast<int>(Metric::kJoinFailure)], 0u);
+  EXPECT_NEAR(table.global_ratio(Metric::kBufRatio), 4.0 / 14.0, 1e-12);
+}
+
+TEST(AggregateEpoch, PerClusterCountsAreExact) {
+  std::vector<Session> sessions;
+  test::add_sessions(sessions, 0, Attrs{.site = 1, .cdn = 1},
+                     test::good_quality(), 6);
+  test::add_sessions(sessions, 0, Attrs{.site = 1, .cdn = 2},
+                     test::bad_bitrate(), 3);
+  test::add_sessions(sessions, 0, Attrs{.site = 2, .cdn = 1},
+                     test::bad_bitrate(), 2);
+  const auto table = aggregate_epoch(sessions, {}, {}, 0);
+
+  const auto stats_of = [&](std::uint8_t mask, const Attrs& attrs) {
+    return table.stats(ClusterKey::pack(mask, attrs.vec()));
+  };
+
+  const auto site1 = stats_of(dim_bit(AttrDim::kSite), Attrs{.site = 1});
+  EXPECT_EQ(site1.sessions, 9u);
+  EXPECT_EQ(site1.problems[static_cast<int>(Metric::kBitrate)], 3u);
+
+  const auto cdn1 = stats_of(dim_bit(AttrDim::kCdn), Attrs{.cdn = 1});
+  EXPECT_EQ(cdn1.sessions, 8u);
+  EXPECT_EQ(cdn1.problems[static_cast<int>(Metric::kBitrate)], 2u);
+
+  const auto site1cdn2 = stats_of(
+      dim_bit(AttrDim::kSite) | dim_bit(AttrDim::kCdn),
+      Attrs{.site = 1, .cdn = 2});
+  EXPECT_EQ(site1cdn2.sessions, 3u);
+  EXPECT_EQ(site1cdn2.problems[static_cast<int>(Metric::kBitrate)], 3u);
+}
+
+TEST(AggregateEpoch, EverySessionLandsIn127Cells) {
+  std::vector<Session> sessions;
+  test::add_sessions(sessions, 0, Attrs{.site = 1, .cdn = 1, .asn = 1},
+                     test::good_quality(), 1);
+  const auto table = aggregate_epoch(sessions, {}, {}, 0);
+  std::uint64_t total_cells = 0;
+  std::uint64_t total_count = 0;
+  table.clusters.for_each([&](std::uint64_t, const ClusterStats& stats) {
+    ++total_cells;
+    total_count += stats.sessions;
+  });
+  EXPECT_EQ(total_cells, 127u);
+  EXPECT_EQ(total_count, 127u);
+}
+
+TEST(AggregateEpoch, SharedAttributesShareCells) {
+  // Two sessions agreeing only on CDN: the CDN cell counts both, the
+  // disjoint cells count one each.
+  std::vector<Session> sessions;
+  sessions.push_back(test::make_session(
+      0, Attrs{.site = 1, .cdn = 9, .asn = 1}, test::good_quality()));
+  sessions.push_back(test::make_session(
+      0, Attrs{.site = 2, .cdn = 9, .asn = 2}, test::good_quality()));
+  const auto table = aggregate_epoch(sessions, {}, {}, 0);
+  const auto cdn = table.stats(
+      ClusterKey::pack(dim_bit(AttrDim::kCdn), Attrs{.cdn = 9}.vec()));
+  EXPECT_EQ(cdn.sessions, 2u);
+  const auto site1 = table.stats(
+      ClusterKey::pack(dim_bit(AttrDim::kSite), Attrs{.site = 1}.vec()));
+  EXPECT_EQ(site1.sessions, 1u);
+}
+
+TEST(AggregateEpoch, ArityCapLimitsCellArity) {
+  std::vector<Session> sessions;
+  test::add_sessions(sessions, 0, Attrs{.site = 1, .cdn = 1},
+                     test::good_quality(), 1);
+  ClusterEngineConfig config;
+  config.max_arity = 2;
+  const auto table = aggregate_epoch(sessions, {}, config, 0);
+  table.clusters.for_each([](std::uint64_t raw, const ClusterStats&) {
+    EXPECT_LE(ClusterKey::from_raw(raw).arity(), 2);
+  });
+  EXPECT_EQ(table.clusters.size(), 28u);
+}
+
+TEST(AggregateEpoch, EpochMismatchThrows) {
+  std::vector<Session> sessions;
+  test::add_sessions(sessions, 3, Attrs{}, test::good_quality(), 1);
+  EXPECT_THROW((void)aggregate_epoch(sessions, {}, {}, 0),
+               std::invalid_argument);
+}
+
+TEST(AggregateEpoch, EmptyEpochYieldsEmptyTable) {
+  const auto table = aggregate_epoch({}, {}, {}, 5);
+  EXPECT_EQ(table.epoch, 5u);
+  EXPECT_EQ(table.root.sessions, 0u);
+  EXPECT_EQ(table.clusters.size(), 0u);
+  EXPECT_EQ(table.global_ratio(Metric::kBufRatio), 0.0);
+}
+
+TEST(EpochClusterTable, StatsForUnknownClusterIsZero) {
+  const auto table = aggregate_epoch({}, {}, {}, 0);
+  const auto stats = table.stats(
+      ClusterKey::pack(dim_bit(AttrDim::kSite), Attrs{.site = 7}.vec()));
+  EXPECT_EQ(stats.sessions, 0u);
+}
+
+TEST(EpochClusterTable, RootKeyReturnsRootStats) {
+  std::vector<Session> sessions;
+  test::add_sessions(sessions, 0, Attrs{}, test::good_quality(), 3);
+  const auto table = aggregate_epoch(sessions, {}, {}, 0);
+  EXPECT_EQ(table.stats(ClusterKey::root()).sessions, 3u);
+}
+
+TEST(ClusterStats, MinusIsSaturating) {
+  ClusterStats a;
+  a.sessions = 10;
+  a.problems[0] = 4;
+  ClusterStats b;
+  b.sessions = 12;
+  b.problems[0] = 1;
+  const auto diff = a.minus(b);
+  EXPECT_EQ(diff.sessions, 0u);  // saturates rather than wrapping
+  EXPECT_EQ(diff.problems[0], 3u);
+}
+
+TEST(ClusterStats, PlusEqualsAccumulates) {
+  ClusterStats a;
+  a.sessions = 1;
+  a.problems[2] = 1;
+  ClusterStats b;
+  b.sessions = 2;
+  b.problems[2] = 2;
+  a += b;
+  EXPECT_EQ(a.sessions, 3u);
+  EXPECT_EQ(a.problems[2], 3u);
+}
+
+TEST(ClusterStats, ProblemRatio) {
+  ClusterStats s;
+  EXPECT_EQ(s.problem_ratio(Metric::kBufRatio), 0.0);
+  s.sessions = 8;
+  s.problems[static_cast<int>(Metric::kJoinTime)] = 2;
+  EXPECT_DOUBLE_EQ(s.problem_ratio(Metric::kJoinTime), 0.25);
+}
+
+}  // namespace
+}  // namespace vq

@@ -1,0 +1,136 @@
+#include "src/core/costbenefit.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/test_support.h"
+
+namespace vq {
+namespace {
+
+using test::Attrs;
+
+PipelineResult two_cause_result() {
+  // Cause A: cheap-to-fix site cluster, 60 problem sessions/epoch.
+  // Cause B: expensive CDN cluster, 80 problem sessions/epoch.
+  std::vector<Session> sessions;
+  for (std::uint32_t e = 0; e < 4; ++e) {
+    for (std::uint16_t cdn = 1; cdn <= 4; ++cdn) {
+      test::add_sessions(sessions, e, Attrs{.site = 1, .cdn = cdn},
+                         test::bad_buffering(), 15);
+      test::add_sessions(sessions, e, Attrs{.site = 1, .cdn = cdn},
+                         test::good_quality(), 10);
+    }
+    for (std::uint16_t site = 10; site <= 13; ++site) {
+      test::add_sessions(sessions, e, Attrs{.site = site, .cdn = 9},
+                         test::bad_buffering(), 20);
+      test::add_sessions(sessions, e, Attrs{.site = site, .cdn = 9},
+                         test::good_quality(), 10);
+    }
+    for (std::uint16_t site = 20; site < 38; ++site) {
+      test::add_sessions(sessions, e, Attrs{.site = site, .cdn = 5},
+                         test::bad_buffering(), 2);
+      test::add_sessions(sessions, e, Attrs{.site = site, .cdn = 5},
+                         test::good_quality(), 48);
+    }
+  }
+  PipelineConfig config;
+  config.cluster_params.min_sessions = 50;
+  return run_pipeline(SessionTable{std::move(sessions)}, config);
+}
+
+TEST(CostModel, SumsDimensionCostsAndTraffic) {
+  RemediationCostModel costs;
+  const ClusterKey site =
+      ClusterKey::pack(dim_bit(AttrDim::kSite), Attrs{.site = 1}.vec());
+  const ClusterKey site_cdn = ClusterKey::pack(
+      dim_bit(AttrDim::kSite) | dim_bit(AttrDim::kCdn),
+      Attrs{.site = 1, .cdn = 2}.vec());
+  EXPECT_DOUBLE_EQ(costs.cluster_cost(site, 0.0), costs.dim_fixed_cost[0]);
+  EXPECT_DOUBLE_EQ(costs.cluster_cost(site_cdn, 0.0),
+                   costs.dim_fixed_cost[0] + costs.dim_fixed_cost[1]);
+  EXPECT_DOUBLE_EQ(costs.cluster_cost(site, 1000.0),
+                   costs.dim_fixed_cost[0] + 1000.0 * costs.per_session_cost);
+}
+
+TEST(CostBenefitPlanner, UnlimitedBudgetTakesEverything) {
+  const PipelineResult result = two_cause_result();
+  const CostBenefitPlanner planner{result};
+  const RemediationCostModel costs;
+  const auto plan = planner.plan(Metric::kBufRatio, costs, 1e12);
+  ASSERT_FALSE(plan.items.empty());
+  EXPECT_GT(plan.alleviated_fraction, 0.3);
+  EXPECT_LE(plan.alleviated_fraction, 1.0 + 1e-9);
+  // Greedy order is benefit-per-cost descending.
+  for (std::size_t i = 1; i < plan.items.size(); ++i) {
+    EXPECT_GE(plan.items[i - 1].benefit_per_cost,
+              plan.items[i].benefit_per_cost);
+  }
+}
+
+TEST(CostBenefitPlanner, ZeroBudgetBuysNothing) {
+  const PipelineResult result = two_cause_result();
+  const CostBenefitPlanner planner{result};
+  const auto plan = planner.plan(Metric::kBufRatio, {}, 0.0);
+  EXPECT_TRUE(plan.items.empty());
+  EXPECT_EQ(plan.alleviated_fraction, 0.0);
+}
+
+TEST(CostBenefitPlanner, BudgetIsRespected) {
+  const PipelineResult result = two_cause_result();
+  const CostBenefitPlanner planner{result};
+  const RemediationCostModel costs;
+  for (const double budget : {1.0, 3.0, 10.0, 30.0}) {
+    const auto plan = planner.plan(Metric::kBufRatio, costs, budget);
+    EXPECT_LE(plan.total_cost, budget + 1e-9);
+  }
+}
+
+TEST(CostBenefitPlanner, AlleviationMonotoneInBudget) {
+  const PipelineResult result = two_cause_result();
+  const CostBenefitPlanner planner{result};
+  const RemediationCostModel costs;
+  double prev = -1.0;
+  for (const double budget : {0.0, 2.0, 5.0, 20.0, 100.0}) {
+    const auto plan = planner.plan(Metric::kBufRatio, costs, budget);
+    EXPECT_GE(plan.alleviated_fraction, prev - 1e-12);
+    prev = plan.alleviated_fraction;
+  }
+}
+
+TEST(CostBenefitPlanner, ExpensiveDimensionsDeprioritised) {
+  const PipelineResult result = two_cause_result();
+  const CostBenefitPlanner planner{result};
+  // Make CDN fixes prohibitively expensive: the first pick must not be a
+  // CDN-involving cluster even though the CDN cause has more raw mass.
+  RemediationCostModel costs;
+  costs.dim_fixed_cost[static_cast<int>(AttrDim::kCdn)] = 1e9;
+  const auto plan = planner.plan(Metric::kBufRatio, costs, 100.0);
+  ASSERT_FALSE(plan.items.empty());
+  EXPECT_FALSE(plan.items[0].key.has(AttrDim::kCdn));
+}
+
+TEST(CostBenefitPlanner, FrontierIsMonotone) {
+  const PipelineResult result = two_cause_result();
+  const CostBenefitPlanner planner{result};
+  const auto frontier = planner.frontier(Metric::kBufRatio, {});
+  ASSERT_GE(frontier.size(), 2u);
+  EXPECT_EQ(frontier[0].cost, 0.0);
+  EXPECT_EQ(frontier[0].alleviated_fraction, 0.0);
+  for (std::size_t i = 1; i < frontier.size(); ++i) {
+    EXPECT_GE(frontier[i].cost, frontier[i - 1].cost);
+    EXPECT_GE(frontier[i].alleviated_fraction,
+              frontier[i - 1].alleviated_fraction - 1e-12);
+  }
+}
+
+TEST(CostBenefitPlanner, EmptyResultYieldsEmptyPlan) {
+  const PipelineResult result = run_pipeline(SessionTable{}, {});
+  const CostBenefitPlanner planner{result};
+  const auto plan = planner.plan(Metric::kJoinFailure, {}, 100.0);
+  EXPECT_TRUE(plan.items.empty());
+  const auto frontier = planner.frontier(Metric::kJoinFailure, {});
+  EXPECT_EQ(frontier.size(), 1u);
+}
+
+}  // namespace
+}  // namespace vq

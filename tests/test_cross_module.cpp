@@ -1,0 +1,135 @@
+// Cross-module consistency: independent computations of the same quantity
+// through different public APIs must agree.
+
+#include <gtest/gtest.h>
+
+#include "src/core/costbenefit.h"
+#include "src/core/engagement.h"
+#include "src/core/overlap.h"
+#include "src/core/whatif.h"
+#include "src/gen/tracegen.h"
+
+namespace vq {
+namespace {
+
+struct CrossFixture : ::testing::Test {
+  CrossFixture() {
+    WorldConfig world_config;
+    world_config.num_sites = 50;
+    world_config.num_cdns = 8;
+    world_config.num_asns = 150;
+    world = World::build(world_config);
+    EventScheduleConfig event_config;
+    event_config.num_epochs = 6;
+    event_config.events_per_epoch = 1.5;
+    events = EventSchedule::generate(world, event_config);
+    TraceConfig trace_config;
+    trace_config.num_epochs = 6;
+    trace_config.sessions_per_epoch = 2'500;
+    trace = generate_trace(world, events, trace_config);
+    config.cluster_params.min_sessions = 80;
+    result = run_pipeline(trace, config);
+  }
+
+  World world = World::build(
+      WorldConfig{.num_sites = 1, .num_cdns = 1, .num_asns = 1});
+  EventSchedule events = EventSchedule::none(0);
+  SessionTable trace;
+  PipelineConfig config;
+  PipelineResult result;
+};
+
+TEST_F(CrossFixture, EngagementSessionMassMatchesWhatIfAlleviation) {
+  // EngagementWhatIf recomputes attribution independently of
+  // WhatIfAnalyzer; their session-alleviation totals must coincide.
+  const WhatIfAnalyzer whatif{result};
+  const EngagementWhatIf engagement{trace, result, EngagementModel{}};
+  const double fractions[] = {1.0};
+  for (const Metric m : kAllMetrics) {
+    const double whatif_alleviated =
+        whatif.topk_sweep(m, RankBy::kCoverage, fractions)[0]
+            .alleviated_fraction *
+        static_cast<double>(
+            result.total_problem_sessions(m, 0, result.num_epochs));
+    double engagement_alleviated = 0.0;
+    for (const auto& r : engagement.ranking(m)) {
+      engagement_alleviated += r.sessions_alleviated;
+    }
+    EXPECT_NEAR(engagement_alleviated, whatif_alleviated,
+                1e-6 * std::max(1.0, whatif_alleviated))
+        << metric_name(m);
+  }
+}
+
+TEST_F(CrossFixture, CostPlannerUnlimitedEqualsWhatIfFullSweep) {
+  // With an unlimited budget the greedy planner fixes every critical
+  // cluster — the same set the full what-if sweep fixes.
+  const WhatIfAnalyzer whatif{result};
+  const CostBenefitPlanner planner{result};
+  const double fractions[] = {1.0};
+  for (const Metric m : kAllMetrics) {
+    const auto plan = planner.plan(m, {}, 1e15);
+    const auto sweep = whatif.topk_sweep(m, RankBy::kCoverage, fractions);
+    EXPECT_NEAR(plan.alleviated_fraction, sweep[0].alleviated_fraction, 1e-9)
+        << metric_name(m);
+    EXPECT_EQ(plan.items.size(), whatif.distinct_critical_count(m));
+  }
+}
+
+TEST_F(CrossFixture, TopKeysAgreeWithPerEpochCriticalRecords) {
+  // top_critical_keys aggregates per-epoch attribution; re-derive the
+  // aggregation by hand and compare the induced ranking's top element.
+  for (const Metric m : kAllMetrics) {
+    std::unordered_map<std::uint64_t, double> mass;
+    for (std::uint32_t e = 0; e < result.num_epochs; ++e) {
+      for (const auto& c : result.at(m, e).analysis.criticals) {
+        mass[c.key.raw()] += c.attributed;
+      }
+    }
+    if (mass.empty()) continue;
+    const auto top = top_critical_keys(result, m, 1);
+    ASSERT_EQ(top.size(), 1u);
+    double best = -1.0;
+    for (const auto& [raw, value] : mass) best = std::max(best, value);
+    EXPECT_NEAR(mass.at(top[0]), best, 1e-12) << metric_name(m);
+  }
+}
+
+TEST_F(CrossFixture, ReactiveZeroDelayMatchesFullCoverageSweep) {
+  // Fixing every critical cluster reactively with no delay is the same
+  // intervention as the oracle top-100% coverage sweep.
+  const WhatIfAnalyzer whatif{result};
+  const double fractions[] = {1.0};
+  for (const Metric m : kAllMetrics) {
+    const auto reactive = whatif.reactive(m, 0);
+    const auto sweep = whatif.topk_sweep(m, RankBy::kCoverage, fractions);
+    EXPECT_NEAR(reactive.potential_fraction, sweep[0].alleviated_fraction,
+                1e-9)
+        << metric_name(m);
+  }
+}
+
+TEST_F(CrossFixture, TypeBreakdownMassMatchesCoverage) {
+  // Sum of the Fig. 10 by-mask fractions equals the critical coverage of
+  // the whole trace (both are attributed mass / problem sessions).
+  for (const Metric m : kAllMetrics) {
+    const TypeBreakdown breakdown = critical_type_breakdown(result, m);
+    double attributed = 0.0;
+    for (const auto& [mask, fraction] : breakdown.by_mask) {
+      attributed += fraction;
+    }
+    double total_attr = 0.0;
+    double total_problem = 0.0;
+    for (std::uint32_t e = 0; e < result.num_epochs; ++e) {
+      total_attr += result.at(m, e).analysis.attributed_mass;
+      total_problem +=
+          static_cast<double>(result.at(m, e).analysis.problem_sessions);
+    }
+    if (total_problem == 0.0) continue;
+    EXPECT_NEAR(attributed, total_attr / total_problem, 1e-9)
+        << metric_name(m);
+  }
+}
+
+}  // namespace
+}  // namespace vq

@@ -1,0 +1,233 @@
+// Derived (hidden) attributes and remedy re-simulation.
+
+#include <gtest/gtest.h>
+
+#include "src/core/pipeline.h"
+#include "src/gen/derive.h"
+#include "src/gen/tracegen.h"
+
+namespace vq {
+namespace {
+
+World small_world() {
+  WorldConfig config;
+  config.num_sites = 40;
+  config.num_cdns = 8;
+  config.num_asns = 120;
+  return World::build(config);
+}
+
+TraceConfig small_trace(std::uint32_t epochs = 3) {
+  TraceConfig config;
+  config.num_epochs = epochs;
+  config.sessions_per_epoch = 1'500;
+  return config;
+}
+
+TEST(Derive, CoarsensAsnToRegion) {
+  const World world = small_world();
+  const TraceConfig config = small_trace();
+  const SessionTable trace =
+      generate_trace(world, EventSchedule::none(config.num_epochs), config);
+  const SessionTable coarse = coarsen_asn_to_region(trace, world);
+
+  ASSERT_EQ(coarse.size(), trace.size());
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    const Session& fine = trace.sessions()[i];
+    const Session& derived = coarse.sessions()[i];
+    EXPECT_EQ(derived.attrs[AttrDim::kAsn],
+              static_cast<std::uint16_t>(
+                  world.asns()[fine.attrs[AttrDim::kAsn]].region));
+    // Everything else untouched.
+    EXPECT_EQ(derived.attrs[AttrDim::kSite], fine.attrs[AttrDim::kSite]);
+    EXPECT_EQ(derived.attrs[AttrDim::kCdn], fine.attrs[AttrDim::kCdn]);
+    EXPECT_EQ(derived.quality, fine.quality);
+  }
+}
+
+TEST(Derive, RegionSchemaNamesRegions) {
+  const World world = small_world();
+  const AttributeSchema schema = region_schema(world);
+  EXPECT_EQ(schema.cardinality(AttrDim::kAsn),
+            static_cast<std::size_t>(kNumRegions));
+  EXPECT_EQ(schema.name(AttrDim::kAsn, 0), "US");
+  EXPECT_EQ(schema.name(AttrDim::kAsn, 2), "China");
+  // Other dims mirror the world's schema.
+  EXPECT_EQ(schema.cardinality(AttrDim::kSite),
+            world.schema().cardinality(AttrDim::kSite));
+  EXPECT_EQ(schema.name(AttrDim::kSite, 0),
+            world.schema().name(AttrDim::kSite, 0));
+}
+
+TEST(Derive, RegionLatticeAggregatesFragmentedAsnMass) {
+  // Region-level clusters must be at least as large as any single ASN
+  // cluster they contain — the point of the hidden-attribute analysis.
+  const World world = small_world();
+  const TraceConfig config = small_trace();
+  const SessionTable trace =
+      generate_trace(world, EventSchedule::none(config.num_epochs), config);
+  const SessionTable coarse = coarsen_asn_to_region(trace, world);
+
+  const auto fine_table = aggregate_epoch(trace.epoch(0), {}, {}, 0);
+  const auto coarse_table = aggregate_epoch(coarse.epoch(0), {}, {}, 0);
+
+  for (std::uint16_t asn = 0; asn < world.asns().size(); ++asn) {
+    AttrVec fine_attrs;
+    fine_attrs[AttrDim::kAsn] = asn;
+    const auto fine_stats = fine_table.stats(
+        ClusterKey::pack(dim_bit(AttrDim::kAsn), fine_attrs));
+    if (fine_stats.sessions == 0) continue;
+    AttrVec coarse_attrs;
+    coarse_attrs[AttrDim::kAsn] =
+        static_cast<std::uint16_t>(world.asns()[asn].region);
+    const auto region_stats = coarse_table.stats(
+        ClusterKey::pack(dim_bit(AttrDim::kAsn), coarse_attrs));
+    EXPECT_GE(region_stats.sessions, fine_stats.sessions);
+  }
+}
+
+TEST(Remedy, EmptyRemedyListReproducesTraceExactly) {
+  const World world = small_world();
+  const TraceConfig config = small_trace();
+  EventScheduleConfig event_config;
+  event_config.num_epochs = config.num_epochs;
+  const EventSchedule events = EventSchedule::generate(world, event_config);
+  const SessionTable a = generate_trace(world, events, config);
+  const SessionTable b = generate_trace(world, events, config, {});
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.sessions()[i].attrs, b.sessions()[i].attrs);
+    EXPECT_EQ(a.sessions()[i].quality, b.sessions()[i].quality);
+  }
+}
+
+TEST(Remedy, UnmatchedSessionsAreBitIdentical) {
+  const World world = small_world();
+  const TraceConfig config = small_trace();
+  const EventSchedule events = EventSchedule::none(config.num_epochs);
+
+  // Remedy scoped to one site.
+  AttrVec attrs;
+  attrs[AttrDim::kSite] = 3;
+  const Remedy remedy{
+      .scope = ClusterKey::pack(dim_bit(AttrDim::kSite), attrs),
+      .action = RemedyAction::kSwitchToBestCdn};
+  const SessionTable base = generate_trace(world, events, config);
+  const SessionTable fixed =
+      generate_trace(world, events, config, {&remedy, 1});
+  ASSERT_EQ(base.size(), fixed.size());
+  std::size_t matched = 0;
+  for (std::size_t i = 0; i < base.size(); ++i) {
+    const Session& a = base.sessions()[i];
+    const Session& b = fixed.sessions()[i];
+    if (a.attrs[AttrDim::kSite] == 3) {
+      ++matched;
+      continue;  // remedied path may differ
+    }
+    EXPECT_EQ(a.attrs, b.attrs);
+    EXPECT_EQ(a.quality, b.quality);
+  }
+  EXPECT_GT(matched, 0u);
+}
+
+TEST(Remedy, SwitchToBestCdnReassignsMatchingSessions) {
+  const World world = small_world();
+  const TraceConfig config = small_trace();
+  const EventSchedule events = EventSchedule::none(config.num_epochs);
+
+  // Find an in-house CDN and remedy its traffic.
+  std::uint16_t inhouse = 0;
+  for (const CdnModel& cdn : world.cdns()) {
+    if (cdn.in_house) inhouse = cdn.id;
+  }
+  AttrVec attrs;
+  attrs[AttrDim::kCdn] = inhouse;
+  const Remedy remedy{
+      .scope = ClusterKey::pack(dim_bit(AttrDim::kCdn), attrs),
+      .action = RemedyAction::kSwitchToBestCdn};
+  const SessionTable fixed =
+      generate_trace(world, events, config, {&remedy, 1});
+  for (const Session& s : fixed.sessions()) {
+    EXPECT_NE(s.attrs[AttrDim::kCdn], inhouse);
+    EXPECT_FALSE(world.cdns()[s.attrs[AttrDim::kCdn]].in_house &&
+                 s.attrs[AttrDim::kCdn] == inhouse);
+  }
+}
+
+TEST(Remedy, LadderRemedyReducesBufferingForSingleBitrateSite) {
+  const World world = small_world();
+  // Find a single-bitrate site.
+  std::optional<std::uint16_t> site_id;
+  for (const SiteModel& site : world.sites()) {
+    if (site.single_bitrate) {
+      site_id = site.id;
+      break;
+    }
+  }
+  ASSERT_TRUE(site_id.has_value());
+
+  TraceConfig config = small_trace(4);
+  config.sessions_per_epoch = 4'000;
+  const EventSchedule events = EventSchedule::none(config.num_epochs);
+  AttrVec attrs;
+  attrs[AttrDim::kSite] = *site_id;
+  const Remedy remedy{
+      .scope = ClusterKey::pack(dim_bit(AttrDim::kSite), attrs),
+      .action = RemedyAction::kAddBitrateLadder};
+
+  const SessionTable base = generate_trace(world, events, config);
+  const SessionTable fixed =
+      generate_trace(world, events, config, {&remedy, 1});
+
+  const auto site_buffering = [&](const SessionTable& t) {
+    double total = 0.0;
+    std::size_t n = 0;
+    for (const Session& s : t.sessions()) {
+      if (s.attrs[AttrDim::kSite] != *site_id || s.quality.join_failed) {
+        continue;
+      }
+      total += s.quality.buffering_ratio;
+      ++n;
+    }
+    return n == 0 ? 0.0 : total / static_cast<double>(n);
+  };
+  EXPECT_LT(site_buffering(fixed), site_buffering(base) * 0.8);
+}
+
+TEST(Remedy, SuppressEventsNeutralisesPlantedOutage) {
+  const World world = small_world();
+  TraceConfig config = small_trace(2);
+  config.sessions_per_epoch = 4'000;
+
+  AttrVec attrs;
+  attrs[AttrDim::kCdn] = 1;
+  ProblemEvent outage;
+  outage.scope = ClusterKey::pack(dim_bit(AttrDim::kCdn), attrs);
+  outage.kind = EventKind::kFailureSpike;
+  outage.impact.fail_prob_add = 0.5;
+  outage.start_epoch = 0;
+  outage.duration_epochs = 2;
+  const EventSchedule events = EventSchedule::from_events({outage}, 2);
+
+  const Remedy remedy{.scope = outage.scope,
+                      .action = RemedyAction::kSuppressEvents};
+  const SessionTable stormy = generate_trace(world, events, config);
+  const SessionTable calm = generate_trace(world, EventSchedule::none(2),
+                                           config);
+  const SessionTable remedied =
+      generate_trace(world, events, config, {&remedy, 1});
+
+  const auto failures = [](const SessionTable& t) {
+    std::size_t n = 0;
+    for (const Session& s : t.sessions()) n += s.quality.join_failed ? 1 : 0;
+    return n;
+  };
+  // The outage adds failures on top of the world's chronic baseline...
+  EXPECT_GT(failures(stormy), failures(calm) * 6 / 5);
+  // ...and repairing the root cause restores the baseline exactly (same
+  // random streams everywhere).
+  EXPECT_EQ(failures(remedied), failures(calm));
+}
+
+}  // namespace
+}  // namespace vq

@@ -1,0 +1,161 @@
+#include "src/gen/diagnose.h"
+
+#include <gtest/gtest.h>
+
+namespace vq {
+namespace {
+
+World diag_world() {
+  WorldConfig config;
+  config.num_sites = 60;
+  config.num_cdns = 10;
+  config.num_asns = 200;
+  return World::build(config);
+}
+
+ClusterKey key_for(AttrDim dim, std::uint16_t value) {
+  AttrVec attrs;
+  attrs[dim] = value;
+  return ClusterKey::pack(dim_bit(dim), attrs);
+}
+
+template <typename Pred>
+std::optional<std::uint16_t> find_entity(std::size_t n, Pred pred) {
+  for (std::uint16_t i = 0; i < n; ++i) {
+    if (pred(i)) return i;
+  }
+  return std::nullopt;
+}
+
+TEST(Diagnose, InHouseCdn) {
+  const World world = diag_world();
+  const auto id = find_entity(world.cdns().size(), [&](std::uint16_t i) {
+    return world.cdns()[i].in_house;
+  });
+  ASSERT_TRUE(id.has_value());
+  const Diagnosis d = diagnose_cluster(key_for(AttrDim::kCdn, *id), world);
+  EXPECT_EQ(d.category, CauseCategory::kInHouseCdn);
+  EXPECT_NE(d.summary.find("in-house"), std::string::npos);
+  EXPECT_FALSE(d.recommendation.empty());
+}
+
+TEST(Diagnose, SingleBitrateSite) {
+  const World world = diag_world();
+  const auto id = find_entity(world.sites().size(), [&](std::uint16_t i) {
+    return world.sites()[i].single_bitrate;
+  });
+  ASSERT_TRUE(id.has_value());
+  const Diagnosis d = diagnose_cluster(key_for(AttrDim::kSite, *id), world);
+  EXPECT_EQ(d.category, CauseCategory::kSingleBitrateSite);
+  EXPECT_NE(d.recommendation.find("ladder"), std::string::npos);
+}
+
+TEST(Diagnose, RemoteModuleSite) {
+  const World world = diag_world();
+  const auto id = find_entity(world.sites().size(), [&](std::uint16_t i) {
+    return world.sites()[i].remote_module_region >= 0 &&
+           !world.sites()[i].single_bitrate;
+  });
+  if (!id.has_value()) GTEST_SKIP() << "no remote-module site in this world";
+  const Diagnosis d = diagnose_cluster(key_for(AttrDim::kSite, *id), world);
+  EXPECT_EQ(d.category, CauseCategory::kRemoteModulesSite);
+}
+
+TEST(Diagnose, PoorIspAndWirelessCarrier) {
+  const World world = diag_world();
+  const auto poor = find_entity(world.asns().size(), [&](std::uint16_t i) {
+    return world.asns()[i].quality < 0.7 &&
+           !world.asns()[i].wireless_provider;
+  });
+  ASSERT_TRUE(poor.has_value());
+  EXPECT_EQ(diagnose_cluster(key_for(AttrDim::kAsn, *poor), world).category,
+            CauseCategory::kPoorIsp);
+
+  const auto carrier =
+      find_entity(world.asns().size(), [&](std::uint16_t i) {
+        return world.asns()[i].wireless_provider;
+      });
+  ASSERT_TRUE(carrier.has_value());
+  EXPECT_EQ(
+      diagnose_cluster(key_for(AttrDim::kAsn, *carrier), world).category,
+      CauseCategory::kWirelessCarrier);
+}
+
+TEST(Diagnose, RadioAccessConnType) {
+  const World world = diag_world();
+  const Diagnosis d = diagnose_cluster(
+      key_for(AttrDim::kConnType, kConnMobileWireless), world);
+  EXPECT_EQ(d.category, CauseCategory::kRadioAccess);
+  EXPECT_NE(d.summary.find("MobileWireless"), std::string::npos);
+}
+
+TEST(Diagnose, ActiveEventTakesPrecedence) {
+  const World world = diag_world();
+  // Scope an event on an in-house CDN: with event context the diagnosis
+  // must name the live event, not the chronic cause.
+  const auto id = find_entity(world.cdns().size(), [&](std::uint16_t i) {
+    return world.cdns()[i].in_house;
+  });
+  ASSERT_TRUE(id.has_value());
+  const ClusterKey key = key_for(AttrDim::kCdn, *id);
+
+  ProblemEvent event;
+  event.scope = key;
+  event.kind = EventKind::kFailureSpike;
+  event.impact.fail_prob_add = 0.3;
+  event.start_epoch = 2;
+  event.duration_epochs = 4;
+  const EventSchedule schedule = EventSchedule::from_events({event}, 10);
+
+  const Diagnosis live = diagnose_cluster(key, world, &schedule, 3);
+  EXPECT_EQ(live.category, CauseCategory::kActiveEvent);
+  EXPECT_NE(live.summary.find("FailureSpike"), std::string::npos);
+
+  // Outside the event window the chronic explanation returns.
+  const Diagnosis after = diagnose_cluster(key, world, &schedule, 8);
+  EXPECT_EQ(after.category, CauseCategory::kInHouseCdn);
+}
+
+TEST(Diagnose, EventMatchesRefinedCluster) {
+  const World world = diag_world();
+  // An event on CDN 0 must also explain a detected (CDN 0, Browser) pair.
+  AttrVec attrs;
+  attrs[AttrDim::kCdn] = 0;
+  attrs[AttrDim::kBrowser] = 2;
+  ProblemEvent event;
+  event.scope = ClusterKey::pack(dim_bit(AttrDim::kCdn), attrs);
+  event.kind = EventKind::kThroughputCollapse;
+  event.start_epoch = 0;
+  event.duration_epochs = 2;
+  const EventSchedule schedule = EventSchedule::from_events({event}, 4);
+
+  const ClusterKey refined = ClusterKey::pack(
+      dim_bit(AttrDim::kCdn) | dim_bit(AttrDim::kBrowser), attrs);
+  EXPECT_EQ(diagnose_cluster(refined, world, &schedule, 1).category,
+            CauseCategory::kActiveEvent);
+}
+
+TEST(Diagnose, UnknownFallsBackToManualAnalysis) {
+  const World world = diag_world();
+  // A healthy US ASN with no chronic flags.
+  const auto id = find_entity(world.asns().size(), [&](std::uint16_t i) {
+    return world.asns()[i].quality >= 0.9 &&
+           !world.asns()[i].wireless_provider &&
+           world.asns()[i].region == Region::kUS;
+  });
+  ASSERT_TRUE(id.has_value());
+  const Diagnosis d = diagnose_cluster(key_for(AttrDim::kAsn, *id), world);
+  EXPECT_EQ(d.category, CauseCategory::kUnknown);
+  EXPECT_NE(d.recommendation.find("fine-grained"), std::string::npos);
+}
+
+TEST(Diagnose, CategoryNamesAreDistinct) {
+  std::set<std::string_view> names;
+  for (int c = 0; c <= static_cast<int>(CauseCategory::kRadioAccess); ++c) {
+    names.insert(cause_category_name(static_cast<CauseCategory>(c)));
+  }
+  EXPECT_EQ(names.size(), 11u);
+}
+
+}  // namespace
+}  // namespace vq

@@ -1,0 +1,173 @@
+#include "src/core/engagement.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/test_support.h"
+
+namespace vq {
+namespace {
+
+using test::Attrs;
+
+TEST(EngagementModel, PerfectSessionLosesNothing) {
+  const EngagementModel model;
+  QualityMetrics q;
+  q.buffering_ratio = 0.0F;
+  q.bitrate_kbps = 3'000.0F;
+  q.join_time_ms = 500.0F;
+  EXPECT_DOUBLE_EQ(model.lost_minutes(q), 0.0);
+}
+
+TEST(EngagementModel, JoinFailureForfeitsWholeSession) {
+  const EngagementModel model;
+  EXPECT_DOUBLE_EQ(model.lost_minutes(test::failed_join()),
+                   model.expected_session_minutes);
+}
+
+TEST(EngagementModel, BufferingLossIsNearLinearThenSaturates) {
+  const EngagementModel model;
+  QualityMetrics q;
+  q.bitrate_kbps = 3'000.0F;
+  q.join_time_ms = 500.0F;
+  q.buffering_ratio = 0.01F;
+  // ~3 min/pct when small (within the curvature of the saturation).
+  EXPECT_NEAR(model.lost_minutes(q), model.minutes_lost_per_buffering_pct,
+              0.5);
+  const double at_1pct = model.lost_minutes(q);
+  q.buffering_ratio = 0.05F;
+  const double at_5pct = model.lost_minutes(q);
+  q.buffering_ratio = 0.50F;
+  const double at_50pct = model.lost_minutes(q);
+  EXPECT_GT(at_5pct, at_1pct);
+  EXPECT_GT(at_50pct, at_5pct);
+  EXPECT_NEAR(at_50pct, model.max_buffering_loss_minutes, 0.01);
+}
+
+TEST(EngagementModel, JoinTimeLossKicksInPastThreshold) {
+  const EngagementModel model;
+  QualityMetrics q;
+  q.buffering_ratio = 0.0F;
+  q.bitrate_kbps = 3'000.0F;
+  q.join_time_ms = 1'500.0F;  // under the 2 s patience threshold
+  EXPECT_DOUBLE_EQ(model.lost_minutes(q), 0.0);
+  q.join_time_ms = 12'000.0F;  // 10 s past -> 60% abandon probability
+  EXPECT_NEAR(model.lost_minutes(q), 0.6 * model.expected_session_minutes,
+              1e-6);
+}
+
+TEST(EngagementModel, LossIsCappedAtSessionLength) {
+  const EngagementModel model;
+  QualityMetrics q;
+  q.buffering_ratio = 0.9F;
+  q.bitrate_kbps = 100.0F;
+  q.join_time_ms = 60'000.0F;
+  EXPECT_DOUBLE_EQ(model.lost_minutes(q), model.expected_session_minutes);
+}
+
+TEST(EngagementReport, SumsAndDecomposes) {
+  QualityMetrics perfect;
+  perfect.buffering_ratio = 0.0F;
+  perfect.bitrate_kbps = 3'000.0F;
+  perfect.join_time_ms = 500.0F;
+  std::vector<Session> sessions;
+  test::add_sessions(sessions, 0, Attrs{.site = 1}, test::failed_join(), 3);
+  test::add_sessions(sessions, 0, Attrs{.site = 2}, perfect, 7);
+  const SessionTable table{std::move(sessions)};
+  const EngagementModel model;
+  const EngagementReport report = engagement_report(table, model);
+  EXPECT_NEAR(report.total_lost_minutes,
+              3.0 * model.expected_session_minutes, 1e-6);
+  EXPECT_NEAR(report.mean_lost_minutes_per_session,
+              report.total_lost_minutes / 10.0, 1e-9);
+  EXPECT_NEAR(report.lost_by_cause[static_cast<int>(Metric::kJoinFailure)],
+              report.total_lost_minutes, 1e-6);
+}
+
+TEST(EngagementWhatIf, RanksClustersByRecoverableMinutes) {
+  // Cluster A: many sessions, mild buffering. Cluster B: fewer sessions,
+  // catastrophic buffering -> B recovers more minutes per session and can
+  // out-rank A on engagement while A wins on session counts.
+  std::vector<Session> sessions;
+  QualityMetrics mild = test::good_quality();
+  mild.buffering_ratio = 0.06F;  // barely a problem
+  QualityMetrics severe = test::good_quality();
+  severe.buffering_ratio = 0.45F;  // session-destroying
+
+  for (std::uint32_t e = 0; e < 2; ++e) {
+    for (std::uint16_t asn = 1; asn <= 4; ++asn) {
+      // 72 mild problem sessions vs 60 severe ones: A wins on session
+      // counts, B on engagement minutes (severe sessions lose ~50% more).
+      test::add_sessions(sessions, e, Attrs{.cdn = 1, .asn = asn}, mild, 18);
+    }
+    for (std::uint16_t asn = 1; asn <= 4; ++asn) {
+      test::add_sessions(sessions, e, Attrs{.cdn = 2, .asn = asn}, severe,
+                         15);
+      test::add_sessions(sessions, e, Attrs{.cdn = 2, .asn = asn},
+                         test::good_quality(), 10);
+    }
+    for (std::uint16_t asn = 10; asn < 28; ++asn) {
+      test::add_sessions(sessions, e, Attrs{.cdn = 3, .asn = asn},
+                         test::good_quality(), 50);
+    }
+  }
+  const SessionTable table{std::move(sessions)};
+  PipelineConfig config;
+  config.cluster_params.min_sessions = 50;
+  const PipelineResult result = run_pipeline(table, config);
+  const EngagementWhatIf whatif{table, result, EngagementModel{}};
+
+  const auto ranking = whatif.ranking(Metric::kBufRatio);
+  ASSERT_GE(ranking.size(), 2u);
+  // Engagement ranking puts the severe cluster (CDN 2) first even though
+  // the mild cluster (CDN 1) has more problem sessions.
+  EXPECT_EQ(ranking[0].key.value(AttrDim::kCdn), 2);
+  double more_sessions = 0.0;
+  for (const auto& r : ranking) {
+    if (r.key.has(AttrDim::kCdn) && r.key.value(AttrDim::kCdn) == 1) {
+      more_sessions = r.sessions_alleviated;
+    }
+  }
+  EXPECT_GT(more_sessions, ranking[0].sessions_alleviated);
+  EXPECT_GT(whatif.total_lost_minutes(Metric::kBufRatio), 0.0);
+}
+
+TEST(EngagementWhatIf, EngagementRankingDominatesOnMinutes) {
+  // For any top fraction, picking by minutes recovers at least as many
+  // minutes as picking by session counts (by construction of the ranking).
+  std::vector<Session> sessions;
+  QualityMetrics mild = test::good_quality();
+  mild.buffering_ratio = 0.07F;
+  QualityMetrics severe = test::good_quality();
+  severe.buffering_ratio = 0.5F;
+  for (std::uint16_t asn = 1; asn <= 4; ++asn) {
+    test::add_sessions(sessions, 0, Attrs{.cdn = 1, .asn = asn}, mild, 30);
+    test::add_sessions(sessions, 0, Attrs{.cdn = 2, .asn = asn}, severe, 15);
+    test::add_sessions(sessions, 0, Attrs{.cdn = 2, .asn = asn},
+                       test::good_quality(), 15);
+  }
+  for (std::uint16_t asn = 10; asn < 28; ++asn) {
+    test::add_sessions(sessions, 0, Attrs{.cdn = 3, .asn = asn},
+                       test::good_quality(), 50);
+  }
+  const SessionTable table{std::move(sessions)};
+  PipelineConfig config;
+  config.cluster_params.min_sessions = 50;
+  const PipelineResult result = run_pipeline(table, config);
+  const EngagementWhatIf whatif{table, result, EngagementModel{}};
+  for (const double fraction : {0.25, 0.5, 1.0}) {
+    const auto cmp = whatif.compare_rankings(Metric::kBufRatio, fraction);
+    EXPECT_GE(cmp.minutes_engagement_ranked,
+              cmp.minutes_session_ranked - 1e-9);
+  }
+}
+
+TEST(EngagementWhatIf, EmptyTraceIsAllZero) {
+  const SessionTable table;
+  const PipelineResult result = run_pipeline(table, {});
+  const EngagementWhatIf whatif{table, result, EngagementModel{}};
+  EXPECT_TRUE(whatif.ranking(Metric::kJoinFailure).empty());
+  EXPECT_EQ(whatif.total_lost_minutes(Metric::kJoinFailure), 0.0);
+}
+
+}  // namespace
+}  // namespace vq

@@ -1,0 +1,169 @@
+#include "src/gen/events.h"
+
+#include <gtest/gtest.h>
+
+#include <bit>
+
+namespace vq {
+namespace {
+
+World small_world() {
+  WorldConfig config;
+  config.num_sites = 40;
+  config.num_cdns = 8;
+  config.num_asns = 100;
+  return World::build(config);
+}
+
+EventScheduleConfig small_schedule() {
+  EventScheduleConfig config;
+  config.num_epochs = 100;
+  config.events_per_epoch = 2.0;
+  return config;
+}
+
+TEST(EventSchedule, GeneratesEvents) {
+  const World world = small_world();
+  const EventSchedule schedule =
+      EventSchedule::generate(world, small_schedule());
+  EXPECT_EQ(schedule.num_epochs(), 100u);
+  // ~2 events/epoch over 100 epochs: expect a healthy count.
+  EXPECT_GT(schedule.events().size(), 100u);
+  EXPECT_LT(schedule.events().size(), 400u);
+}
+
+TEST(EventSchedule, EventFieldsWithinBounds) {
+  const World world = small_world();
+  const EventScheduleConfig config = small_schedule();
+  const EventSchedule schedule = EventSchedule::generate(world, config);
+  for (const ProblemEvent& event : schedule.events()) {
+    EXPECT_LT(event.start_epoch, config.num_epochs);
+    EXPECT_GE(event.duration_epochs, 1u);
+    EXPECT_LE(event.duration_epochs, config.max_duration_epochs);
+    const int arity = std::popcount(event.scope.mask());
+    EXPECT_GE(arity, 1);
+    EXPECT_LE(arity, 2);
+    if (event.scope.has(AttrDim::kSite)) {
+      EXPECT_LT(event.scope.value(AttrDim::kSite), world.sites().size());
+    }
+    if (event.scope.has(AttrDim::kCdn)) {
+      EXPECT_LT(event.scope.value(AttrDim::kCdn), world.cdns().size());
+    }
+    if (event.scope.has(AttrDim::kAsn)) {
+      EXPECT_LT(event.scope.value(AttrDim::kAsn), world.asns().size());
+    }
+  }
+}
+
+TEST(EventSchedule, ImpactsMatchKind) {
+  const World world = small_world();
+  const EventSchedule schedule =
+      EventSchedule::generate(world, small_schedule());
+  for (const ProblemEvent& event : schedule.events()) {
+    switch (event.kind) {
+      case EventKind::kThroughputCollapse:
+        EXPECT_LT(event.impact.bw_multiplier, 1.0);
+        EXPECT_EQ(event.impact.fail_prob_add, 0.0);
+        break;
+      case EventKind::kFailureSpike:
+        EXPECT_GT(event.impact.fail_prob_add, 0.0);
+        EXPECT_EQ(event.impact.bw_multiplier, 1.0);
+        break;
+      case EventKind::kLatencyInflation:
+        EXPECT_GT(event.impact.rtt_multiplier, 1.0);
+        EXPECT_GT(event.impact.startup_add_ms, 0.0);
+        break;
+    }
+  }
+}
+
+TEST(EventSchedule, HeavyTailedDurations) {
+  const World world = small_world();
+  EventScheduleConfig config = small_schedule();
+  config.num_epochs = 500;
+  const EventSchedule schedule = EventSchedule::generate(world, config);
+  std::size_t one_epoch = 0;
+  std::size_t multi_hour = 0;
+  std::size_t very_long = 0;
+  for (const ProblemEvent& event : schedule.events()) {
+    if (event.duration_epochs == 1) ++one_epoch;
+    if (event.duration_epochs >= 2) ++multi_hour;
+    if (event.duration_epochs >= 24) ++very_long;
+  }
+  // Pareto(alpha ~ 1.05): many short events, a real multi-hour mass, and a
+  // tail of day-plus outages (paper: 50% of problem events last >= 2h,
+  // ~1% last a day or more).
+  EXPECT_GT(one_epoch, 0u);
+  EXPECT_GT(multi_hour, schedule.events().size() / 5);
+  EXPECT_GT(very_long, 0u);
+}
+
+TEST(EventSchedule, ActiveIndexMatchesEventWindows) {
+  const World world = small_world();
+  const EventSchedule schedule =
+      EventSchedule::generate(world, small_schedule());
+  for (std::uint32_t epoch = 0; epoch < schedule.num_epochs(); ++epoch) {
+    for (const std::uint32_t idx : schedule.active_at(epoch)) {
+      EXPECT_TRUE(schedule.events()[idx].active_at(epoch));
+    }
+  }
+  // Converse: every event appears in the index for each active epoch.
+  for (std::uint32_t i = 0; i < schedule.events().size(); ++i) {
+    const ProblemEvent& event = schedule.events()[i];
+    const std::uint32_t end = std::min(
+        schedule.num_epochs(), event.start_epoch + event.duration_epochs);
+    for (std::uint32_t e = event.start_epoch; e < end; ++e) {
+      const auto active = schedule.active_at(e);
+      EXPECT_NE(std::find(active.begin(), active.end(), i), active.end());
+    }
+  }
+}
+
+TEST(EventSchedule, ActiveAtOutOfRangeIsEmpty) {
+  const World world = small_world();
+  const EventSchedule schedule =
+      EventSchedule::generate(world, small_schedule());
+  EXPECT_TRUE(schedule.active_at(10'000).empty());
+}
+
+TEST(EventSchedule, NoneIsEmpty) {
+  const EventSchedule schedule = EventSchedule::none(10);
+  EXPECT_EQ(schedule.num_epochs(), 10u);
+  EXPECT_TRUE(schedule.events().empty());
+  for (std::uint32_t e = 0; e < 10; ++e) {
+    EXPECT_TRUE(schedule.active_at(e).empty());
+  }
+}
+
+TEST(EventSchedule, DeterministicForSeed) {
+  const World world = small_world();
+  const EventSchedule a = EventSchedule::generate(world, small_schedule());
+  const EventSchedule b = EventSchedule::generate(world, small_schedule());
+  ASSERT_EQ(a.events().size(), b.events().size());
+  for (std::size_t i = 0; i < a.events().size(); ++i) {
+    EXPECT_EQ(a.events()[i].scope, b.events()[i].scope);
+    EXPECT_EQ(a.events()[i].start_epoch, b.events()[i].start_epoch);
+    EXPECT_EQ(a.events()[i].duration_epochs, b.events()[i].duration_epochs);
+  }
+}
+
+TEST(ProblemEvent, ActiveWindowSemantics) {
+  ProblemEvent event;
+  event.start_epoch = 5;
+  event.duration_epochs = 3;
+  EXPECT_FALSE(event.active_at(4));
+  EXPECT_TRUE(event.active_at(5));
+  EXPECT_TRUE(event.active_at(7));
+  EXPECT_FALSE(event.active_at(8));
+}
+
+TEST(EventKindName, Labels) {
+  EXPECT_EQ(event_kind_name(EventKind::kThroughputCollapse),
+            "ThroughputCollapse");
+  EXPECT_EQ(event_kind_name(EventKind::kFailureSpike), "FailureSpike");
+  EXPECT_EQ(event_kind_name(EventKind::kLatencyInflation),
+            "LatencyInflation");
+}
+
+}  // namespace
+}  // namespace vq

@@ -1,0 +1,141 @@
+#include "src/util/flat_hash_map.h"
+
+#include <gtest/gtest.h>
+
+#include <unordered_map>
+#include <unordered_set>
+
+#include "src/util/rng.h"
+
+namespace vq {
+namespace {
+
+TEST(FlatMap64, StartsEmpty) {
+  FlatMap64<int> map;
+  EXPECT_TRUE(map.empty());
+  EXPECT_EQ(map.size(), 0u);
+  EXPECT_EQ(map.find(1), nullptr);
+  EXPECT_FALSE(map.contains(1));
+}
+
+TEST(FlatMap64, InsertAndLookup) {
+  FlatMap64<int> map;
+  map[10] = 5;
+  map[20] = 7;
+  EXPECT_EQ(map.size(), 2u);
+  ASSERT_NE(map.find(10), nullptr);
+  EXPECT_EQ(*map.find(10), 5);
+  ASSERT_NE(map.find(20), nullptr);
+  EXPECT_EQ(*map.find(20), 7);
+  EXPECT_EQ(map.find(30), nullptr);
+}
+
+TEST(FlatMap64, OperatorBracketDefaultConstructs) {
+  FlatMap64<int> map;
+  EXPECT_EQ(map[99], 0);
+  map[99] += 3;
+  EXPECT_EQ(map[99], 3);
+  EXPECT_EQ(map.size(), 1u);
+}
+
+TEST(FlatMap64, ZeroKeyIsValid) {
+  FlatMap64<int> map;
+  map[0] = 42;
+  ASSERT_NE(map.find(0), nullptr);
+  EXPECT_EQ(*map.find(0), 42);
+}
+
+TEST(FlatMap64, SurvivesManyRehashes) {
+  FlatMap64<std::uint64_t> map;
+  for (std::uint64_t i = 0; i < 10'000; ++i) map[i * 7919] = i;
+  EXPECT_EQ(map.size(), 10'000u);
+  for (std::uint64_t i = 0; i < 10'000; ++i) {
+    ASSERT_NE(map.find(i * 7919), nullptr) << i;
+    EXPECT_EQ(*map.find(i * 7919), i);
+  }
+}
+
+TEST(FlatMap64, ClearKeepsCapacityButDropsEntries) {
+  FlatMap64<int> map;
+  for (std::uint64_t i = 0; i < 100; ++i) map[i] = 1;
+  map.clear();
+  EXPECT_TRUE(map.empty());
+  for (std::uint64_t i = 0; i < 100; ++i) EXPECT_EQ(map.find(i), nullptr);
+  map[5] = 2;
+  EXPECT_EQ(map.size(), 1u);
+}
+
+TEST(FlatMap64, ReserveAvoidsInvalidation) {
+  FlatMap64<int> map;
+  map.reserve(1000);
+  int& ref = map[1];
+  for (std::uint64_t i = 2; i < 700; ++i) map[i] = 0;  // below reserve
+  ref = 17;  // must still be valid
+  EXPECT_EQ(*map.find(1), 17);
+}
+
+TEST(FlatMap64, ForEachVisitsEveryEntryOnce) {
+  FlatMap64<int> map;
+  for (std::uint64_t i = 1; i <= 500; ++i) map[i] = static_cast<int>(i);
+  std::unordered_set<std::uint64_t> seen;
+  long sum = 0;
+  map.for_each([&](std::uint64_t key, int value) {
+    EXPECT_TRUE(seen.insert(key).second);
+    sum += value;
+  });
+  EXPECT_EQ(seen.size(), 500u);
+  EXPECT_EQ(sum, 500 * 501 / 2);
+}
+
+TEST(FlatMap64, MutableForEachCanUpdateValues) {
+  FlatMap64<int> map;
+  map[1] = 1;
+  map[2] = 2;
+  map.for_each([](std::uint64_t, int& value) { value *= 10; });
+  EXPECT_EQ(*map.find(1), 10);
+  EXPECT_EQ(*map.find(2), 20);
+}
+
+TEST(FlatMap64, MatchesUnorderedMapUnderRandomWorkload) {
+  FlatMap64<std::uint64_t> map;
+  std::unordered_map<std::uint64_t, std::uint64_t> reference;
+  Xoshiro256ss rng{99};
+  for (int op = 0; op < 50'000; ++op) {
+    const std::uint64_t key = rng.below(2'000);
+    const std::uint64_t value = rng.below(1'000'000);
+    if (rng.bernoulli(0.7)) {
+      map[key] = value;
+      reference[key] = value;
+    } else {
+      const auto* found = map.find(key);
+      const auto it = reference.find(key);
+      if (it == reference.end()) {
+        EXPECT_EQ(found, nullptr);
+      } else {
+        ASSERT_NE(found, nullptr);
+        EXPECT_EQ(*found, it->second);
+      }
+    }
+  }
+  EXPECT_EQ(map.size(), reference.size());
+}
+
+TEST(FlatSet64, InsertContainsClear) {
+  FlatSet64 set;
+  EXPECT_TRUE(set.empty());
+  set.insert(3);
+  set.insert(3);
+  set.insert(9);
+  EXPECT_EQ(set.size(), 2u);
+  EXPECT_TRUE(set.contains(3));
+  EXPECT_TRUE(set.contains(9));
+  EXPECT_FALSE(set.contains(4));
+  std::size_t visited = 0;
+  set.for_each([&](std::uint64_t) { ++visited; });
+  EXPECT_EQ(visited, 2u);
+  set.clear();
+  EXPECT_FALSE(set.contains(3));
+}
+
+}  // namespace
+}  // namespace vq

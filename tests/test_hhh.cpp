@@ -1,0 +1,134 @@
+#include "src/baseline/hhh.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "tests/test_support.h"
+
+namespace vq {
+namespace {
+
+using test::Attrs;
+
+const HhhCluster* find_hhh_cluster(const std::vector<HhhCluster>& clusters,
+                                   std::uint8_t mask, const Attrs& attrs) {
+  const ClusterKey key = ClusterKey::pack(mask, attrs.vec());
+  const auto it =
+      std::find_if(clusters.begin(), clusters.end(),
+                   [&](const HhhCluster& c) { return c.key == key; });
+  return it == clusters.end() ? nullptr : &*it;
+}
+
+TEST(Hhh, EmptyInputYieldsNothing) {
+  EXPECT_TRUE(find_hhh({}, {}, {}, Metric::kBufRatio).empty());
+}
+
+TEST(Hhh, NoProblemsYieldsNothing) {
+  std::vector<Session> sessions;
+  test::add_sessions(sessions, 0, Attrs{.cdn = 1}, test::good_quality(), 100);
+  EXPECT_TRUE(find_hhh(sessions, {}, {}, Metric::kBufRatio).empty());
+}
+
+TEST(Hhh, FindsHeavyLeaf) {
+  std::vector<Session> sessions;
+  // One leaf with 60% of all problem mass.
+  test::add_sessions(sessions, 0, Attrs{.site = 1, .cdn = 1, .asn = 1},
+                     test::bad_buffering(), 60);
+  // Scattered mass elsewhere, each leaf well below phi.
+  for (std::uint16_t asn = 10; asn < 50; ++asn) {
+    test::add_sessions(sessions, 0, Attrs{.site = 2, .cdn = 2, .asn = asn},
+                       test::bad_buffering(), 1);
+  }
+  HhhParams params;
+  params.phi = 0.2;
+  const auto result = find_hhh(sessions, {}, params, Metric::kBufRatio);
+  ASSERT_FALSE(result.empty());
+  // The heavy full-arity leaf is claimed at the bottom level.
+  const auto* leaf = find_hhh_cluster(
+      result, kFullMask, Attrs{.site = 1, .cdn = 1, .asn = 1});
+  ASSERT_NE(leaf, nullptr);
+  EXPECT_DOUBLE_EQ(leaf->residual_mass, 60.0);
+}
+
+TEST(Hhh, DiscountsClaimedDescendants) {
+  std::vector<Session> sessions;
+  // Two heavy leaves under the same CDN, each above phi: both get claimed
+  // at the leaf level and the CDN ancestor must NOT reappear with their
+  // mass (its residual is only the unclaimed remainder).
+  test::add_sessions(sessions, 0, Attrs{.cdn = 1, .asn = 1},
+                     test::bad_buffering(), 40);
+  test::add_sessions(sessions, 0, Attrs{.cdn = 1, .asn = 2},
+                     test::bad_buffering(), 40);
+  test::add_sessions(sessions, 0, Attrs{.cdn = 1, .asn = 3},
+                     test::bad_buffering(), 5);
+  test::add_sessions(sessions, 0, Attrs{.cdn = 2, .asn = 4},
+                     test::bad_buffering(), 15);
+  HhhParams params;
+  params.phi = 0.3;  // threshold mass = 30
+  const auto result = find_hhh(sessions, {}, params, Metric::kBufRatio);
+  // Both 40-mass leaves found.
+  EXPECT_NE(find_hhh_cluster(result, kFullMask, Attrs{.cdn = 1, .asn = 1}),
+            nullptr);
+  EXPECT_NE(find_hhh_cluster(result, kFullMask, Attrs{.cdn = 1, .asn = 2}),
+            nullptr);
+  // CDN1's residual after discounting = 5 < 30: no CDN1 cluster at any
+  // coarser level.
+  for (const HhhCluster& c : result) {
+    if (c.key.arity() < kNumDims && c.key.has(AttrDim::kCdn)) {
+      EXPECT_NE(c.key.value(AttrDim::kCdn), 1);
+    }
+  }
+}
+
+TEST(Hhh, AggregatesDispersedMassAtAncestor) {
+  std::vector<Session> sessions;
+  // 30 leaves of mass 2 under CDN 7 (each below phi), plus background.
+  for (std::uint16_t asn = 0; asn < 30; ++asn) {
+    test::add_sessions(sessions, 0, Attrs{.cdn = 7, .asn = asn},
+                       test::bad_buffering(), 2);
+  }
+  test::add_sessions(sessions, 0, Attrs{.cdn = 1, .asn = 100},
+                     test::bad_buffering(), 10);
+  HhhParams params;
+  params.phi = 0.5;  // threshold mass = 35
+  const auto result = find_hhh(sessions, {}, params, Metric::kBufRatio);
+  ASSERT_FALSE(result.empty());
+  // The dispersed mass (60) only crosses the threshold at an ancestor that
+  // contains all of CDN 7's leaves.
+  bool found_cdn7_ancestor = false;
+  for (const HhhCluster& c : result) {
+    if (c.key.has(AttrDim::kCdn) && c.key.value(AttrDim::kCdn) == 7 &&
+        !c.key.has(AttrDim::kAsn)) {
+      found_cdn7_ancestor = true;
+      EXPECT_DOUBLE_EQ(c.residual_mass, 60.0);
+    }
+  }
+  EXPECT_TRUE(found_cdn7_ancestor);
+}
+
+TEST(Hhh, ResultsSortedByMass) {
+  std::vector<Session> sessions;
+  test::add_sessions(sessions, 0, Attrs{.cdn = 1, .asn = 1},
+                     test::bad_buffering(), 50);
+  test::add_sessions(sessions, 0, Attrs{.cdn = 2, .asn = 2},
+                     test::bad_buffering(), 30);
+  HhhParams params;
+  params.phi = 0.2;
+  const auto result = find_hhh(sessions, {}, params, Metric::kBufRatio);
+  for (std::size_t i = 1; i < result.size(); ++i) {
+    EXPECT_GE(result[i - 1].residual_mass, result[i].residual_mass);
+  }
+}
+
+TEST(Hhh, RespectsMetricSelection) {
+  std::vector<Session> sessions;
+  test::add_sessions(sessions, 0, Attrs{.cdn = 1}, test::failed_join(), 50);
+  HhhParams params;
+  params.phi = 0.5;
+  EXPECT_FALSE(find_hhh(sessions, {}, params, Metric::kJoinFailure).empty());
+  EXPECT_TRUE(find_hhh(sessions, {}, params, Metric::kBufRatio).empty());
+}
+
+}  // namespace
+}  // namespace vq

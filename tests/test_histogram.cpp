@@ -1,0 +1,85 @@
+#include "src/stats/histogram.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace vq {
+namespace {
+
+TEST(Histogram, LinearBinningIsExact) {
+  Histogram h = Histogram::linear(0.0, 10.0, 5);
+  EXPECT_EQ(h.bin_count(), 5u);
+  h.add(0.0);   // [0,2)
+  h.add(1.99);  // [0,2)
+  h.add(2.0);   // [2,4)
+  h.add(9.99);  // [8,10)
+  EXPECT_EQ(h.count(0), 2u);
+  EXPECT_EQ(h.count(1), 1u);
+  EXPECT_EQ(h.count(4), 1u);
+  EXPECT_EQ(h.total(), 4u);
+}
+
+TEST(Histogram, OutOfRangeClampsToEndBins) {
+  Histogram h = Histogram::linear(0.0, 10.0, 5);
+  h.add(-5.0);
+  h.add(100.0);
+  EXPECT_EQ(h.count(0), 1u);
+  EXPECT_EQ(h.count(4), 1u);
+}
+
+TEST(Histogram, LogarithmicBinsSpanDecades) {
+  Histogram h = Histogram::logarithmic(0.001, 1.0, 3);
+  const auto [lo0, hi0] = h.bounds(0);
+  EXPECT_NEAR(lo0, 0.001, 1e-9);
+  EXPECT_NEAR(hi0, 0.01, 1e-6);
+  const auto [lo2, hi2] = h.bounds(2);
+  EXPECT_NEAR(lo2, 0.1, 1e-6);
+  EXPECT_NEAR(hi2, 1.0, 1e-9);
+  h.add(0.005);
+  h.add(0.05);
+  h.add(0.5);
+  EXPECT_EQ(h.count(0), 1u);
+  EXPECT_EQ(h.count(1), 1u);
+  EXPECT_EQ(h.count(2), 1u);
+}
+
+TEST(Histogram, RejectsBadConstruction) {
+  EXPECT_THROW((void)Histogram::linear(5.0, 5.0, 3), std::invalid_argument);
+  EXPECT_THROW((void)Histogram::linear(0.0, 1.0, 0), std::invalid_argument);
+  EXPECT_THROW((void)Histogram::logarithmic(0.0, 1.0, 3),
+               std::invalid_argument);
+  EXPECT_THROW((void)Histogram::logarithmic(2.0, 1.0, 3),
+               std::invalid_argument);
+}
+
+TEST(Histogram, CumulativeFraction) {
+  Histogram h = Histogram::linear(0.0, 10.0, 10);
+  for (int i = 0; i < 10; ++i) h.add(static_cast<double>(i) + 0.5);
+  EXPECT_DOUBLE_EQ(h.cumulative_fraction(5.0), 0.5);
+  EXPECT_DOUBLE_EQ(h.cumulative_fraction(10.0), 1.0);
+  EXPECT_DOUBLE_EQ(h.cumulative_fraction(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(Histogram::linear(0, 1, 2).cumulative_fraction(0.5), 0.0);
+}
+
+TEST(Histogram, BoundsOutOfRangeThrows) {
+  const Histogram h = Histogram::linear(0.0, 1.0, 2);
+  EXPECT_THROW((void)h.bounds(2), std::out_of_range);
+  EXPECT_THROW((void)h.count(2), std::out_of_range);
+}
+
+TEST(Histogram, RenderShowsProportionalBars) {
+  Histogram h = Histogram::linear(0.0, 2.0, 2);
+  for (int i = 0; i < 10; ++i) h.add(0.5);
+  for (int i = 0; i < 5; ++i) h.add(1.5);
+  const std::string render = h.render(10);
+  // Two lines; the first bar twice the second's width.
+  EXPECT_EQ(std::count(render.begin(), render.end(), '\n'), 2);
+  const auto first_line = render.substr(0, render.find('\n'));
+  const auto second_line = render.substr(render.find('\n') + 1);
+  EXPECT_EQ(std::count(first_line.begin(), first_line.end(), '#'), 10);
+  EXPECT_EQ(std::count(second_line.begin(), second_line.end(), '#'), 5);
+}
+
+}  // namespace
+}  // namespace vq

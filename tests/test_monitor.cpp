@@ -1,0 +1,153 @@
+#include "src/core/monitor.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "tests/test_support.h"
+
+namespace vq {
+namespace {
+
+using test::Attrs;
+
+MonitorConfig small_monitor() {
+  MonitorConfig config;
+  config.cluster_params.min_sessions = 50;
+  config.escalate_after = 1;
+  return config;
+}
+
+/// Epoch with a bad CDN (optionally) plus quiet background.
+std::vector<Session> monitored_epoch(std::uint32_t epoch, bool cdn_bad) {
+  std::vector<Session> sessions;
+  if (cdn_bad) {
+    for (std::uint16_t asn = 1; asn <= 4; ++asn) {
+      test::add_sessions(sessions, epoch, Attrs{.cdn = 1, .asn = asn},
+                         test::bad_buffering(), 15);
+      test::add_sessions(sessions, epoch, Attrs{.cdn = 1, .asn = asn},
+                         test::good_quality(), 10);
+    }
+  } else {
+    for (std::uint16_t asn = 1; asn <= 4; ++asn) {
+      test::add_sessions(sessions, epoch, Attrs{.cdn = 1, .asn = asn},
+                         test::good_quality(), 25);
+    }
+  }
+  for (std::uint16_t asn = 10; asn < 28; ++asn) {
+    test::add_sessions(sessions, epoch, Attrs{.cdn = 2, .asn = asn},
+                       test::bad_buffering(), 2);
+    test::add_sessions(sessions, epoch, Attrs{.cdn = 2, .asn = asn},
+                       test::good_quality(), 48);
+  }
+  return sessions;
+}
+
+std::vector<IncidentEvent> events_of(std::vector<IncidentEvent> all,
+                                     IncidentUpdate kind, Metric metric) {
+  std::vector<IncidentEvent> out;
+  for (auto& e : all) {
+    if (e.update == kind && e.incident.metric == metric) {
+      out.push_back(std::move(e));
+    }
+  }
+  return out;
+}
+
+TEST(StreamingDetector, RaisesNewThenEscalatedThenCleared) {
+  StreamingDetector detector{small_monitor()};
+
+  auto e0 = detector.ingest(monitored_epoch(0, true), 0);
+  const auto new0 =
+      events_of(e0, IncidentUpdate::kNew, Metric::kBufRatio);
+  ASSERT_EQ(new0.size(), 1u);
+  EXPECT_TRUE(new0[0].incident.key.has(AttrDim::kCdn));
+  EXPECT_EQ(new0[0].incident.streak, 1u);
+  EXPECT_TRUE(
+      events_of(e0, IncidentUpdate::kEscalated, Metric::kBufRatio).empty());
+
+  auto e1 = detector.ingest(monitored_epoch(1, true), 1);
+  const auto escalated =
+      events_of(e1, IncidentUpdate::kEscalated, Metric::kBufRatio);
+  ASSERT_EQ(escalated.size(), 1u);
+  EXPECT_EQ(escalated[0].incident.streak, 2u);
+  EXPECT_TRUE(escalated[0].incident.escalated);
+
+  auto e2 = detector.ingest(monitored_epoch(2, false), 2);
+  const auto cleared =
+      events_of(e2, IncidentUpdate::kCleared, Metric::kBufRatio);
+  ASSERT_EQ(cleared.size(), 1u);
+  EXPECT_TRUE(detector.active(Metric::kBufRatio).empty());
+  EXPECT_EQ(detector.total_opened(Metric::kBufRatio), 1u);
+}
+
+TEST(StreamingDetector, NoEscalationBelowDelay) {
+  MonitorConfig config = small_monitor();
+  config.escalate_after = 3;
+  StreamingDetector detector{config};
+  for (std::uint32_t e = 0; e < 3; ++e) {
+    const auto events = detector.ingest(monitored_epoch(e, true), e);
+    EXPECT_TRUE(
+        events_of(events, IncidentUpdate::kEscalated, Metric::kBufRatio)
+            .empty())
+        << "escalated too early at epoch " << e;
+  }
+  const auto events = detector.ingest(monitored_epoch(3, true), 3);
+  EXPECT_EQ(
+      events_of(events, IncidentUpdate::kEscalated, Metric::kBufRatio).size(),
+      1u);
+}
+
+TEST(StreamingDetector, ReopeningCountsAsNewIncident) {
+  StreamingDetector detector{small_monitor()};
+  (void)detector.ingest(monitored_epoch(0, true), 0);
+  (void)detector.ingest(monitored_epoch(1, false), 1);
+  const auto events = detector.ingest(monitored_epoch(2, true), 2);
+  EXPECT_EQ(events_of(events, IncidentUpdate::kNew, Metric::kBufRatio).size(),
+            1u);
+  EXPECT_EQ(detector.total_opened(Metric::kBufRatio), 2u);
+}
+
+TEST(StreamingDetector, GapResetsStreaks) {
+  StreamingDetector detector{small_monitor()};
+  (void)detector.ingest(monitored_epoch(0, true), 0);
+  // Epoch 5 after a gap: incident present but streak must restart at 1, so
+  // no escalation fires even though the registry entry survived.
+  const auto events = detector.ingest(monitored_epoch(5, true), 5);
+  EXPECT_TRUE(
+      events_of(events, IncidentUpdate::kEscalated, Metric::kBufRatio)
+          .empty());
+  const auto active = detector.active(Metric::kBufRatio);
+  ASSERT_EQ(active.size(), 1u);
+  EXPECT_EQ(active[0].streak, 1u);
+  EXPECT_EQ(active[0].first_epoch, 5u);
+}
+
+TEST(StreamingDetector, RejectsNonMonotonicEpochs) {
+  StreamingDetector detector{small_monitor()};
+  (void)detector.ingest(monitored_epoch(3, false), 3);
+  EXPECT_THROW((void)detector.ingest(monitored_epoch(3, false), 3),
+               std::invalid_argument);
+  EXPECT_THROW((void)detector.ingest(monitored_epoch(1, false), 1),
+               std::invalid_argument);
+}
+
+TEST(StreamingDetector, ActiveListsMatchRegistry) {
+  StreamingDetector detector{small_monitor()};
+  (void)detector.ingest(monitored_epoch(0, true), 0);
+  const auto active = detector.active(Metric::kBufRatio);
+  ASSERT_EQ(active.size(), 1u);
+  EXPECT_GT(active[0].attributed, 0.0);
+  EXPECT_GE(active[0].stats.sessions, 50u);
+  // Unrelated metrics stay quiet.
+  EXPECT_TRUE(detector.active(Metric::kJoinFailure).empty());
+}
+
+TEST(IncidentUpdateName, Labels) {
+  EXPECT_EQ(incident_update_name(IncidentUpdate::kNew), "new");
+  EXPECT_EQ(incident_update_name(IncidentUpdate::kEscalated), "escalated");
+  EXPECT_EQ(incident_update_name(IncidentUpdate::kCleared), "cleared");
+}
+
+}  // namespace
+}  // namespace vq

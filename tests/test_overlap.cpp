@@ -1,0 +1,114 @@
+#include "src/core/overlap.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "tests/test_support.h"
+
+namespace vq {
+namespace {
+
+using test::Attrs;
+
+/// Builds a multi-epoch trace where CDN1 fails joins and ASN5 has low
+/// bitrate, each in every epoch — disjoint causes per metric.
+PipelineResult make_two_cause_result() {
+  std::vector<Session> sessions;
+  for (std::uint32_t e = 0; e < 4; ++e) {
+    test::add_sessions(sessions, e, Attrs{.cdn = 1, .asn = 1},
+                       test::failed_join(), 60);
+    test::add_sessions(sessions, e, Attrs{.cdn = 1, .asn = 2},
+                       test::good_quality(), 60);
+    test::add_sessions(sessions, e, Attrs{.cdn = 2, .asn = 5},
+                       test::bad_bitrate(), 60);
+    test::add_sessions(sessions, e, Attrs{.cdn = 3, .asn = 5},
+                       test::good_quality(), 60);
+    test::add_sessions(sessions, e, Attrs{.cdn = 2, .asn = 9},
+                       test::good_quality(), 700);
+  }
+  PipelineConfig config;
+  config.cluster_params.min_sessions = 50;
+  return run_pipeline(SessionTable{sessions}, config);
+}
+
+TEST(TopCriticalKeys, RanksByTotalAttributedMass) {
+  const PipelineResult result = make_two_cause_result();
+  const auto top = top_critical_keys(result, Metric::kJoinFailure, 10);
+  ASSERT_FALSE(top.empty());
+  // The strongest join-failure cluster must involve CDN 1.
+  const ClusterKey first = ClusterKey::from_raw(top[0]);
+  EXPECT_TRUE(first.has(AttrDim::kCdn));
+  EXPECT_EQ(first.value(AttrDim::kCdn), 1);
+}
+
+TEST(TopCriticalKeys, KIsAnUpperBound) {
+  const PipelineResult result = make_two_cause_result();
+  EXPECT_LE(top_critical_keys(result, Metric::kJoinFailure, 1).size(), 1u);
+  EXPECT_LE(top_critical_keys(result, Metric::kJoinFailure, 100).size(),
+            100u);
+}
+
+TEST(TopCriticalKeys, EmptyMetricYieldsEmpty) {
+  const PipelineResult result = make_two_cause_result();
+  // No buffering problems were planted.
+  EXPECT_TRUE(top_critical_keys(result, Metric::kBufRatio, 10).empty());
+}
+
+TEST(OverlapMatrix, DiagonalIsOneWhenNonEmpty) {
+  const PipelineResult result = make_two_cause_result();
+  const auto matrix = critical_overlap_matrix(result, 100);
+  EXPECT_DOUBLE_EQ(
+      matrix[static_cast<int>(Metric::kJoinFailure)]
+            [static_cast<int>(Metric::kJoinFailure)],
+      1.0);
+  EXPECT_DOUBLE_EQ(matrix[static_cast<int>(Metric::kBitrate)]
+                         [static_cast<int>(Metric::kBitrate)],
+                   1.0);
+}
+
+TEST(OverlapMatrix, DisjointCausesHaveZeroOverlap) {
+  const PipelineResult result = make_two_cause_result();
+  const auto matrix = critical_overlap_matrix(result, 100);
+  const double cross = matrix[static_cast<int>(Metric::kJoinFailure)]
+                             [static_cast<int>(Metric::kBitrate)];
+  EXPECT_DOUBLE_EQ(cross, 0.0);
+  // Symmetry.
+  EXPECT_DOUBLE_EQ(cross, matrix[static_cast<int>(Metric::kBitrate)]
+                                [static_cast<int>(Metric::kJoinFailure)]);
+}
+
+TEST(TypeBreakdown, FractionsAreConsistent) {
+  const PipelineResult result = make_two_cause_result();
+  const TypeBreakdown breakdown =
+      critical_type_breakdown(result, Metric::kJoinFailure);
+  double total = breakdown.not_attributed + breakdown.not_in_any_cluster;
+  for (const auto& [mask, fraction] : breakdown.by_mask) {
+    EXPECT_GT(fraction, 0.0);
+    EXPECT_NE(mask, 0);
+    total += fraction;
+  }
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(TypeBreakdown, EmptyMetricIsAllZero) {
+  const PipelineResult result = make_two_cause_result();
+  const TypeBreakdown breakdown =
+      critical_type_breakdown(result, Metric::kBufRatio);
+  // No buffering problem sessions at all -> breakdown is degenerate zeros.
+  EXPECT_TRUE(breakdown.by_mask.empty());
+  EXPECT_EQ(breakdown.not_attributed, 0.0);
+  EXPECT_EQ(breakdown.not_in_any_cluster, 0.0);
+}
+
+TEST(MaskLabel, PaperStyleRendering) {
+  EXPECT_EQ(mask_label(dim_bit(AttrDim::kSite)),
+            "[Site, *, *, *, *, *, *]");
+  EXPECT_EQ(mask_label(static_cast<std::uint8_t>(dim_bit(AttrDim::kCdn) |
+                                                 dim_bit(AttrDim::kAsn))),
+            "[*, Cdn, Asn, *, *, *, *]");
+  EXPECT_EQ(mask_label(0), "[*, *, *, *, *, *, *]");
+}
+
+}  // namespace
+}  // namespace vq

@@ -1,0 +1,161 @@
+// Prevalence/persistence analytics, including a reconstruction of the
+// paper's Figure 6 worked example.
+
+#include "src/core/prevalence.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "tests/test_support.h"
+
+namespace vq {
+namespace {
+
+using test::Attrs;
+
+ClusterKey key_of(std::uint8_t mask, const Attrs& attrs) {
+  return ClusterKey::pack(mask, attrs.vec());
+}
+
+const ClusterTimeline* find_timeline(const PrevalenceReport& report,
+                                     const ClusterKey& key) {
+  const auto it = std::find_if(
+      report.timelines.begin(), report.timelines.end(),
+      [&](const ClusterTimeline& t) { return t.key == key; });
+  return it == report.timelines.end() ? nullptr : &*it;
+}
+
+// Paper Figure 6: six epochs; cluster activity as drawn there.
+//   ASN1:        epochs {1, 2}           prevalence 2/6, streaks {2}
+//   ASN2:        epochs {2, 3, 4, 5}     prevalence 4/6, streaks {4}
+//   ASN1,CDN1:   epochs {0, 1, 3, 4}     prevalence 4/6, streaks {2, 2}
+//   ASN2,CDN1:   epochs {1, 2}           prevalence 2/6, streaks {2}
+//   CDN1:        epoch {5}               prevalence 1/6, streaks {1}
+//   CDN2:        epochs {0, 1, 2, 4, 5}  prevalence 5/6, streaks {3, 2}
+TEST(Prevalence, Figure6WorkedExample) {
+  const ClusterKey asn1 = key_of(dim_bit(AttrDim::kAsn), Attrs{.asn = 1});
+  const ClusterKey asn2 = key_of(dim_bit(AttrDim::kAsn), Attrs{.asn = 2});
+  const ClusterKey asn1cdn1 =
+      key_of(dim_bit(AttrDim::kAsn) | dim_bit(AttrDim::kCdn),
+             Attrs{.cdn = 1, .asn = 1});
+  const ClusterKey asn2cdn1 =
+      key_of(dim_bit(AttrDim::kAsn) | dim_bit(AttrDim::kCdn),
+             Attrs{.cdn = 1, .asn = 2});
+  const ClusterKey cdn1 = key_of(dim_bit(AttrDim::kCdn), Attrs{.cdn = 1});
+  const ClusterKey cdn2 = key_of(dim_bit(AttrDim::kCdn), Attrs{.cdn = 2});
+
+  std::vector<std::vector<std::uint64_t>> keys_by_epoch(6);
+  const auto at = [&](std::uint32_t e, const ClusterKey& k) {
+    keys_by_epoch[e].push_back(k.raw());
+  };
+  at(1, asn1);
+  at(2, asn1);
+  for (std::uint32_t e : {2u, 3u, 4u, 5u}) at(e, asn2);
+  for (std::uint32_t e : {0u, 1u, 3u, 4u}) at(e, asn1cdn1);
+  at(1, asn2cdn1);
+  at(2, asn2cdn1);
+  at(5, cdn1);
+  for (std::uint32_t e : {0u, 1u, 2u, 4u, 5u}) at(e, cdn2);
+
+  const PrevalenceReport report = build_prevalence(keys_by_epoch, 6);
+  ASSERT_EQ(report.timelines.size(), 6u);
+
+  const auto* t_asn1 = find_timeline(report, asn1);
+  ASSERT_NE(t_asn1, nullptr);
+  EXPECT_NEAR(t_asn1->prevalence, 2.0 / 6.0, 1e-12);
+  EXPECT_EQ(t_asn1->median_persistence, 2u);
+  EXPECT_EQ(t_asn1->max_persistence, 2u);
+
+  const auto* t_asn2 = find_timeline(report, asn2);
+  ASSERT_NE(t_asn2, nullptr);
+  EXPECT_NEAR(t_asn2->prevalence, 4.0 / 6.0, 1e-12);
+  EXPECT_EQ(t_asn2->max_persistence, 4u);
+
+  const auto* t_pair = find_timeline(report, asn1cdn1);
+  ASSERT_NE(t_pair, nullptr);
+  EXPECT_NEAR(t_pair->prevalence, 4.0 / 6.0, 1e-12);
+  EXPECT_EQ(t_pair->median_persistence, 2u);  // streaks {2, 2}
+  EXPECT_EQ(t_pair->max_persistence, 2u);
+
+  const auto* t_cdn2 = find_timeline(report, cdn2);
+  ASSERT_NE(t_cdn2, nullptr);
+  EXPECT_NEAR(t_cdn2->prevalence, 5.0 / 6.0, 1e-12);
+  EXPECT_EQ(t_cdn2->median_persistence, 2u);  // lower median of {3, 2}
+  EXPECT_EQ(t_cdn2->max_persistence, 3u);
+
+  const auto* t_cdn1 = find_timeline(report, cdn1);
+  ASSERT_NE(t_cdn1, nullptr);
+  EXPECT_NEAR(t_cdn1->prevalence, 1.0 / 6.0, 1e-12);
+  EXPECT_EQ(t_cdn1->max_persistence, 1u);
+}
+
+TEST(Prevalence, EmptyInput) {
+  const PrevalenceReport report = build_prevalence({}, 0);
+  EXPECT_TRUE(report.timelines.empty());
+  EXPECT_TRUE(report.prevalences().empty());
+}
+
+TEST(Prevalence, DuplicateKeysWithinEpochCountOnce) {
+  std::vector<std::vector<std::uint64_t>> keys_by_epoch(2);
+  const ClusterKey k = key_of(dim_bit(AttrDim::kSite), Attrs{.site = 3});
+  keys_by_epoch[0] = {k.raw(), k.raw()};
+  const PrevalenceReport report = build_prevalence(keys_by_epoch, 2);
+  ASSERT_EQ(report.timelines.size(), 1u);
+  EXPECT_NEAR(report.timelines[0].prevalence, 0.5, 1e-12);
+}
+
+TEST(Prevalence, AccessorsMatchTimelines) {
+  std::vector<std::vector<std::uint64_t>> keys_by_epoch(4);
+  const ClusterKey a = key_of(dim_bit(AttrDim::kSite), Attrs{.site = 1});
+  const ClusterKey b = key_of(dim_bit(AttrDim::kSite), Attrs{.site = 2});
+  keys_by_epoch[0] = {a.raw()};
+  keys_by_epoch[1] = {a.raw(), b.raw()};
+  keys_by_epoch[3] = {a.raw()};
+  const PrevalenceReport report = build_prevalence(keys_by_epoch, 4);
+  EXPECT_EQ(report.prevalences().size(), 2u);
+  EXPECT_EQ(report.median_persistences().size(), 2u);
+  EXPECT_EQ(report.max_persistences().size(), 2u);
+  const auto* ta = find_timeline(report, a);
+  ASSERT_NE(ta, nullptr);
+  EXPECT_EQ(ta->epochs, (std::vector<std::uint32_t>{0, 1, 3}));
+  EXPECT_EQ(ta->max_persistence, 2u);
+  EXPECT_EQ(ta->median_persistence, 1u);  // streaks {2, 1} -> lower median 1
+}
+
+TEST(Prevalence, ExtractorsPullKeysFromPipelineResult) {
+  // Minimal end-to-end: a persistent bad CDN across 3 epochs.
+  std::vector<Session> sessions;
+  for (std::uint32_t e = 0; e < 3; ++e) {
+    test::add_sessions(sessions, e, Attrs{.cdn = 1, .asn = 1},
+                       test::bad_buffering(), 60);
+    test::add_sessions(sessions, e, Attrs{.cdn = 1, .asn = 2},
+                       test::good_quality(), 40);
+    test::add_sessions(sessions, e, Attrs{.cdn = 2, .asn = 1},
+                       test::good_quality(), 400);
+  }
+  PipelineConfig config;
+  config.cluster_params.min_sessions = 50;
+  const PipelineResult result = run_pipeline(SessionTable{sessions}, config);
+
+  const auto pc_keys = problem_cluster_keys(result, Metric::kBufRatio);
+  const auto cc_keys = critical_cluster_keys(result, Metric::kBufRatio);
+  ASSERT_EQ(pc_keys.size(), 3u);
+  ASSERT_EQ(cc_keys.size(), 3u);
+  for (std::uint32_t e = 0; e < 3; ++e) {
+    EXPECT_FALSE(pc_keys[e].empty());
+    EXPECT_FALSE(cc_keys[e].empty());
+  }
+  const PrevalenceReport cc_report = build_prevalence(cc_keys, 3);
+  // The same critical cluster must recur in all 3 epochs.
+  bool found_full_prevalence = false;
+  for (const auto& t : cc_report.timelines) {
+    if (t.prevalence == 1.0 && t.max_persistence == 3) {
+      found_full_prevalence = true;
+    }
+  }
+  EXPECT_TRUE(found_full_prevalence);
+}
+
+}  // namespace
+}  // namespace vq

@@ -1,0 +1,250 @@
+// Parameterized property suites (TEST_P): invariants that must hold across
+// sweeps of thresholds, significance floors, and random traces — including
+// the paper's §2 claim that the qualitative structure is threshold-stable.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/core/pipeline.h"
+#include "src/core/prevalence.h"
+#include "src/core/whatif.h"
+#include "src/gen/tracegen.h"
+
+namespace vq {
+namespace {
+
+SessionTable shared_trace() {
+  static const SessionTable trace = [] {
+    WorldConfig world_config;
+    world_config.num_sites = 50;
+    world_config.num_cdns = 8;
+    world_config.num_asns = 120;
+    const World world = World::build(world_config);
+    EventScheduleConfig event_config;
+    event_config.num_epochs = 6;
+    event_config.events_per_epoch = 1.5;
+    const EventSchedule events = EventSchedule::generate(world, event_config);
+    TraceConfig trace_config;
+    trace_config.num_epochs = 6;
+    trace_config.sessions_per_epoch = 2'000;
+    return generate_trace(world, events, trace_config);
+  }();
+  return trace;
+}
+
+// ---------------------------------------------------------------------------
+// Sweep the problem-cluster parameters.
+struct ClusterParamCase {
+  double ratio_multiplier;
+  std::uint32_t min_sessions;
+};
+
+class ClusterParamSweep : public ::testing::TestWithParam<ClusterParamCase> {
+};
+
+TEST_P(ClusterParamSweep, PipelineInvariantsHoldForAnyParams) {
+  const auto [multiplier, min_sessions] = GetParam();
+  PipelineConfig config;
+  config.cluster_params.ratio_multiplier = multiplier;
+  config.cluster_params.min_sessions = min_sessions;
+  const SessionTable trace = shared_trace();
+  const PipelineResult result = run_pipeline(trace, config);
+
+  for (const Metric m : kAllMetrics) {
+    for (std::uint32_t e = 0; e < result.num_epochs; ++e) {
+      const CriticalAnalysis& a = result.at(m, e).analysis;
+      // Chain: attributed <= in-problem-cluster <= all problem sessions.
+      EXPECT_LE(a.attributed_mass,
+                static_cast<double>(a.problem_sessions_in_pc) + 1e-6);
+      EXPECT_LE(a.problem_sessions_in_pc, a.problem_sessions);
+      // Critical clusters are a subset of problem clusters.
+      EXPECT_LE(a.criticals.size(),
+                static_cast<std::size_t>(a.num_problem_clusters));
+      // Coverages are proper fractions (tolerance: the attributed mass is a
+      // sum of fractional 1/k shares and can exceed the integer count by
+      // rounding dust).
+      EXPECT_GE(a.problem_cluster_coverage(), 0.0);
+      EXPECT_LE(a.problem_cluster_coverage(), 1.0);
+      EXPECT_GE(a.critical_cluster_coverage(), 0.0);
+      EXPECT_LE(a.critical_cluster_coverage(), 1.0 + 1e-9);
+      // Every reported critical satisfies the significance floor.
+      for (const CriticalRecord& c : a.criticals) {
+        EXPECT_GE(c.stats.sessions, min_sessions);
+        EXPECT_GT(c.attributed, 0.0);
+      }
+    }
+  }
+}
+
+TEST_P(ClusterParamSweep, StricterParamsNeverFindMoreProblemClusters) {
+  const auto [multiplier, min_sessions] = GetParam();
+  const SessionTable trace = shared_trace();
+  PipelineConfig loose;
+  loose.cluster_params.ratio_multiplier = multiplier;
+  loose.cluster_params.min_sessions = min_sessions;
+  PipelineConfig strict = loose;
+  strict.cluster_params.ratio_multiplier = multiplier * 1.5;
+  strict.cluster_params.min_sessions = min_sessions * 2;
+
+  const PipelineResult a = run_pipeline(trace, loose);
+  const PipelineResult b = run_pipeline(trace, strict);
+  for (const Metric m : kAllMetrics) {
+    EXPECT_LE(b.aggregates(m).mean_problem_clusters,
+              a.aggregates(m).mean_problem_clusters + 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ParamGrid, ClusterParamSweep,
+    ::testing::Values(ClusterParamCase{1.2, 30}, ClusterParamCase{1.5, 30},
+                      ClusterParamCase{1.5, 100}, ClusterParamCase{2.0, 50},
+                      ClusterParamCase{3.0, 200}),
+    [](const ::testing::TestParamInfo<ClusterParamCase>& info) {
+      return "mult" +
+             std::to_string(static_cast<int>(
+                 info.param.ratio_multiplier * 10)) +
+             "_min" + std::to_string(info.param.min_sessions);
+    });
+
+// ---------------------------------------------------------------------------
+// Sweep the problem-session thresholds (§2 robustness claim).
+struct ThresholdCase {
+  double bufratio;
+  double bitrate_kbps;
+  double join_time_ms;
+};
+
+class ThresholdSweep : public ::testing::TestWithParam<ThresholdCase> {};
+
+TEST_P(ThresholdSweep, SkewAndCoverageStructureIsThresholdStable) {
+  const auto [bufratio, bitrate, join_time] = GetParam();
+  PipelineConfig config;
+  config.thresholds.max_buffering_ratio = bufratio;
+  config.thresholds.min_bitrate_kbps = bitrate;
+  config.thresholds.max_join_time_ms = join_time;
+  config.cluster_params.min_sessions = 50;
+  const PipelineResult result = run_pipeline(shared_trace(), config);
+
+  for (const Metric m : kAllMetrics) {
+    const auto agg = result.aggregates(m);
+    // Structure, not values: coverage fractions stay proper, and critical
+    // clusters never outnumber problem clusters.
+    EXPECT_LE(agg.mean_critical_clusters,
+              agg.mean_problem_clusters + 1e-9);
+    EXPECT_LE(agg.mean_critical_coverage, agg.mean_problem_coverage + 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ThresholdGrid, ThresholdSweep,
+    ::testing::Values(ThresholdCase{0.02, 500, 5'000},
+                      ThresholdCase{0.05, 700, 10'000},
+                      ThresholdCase{0.10, 1'000, 20'000},
+                      ThresholdCase{0.20, 1'500, 30'000}),
+    [](const ::testing::TestParamInfo<ThresholdCase>& info) {
+      return "buf" + std::to_string(static_cast<int>(
+                         info.param.bufratio * 100)) +
+             "_br" + std::to_string(static_cast<int>(
+                         info.param.bitrate_kbps)) +
+             "_jt" + std::to_string(static_cast<int>(
+                         info.param.join_time_ms));
+    });
+
+// ---------------------------------------------------------------------------
+// What-if sweeps across metrics and rankings.
+class WhatIfSweep
+    : public ::testing::TestWithParam<std::tuple<Metric, RankBy>> {};
+
+TEST_P(WhatIfSweep, AlleviationIsMonotoneAndBounded) {
+  const auto [metric, rank_by] = GetParam();
+  PipelineConfig config;
+  config.cluster_params.min_sessions = 50;
+  const PipelineResult result = run_pipeline(shared_trace(), config);
+  const WhatIfAnalyzer whatif{result};
+
+  const double fractions[] = {0.0, 0.01, 0.05, 0.1, 0.25, 0.5, 1.0};
+  const auto sweep = whatif.topk_sweep(metric, rank_by, fractions);
+  ASSERT_EQ(sweep.size(), 7u);
+  double prev = -1.0;
+  for (const auto& point : sweep) {
+    EXPECT_GE(point.alleviated_fraction, prev - 1e-12);
+    EXPECT_GE(point.alleviated_fraction, 0.0);
+    EXPECT_LE(point.alleviated_fraction, 1.0);
+    prev = point.alleviated_fraction;
+  }
+}
+
+TEST_P(WhatIfSweep, ReactiveDelayDegradesMonotonically) {
+  const auto [metric, rank_by] = GetParam();
+  (void)rank_by;
+  PipelineConfig config;
+  config.cluster_params.min_sessions = 50;
+  const PipelineResult result = run_pipeline(shared_trace(), config);
+  const WhatIfAnalyzer whatif{result};
+
+  double prev = 1e9;
+  for (const std::uint32_t delay : {0u, 1u, 2u, 4u}) {
+    const auto outcome = whatif.reactive(metric, delay);
+    EXPECT_LE(outcome.alleviated_fraction, prev + 1e-12);
+    EXPECT_LE(outcome.alleviated_fraction,
+              outcome.potential_fraction + 1e-12);
+    prev = outcome.alleviated_fraction;
+    // Per-epoch accounting: after_reactive = original - alleviated >= 0,
+    // and outside_critical <= original.
+    for (std::size_t e = 0; e < outcome.original.size(); ++e) {
+      EXPECT_GE(outcome.after_reactive[e], -1e-9);
+      EXPECT_LE(outcome.after_reactive[e], outcome.original[e] + 1e-9);
+      EXPECT_GE(outcome.outside_critical[e], -1e-6);
+      EXPECT_LE(outcome.outside_critical[e], outcome.original[e] + 1e-9);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    MetricRankGrid, WhatIfSweep,
+    ::testing::Combine(::testing::Values(Metric::kBufRatio, Metric::kBitrate,
+                                         Metric::kJoinTime,
+                                         Metric::kJoinFailure),
+                       ::testing::Values(RankBy::kCoverage,
+                                         RankBy::kPrevalence,
+                                         RankBy::kPersistence)),
+    [](const ::testing::TestParamInfo<std::tuple<Metric, RankBy>>& info) {
+      return std::string(metric_name(std::get<0>(info.param))) + "_" +
+             std::string(rank_by_name(std::get<1>(info.param)));
+    });
+
+// ---------------------------------------------------------------------------
+// Engine arity-cap sweep: capping the lattice can only reduce the cluster
+// population, and global counters never change.
+class AritySweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(AritySweep, CapReducesClustersButNotGlobals) {
+  const int arity = GetParam();
+  const SessionTable trace = shared_trace();
+  PipelineConfig full;
+  full.cluster_params.min_sessions = 50;
+  PipelineConfig capped = full;
+  capped.engine.max_arity = arity;
+
+  const PipelineResult a = run_pipeline(trace, full);
+  const PipelineResult b = run_pipeline(trace, capped);
+  for (const Metric m : kAllMetrics) {
+    for (std::uint32_t e = 0; e < a.num_epochs; ++e) {
+      EXPECT_EQ(a.at(m, e).analysis.problem_sessions,
+                b.at(m, e).analysis.problem_sessions);
+      EXPECT_EQ(a.at(m, e).analysis.global_ratio,
+                b.at(m, e).analysis.global_ratio);
+      EXPECT_LE(b.at(m, e).analysis.num_problem_clusters,
+                a.at(m, e).analysis.num_problem_clusters);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(ArityGrid, AritySweep, ::testing::Values(1, 2, 3, 5),
+                         [](const ::testing::TestParamInfo<int>& info) {
+                           return "arity" + std::to_string(info.param);
+                         });
+
+}  // namespace
+}  // namespace vq

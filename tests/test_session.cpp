@@ -1,0 +1,133 @@
+#include "src/core/session.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "tests/test_support.h"
+
+namespace vq {
+namespace {
+
+using test::Attrs;
+
+TEST(ProblemThresholds, BufferingRatioRule) {
+  const ProblemThresholds t;
+  EXPECT_FALSE(t.is_problem(Metric::kBufRatio, test::good_quality()));
+  EXPECT_TRUE(t.is_problem(Metric::kBufRatio, test::bad_buffering()));
+  QualityMetrics boundary = test::good_quality();
+  boundary.buffering_ratio = 0.05F;  // exactly at the threshold: not greater
+  EXPECT_FALSE(t.is_problem(Metric::kBufRatio, boundary));
+}
+
+TEST(ProblemThresholds, BitrateRule) {
+  const ProblemThresholds t;
+  EXPECT_FALSE(t.is_problem(Metric::kBitrate, test::good_quality()));
+  EXPECT_TRUE(t.is_problem(Metric::kBitrate, test::bad_bitrate()));
+  QualityMetrics boundary = test::good_quality();
+  boundary.bitrate_kbps = 700.0F;  // exactly at the threshold: not below
+  EXPECT_FALSE(t.is_problem(Metric::kBitrate, boundary));
+}
+
+TEST(ProblemThresholds, JoinTimeRule) {
+  const ProblemThresholds t;
+  EXPECT_FALSE(t.is_problem(Metric::kJoinTime, test::good_quality()));
+  EXPECT_TRUE(t.is_problem(Metric::kJoinTime, test::bad_join_time()));
+}
+
+TEST(ProblemThresholds, JoinFailureRule) {
+  const ProblemThresholds t;
+  EXPECT_FALSE(t.is_problem(Metric::kJoinFailure, test::good_quality()));
+  EXPECT_TRUE(t.is_problem(Metric::kJoinFailure, test::failed_join()));
+}
+
+TEST(ProblemThresholds, FailedJoinOnlyCountsAsJoinFailure) {
+  // A failed session never played: its zero bitrate / zero buffering must
+  // not leak into the other metrics.
+  const ProblemThresholds t;
+  const QualityMetrics q = test::failed_join();
+  EXPECT_FALSE(t.is_problem(Metric::kBufRatio, q));
+  EXPECT_FALSE(t.is_problem(Metric::kBitrate, q));
+  EXPECT_FALSE(t.is_problem(Metric::kJoinTime, q));
+  EXPECT_TRUE(t.is_problem(Metric::kJoinFailure, q));
+}
+
+TEST(ProblemThresholds, ProblemBitsPackAllMetrics) {
+  const ProblemThresholds t;
+  EXPECT_EQ(t.problem_bits(test::good_quality()), 0);
+  EXPECT_EQ(t.problem_bits(test::bad_buffering()), 1u << 0);
+  EXPECT_EQ(t.problem_bits(test::bad_bitrate()), 1u << 1);
+  EXPECT_EQ(t.problem_bits(test::bad_join_time()), 1u << 2);
+  EXPECT_EQ(t.problem_bits(test::failed_join()), 1u << 3);
+
+  QualityMetrics multi = test::bad_buffering();
+  multi.bitrate_kbps = 100.0F;
+  EXPECT_EQ(t.problem_bits(multi), (1u << 0) | (1u << 1));
+}
+
+TEST(ProblemThresholds, CustomThresholdsApply) {
+  ProblemThresholds strict;
+  strict.max_buffering_ratio = 0.005;
+  strict.min_bitrate_kbps = 5000.0;
+  strict.max_join_time_ms = 1000.0;
+  const QualityMetrics q = test::good_quality();
+  EXPECT_TRUE(strict.is_problem(Metric::kBufRatio, q));
+  EXPECT_TRUE(strict.is_problem(Metric::kBitrate, q));
+  EXPECT_TRUE(strict.is_problem(Metric::kJoinTime, q));
+}
+
+TEST(MetricName, AllDistinctAndStable) {
+  EXPECT_EQ(metric_name(Metric::kBufRatio), "BufRatio");
+  EXPECT_EQ(metric_name(Metric::kBitrate), "Bitrate");
+  EXPECT_EQ(metric_name(Metric::kJoinTime), "JoinTime");
+  EXPECT_EQ(metric_name(Metric::kJoinFailure), "JoinFailure");
+}
+
+TEST(SessionTable, EmptyTable) {
+  const SessionTable table;
+  EXPECT_TRUE(table.empty());
+  EXPECT_EQ(table.num_epochs(), 0u);
+}
+
+TEST(SessionTable, SortsByEpochAndIndexes) {
+  std::vector<Session> sessions;
+  test::add_sessions(sessions, 2, Attrs{.site = 1}, test::good_quality(), 3);
+  test::add_sessions(sessions, 0, Attrs{.site = 2}, test::good_quality(), 2);
+  test::add_sessions(sessions, 2, Attrs{.site = 3}, test::bad_buffering(), 1);
+  const SessionTable table{std::move(sessions)};
+
+  EXPECT_EQ(table.size(), 6u);
+  EXPECT_EQ(table.num_epochs(), 3u);
+  EXPECT_EQ(table.epoch(0).size(), 2u);
+  EXPECT_EQ(table.epoch(1).size(), 0u);  // empty middle epoch
+  EXPECT_EQ(table.epoch(2).size(), 4u);
+  EXPECT_EQ(table.epoch(99).size(), 0u);  // out of range -> empty span
+  for (const Session& s : table.epoch(0)) EXPECT_EQ(s.epoch, 0u);
+  for (const Session& s : table.epoch(2)) EXPECT_EQ(s.epoch, 2u);
+}
+
+TEST(SessionTable, EpochSpansPartitionAllSessions) {
+  std::vector<Session> sessions;
+  for (std::uint32_t e : {4u, 1u, 3u, 1u, 4u, 0u}) {
+    sessions.push_back(
+        test::make_session(e, Attrs{.site = e}, test::good_quality()));
+  }
+  const SessionTable table{std::move(sessions)};
+  std::size_t total = 0;
+  for (std::uint32_t e = 0; e < table.num_epochs(); ++e) {
+    total += table.epoch(e).size();
+  }
+  EXPECT_EQ(total, table.size());
+}
+
+TEST(SessionTable, AppendRequiresFinalize) {
+  SessionTable table;
+  table.append(test::make_session(0, Attrs{}, test::good_quality()));
+  EXPECT_THROW((void)table.epoch(0), std::logic_error);
+  table.finalize();
+  EXPECT_EQ(table.epoch(0).size(), 1u);
+  EXPECT_EQ(table.num_epochs(), 1u);
+}
+
+}  // namespace
+}  // namespace vq

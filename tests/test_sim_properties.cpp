@@ -1,0 +1,182 @@
+// Parameterized property suites over the simulation substrate, plus a
+// consistency check between the streaming detector and the batch pipeline.
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "src/core/monitor.h"
+#include "src/core/pipeline.h"
+#include "src/gen/tracegen.h"
+#include "src/simnet/player.h"
+
+namespace vq {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Playback invariants across ABR kinds and path qualities.
+class PlaybackSweep
+    : public ::testing::TestWithParam<std::tuple<AbrKind, double>> {};
+
+TEST_P(PlaybackSweep, InvariantsHoldAcrossSeeds) {
+  const auto [kind, mean_kbps] = GetParam();
+  AbrConfig abr;
+  abr.kind = kind;
+  abr.ladder_kbps = kind == AbrKind::kFixedSingle
+                        ? std::vector<double>{1'800.0}
+                        : std::vector<double>{400, 800, 1'500, 2'500};
+  DeliveryConditions cond;
+  cond.bandwidth_mean_kbps = mean_kbps;
+  cond.bandwidth_sigma = 0.4;
+  cond.fade_prob = 0.02;
+  cond.join_failure_prob = 0.02;
+  PlayerConfig player;
+
+  for (std::uint64_t seed = 0; seed < 50; ++seed) {
+    const QualityMetrics q =
+        simulate_playback(cond, abr, player, 400.0, Xoshiro256ss{seed});
+    EXPECT_GE(q.join_time_ms, 0.0F);
+    EXPECT_LE(q.join_time_ms, player.join_timeout_ms + 1.0F);
+    EXPECT_GE(q.buffering_ratio, 0.0F);
+    EXPECT_LT(q.buffering_ratio, 1.0F);
+    if (q.join_failed) {
+      EXPECT_EQ(q.bitrate_kbps, 0.0F);
+      EXPECT_EQ(q.buffering_ratio, 0.0F);
+      EXPECT_EQ(q.join_time_ms, player.join_timeout_ms);
+    } else {
+      // Average bitrate is a convex combination of ladder rungs.
+      EXPECT_GE(q.bitrate_kbps, static_cast<float>(abr.ladder_kbps.front()));
+      EXPECT_LE(q.bitrate_kbps, static_cast<float>(abr.ladder_kbps.back()));
+    }
+  }
+}
+
+TEST_P(PlaybackSweep, FasterPathsAreNeverWorseOnAverage) {
+  const auto [kind, mean_kbps] = GetParam();
+  AbrConfig abr;
+  abr.kind = kind;
+  abr.ladder_kbps = kind == AbrKind::kFixedSingle
+                        ? std::vector<double>{1'800.0}
+                        : std::vector<double>{400, 800, 1'500, 2'500};
+  PlayerConfig player;
+  player.join_timeout_ms = 1e9;
+
+  const auto mean_quality = [&](double kbps) {
+    DeliveryConditions cond;
+    cond.bandwidth_mean_kbps = kbps;
+    cond.bandwidth_sigma = 0.3;
+    double buffering = 0.0;
+    double bitrate = 0.0;
+    constexpr int kRuns = 40;
+    for (std::uint64_t seed = 0; seed < kRuns; ++seed) {
+      const QualityMetrics q =
+          simulate_playback(cond, abr, player, 400.0, Xoshiro256ss{seed});
+      buffering += q.buffering_ratio;
+      bitrate += q.bitrate_kbps;
+    }
+    return std::pair{buffering / kRuns, bitrate / kRuns};
+  };
+
+  const auto [slow_buf, slow_bitrate] = mean_quality(mean_kbps);
+  const auto [fast_buf, fast_bitrate] = mean_quality(mean_kbps * 4.0);
+  EXPECT_LE(fast_buf, slow_buf + 0.01);
+  EXPECT_GE(fast_bitrate, slow_bitrate - 50.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    KindsAndPaths, PlaybackSweep,
+    ::testing::Combine(::testing::Values(AbrKind::kFixedSingle,
+                                         AbrKind::kRateBased,
+                                         AbrKind::kBufferBased),
+                       ::testing::Values(600.0, 1'500.0, 6'000.0)),
+    [](const ::testing::TestParamInfo<std::tuple<AbrKind, double>>& info) {
+      return std::string(abr_kind_name(std::get<0>(info.param))) + "_" +
+             std::to_string(static_cast<int>(std::get<1>(info.param))) +
+             "kbps";
+    });
+
+// ---------------------------------------------------------------------------
+// Fade regime statistics.
+TEST(BandwidthFades, FadesDepressThroughputByExpectedAmount) {
+  BandwidthParams params;
+  params.mean_kbps = 1'000.0;
+  params.sigma = 0.0;  // isolate the fade process
+  params.fade_prob = 0.05;
+  params.fade_depth = 0.2;
+  params.fade_continue = 0.6;
+  BandwidthProcess process{params, Xoshiro256ss{99}};
+
+  int faded = 0;
+  constexpr int kN = 200'000;
+  for (int i = 0; i < kN; ++i) {
+    const double kbps = process.next_kbps();
+    if (kbps < 500.0) {
+      ++faded;
+      EXPECT_NEAR(kbps, 200.0, 1e-6);
+    } else {
+      EXPECT_NEAR(kbps, 1'000.0, 1e-6);
+    }
+  }
+  // Stationary fade occupancy: entry p / (entry p + exit (1-continue))
+  // for small p ~= p / (p + 0.4) = 0.111.
+  EXPECT_NEAR(faded / static_cast<double>(kN), 0.111, 0.01);
+}
+
+TEST(BandwidthFades, ZeroProbabilityMeansNoFades) {
+  BandwidthParams params;
+  params.mean_kbps = 1'000.0;
+  params.sigma = 0.0;
+  params.fade_prob = 0.0;
+  BandwidthProcess process{params, Xoshiro256ss{5}};
+  for (int i = 0; i < 10'000; ++i) {
+    EXPECT_NEAR(process.next_kbps(), 1'000.0, 1e-6);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// StreamingDetector vs batch pipeline: identical critical clusters when fed
+// the same epochs contiguously with the same parameters.
+TEST(MonitorPipelineConsistency, SameCriticalClustersPerEpoch) {
+  WorldConfig world_config;
+  world_config.num_sites = 40;
+  world_config.num_cdns = 8;
+  world_config.num_asns = 120;
+  const World world = World::build(world_config);
+  EventScheduleConfig event_config;
+  event_config.num_epochs = 6;
+  const EventSchedule events = EventSchedule::generate(world, event_config);
+  TraceConfig trace_config;
+  trace_config.num_epochs = 6;
+  trace_config.sessions_per_epoch = 1'500;
+  const SessionTable trace = generate_trace(world, events, trace_config);
+
+  PipelineConfig pipeline_config;
+  pipeline_config.cluster_params.min_sessions = 60;
+  const PipelineResult result = run_pipeline(trace, pipeline_config);
+
+  MonitorConfig monitor_config;
+  monitor_config.cluster_params = pipeline_config.cluster_params;
+  StreamingDetector detector{monitor_config};
+
+  for (std::uint32_t e = 0; e < 6; ++e) {
+    (void)detector.ingest(trace.epoch(e), e);
+    for (const Metric m : kAllMetrics) {
+      const auto& batch = result.at(m, e).analysis.criticals;
+      const auto live = detector.active(m);
+      ASSERT_EQ(live.size(), batch.size())
+          << "epoch " << e << " metric " << metric_name(m);
+      // Same key sets and attribution masses.
+      for (const Incident& incident : live) {
+        const auto it = std::find_if(
+            batch.begin(), batch.end(), [&](const CriticalRecord& c) {
+              return c.key == incident.key;
+            });
+        ASSERT_NE(it, batch.end());
+        EXPECT_DOUBLE_EQ(it->attributed, incident.attributed);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace vq

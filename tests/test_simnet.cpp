@@ -1,0 +1,309 @@
+// Delivery-simulation substrate: bandwidth process, ABR controllers,
+// delivery conditions, playback simulation.
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "src/simnet/abr.h"
+#include "src/simnet/bandwidth.h"
+#include "src/simnet/cdn.h"
+#include "src/simnet/player.h"
+
+namespace vq {
+namespace {
+
+TEST(BandwidthProcess, AlwaysPositive) {
+  BandwidthProcess process{{.mean_kbps = 100.0, .sigma = 1.0},
+                           Xoshiro256ss{1}};
+  for (int i = 0; i < 10'000; ++i) EXPECT_GT(process.next_kbps(), 0.0);
+}
+
+TEST(BandwidthProcess, LongRunMeanMatchesConfigured) {
+  BandwidthProcess process{
+      {.mean_kbps = 5'000.0, .sigma = 0.4, .reversion = 0.6},
+      Xoshiro256ss{2}};
+  double sum = 0.0;
+  constexpr int kN = 200'000;
+  for (int i = 0; i < kN; ++i) sum += process.next_kbps();
+  EXPECT_NEAR(sum / kN, 5'000.0, 5'000.0 * 0.03);
+}
+
+TEST(BandwidthProcess, ZeroSigmaIsConstant) {
+  BandwidthProcess process{{.mean_kbps = 1'000.0, .sigma = 0.0},
+                           Xoshiro256ss{3}};
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_NEAR(process.next_kbps(), 1'000.0, 1e-9);
+  }
+}
+
+TEST(BandwidthProcess, DeterministicGivenSeed) {
+  BandwidthProcess a{{.mean_kbps = 800.0, .sigma = 0.5}, Xoshiro256ss{7}};
+  BandwidthProcess b{{.mean_kbps = 800.0, .sigma = 0.5}, Xoshiro256ss{7}};
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(a.next_kbps(), b.next_kbps());
+}
+
+TEST(BandwidthProcess, TemporallyCorrelated) {
+  // With strong persistence (low reversion), consecutive samples must
+  // correlate far more than independent draws.
+  BandwidthProcess process{
+      {.mean_kbps = 1'000.0, .sigma = 0.5, .reversion = 0.1},
+      Xoshiro256ss{11}};
+  double prev = process.next_kbps();
+  double same_side = 0;
+  constexpr int kN = 20'000;
+  for (int i = 0; i < kN; ++i) {
+    const double next = process.next_kbps();
+    if ((next > 1'000.0) == (prev > 1'000.0)) ++same_side;
+    prev = next;
+  }
+  EXPECT_GT(same_side / kN, 0.7);
+}
+
+TEST(AbrController, RejectsBadLadders) {
+  AbrConfig empty;
+  empty.ladder_kbps.clear();
+  EXPECT_THROW(AbrController{empty}, std::invalid_argument);
+  AbrConfig unsorted;
+  unsorted.ladder_kbps = {800, 400};
+  EXPECT_THROW(AbrController{unsorted}, std::invalid_argument);
+}
+
+TEST(AbrController, FixedSingleAlwaysReturnsTheRung) {
+  AbrConfig config;
+  config.kind = AbrKind::kFixedSingle;
+  config.ladder_kbps = {1'800};
+  AbrController abr{config};
+  EXPECT_EQ(abr.initial_bitrate(100.0), 1'800.0);
+  EXPECT_EQ(abr.next_bitrate(50.0, 0.0), 1'800.0);
+  EXPECT_EQ(abr.next_bitrate(100'000.0, 30.0), 1'800.0);
+}
+
+TEST(AbrController, RateBasedPicksHighestRungBelowSafeEstimate) {
+  AbrConfig config;
+  config.kind = AbrKind::kRateBased;
+  config.ladder_kbps = {400, 800, 1'500, 2'500};
+  config.safety_factor = 0.8;
+  config.ewma_alpha = 1.0;  // estimate == latest observation
+  AbrController abr{config};
+  (void)abr.initial_bitrate(1'000.0);
+  EXPECT_EQ(abr.next_bitrate(2'000.0, 10.0), 1'500.0);  // 0.8*2000 = 1600
+  EXPECT_EQ(abr.next_bitrate(600.0, 10.0), 400.0);      // 0.8*600 = 480
+  EXPECT_EQ(abr.next_bitrate(10'000.0, 10.0), 2'500.0);
+  EXPECT_EQ(abr.next_bitrate(100.0, 10.0), 400.0);  // clamps to lowest
+}
+
+TEST(AbrController, RateBasedEwmaSmoothsEstimate) {
+  AbrConfig config;
+  config.kind = AbrKind::kRateBased;
+  config.ladder_kbps = {400, 800, 1'500, 2'500};
+  config.safety_factor = 1.0;
+  config.ewma_alpha = 0.5;
+  AbrController abr{config};
+  (void)abr.initial_bitrate(400.0);
+  // One huge sample moves the estimate to (0.5*10000 + 0.5*400) = 5200.
+  EXPECT_EQ(abr.next_bitrate(10'000.0, 10.0), 2'500.0);
+  // A crash to 100 kbps: estimate (0.5*100 + 0.5*5200) = 2650 -> still 2500.
+  EXPECT_EQ(abr.next_bitrate(100.0, 10.0), 2'500.0);
+  // Second bad sample drags it down to 1375 -> 800.
+  EXPECT_EQ(abr.next_bitrate(100.0, 10.0), 800.0);
+}
+
+TEST(AbrController, BufferBasedMapsOccupancyToLadder) {
+  AbrConfig config;
+  config.kind = AbrKind::kBufferBased;
+  config.ladder_kbps = {400, 800, 1'500, 2'500, 4'500};
+  config.buffer_low_s = 5.0;
+  config.buffer_high_s = 20.0;
+  AbrController abr{config};
+  (void)abr.initial_bitrate(2'000.0);
+  EXPECT_EQ(abr.next_bitrate(1'000.0, 0.0), 400.0);      // reservoir
+  EXPECT_EQ(abr.next_bitrate(1'000.0, 5.0), 400.0);
+  EXPECT_EQ(abr.next_bitrate(1'000.0, 25.0), 4'500.0);   // above cushion
+  EXPECT_EQ(abr.next_bitrate(1'000.0, 12.5), 1'500.0);   // middle
+}
+
+TEST(AbrController, AlwaysReturnsALadderRung) {
+  for (const AbrKind kind :
+       {AbrKind::kFixedSingle, AbrKind::kRateBased, AbrKind::kBufferBased}) {
+    AbrConfig config;
+    config.kind = kind;
+    config.ladder_kbps = {400, 800, 1'500};
+    AbrController abr{config};
+    Xoshiro256ss rng{5};
+    double bitrate = abr.initial_bitrate(rng.uniform(10, 50'000));
+    for (int i = 0; i < 1'000; ++i) {
+      const auto ladder = abr.ladder();
+      EXPECT_NE(std::find(ladder.begin(), ladder.end(), bitrate),
+                ladder.end());
+      bitrate =
+          abr.next_bitrate(rng.uniform(10, 50'000), rng.uniform(0, 30));
+    }
+  }
+}
+
+TEST(DeliveryConditions, ImpactComposition) {
+  DeliveryConditions cond;
+  cond.bandwidth_mean_kbps = 4'000.0;
+  cond.rtt_ms = 50.0;
+  cond.join_failure_prob = 0.01;
+  cond.startup_overhead_ms = 300.0;
+  cond.apply_impact(0.5, 2.0, 0.1, 1'000.0);
+  cond.apply_impact(0.5, 1.0, 0.05, 0.0);
+  EXPECT_DOUBLE_EQ(cond.bandwidth_mean_kbps, 1'000.0);
+  EXPECT_DOUBLE_EQ(cond.rtt_ms, 100.0);
+  EXPECT_NEAR(cond.join_failure_prob, 0.16, 1e-12);
+  EXPECT_DOUBLE_EQ(cond.startup_overhead_ms, 1'300.0);
+}
+
+TEST(DeliveryConditions, ClampBoundsEverything) {
+  DeliveryConditions cond;
+  cond.bandwidth_mean_kbps = -5.0;
+  cond.rtt_ms = 1e9;
+  cond.join_failure_prob = 7.0;
+  cond.startup_overhead_ms = -100.0;
+  cond.bandwidth_sigma = 99.0;
+  cond.clamp();
+  EXPECT_GE(cond.bandwidth_mean_kbps, 10.0);
+  EXPECT_LE(cond.rtt_ms, 10'000.0);
+  EXPECT_LE(cond.join_failure_prob, 1.0);
+  EXPECT_GE(cond.startup_overhead_ms, 0.0);
+  EXPECT_LE(cond.bandwidth_sigma, 2.0);
+}
+
+AbrConfig default_abr() {
+  AbrConfig config;
+  config.ladder_kbps = {400, 800, 1'500, 2'500};
+  return config;
+}
+
+TEST(Player, CertainFailureProbabilityFails) {
+  DeliveryConditions cond;
+  cond.join_failure_prob = 1.0;
+  const QualityMetrics q =
+      simulate_playback(cond, default_abr(), {}, 300.0, Xoshiro256ss{1});
+  EXPECT_TRUE(q.join_failed);
+  EXPECT_EQ(q.bitrate_kbps, 0.0F);
+  EXPECT_EQ(q.buffering_ratio, 0.0F);
+}
+
+TEST(Player, FastPathPlaysCleanlyAtTopRung) {
+  DeliveryConditions cond;
+  cond.bandwidth_mean_kbps = 50'000.0;
+  cond.bandwidth_sigma = 0.05;
+  cond.rtt_ms = 20.0;
+  cond.join_failure_prob = 0.0;
+  const QualityMetrics q =
+      simulate_playback(cond, default_abr(), {}, 600.0, Xoshiro256ss{2});
+  EXPECT_FALSE(q.join_failed);
+  EXPECT_LT(q.join_time_ms, 3'000.0F);
+  EXPECT_EQ(q.buffering_ratio, 0.0F);
+  EXPECT_GT(q.bitrate_kbps, 2'000.0F);  // converges to the 2500 rung
+}
+
+TEST(Player, StarvedPathBuffersHeavily) {
+  DeliveryConditions cond;
+  cond.bandwidth_mean_kbps = 200.0;  // below the lowest rung
+  cond.bandwidth_sigma = 0.1;
+  AbrConfig abr = default_abr();
+  PlayerConfig player;
+  player.join_timeout_ms = 1e9;  // isolate the buffering behaviour
+  const QualityMetrics q =
+      simulate_playback(cond, abr, player, 600.0, Xoshiro256ss{3});
+  EXPECT_FALSE(q.join_failed);
+  EXPECT_GT(q.buffering_ratio, 0.3F);
+  EXPECT_LT(q.bitrate_kbps, 700.0F);
+}
+
+TEST(Player, StartupStarvationBecomesJoinFailure) {
+  DeliveryConditions cond;
+  cond.bandwidth_mean_kbps = 30.0;  // can never fill the startup buffer
+  cond.bandwidth_sigma = 0.05;
+  const QualityMetrics q =
+      simulate_playback(cond, default_abr(), {}, 300.0, Xoshiro256ss{4});
+  EXPECT_TRUE(q.join_failed);
+  EXPECT_EQ(q.join_time_ms, PlayerConfig{}.join_timeout_ms);
+}
+
+TEST(Player, SingleBitrateSiteBuffersWhereAdaptiveDoesNot) {
+  // The paper's Table 3 signature: on a mediocre path, a single-bitrate
+  // site buffers while an adaptive site downshifts and plays cleanly.
+  DeliveryConditions cond;
+  cond.bandwidth_mean_kbps = 1'200.0;
+  cond.bandwidth_sigma = 0.3;
+
+  AbrConfig fixed;
+  fixed.kind = AbrKind::kFixedSingle;
+  fixed.ladder_kbps = {1'800};
+
+  PlayerConfig player;
+  player.join_timeout_ms = 1e9;
+
+  double fixed_buf = 0.0;
+  double adaptive_buf = 0.0;
+  for (std::uint64_t seed = 0; seed < 40; ++seed) {
+    fixed_buf += simulate_playback(cond, fixed, player, 600.0,
+                                   Xoshiro256ss{seed})
+                     .buffering_ratio;
+    adaptive_buf += simulate_playback(cond, default_abr(), player, 600.0,
+                                      Xoshiro256ss{seed})
+                        .buffering_ratio;
+  }
+  EXPECT_GT(fixed_buf, adaptive_buf * 3.0);
+}
+
+TEST(Player, JoinTimeGrowsWithRttAndOverhead) {
+  DeliveryConditions fast;
+  fast.bandwidth_mean_kbps = 10'000.0;
+  fast.rtt_ms = 30.0;
+  fast.startup_overhead_ms = 300.0;
+  DeliveryConditions slow = fast;
+  slow.rtt_ms = 500.0;
+  slow.startup_overhead_ms = 9'000.0;
+  const QualityMetrics fast_q =
+      simulate_playback(fast, default_abr(), {}, 300.0, Xoshiro256ss{6});
+  const QualityMetrics slow_q =
+      simulate_playback(slow, default_abr(), {}, 300.0, Xoshiro256ss{6});
+  EXPECT_GT(slow_q.join_time_ms, fast_q.join_time_ms + 9'000.0F);
+}
+
+TEST(Player, DeterministicGivenSeed) {
+  DeliveryConditions cond;
+  cond.bandwidth_mean_kbps = 2'000.0;
+  const QualityMetrics a =
+      simulate_playback(cond, default_abr(), {}, 300.0, Xoshiro256ss{42});
+  const QualityMetrics b =
+      simulate_playback(cond, default_abr(), {}, 300.0, Xoshiro256ss{42});
+  EXPECT_EQ(a, b);
+}
+
+TEST(Player, MetricsAlwaysInValidRanges) {
+  Xoshiro256ss rng{9};
+  for (int trial = 0; trial < 300; ++trial) {
+    DeliveryConditions cond;
+    cond.bandwidth_mean_kbps = rng.uniform(10.0, 20'000.0);
+    cond.bandwidth_sigma = rng.uniform(0.0, 1.0);
+    cond.rtt_ms = rng.uniform(1.0, 1'000.0);
+    cond.join_failure_prob = rng.uniform(0.0, 0.2);
+    cond.startup_overhead_ms = rng.uniform(0.0, 5'000.0);
+    const QualityMetrics q = simulate_playback(
+        cond, default_abr(), {}, rng.uniform(10.0, 3'600.0),
+        rng.derive(trial));
+    EXPECT_GE(q.buffering_ratio, 0.0F);
+    EXPECT_LT(q.buffering_ratio, 1.0F);
+    EXPECT_GE(q.join_time_ms, 0.0F);
+    if (!q.join_failed) {
+      EXPECT_GE(q.bitrate_kbps, 400.0F);
+      EXPECT_LE(q.bitrate_kbps, 2'500.0F);
+    }
+  }
+}
+
+TEST(AbrKindName, Labels) {
+  EXPECT_EQ(abr_kind_name(AbrKind::kFixedSingle), "FixedSingle");
+  EXPECT_EQ(abr_kind_name(AbrKind::kRateBased), "RateBased");
+  EXPECT_EQ(abr_kind_name(AbrKind::kBufferBased), "BufferBased");
+}
+
+}  // namespace
+}  // namespace vq

@@ -1,0 +1,214 @@
+// StreamingSummary, EmpiricalCdf, streak utilities, Jaccard.
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "src/stats/cdf.h"
+#include "src/stats/jaccard.h"
+#include "src/stats/summary.h"
+#include "src/stats/timeseries.h"
+#include "src/util/rng.h"
+
+namespace vq {
+namespace {
+
+TEST(StreamingSummary, EmptyDefaults) {
+  const StreamingSummary s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_EQ(s.sum(), 0.0);
+}
+
+TEST(StreamingSummary, MatchesDirectComputation) {
+  const std::vector<double> xs = {1.0, 2.5, -3.0, 7.0, 0.5};
+  StreamingSummary s;
+  for (const double x : xs) s.add(x);
+  double mean = 0.0;
+  for (const double x : xs) mean += x;
+  mean /= static_cast<double>(xs.size());
+  double var = 0.0;
+  for (const double x : xs) var += (x - mean) * (x - mean);
+  var /= static_cast<double>(xs.size() - 1);
+  EXPECT_EQ(s.count(), xs.size());
+  EXPECT_DOUBLE_EQ(s.mean(), mean);
+  EXPECT_NEAR(s.variance(), var, 1e-12);
+  EXPECT_EQ(s.min(), -3.0);
+  EXPECT_EQ(s.max(), 7.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 8.0);
+}
+
+TEST(StreamingSummary, SingleSampleHasZeroVariance) {
+  StreamingSummary s;
+  s.add(4.0);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_EQ(s.stddev(), 0.0);
+}
+
+TEST(StreamingSummary, MergeEqualsPooledStream) {
+  Xoshiro256ss rng{17};
+  StreamingSummary a, b, pooled;
+  for (int i = 0; i < 1'000; ++i) {
+    const double x = rng.normal(3.0, 2.0);
+    pooled.add(x);
+    (i % 2 == 0 ? a : b).add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), pooled.count());
+  EXPECT_NEAR(a.mean(), pooled.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), pooled.variance(), 1e-9);
+  EXPECT_EQ(a.min(), pooled.min());
+  EXPECT_EQ(a.max(), pooled.max());
+}
+
+TEST(StreamingSummary, MergeWithEmptyIsIdentity) {
+  StreamingSummary a;
+  a.add(1.0);
+  a.add(2.0);
+  StreamingSummary empty;
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 2u);
+  StreamingSummary b;
+  b.merge(a);
+  EXPECT_EQ(b.count(), 2u);
+  EXPECT_DOUBLE_EQ(b.mean(), 1.5);
+}
+
+TEST(EmpiricalCdf, EmptyBehaviour) {
+  const EmpiricalCdf cdf;
+  EXPECT_TRUE(cdf.empty());
+  EXPECT_EQ(cdf.at(1.0), 0.0);
+  EXPECT_THROW((void)cdf.quantile(0.5), std::invalid_argument);
+  EXPECT_TRUE(cdf.curve(5).empty());
+}
+
+TEST(EmpiricalCdf, AtComputesInclusiveFraction) {
+  const EmpiricalCdf cdf{std::vector<double>{1, 2, 3, 4}};
+  EXPECT_DOUBLE_EQ(cdf.at(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(cdf.at(1.0), 0.25);
+  EXPECT_DOUBLE_EQ(cdf.at(2.5), 0.5);
+  EXPECT_DOUBLE_EQ(cdf.at(4.0), 1.0);
+  EXPECT_DOUBLE_EQ(cdf.at(99.0), 1.0);
+}
+
+TEST(EmpiricalCdf, QuantileMatchesDefinition) {
+  const EmpiricalCdf cdf{std::vector<double>{10, 20, 30, 40, 50}};
+  EXPECT_EQ(cdf.quantile(0.0), 10.0);
+  EXPECT_EQ(cdf.quantile(0.2), 10.0);
+  EXPECT_EQ(cdf.quantile(0.21), 20.0);
+  EXPECT_EQ(cdf.quantile(0.5), 30.0);
+  EXPECT_EQ(cdf.quantile(1.0), 50.0);
+  EXPECT_THROW((void)cdf.quantile(-0.1), std::invalid_argument);
+  EXPECT_THROW((void)cdf.quantile(1.1), std::invalid_argument);
+}
+
+TEST(EmpiricalCdf, QuantileIsInverseOfAt) {
+  Xoshiro256ss rng{21};
+  std::vector<double> xs;
+  for (int i = 0; i < 1'000; ++i) xs.push_back(rng.uniform01());
+  const EmpiricalCdf cdf{xs};
+  for (const double q : {0.1, 0.25, 0.5, 0.9, 0.99}) {
+    EXPECT_GE(cdf.at(cdf.quantile(q)), q - 1e-9);
+  }
+}
+
+TEST(EmpiricalCdf, CurveIsMonotone) {
+  Xoshiro256ss rng{22};
+  std::vector<double> xs;
+  for (int i = 0; i < 500; ++i) xs.push_back(rng.normal());
+  const EmpiricalCdf cdf{xs};
+  const auto curve = cdf.curve(20);
+  ASSERT_EQ(curve.size(), 20u);
+  for (std::size_t i = 1; i < curve.size(); ++i) {
+    EXPECT_LE(curve[i - 1].value, curve[i].value);
+    EXPECT_LT(curve[i - 1].probability, curve[i].probability);
+  }
+  EXPECT_DOUBLE_EQ(curve.front().probability, 0.0);
+  EXPECT_DOUBLE_EQ(curve.back().probability, 1.0);
+}
+
+TEST(EmpiricalCdf, TableContainsHeaderAndRows) {
+  const EmpiricalCdf cdf{std::vector<double>{1, 2, 3}};
+  const std::string table = cdf.table(3, "metric");
+  EXPECT_NE(table.find("metric"), std::string::npos);
+  EXPECT_NE(table.find("P(X<=v)"), std::string::npos);
+  // Header plus 3 data rows -> 4 newline-terminated lines.
+  EXPECT_EQ(std::count(table.begin(), table.end(), '\n'), 4);
+}
+
+TEST(Streaks, FromBooleanSeries) {
+  constexpr std::array<bool, 8> kActive = {true, true, false, true,
+                                           false, true, true, true};
+  EXPECT_EQ(streak_lengths(kActive), (std::vector<std::uint32_t>{2, 1, 3}));
+}
+
+TEST(Streaks, EmptyAndAllFalse) {
+  EXPECT_TRUE(streak_lengths({}).empty());
+  constexpr std::array<bool, 2> kOff = {false, false};
+  EXPECT_TRUE(streak_lengths(kOff).empty());
+}
+
+TEST(Streaks, TrailingRunIsCounted) {
+  constexpr std::array<bool, 3> kActive = {false, true, true};
+  EXPECT_EQ(streak_lengths(kActive), (std::vector<std::uint32_t>{2}));
+}
+
+TEST(Streaks, FromEpochIndices) {
+  const std::vector<std::uint32_t> epochs = {1, 2, 5, 7, 8, 9};
+  EXPECT_EQ(streak_lengths_from_epochs(epochs),
+            (std::vector<std::uint32_t>{2, 1, 3}));
+  const auto streaks = streaks_from_epochs(epochs);
+  ASSERT_EQ(streaks.size(), 3u);
+  EXPECT_EQ(streaks[0].start, 1u);
+  EXPECT_EQ(streaks[0].length, 2u);
+  EXPECT_EQ(streaks[1].start, 5u);
+  EXPECT_EQ(streaks[2].start, 7u);
+  EXPECT_EQ(streaks[2].length, 3u);
+}
+
+TEST(Streaks, MatchesBooleanFormulationProperty) {
+  Xoshiro256ss rng{33};
+  for (int trial = 0; trial < 50; ++trial) {
+    std::array<bool, 100> series{};
+    std::vector<std::uint32_t> epochs;
+    for (std::uint32_t i = 0; i < 100; ++i) {
+      series[i] = rng.bernoulli(0.4);
+      if (series[i]) epochs.push_back(i);
+    }
+    EXPECT_EQ(streak_lengths(series), streak_lengths_from_epochs(epochs));
+  }
+}
+
+TEST(Streaks, MedianAndMax) {
+  EXPECT_EQ(median_streak({}), 0u);
+  EXPECT_EQ(median_streak({5}), 5u);
+  EXPECT_EQ(median_streak({1, 9, 3}), 3u);
+  EXPECT_EQ(median_streak({4, 1, 3, 2}), 2u);  // lower median
+  EXPECT_EQ(max_streak(std::vector<std::uint32_t>{1, 9, 3}), 9u);
+  EXPECT_EQ(max_streak(std::vector<std::uint32_t>{}), 0u);
+}
+
+TEST(Jaccard, BasicCases) {
+  const std::vector<std::uint64_t> a = {1, 2, 3};
+  const std::vector<std::uint64_t> b = {2, 3, 4};
+  EXPECT_DOUBLE_EQ(jaccard_index(a, b), 0.5);
+  EXPECT_DOUBLE_EQ(jaccard_index(a, a), 1.0);
+  const std::vector<std::uint64_t> disjoint = {9, 10};
+  EXPECT_DOUBLE_EQ(jaccard_index(a, disjoint), 0.0);
+  EXPECT_DOUBLE_EQ(jaccard_index({}, {}), 0.0);
+  EXPECT_DOUBLE_EQ(jaccard_index(a, {}), 0.0);
+}
+
+TEST(Jaccard, OrderIndependent) {
+  const std::vector<std::uint64_t> a = {5, 1, 3};
+  const std::vector<std::uint64_t> b = {3, 7, 1};
+  EXPECT_DOUBLE_EQ(jaccard_index(a, b), jaccard_index(b, a));
+  EXPECT_DOUBLE_EQ(jaccard_index(a, b), 0.5);
+}
+
+}  // namespace
+}  // namespace vq

@@ -1,0 +1,83 @@
+// Shared fixtures/helpers for the vidqual test suite.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/core/attributes.h"
+#include "src/core/session.h"
+
+namespace vq::test {
+
+/// Quality presets relative to the default ProblemThresholds.
+inline QualityMetrics good_quality() {
+  return {.buffering_ratio = 0.01F,
+          .bitrate_kbps = 3000.0F,
+          .join_time_ms = 1500.0F,
+          .join_failed = false};
+}
+
+inline QualityMetrics bad_buffering() {
+  QualityMetrics q = good_quality();
+  q.buffering_ratio = 0.20F;
+  return q;
+}
+
+inline QualityMetrics bad_bitrate() {
+  QualityMetrics q = good_quality();
+  q.bitrate_kbps = 350.0F;
+  return q;
+}
+
+inline QualityMetrics bad_join_time() {
+  QualityMetrics q = good_quality();
+  q.join_time_ms = 25'000.0F;
+  return q;
+}
+
+inline QualityMetrics failed_join() {
+  QualityMetrics q{};
+  q.join_failed = true;
+  q.join_time_ms = 30'000.0F;
+  return q;
+}
+
+/// Compact attribute construction: unspecified dims default to value 0.
+struct Attrs {
+  std::uint16_t site = 0;
+  std::uint16_t cdn = 0;
+  std::uint16_t asn = 0;
+  std::uint16_t conn = 0;
+  std::uint16_t player = 0;
+  std::uint16_t browser = 0;
+  std::uint16_t vod = 0;
+
+  [[nodiscard]] AttrVec vec() const {
+    AttrVec v;
+    v[AttrDim::kSite] = site;
+    v[AttrDim::kCdn] = cdn;
+    v[AttrDim::kAsn] = asn;
+    v[AttrDim::kConnType] = conn;
+    v[AttrDim::kPlayer] = player;
+    v[AttrDim::kBrowser] = browser;
+    v[AttrDim::kVodLive] = vod;
+    return v;
+  }
+};
+
+inline Session make_session(std::uint32_t epoch, const Attrs& attrs,
+                            const QualityMetrics& quality) {
+  return Session{.attrs = attrs.vec(), .epoch = epoch, .quality = quality};
+}
+
+/// n copies of the same session.
+inline void add_sessions(std::vector<Session>& out, std::uint32_t epoch,
+                         const Attrs& attrs, const QualityMetrics& quality,
+                         std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) {
+    out.push_back(make_session(epoch, attrs, quality));
+  }
+}
+
+}  // namespace vq::test

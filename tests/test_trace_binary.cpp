@@ -1,0 +1,138 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "src/gen/trace_io.h"
+#include "src/gen/tracegen.h"
+#include "tests/test_support.h"
+
+namespace vq {
+namespace {
+
+using test::Attrs;
+
+LoadedTrace generate_loaded(std::uint32_t epochs = 2,
+                            std::uint32_t per_epoch = 300) {
+  WorldConfig world_config;
+  world_config.num_sites = 25;
+  world_config.num_cdns = 6;
+  world_config.num_asns = 40;
+  const World world = World::build(world_config);
+  TraceConfig trace_config;
+  trace_config.num_epochs = epochs;
+  trace_config.sessions_per_epoch = per_epoch;
+  SessionTable table =
+      generate_trace(world, EventSchedule::none(epochs), trace_config);
+  // Round through CSV once to get a LoadedTrace-style schema copy.
+  std::stringstream buffer;
+  write_trace_csv(buffer, table, world.schema());
+  return read_trace_csv(buffer);
+}
+
+TEST(TraceBinary, RoundTripsExactly) {
+  const LoadedTrace original = generate_loaded();
+  std::stringstream buffer{std::ios::in | std::ios::out | std::ios::binary};
+  write_trace_binary(buffer, original.table, original.schema);
+  const LoadedTrace loaded = read_trace_binary(buffer);
+
+  ASSERT_EQ(loaded.table.size(), original.table.size());
+  for (std::size_t i = 0; i < original.table.size(); ++i) {
+    const Session& a = original.table.sessions()[i];
+    const Session& b = loaded.table.sessions()[i];
+    EXPECT_EQ(a.epoch, b.epoch);
+    EXPECT_EQ(a.attrs, b.attrs);  // binary keeps ids stable
+    EXPECT_EQ(a.quality, b.quality);
+  }
+  for (int d = 0; d < kNumDims; ++d) {
+    const auto dim = static_cast<AttrDim>(d);
+    ASSERT_EQ(loaded.schema.cardinality(dim),
+              original.schema.cardinality(dim));
+    for (std::size_t id = 0; id < loaded.schema.cardinality(dim); ++id) {
+      EXPECT_EQ(loaded.schema.name(dim, static_cast<std::uint16_t>(id)),
+                original.schema.name(dim, static_cast<std::uint16_t>(id)));
+    }
+  }
+}
+
+TEST(TraceBinary, FloatsSurviveBitExactly) {
+  AttributeSchema schema;
+  for (int d = 0; d < kNumDims; ++d) {
+    (void)schema.intern(static_cast<AttrDim>(d), "v");
+  }
+  std::vector<Session> sessions;
+  Session s = test::make_session(3, Attrs{}, test::good_quality());
+  s.quality.buffering_ratio = 0.123456789F;
+  s.quality.bitrate_kbps = 1234.56789F;
+  s.quality.join_time_ms = 98765.4321F;
+  sessions.push_back(s);
+  std::stringstream buffer{std::ios::in | std::ios::out | std::ios::binary};
+  write_trace_binary(buffer, SessionTable{sessions}, schema);
+  const LoadedTrace loaded = read_trace_binary(buffer);
+  ASSERT_EQ(loaded.table.size(), 1u);
+  EXPECT_EQ(loaded.table.sessions()[0].quality, s.quality);
+}
+
+TEST(TraceBinary, MuchSmallerThanCsv) {
+  const LoadedTrace original = generate_loaded(2, 500);
+  std::stringstream csv;
+  write_trace_csv(csv, original.table, original.schema);
+  std::stringstream bin{std::ios::in | std::ios::out | std::ios::binary};
+  write_trace_binary(bin, original.table, original.schema);
+  EXPECT_LT(bin.str().size(), csv.str().size() / 2);
+}
+
+TEST(TraceBinary, RejectsBadMagic) {
+  std::stringstream buffer{std::ios::in | std::ios::out | std::ios::binary};
+  buffer << "NOPE garbage";
+  EXPECT_THROW((void)read_trace_binary(buffer), std::runtime_error);
+}
+
+TEST(TraceBinary, RejectsTruncation) {
+  const LoadedTrace original = generate_loaded(1, 50);
+  std::stringstream buffer{std::ios::in | std::ios::out | std::ios::binary};
+  write_trace_binary(buffer, original.table, original.schema);
+  const std::string full = buffer.str();
+  // Truncate in the middle of the session records.
+  std::stringstream cut{std::string{full.begin(),
+                                    full.begin() +
+                                        static_cast<long>(full.size() - 7)},
+                        std::ios::in | std::ios::binary};
+  EXPECT_THROW((void)read_trace_binary(cut), std::runtime_error);
+}
+
+TEST(TraceBinary, RejectsWrongVersion) {
+  const LoadedTrace original = generate_loaded(1, 10);
+  std::stringstream buffer{std::ios::in | std::ios::out | std::ios::binary};
+  write_trace_binary(buffer, original.table, original.schema);
+  std::string bytes = buffer.str();
+  bytes[4] = 99;  // patch the version field
+  std::stringstream patched{bytes, std::ios::in | std::ios::binary};
+  EXPECT_THROW((void)read_trace_binary(patched), std::runtime_error);
+}
+
+TEST(TraceBinary, RejectsOutOfSchemaAttributeIds) {
+  AttributeSchema schema;
+  for (int d = 0; d < kNumDims; ++d) {
+    (void)schema.intern(static_cast<AttrDim>(d), "only");
+  }
+  std::vector<Session> sessions;
+  sessions.push_back(test::make_session(0, Attrs{.site = 5},  // id 5 unknown
+                                        test::good_quality()));
+  std::stringstream buffer{std::ios::in | std::ios::out | std::ios::binary};
+  write_trace_binary(buffer, SessionTable{sessions}, schema);
+  EXPECT_THROW((void)read_trace_binary(buffer), std::runtime_error);
+}
+
+TEST(TraceBinary, FileRoundTrip) {
+  const LoadedTrace original = generate_loaded(1, 100);
+  const auto path =
+      std::filesystem::temp_directory_path() / "vidqual_trace_bin_test.vqtr";
+  write_trace_binary(path, original.table, original.schema);
+  const LoadedTrace loaded = read_trace_binary(path);
+  EXPECT_EQ(loaded.table.size(), original.table.size());
+  std::filesystem::remove(path);
+  EXPECT_THROW((void)read_trace_binary(path), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace vq

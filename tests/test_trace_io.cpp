@@ -1,0 +1,127 @@
+#include "src/gen/trace_io.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "src/gen/tracegen.h"
+#include "tests/test_support.h"
+
+namespace vq {
+namespace {
+
+using test::Attrs;
+
+TEST(TraceIo, RoundTripsGeneratedTrace) {
+  WorldConfig world_config;
+  world_config.num_sites = 20;
+  world_config.num_cdns = 5;
+  world_config.num_asns = 30;
+  const World world = World::build(world_config);
+  TraceConfig trace_config;
+  trace_config.num_epochs = 2;
+  trace_config.sessions_per_epoch = 200;
+  const SessionTable original =
+      generate_trace(world, EventSchedule::none(2), trace_config);
+
+  std::stringstream buffer;
+  write_trace_csv(buffer, original, world.schema());
+  const LoadedTrace loaded = read_trace_csv(buffer);
+
+  ASSERT_EQ(loaded.table.size(), original.size());
+  for (std::size_t i = 0; i < original.size(); ++i) {
+    const Session& a = original.sessions()[i];
+    const Session& b = loaded.table.sessions()[i];
+    EXPECT_EQ(a.epoch, b.epoch);
+    EXPECT_EQ(a.quality.join_failed, b.quality.join_failed);
+    EXPECT_FLOAT_EQ(a.quality.buffering_ratio, b.quality.buffering_ratio);
+    EXPECT_FLOAT_EQ(a.quality.bitrate_kbps, b.quality.bitrate_kbps);
+    EXPECT_FLOAT_EQ(a.quality.join_time_ms, b.quality.join_time_ms);
+    // Ids may be remapped (first-seen order); names must agree.
+    for (int d = 0; d < kNumDims; ++d) {
+      const auto dim = static_cast<AttrDim>(d);
+      EXPECT_EQ(world.schema().name(dim, a.attrs[dim]),
+                loaded.schema.name(dim, b.attrs[dim]));
+    }
+  }
+}
+
+TEST(TraceIo, WritesHeaderAndOneRowPerSession) {
+  AttributeSchema schema;
+  for (int d = 0; d < kNumDims; ++d) {
+    (void)schema.intern(static_cast<AttrDim>(d), "v0");
+  }
+  std::vector<Session> sessions;
+  test::add_sessions(sessions, 0, Attrs{}, test::good_quality(), 3);
+  std::stringstream buffer;
+  write_trace_csv(buffer, SessionTable{std::move(sessions)}, schema);
+  std::string line;
+  std::size_t lines = 0;
+  while (std::getline(buffer, line)) ++lines;
+  EXPECT_EQ(lines, 4u);
+}
+
+TEST(TraceIo, EmptyInputThrows) {
+  std::stringstream buffer;
+  EXPECT_THROW((void)read_trace_csv(buffer), std::runtime_error);
+}
+
+TEST(TraceIo, WrongHeaderThrows) {
+  std::stringstream buffer{"nope,nope\n"};
+  EXPECT_THROW((void)read_trace_csv(buffer), std::runtime_error);
+}
+
+TEST(TraceIo, WrongFieldCountThrows) {
+  std::stringstream buffer;
+  buffer << "epoch,site,cdn,asn,conn_type,player,browser,vod_live,"
+            "buffering_ratio,bitrate_kbps,join_time_ms,join_failed\n"
+         << "0,a,b,c\n";
+  EXPECT_THROW((void)read_trace_csv(buffer), std::runtime_error);
+}
+
+TEST(TraceIo, BadNumericFieldThrows) {
+  std::stringstream buffer;
+  buffer << "epoch,site,cdn,asn,conn_type,player,browser,vod_live,"
+            "buffering_ratio,bitrate_kbps,join_time_ms,join_failed\n"
+         << "zero,s,c,a,t,p,b,VoD,0.1,1000,2000,0\n";
+  EXPECT_THROW((void)read_trace_csv(buffer), std::runtime_error);
+}
+
+TEST(TraceIo, SkipsBlankLines) {
+  std::stringstream buffer;
+  buffer << "epoch,site,cdn,asn,conn_type,player,browser,vod_live,"
+            "buffering_ratio,bitrate_kbps,join_time_ms,join_failed\n"
+         << "0,s,c,a,t,p,b,VoD,0.1,1000,2000,0\n"
+         << "\n"
+         << "1,s,c,a,t,p,b,Live,0.2,500,3000,1\n";
+  const LoadedTrace loaded = read_trace_csv(buffer);
+  ASSERT_EQ(loaded.table.size(), 2u);
+  EXPECT_EQ(loaded.table.sessions()[1].epoch, 1u);
+  EXPECT_TRUE(loaded.table.sessions()[1].quality.join_failed);
+  EXPECT_EQ(loaded.schema.name(AttrDim::kVodLive, 1), "Live");
+}
+
+TEST(TraceIo, FileRoundTrip) {
+  AttributeSchema schema;
+  for (int d = 0; d < kNumDims; ++d) {
+    (void)schema.intern(static_cast<AttrDim>(d), "x");
+  }
+  std::vector<Session> sessions;
+  test::add_sessions(sessions, 0, Attrs{}, test::failed_join(), 2);
+  const auto path =
+      std::filesystem::temp_directory_path() / "vidqual_trace_io_test.csv";
+  write_trace_csv(path, SessionTable{std::move(sessions)}, schema);
+  const LoadedTrace loaded = read_trace_csv(path);
+  EXPECT_EQ(loaded.table.size(), 2u);
+  EXPECT_TRUE(loaded.table.sessions()[0].quality.join_failed);
+  std::filesystem::remove(path);
+}
+
+TEST(TraceIo, MissingFileThrows) {
+  EXPECT_THROW((void)read_trace_csv(std::filesystem::path{
+                   "/nonexistent/vidqual.csv"}),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace vq

@@ -1,0 +1,175 @@
+#include "src/gen/tracegen.h"
+
+#include <gtest/gtest.h>
+
+namespace vq {
+namespace {
+
+World small_world() {
+  WorldConfig config;
+  config.num_sites = 40;
+  config.num_cdns = 8;
+  config.num_asns = 100;
+  return World::build(config);
+}
+
+TraceConfig small_trace() {
+  TraceConfig config;
+  config.num_epochs = 6;
+  config.sessions_per_epoch = 500;
+  return config;
+}
+
+TEST(TraceGen, SessionCountsFollowDiurnalPattern) {
+  const TraceConfig config = small_trace();
+  const World world = small_world();
+  const EventSchedule events = EventSchedule::none(config.num_epochs);
+  const SessionTable trace = generate_trace(world, events, config);
+  EXPECT_EQ(trace.num_epochs(), config.num_epochs);
+  for (std::uint32_t e = 0; e < config.num_epochs; ++e) {
+    EXPECT_EQ(trace.epoch(e).size(), sessions_in_epoch(config, e));
+  }
+  // The diurnal factor must actually modulate (amplitude 0.35 over a day).
+  TraceConfig day = small_trace();
+  day.num_epochs = 24;
+  std::uint32_t lo = UINT32_MAX;
+  std::uint32_t hi = 0;
+  for (std::uint32_t e = 0; e < 24; ++e) {
+    lo = std::min(lo, sessions_in_epoch(day, e));
+    hi = std::max(hi, sessions_in_epoch(day, e));
+  }
+  EXPECT_GT(hi, lo + 100u);
+}
+
+TEST(TraceGen, AttributesWithinWorldRanges) {
+  const World world = small_world();
+  const TraceConfig config = small_trace();
+  const SessionTable trace =
+      generate_trace(world, EventSchedule::none(config.num_epochs), config);
+  for (const Session& s : trace.sessions()) {
+    EXPECT_LT(s.attrs[AttrDim::kSite], world.sites().size());
+    EXPECT_LT(s.attrs[AttrDim::kCdn], world.cdns().size());
+    EXPECT_LT(s.attrs[AttrDim::kAsn], world.asns().size());
+    EXPECT_LT(s.attrs[AttrDim::kConnType], kConnTypeNames.size());
+    EXPECT_LT(s.attrs[AttrDim::kPlayer], kPlayerNames.size());
+    EXPECT_LT(s.attrs[AttrDim::kBrowser], kBrowserNames.size());
+    EXPECT_LE(s.attrs[AttrDim::kVodLive], 1);
+    // The assigned CDN must be one the site contracts with.
+    const SiteModel& site = world.sites()[s.attrs[AttrDim::kSite]];
+    EXPECT_NE(std::find(site.cdn_ids.begin(), site.cdn_ids.end(),
+                        s.attrs[AttrDim::kCdn]),
+              site.cdn_ids.end());
+  }
+}
+
+TEST(TraceGen, DeterministicForSameInputs) {
+  const World world = small_world();
+  const TraceConfig config = small_trace();
+  const EventSchedule events = EventSchedule::none(config.num_epochs);
+  const SessionTable a = generate_trace(world, events, config);
+  const SessionTable b = generate_trace(world, events, config);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.sessions()[i].attrs, b.sessions()[i].attrs);
+    EXPECT_EQ(a.sessions()[i].quality, b.sessions()[i].quality);
+  }
+}
+
+TEST(TraceGen, EpochsAreIndependentlyReproducible) {
+  // generate_epoch(e) must equal epoch e of the full trace (derived RNG
+  // streams, no cross-epoch state).
+  const World world = small_world();
+  const TraceConfig config = small_trace();
+  const EventSchedule events = EventSchedule::none(config.num_epochs);
+  const SessionTable full = generate_trace(world, events, config);
+  const std::vector<Session> epoch3 =
+      generate_epoch(world, events, config, 3);
+  const auto span3 = full.epoch(3);
+  ASSERT_EQ(epoch3.size(), span3.size());
+  for (std::size_t i = 0; i < epoch3.size(); ++i) {
+    EXPECT_EQ(epoch3[i].attrs, span3[i].attrs);
+    EXPECT_EQ(epoch3[i].quality, span3[i].quality);
+  }
+}
+
+TEST(TraceGen, EventsProduceMoreProblemSessions) {
+  const World world = small_world();
+  TraceConfig config = small_trace();
+  config.sessions_per_epoch = 3'000;
+  config.num_epochs = 2;
+
+  EventScheduleConfig no_events;
+  no_events.num_epochs = config.num_epochs;
+  no_events.events_per_epoch = 0.0;
+  const EventSchedule baseline = EventSchedule::generate(world, no_events);
+  EXPECT_TRUE(baseline.events().empty());
+
+  EventScheduleConfig heavy;
+  heavy.num_epochs = config.num_epochs;
+  heavy.events_per_epoch = 6.0;
+  heavy.w_site = 1.0;  // site-scoped failure-prone events only
+  heavy.w_cdn = heavy.w_asn = heavy.w_conn = heavy.w_site_conn = 0.0;
+  heavy.w_cdn_asn = heavy.w_cdn_conn = heavy.w_site_browser = 0.0;
+  heavy.w_asn_conn = 0.0;
+  const EventSchedule stormy = EventSchedule::generate(world, heavy);
+  ASSERT_FALSE(stormy.events().empty());
+
+  const SessionTable calm_trace = generate_trace(world, baseline, config);
+  const SessionTable storm_trace = generate_trace(world, stormy, config);
+  const auto problem_count = [](const SessionTable& t) {
+    std::size_t n = 0;
+    for (const Session& s : t.sessions()) {
+      if (s.quality.join_failed || s.quality.buffering_ratio > 0.05F ||
+          s.quality.join_time_ms > 10'000.0F) {
+        ++n;
+      }
+    }
+    return n;
+  };
+  EXPECT_GT(problem_count(storm_trace), problem_count(calm_trace));
+}
+
+TEST(TraceGen, EventScopeOnlyAffectsMatchingSessions) {
+  // Compare per-scope failure rates between a calm and a stormy world
+  // sharing the same seeds: sessions outside every event scope must be
+  // bit-identical.
+  const World world = small_world();
+  TraceConfig config = small_trace();
+  config.num_epochs = 2;
+  config.sessions_per_epoch = 2'000;
+
+  EventScheduleConfig one;
+  one.num_epochs = 2;
+  one.events_per_epoch = 0.4;
+  one.w_cdn = 1.0;
+  one.w_site = one.w_asn = one.w_conn = one.w_site_conn = 0.0;
+  one.w_cdn_asn = one.w_cdn_conn = one.w_site_browser = one.w_asn_conn = 0.0;
+  const EventSchedule schedule = EventSchedule::generate(world, one);
+  ASSERT_FALSE(schedule.events().empty());
+
+  const SessionTable calm =
+      generate_trace(world, EventSchedule::none(2), config);
+  const SessionTable storm = generate_trace(world, schedule, config);
+  ASSERT_EQ(calm.size(), storm.size());
+
+  std::size_t in_scope = 0;
+  for (std::size_t i = 0; i < calm.size(); ++i) {
+    const Session& a = calm.sessions()[i];
+    const Session& b = storm.sessions()[i];
+    ASSERT_EQ(a.attrs, b.attrs);
+    const ClusterKey leaf = ClusterKey::pack(kFullMask, a.attrs);
+    bool affected = false;
+    for (const std::uint32_t idx : schedule.active_at(a.epoch)) {
+      if (schedule.events()[idx].scope.generalizes(leaf)) affected = true;
+    }
+    if (affected) {
+      ++in_scope;
+    } else {
+      EXPECT_EQ(a.quality, b.quality);
+    }
+  }
+  EXPECT_GT(in_scope, 0u);
+}
+
+}  // namespace
+}  // namespace vq

@@ -1,0 +1,104 @@
+// StringInterner and ThreadPool tests.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "src/util/intern.h"
+#include "src/util/thread_pool.h"
+
+namespace vq {
+namespace {
+
+TEST(StringInterner, AssignsSequentialIds) {
+  StringInterner interner;
+  EXPECT_EQ(interner.intern("alpha"), 0u);
+  EXPECT_EQ(interner.intern("beta"), 1u);
+  EXPECT_EQ(interner.intern("gamma"), 2u);
+  EXPECT_EQ(interner.size(), 3u);
+}
+
+TEST(StringInterner, InternIsIdempotent) {
+  StringInterner interner;
+  const auto id = interner.intern("x");
+  EXPECT_EQ(interner.intern("x"), id);
+  EXPECT_EQ(interner.size(), 1u);
+}
+
+TEST(StringInterner, NameRoundTrip) {
+  StringInterner interner;
+  const auto id = interner.intern("comcast-like");
+  EXPECT_EQ(interner.name(id), "comcast-like");
+}
+
+TEST(StringInterner, UnknownIdThrows) {
+  StringInterner interner;
+  EXPECT_THROW((void)interner.name(0), std::out_of_range);
+}
+
+TEST(StringInterner, LookupWithoutInterning) {
+  StringInterner interner;
+  EXPECT_FALSE(interner.lookup("missing").has_value());
+  (void)interner.intern("present");
+  ASSERT_TRUE(interner.lookup("present").has_value());
+  EXPECT_EQ(*interner.lookup("present"), 0u);
+  EXPECT_EQ(interner.size(), 1u);  // lookup never interns
+}
+
+TEST(StringInterner, ViewsStayValidAcrossGrowth) {
+  StringInterner interner;
+  const std::string_view first = interner.name(interner.intern("first"));
+  for (int i = 0; i < 10'000; ++i) {
+    (void)interner.intern("filler-" + std::to_string(i));
+  }
+  EXPECT_EQ(first, "first");
+}
+
+TEST(ThreadPool, RunsSubmittedTasks) {
+  ThreadPool pool{2};
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.submit([&counter] { counter.fetch_add(1); });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPool, ParallelForCoversRangeExactlyOnce) {
+  ThreadPool pool{4};
+  std::vector<std::atomic<int>> hits(1'000);
+  pool.parallel_for(0, hits.size(),
+                    [&hits](std::size_t i) { hits[i].fetch_add(1); });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ParallelForEmptyRangeIsNoop) {
+  ThreadPool pool{2};
+  pool.parallel_for(5, 5, [](std::size_t) { FAIL(); });
+}
+
+TEST(ThreadPool, SingleWorkerRunsInline) {
+  ThreadPool pool{1};
+  EXPECT_EQ(pool.worker_count(), 1u);
+  std::vector<int> order;
+  pool.parallel_for(0, 5, [&order](std::size_t i) {
+    order.push_back(static_cast<int>(i));
+  });
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(ThreadPool, WaitIdleOnFreshPoolReturnsImmediately) {
+  ThreadPool pool{2};
+  pool.wait_idle();  // must not deadlock
+}
+
+TEST(ThreadPool, DefaultsToHardwareConcurrency) {
+  ThreadPool pool{0};
+  EXPECT_GE(pool.worker_count(), 1u);
+}
+
+}  // namespace
+}  // namespace vq

@@ -1,0 +1,253 @@
+// What-if engine (§5): exact arithmetic on hand-built traces plus
+// invariant checks.
+
+#include "src/core/whatif.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/test_support.h"
+
+namespace vq {
+namespace {
+
+using test::Attrs;
+
+PipelineConfig small_config() {
+  PipelineConfig config;
+  config.cluster_params.min_sessions = 50;
+  return config;
+}
+
+/// One epoch: CDN1 carries 100 sessions with 60 buffering problems; the
+/// background carries 900 sessions with 36 problems spread over 18 ASNs.
+/// Global ratio 0.096, CDN1 ratio 0.6, attributed mass 60, and fixing CDN1
+/// to the global average alleviates 60 * (1 - 0.096/0.6) = 50.4 of the 96
+/// problem sessions: fraction 0.525.
+std::vector<Session> single_cause_epoch(std::uint32_t epoch) {
+  std::vector<Session> sessions;
+  // Four ASN sub-cells of 25 sessions each: individually below the
+  // 50-session significance floor, so the CDN is the unique explanation.
+  for (std::uint16_t asn = 1; asn <= 4; ++asn) {
+    test::add_sessions(sessions, epoch, Attrs{.cdn = 1, .asn = asn},
+                       test::bad_buffering(), 15);
+    test::add_sessions(sessions, epoch, Attrs{.cdn = 1, .asn = asn},
+                       test::good_quality(), 10);
+  }
+  // Background: 40 problems in 900 sessions, diluted across 18 ASNs so no
+  // background cluster is elevated.
+  for (std::uint16_t asn = 10; asn < 28; ++asn) {
+    test::add_sessions(sessions, epoch, Attrs{.cdn = 2, .asn = asn},
+                       test::bad_buffering(), 2);
+    test::add_sessions(sessions, epoch, Attrs{.cdn = 2, .asn = asn},
+                       test::good_quality(), 48);
+  }
+  return sessions;
+}
+
+TEST(WhatIf, SingleCauseExactAlleviation) {
+  const PipelineResult result =
+      run_pipeline(SessionTable{single_cause_epoch(0)}, small_config());
+  const WhatIfAnalyzer whatif{result};
+
+  ASSERT_EQ(whatif.distinct_critical_count(Metric::kBufRatio), 1u);
+  const double fractions[] = {1.0};
+  const auto sweep =
+      whatif.topk_sweep(Metric::kBufRatio, RankBy::kCoverage, fractions);
+  ASSERT_EQ(sweep.size(), 1u);
+  // 60 * (1 - 0.096/0.6) / 96 = 0.525.
+  EXPECT_NEAR(sweep[0].alleviated_fraction, 0.525, 1e-9);
+}
+
+TEST(WhatIf, SweepIsMonotoneInTopFraction) {
+  std::vector<Session> sessions;
+  for (std::uint32_t e = 0; e < 4; ++e) {
+    auto epoch = single_cause_epoch(e);
+    // Add a second, weaker cause.
+    test::add_sessions(epoch, e, Attrs{.cdn = 3, .asn = 5},
+                       test::bad_buffering(), 20);
+    test::add_sessions(epoch, e, Attrs{.cdn = 3, .asn = 5},
+                       test::good_quality(), 40);
+    sessions.insert(sessions.end(), epoch.begin(), epoch.end());
+  }
+  const PipelineResult result =
+      run_pipeline(SessionTable{std::move(sessions)}, small_config());
+  const WhatIfAnalyzer whatif{result};
+
+  const double fractions[] = {0.0, 0.25, 0.5, 0.75, 1.0};
+  const auto sweep =
+      whatif.topk_sweep(Metric::kBufRatio, RankBy::kCoverage, fractions);
+  for (std::size_t i = 1; i < sweep.size(); ++i) {
+    EXPECT_GE(sweep[i].alleviated_fraction,
+              sweep[i - 1].alleviated_fraction - 1e-12);
+  }
+  EXPECT_EQ(sweep.front().alleviated_fraction, 0.0);
+  EXPECT_LE(sweep.back().alleviated_fraction, 1.0);
+}
+
+TEST(WhatIf, CoverageRankingDominatesAtEveryK) {
+  // Coverage-ranked selection must alleviate at least as much as
+  // prevalence- or persistence-ranked selection for the same k (the paper's
+  // Fig. 11 observation).
+  std::vector<Session> sessions;
+  for (std::uint32_t e = 0; e < 6; ++e) {
+    auto epoch = single_cause_epoch(e);
+    if (e >= 4) {
+      // A frequent-but-small cause late in the trace.
+      test::add_sessions(epoch, e, Attrs{.cdn = 4, .asn = 6},
+                         test::bad_buffering(), 15);
+      test::add_sessions(epoch, e, Attrs{.cdn = 4, .asn = 6},
+                         test::good_quality(), 40);
+    }
+    sessions.insert(sessions.end(), epoch.begin(), epoch.end());
+  }
+  const PipelineResult result =
+      run_pipeline(SessionTable{std::move(sessions)}, small_config());
+  const WhatIfAnalyzer whatif{result};
+  const double fractions[] = {0.5, 1.0};
+  const auto by_cov =
+      whatif.topk_sweep(Metric::kBufRatio, RankBy::kCoverage, fractions);
+  const auto by_prev =
+      whatif.topk_sweep(Metric::kBufRatio, RankBy::kPrevalence, fractions);
+  const auto by_pers =
+      whatif.topk_sweep(Metric::kBufRatio, RankBy::kPersistence, fractions);
+  for (std::size_t i = 0; i < 2; ++i) {
+    EXPECT_GE(by_cov[i].alleviated_fraction,
+              by_prev[i].alleviated_fraction - 1e-12);
+    EXPECT_GE(by_cov[i].alleviated_fraction,
+              by_pers[i].alleviated_fraction - 1e-12);
+  }
+}
+
+TEST(WhatIf, MaskRestrictionFiltersSelection) {
+  const PipelineResult result =
+      run_pipeline(SessionTable{single_cause_epoch(0)}, small_config());
+  const WhatIfAnalyzer whatif{result};
+  const double fractions[] = {1.0};
+
+  const std::uint8_t cdn_only[] = {dim_bit(AttrDim::kCdn)};
+  const auto cdn_sweep = whatif.topk_sweep_masks(
+      Metric::kBufRatio, RankBy::kCoverage, fractions, cdn_only);
+  EXPECT_NEAR(cdn_sweep[0].alleviated_fraction, 0.525, 1e-9);
+
+  const std::uint8_t site_only[] = {dim_bit(AttrDim::kSite)};
+  const auto site_sweep = whatif.topk_sweep_masks(
+      Metric::kBufRatio, RankBy::kCoverage, fractions, site_only);
+  EXPECT_EQ(site_sweep[0].alleviated_fraction, 0.0);
+}
+
+TEST(WhatIf, ReactiveSkipsFirstEpochsOfEachStreak) {
+  // CDN1 bad for epochs 0..5 (one streak of 6, equal mass per epoch).
+  std::vector<Session> sessions;
+  for (std::uint32_t e = 0; e < 6; ++e) {
+    const auto epoch = single_cause_epoch(e);
+    sessions.insert(sessions.end(), epoch.begin(), epoch.end());
+  }
+  const PipelineResult result =
+      run_pipeline(SessionTable{std::move(sessions)}, small_config());
+  const WhatIfAnalyzer whatif{result};
+
+  const auto reactive = whatif.reactive(Metric::kBufRatio, 1);
+  // Potential fixes all 6 epochs; the reactive strategy misses the first.
+  EXPECT_NEAR(reactive.alleviated_fraction,
+              reactive.potential_fraction * 5.0 / 6.0, 1e-9);
+  ASSERT_EQ(reactive.original.size(), 6u);
+  // Epoch 0 untouched; epochs 1..5 reduced.
+  EXPECT_NEAR(reactive.after_reactive[0], reactive.original[0], 1e-9);
+  for (std::uint32_t e = 1; e < 6; ++e) {
+    EXPECT_LT(reactive.after_reactive[e], reactive.original[e]);
+  }
+  // outside_critical = problems - attributed = 36 background per epoch.
+  for (std::uint32_t e = 0; e < 6; ++e) {
+    EXPECT_NEAR(reactive.outside_critical[e], 36.0, 1e-9);
+  }
+}
+
+TEST(WhatIf, ReactiveWithZeroDelayEqualsPotential) {
+  std::vector<Session> sessions;
+  for (std::uint32_t e = 0; e < 3; ++e) {
+    const auto epoch = single_cause_epoch(e);
+    sessions.insert(sessions.end(), epoch.begin(), epoch.end());
+  }
+  const PipelineResult result =
+      run_pipeline(SessionTable{std::move(sessions)}, small_config());
+  const WhatIfAnalyzer whatif{result};
+  const auto reactive = whatif.reactive(Metric::kBufRatio, 0);
+  EXPECT_NEAR(reactive.alleviated_fraction, reactive.potential_fraction,
+              1e-12);
+}
+
+TEST(WhatIf, ReactiveLongDelayAlleviatesNothing) {
+  std::vector<Session> sessions;
+  for (std::uint32_t e = 0; e < 3; ++e) {
+    const auto epoch = single_cause_epoch(e);
+    sessions.insert(sessions.end(), epoch.begin(), epoch.end());
+  }
+  const PipelineResult result =
+      run_pipeline(SessionTable{std::move(sessions)}, small_config());
+  const WhatIfAnalyzer whatif{result};
+  const auto reactive = whatif.reactive(Metric::kBufRatio, 10);
+  EXPECT_EQ(reactive.alleviated_fraction, 0.0);
+}
+
+TEST(WhatIf, ProactivePersistentCauseTransfersPerfectly) {
+  // The same cause is critical in every epoch: history-based selection on
+  // epochs [0,3) achieves exactly the potential on epochs [3,6).
+  std::vector<Session> sessions;
+  for (std::uint32_t e = 0; e < 6; ++e) {
+    const auto epoch = single_cause_epoch(e);
+    sessions.insert(sessions.end(), epoch.begin(), epoch.end());
+  }
+  const PipelineResult result =
+      run_pipeline(SessionTable{std::move(sessions)}, small_config());
+  const WhatIfAnalyzer whatif{result};
+  const auto outcome =
+      whatif.proactive(Metric::kBufRatio, 1.0, 0, 3, 3, 6);
+  EXPECT_GT(outcome.potential_fraction, 0.0);
+  EXPECT_NEAR(outcome.alleviated_fraction, outcome.potential_fraction, 1e-9);
+}
+
+TEST(WhatIf, ProactiveMissesCausesAbsentFromHistory) {
+  // Cause A lives in the training window only; cause B in the test window
+  // only. History-based selection alleviates nothing in the test window.
+  std::vector<Session> sessions;
+  for (std::uint32_t e = 0; e < 2; ++e) {
+    const auto epoch = single_cause_epoch(e);
+    sessions.insert(sessions.end(), epoch.begin(), epoch.end());
+  }
+  for (std::uint32_t e = 2; e < 4; ++e) {
+    test::add_sessions(sessions, e, Attrs{.cdn = 7, .asn = 3},
+                       test::bad_buffering(), 60);
+    test::add_sessions(sessions, e, Attrs{.cdn = 7, .asn = 4},
+                       test::good_quality(), 40);
+    test::add_sessions(sessions, e, Attrs{.cdn = 8, .asn = 5},
+                       test::good_quality(), 900);
+  }
+  const PipelineResult result =
+      run_pipeline(SessionTable{std::move(sessions)}, small_config());
+  const WhatIfAnalyzer whatif{result};
+  const auto outcome =
+      whatif.proactive(Metric::kBufRatio, 1.0, 0, 2, 2, 4);
+  EXPECT_EQ(outcome.alleviated_fraction, 0.0);
+  EXPECT_GT(outcome.potential_fraction, 0.0);
+}
+
+TEST(WhatIf, EmptyResultIsAllZeros) {
+  const PipelineResult result = run_pipeline(SessionTable{}, small_config());
+  const WhatIfAnalyzer whatif{result};
+  EXPECT_EQ(whatif.distinct_critical_count(Metric::kBufRatio), 0u);
+  const double fractions[] = {1.0};
+  const auto sweep =
+      whatif.topk_sweep(Metric::kBufRatio, RankBy::kCoverage, fractions);
+  EXPECT_EQ(sweep[0].alleviated_fraction, 0.0);
+  const auto reactive = whatif.reactive(Metric::kJoinFailure, 1);
+  EXPECT_EQ(reactive.alleviated_fraction, 0.0);
+}
+
+TEST(RankByName, Labels) {
+  EXPECT_EQ(rank_by_name(RankBy::kCoverage), "coverage");
+  EXPECT_EQ(rank_by_name(RankBy::kPrevalence), "prevalence");
+  EXPECT_EQ(rank_by_name(RankBy::kPersistence), "persistence");
+}
+
+}  // namespace
+}  // namespace vq

@@ -1,0 +1,179 @@
+#include "src/gen/world.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace vq {
+namespace {
+
+WorldConfig small_config() {
+  WorldConfig config;
+  config.num_sites = 40;
+  config.num_cdns = 8;
+  config.num_asns = 100;
+  return config;
+}
+
+TEST(World, BuildsRequestedPopulation) {
+  const World world = World::build(small_config());
+  EXPECT_EQ(world.sites().size(), 40u);
+  EXPECT_EQ(world.cdns().size(), 8u);
+  EXPECT_EQ(world.asns().size(), 100u);
+}
+
+TEST(World, IdsAreDenseAndMatchIndices) {
+  const World world = World::build(small_config());
+  for (std::size_t i = 0; i < world.sites().size(); ++i) {
+    EXPECT_EQ(world.sites()[i].id, i);
+  }
+  for (std::size_t i = 0; i < world.cdns().size(); ++i) {
+    EXPECT_EQ(world.cdns()[i].id, i);
+  }
+  for (std::size_t i = 0; i < world.asns().size(); ++i) {
+    EXPECT_EQ(world.asns()[i].id, i);
+  }
+}
+
+TEST(World, SchemaHoldsAllNames) {
+  const World world = World::build(small_config());
+  EXPECT_EQ(world.schema().cardinality(AttrDim::kSite), 40u);
+  EXPECT_EQ(world.schema().cardinality(AttrDim::kCdn), 8u);
+  EXPECT_EQ(world.schema().cardinality(AttrDim::kAsn), 100u);
+  EXPECT_EQ(world.schema().cardinality(AttrDim::kConnType),
+            kConnTypeNames.size());
+  EXPECT_EQ(world.schema().cardinality(AttrDim::kPlayer),
+            kPlayerNames.size());
+  EXPECT_EQ(world.schema().cardinality(AttrDim::kBrowser),
+            kBrowserNames.size());
+  EXPECT_EQ(world.schema().cardinality(AttrDim::kVodLive), 2u);
+  EXPECT_EQ(world.schema().name(AttrDim::kSite, 0), "site-0000");
+  EXPECT_EQ(world.schema().name(AttrDim::kConnType, kConnMobileWireless),
+            "MobileWireless");
+  EXPECT_EQ(world.schema().name(AttrDim::kVodLive, kVod), "VoD");
+  EXPECT_EQ(world.schema().name(AttrDim::kVodLive, kLive), "Live");
+}
+
+TEST(World, EverySiteHasAtLeastOneCdnContract) {
+  const World world = World::build(small_config());
+  for (const SiteModel& site : world.sites()) {
+    ASSERT_FALSE(site.cdn_ids.empty());
+    for (const auto cdn : site.cdn_ids) {
+      EXPECT_LT(cdn, world.cdns().size());
+    }
+    EXPECT_FALSE(site.abr.ladder_kbps.empty());
+  }
+}
+
+TEST(World, SingleBitrateSitesHaveOneRung) {
+  const World world = World::build(WorldConfig{});
+  std::size_t single = 0;
+  for (const SiteModel& site : world.sites()) {
+    if (site.single_bitrate) {
+      ++single;
+      EXPECT_EQ(site.abr.ladder_kbps.size(), 1u);
+      EXPECT_EQ(site.abr.kind, AbrKind::kFixedSingle);
+    } else {
+      EXPECT_GE(site.abr.ladder_kbps.size(), 2u);
+    }
+  }
+  // Roughly the configured 20% (fraction is rank-modulated).
+  EXPECT_GT(single, 20u);
+  EXPECT_LT(single, 150u);
+}
+
+TEST(World, RegionMixRoughlyMatchesPaper) {
+  WorldConfig config;
+  config.num_asns = 4000;
+  const World world = World::build(config);
+  std::size_t us = 0;
+  for (const AsnModel& asn : world.asns()) {
+    if (asn.region == Region::kUS) ++us;
+  }
+  const double us_fraction = static_cast<double>(us) / 4000.0;
+  EXPECT_NEAR(us_fraction, kRegionWeights[0], 0.04);
+}
+
+TEST(World, CdnPresenceWithinBounds) {
+  const World world = World::build(WorldConfig{});
+  for (const CdnModel& cdn : world.cdns()) {
+    for (const double presence : cdn.presence) {
+      EXPECT_GT(presence, 0.0);
+      EXPECT_LE(presence, 1.0);
+    }
+    EXPECT_GE(cdn.base_fail_prob, 0.0);
+    EXPECT_LE(cdn.base_fail_prob, 0.15);  // worst chronic in-house CDNs
+  }
+}
+
+TEST(World, InHouseCdnsExistAndAreWorse) {
+  const World world = World::build(WorldConfig{});
+  double inhouse_fail = 0.0;
+  double commercial_fail = 0.0;
+  std::size_t inhouse = 0;
+  for (const CdnModel& cdn : world.cdns()) {
+    if (cdn.in_house) {
+      ++inhouse;
+      inhouse_fail += cdn.base_fail_prob;
+    } else {
+      commercial_fail += cdn.base_fail_prob;
+    }
+  }
+  ASSERT_GT(inhouse, 0u);
+  ASSERT_LT(inhouse, world.cdns().size());
+  inhouse_fail /= static_cast<double>(inhouse);
+  commercial_fail /= static_cast<double>(world.cdns().size() - inhouse);
+  EXPECT_GT(inhouse_fail, commercial_fail);
+}
+
+TEST(World, DeterministicForSameSeed) {
+  const World a = World::build(small_config());
+  const World b = World::build(small_config());
+  for (std::size_t i = 0; i < a.sites().size(); ++i) {
+    EXPECT_EQ(a.sites()[i].single_bitrate, b.sites()[i].single_bitrate);
+    EXPECT_EQ(a.sites()[i].cdn_ids, b.sites()[i].cdn_ids);
+    EXPECT_EQ(a.sites()[i].base_fail_prob, b.sites()[i].base_fail_prob);
+  }
+  for (std::size_t i = 0; i < a.asns().size(); ++i) {
+    EXPECT_EQ(a.asns()[i].quality, b.asns()[i].quality);
+    EXPECT_EQ(a.asns()[i].region, b.asns()[i].region);
+  }
+}
+
+TEST(World, DifferentSeedsDiffer) {
+  WorldConfig config = small_config();
+  const World a = World::build(config);
+  config.seed = 999;
+  const World b = World::build(config);
+  bool any_difference = false;
+  for (std::size_t i = 0; i < a.asns().size(); ++i) {
+    if (a.asns()[i].quality != b.asns()[i].quality) any_difference = true;
+  }
+  EXPECT_TRUE(any_difference);
+}
+
+TEST(World, RejectsEmptyOrOversizedPopulations) {
+  WorldConfig config = small_config();
+  config.num_sites = 0;
+  EXPECT_THROW((void)World::build(config), std::invalid_argument);
+  config = small_config();
+  config.num_asns = 100'000;  // exceeds the 16-bit ASN field
+  EXPECT_THROW((void)World::build(config), std::invalid_argument);
+}
+
+TEST(World, ZipfSamplersMatchPopulation) {
+  const World world = World::build(small_config());
+  EXPECT_EQ(world.site_sampler().size(), 40u);
+  EXPECT_EQ(world.asn_sampler().size(), 100u);
+  // Popularity skew: rank 0 strictly more likely than rank 10.
+  EXPECT_GT(world.site_sampler().pmf(0), world.site_sampler().pmf(10));
+}
+
+TEST(RegionName, AllLabelled) {
+  for (int r = 0; r < kNumRegions; ++r) {
+    EXPECT_NE(region_name(static_cast<Region>(r)), "?");
+  }
+}
+
+}  // namespace
+}  // namespace vq

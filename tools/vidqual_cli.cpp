@@ -1,0 +1,339 @@
+// vidqual — command-line front end.
+//
+//   vidqual generate --epochs 48 --sessions 3000 --out trace.csv
+//   vidqual analyze  --in trace.csv [--min-sessions 100] [--top 5]
+//   vidqual whatif   --in trace.csv --metric JoinFailure --top-frac 0.01
+//   vidqual monitor  --in trace.csv [--delay 1]
+//
+// Trace files ending in .vqtr use the binary container; anything else is
+// treated as CSV (see src/gen/trace_io.h for both formats).
+
+#include <cstdio>
+#include <filesystem>
+#include <optional>
+#include <string>
+
+#include "src/core/anomaly.h"
+#include "src/core/monitor.h"
+#include "src/core/report.h"
+#include "src/core/overlap.h"
+#include "src/core/pipeline.h"
+#include "src/core/prevalence.h"
+#include "src/core/whatif.h"
+#include "src/gen/trace_io.h"
+#include "src/gen/tracegen.h"
+#include "src/util/args.h"
+
+namespace {
+
+using namespace vq;
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage:\n"
+      "  vidqual generate --out FILE [--epochs N=48] [--sessions N=3000]\n"
+      "                   [--seed S=2013] [--sites N=379] [--cdns N=19]\n"
+      "                   [--asns N=2000] [--no-events]\n"
+      "  vidqual analyze  --in FILE [--min-sessions N=auto] [--top K=5]\n"
+      "  vidqual whatif   --in FILE [--metric NAME=JoinFailure]\n"
+      "                   [--top-frac F=0.01] [--rank coverage|prevalence|"
+      "persistence]\n"
+      "                   [--min-sessions N=auto] [--reactive-delay H]\n"
+      "  vidqual monitor  --in FILE [--delay H=1] [--min-sessions N=auto]\n"
+      "  vidqual timeline --in FILE [--min-sessions N=auto] [--z 3.0]\n"
+      "  vidqual report   --in FILE [--min-sessions N=auto] [--top K=5]\n"
+      "\nFILEs ending in .vqtr are binary; anything else is CSV.\n");
+  return 2;
+}
+
+bool is_binary_path(std::string_view path) {
+  return path.size() > 5 && path.substr(path.size() - 5) == ".vqtr";
+}
+
+LoadedTrace load(std::string_view path) {
+  const std::filesystem::path p{std::string{path}};
+  return is_binary_path(path) ? read_trace_binary(p) : read_trace_csv(p);
+}
+
+std::uint32_t auto_min_sessions(const SessionTable& table,
+                                const ArgParser& args) {
+  const auto explicit_value = args.option_u64("min-sessions", 0);
+  if (explicit_value > 0) {
+    return static_cast<std::uint32_t>(explicit_value);
+  }
+  // ~2% of a mean epoch, floored: the statistical calibration DESIGN.md
+  // derives from the paper's 1.5x ~= 2 sigma rule.
+  const std::uint64_t per_epoch =
+      table.num_epochs() == 0 ? 0 : table.size() / table.num_epochs();
+  return static_cast<std::uint32_t>(std::max<std::uint64_t>(
+      30, per_epoch / 50));
+}
+
+std::optional<Metric> parse_metric(std::string_view name) {
+  for (const Metric m : kAllMetrics) {
+    if (metric_name(m) == name) return m;
+  }
+  return std::nullopt;
+}
+
+int cmd_generate(const ArgParser& args) {
+  const auto out = args.option("out");
+  if (!out.has_value()) return usage();
+
+  WorldConfig world_config;
+  world_config.num_sites =
+      static_cast<std::uint32_t>(args.option_u64("sites", 379));
+  world_config.num_cdns =
+      static_cast<std::uint32_t>(args.option_u64("cdns", 19));
+  world_config.num_asns =
+      static_cast<std::uint32_t>(args.option_u64("asns", 2000));
+  world_config.seed = args.option_u64("seed", 2013);
+  const World world = World::build(world_config);
+
+  const auto epochs =
+      static_cast<std::uint32_t>(args.option_u64("epochs", 48));
+  EventSchedule events = EventSchedule::none(epochs);
+  if (!args.flag("no-events")) {
+    EventScheduleConfig event_config;
+    event_config.num_epochs = epochs;
+    event_config.seed = world_config.seed + 1;
+    events = EventSchedule::generate(world, event_config);
+  }
+
+  TraceConfig trace_config;
+  trace_config.num_epochs = epochs;
+  trace_config.sessions_per_epoch =
+      static_cast<std::uint32_t>(args.option_u64("sessions", 3000));
+  trace_config.seed = world_config.seed + 2;
+  const SessionTable trace = generate_trace(world, events, trace_config);
+
+  const std::filesystem::path path{std::string{*out}};
+  if (is_binary_path(*out)) {
+    write_trace_binary(path, trace, world.schema());
+  } else {
+    write_trace_csv(path, trace, world.schema());
+  }
+  std::printf("wrote %zu sessions over %u epochs to %s (%ju bytes)\n",
+              trace.size(), trace.num_epochs(), path.string().c_str(),
+              static_cast<std::uintmax_t>(std::filesystem::file_size(path)));
+  return 0;
+}
+
+int cmd_analyze(const ArgParser& args) {
+  const auto in = args.option("in");
+  if (!in.has_value()) return usage();
+  const LoadedTrace loaded = load(*in);
+  PipelineConfig config;
+  config.cluster_params.min_sessions = auto_min_sessions(loaded.table, args);
+  std::fprintf(stderr, "analyzing %zu sessions over %u epochs "
+               "(min_sessions=%u)...\n",
+               loaded.table.size(), loaded.table.num_epochs(),
+               config.cluster_params.min_sessions);
+  const PipelineResult result = run_pipeline(loaded.table, config);
+  const auto top_k = args.option_u64("top", 5);
+
+  for (const Metric m : kAllMetrics) {
+    const auto agg = result.aggregates(m);
+    double prob_ratio = 0.0;
+    for (std::uint32_t e = 0; e < result.num_epochs; ++e) {
+      const auto& a = result.at(m, e).analysis;
+      prob_ratio += a.sessions == 0
+                        ? 0.0
+                        : static_cast<double>(a.problem_sessions) /
+                              static_cast<double>(a.sessions);
+    }
+    prob_ratio /= std::max(1u, result.num_epochs);
+    std::printf("\n%s: problem ratio %.3f | %.1f problem clusters/epoch | "
+                "%.1f critical | coverage %.2f\n",
+                std::string(metric_name(m)).c_str(), prob_ratio,
+                agg.mean_problem_clusters, agg.mean_critical_clusters,
+                agg.mean_critical_coverage);
+    for (const std::uint64_t raw :
+         top_critical_keys(result, m, top_k)) {
+      std::printf("  %s\n",
+                  loaded.schema.describe(ClusterKey::from_raw(raw)).c_str());
+    }
+  }
+  return 0;
+}
+
+int cmd_whatif(const ArgParser& args) {
+  const auto in = args.option("in");
+  if (!in.has_value()) return usage();
+  const auto metric =
+      parse_metric(args.option("metric").value_or("JoinFailure"));
+  if (!metric.has_value()) {
+    std::fprintf(stderr, "unknown metric (use BufRatio, Bitrate, JoinTime, "
+                         "JoinFailure)\n");
+    return 2;
+  }
+  RankBy rank = RankBy::kCoverage;
+  const auto rank_name = args.option("rank").value_or("coverage");
+  if (rank_name == "prevalence") rank = RankBy::kPrevalence;
+  else if (rank_name == "persistence") rank = RankBy::kPersistence;
+  else if (rank_name != "coverage") {
+    std::fprintf(stderr, "unknown --rank\n");
+    return 2;
+  }
+
+  const LoadedTrace loaded = load(*in);
+  PipelineConfig config;
+  config.cluster_params.min_sessions = auto_min_sessions(loaded.table, args);
+  const PipelineResult result = run_pipeline(loaded.table, config);
+  const WhatIfAnalyzer whatif{result};
+
+  const double top_frac = args.option_double("top-frac", 0.01);
+  const double fractions[] = {top_frac};
+  const auto sweep = whatif.topk_sweep(*metric, rank, fractions);
+  std::printf("fixing the top %.2f%% of %zu distinct critical clusters "
+              "(%s-ranked) alleviates %.1f%% of %s problem sessions\n",
+              100.0 * top_frac, whatif.distinct_critical_count(*metric),
+              std::string(rank_by_name(rank)).c_str(),
+              100.0 * sweep[0].alleviated_fraction,
+              std::string(metric_name(*metric)).c_str());
+
+  if (args.flag("reactive-delay")) {
+    const auto delay =
+        static_cast<std::uint32_t>(args.option_u64("reactive-delay", 1));
+    const auto outcome = whatif.reactive(*metric, delay);
+    std::printf("reactive strategy (fix after %u h): %.1f%% alleviated "
+                "(potential %.1f%%)\n",
+                delay, 100.0 * outcome.alleviated_fraction,
+                100.0 * outcome.potential_fraction);
+  }
+  return 0;
+}
+
+int cmd_monitor(const ArgParser& args) {
+  const auto in = args.option("in");
+  if (!in.has_value()) return usage();
+  const LoadedTrace loaded = load(*in);
+  MonitorConfig config;
+  config.cluster_params.min_sessions = auto_min_sessions(loaded.table, args);
+  config.escalate_after =
+      static_cast<std::uint32_t>(args.option_u64("delay", 1));
+  StreamingDetector detector{config};
+
+  for (std::uint32_t e = 0; e < loaded.table.num_epochs(); ++e) {
+    for (const IncidentEvent& event :
+         detector.ingest(loaded.table.epoch(e), e)) {
+      if (event.update == IncidentUpdate::kNew) continue;  // alert on action
+      std::printf("%02u:00 %-9s %-11s %s (streak %u h, %.0f sessions)\n", e,
+                  std::string(incident_update_name(event.update)).c_str(),
+                  std::string(metric_name(event.incident.metric)).c_str(),
+                  loaded.schema.describe(event.incident.key).c_str(),
+                  event.incident.streak, event.incident.attributed);
+    }
+  }
+  std::printf("total incidents opened:");
+  for (const Metric m : kAllMetrics) {
+    std::printf(" %s=%ju", std::string(metric_name(m)).c_str(),
+                static_cast<std::uintmax_t>(detector.total_opened(m)));
+  }
+  std::printf("\n");
+  return 0;
+}
+
+int cmd_timeline(const ArgParser& args) {
+  const auto in = args.option("in");
+  if (!in.has_value()) return usage();
+  const LoadedTrace loaded = load(*in);
+  PipelineConfig config;
+  config.cluster_params.min_sessions = auto_min_sessions(loaded.table, args);
+  const PipelineResult result = run_pipeline(loaded.table, config);
+
+  // Hourly problem-ratio sparklines.
+  static constexpr const char* kBlocks[] = {" ", ".", ":", "-", "=",
+                                            "+", "*", "#"};
+  for (const Metric m : kAllMetrics) {
+    std::vector<double> series;
+    double peak = 1e-9;
+    for (std::uint32_t e = 0; e < result.num_epochs; ++e) {
+      const auto& a = result.at(m, e).analysis;
+      const double ratio = a.sessions == 0
+                               ? 0.0
+                               : static_cast<double>(a.problem_sessions) /
+                                     static_cast<double>(a.sessions);
+      series.push_back(ratio);
+      peak = std::max(peak, ratio);
+    }
+    std::printf("%-12s peak %.3f |", std::string(metric_name(m)).c_str(),
+                peak);
+    for (const double ratio : series) {
+      const auto level = static_cast<std::size_t>(ratio / peak * 7.0);
+      std::printf("%s", kBlocks[std::min<std::size_t>(level, 7)]);
+    }
+    std::printf("|\n");
+  }
+
+  // Anomalous epochs with suspects.
+  AnomalyParams anomaly_params;
+  anomaly_params.z_threshold = args.option_double("z", 3.0);
+  const auto anomalies = detect_ratio_anomalies(result, anomaly_params);
+  std::printf("\nanomalous epochs (z >= %.1f):\n", anomaly_params.z_threshold);
+  if (anomalies.empty()) std::printf("  none\n");
+  for (const RatioAnomaly& a : anomalies) {
+    std::printf("  epoch %3u %-12s ratio %.3f (expected %.3f, z=%.1f)\n",
+                a.anomaly.index, std::string(metric_name(a.metric)).c_str(),
+                a.anomaly.value, a.anomaly.expected, a.anomaly.zscore);
+    for (const ClusterKey& suspect : a.suspects) {
+      std::printf("      suspect: %s\n",
+                  loaded.schema.describe(suspect).c_str());
+    }
+  }
+
+  // Longest-lived critical clusters.
+  std::printf("\nlongest critical-cluster streaks:\n");
+  for (const Metric m : kAllMetrics) {
+    const auto report = build_prevalence(critical_cluster_keys(result, m),
+                                         result.num_epochs);
+    const ClusterTimeline* longest = nullptr;
+    for (const auto& t : report.timelines) {
+      if (longest == nullptr || t.max_persistence > longest->max_persistence) {
+        longest = &t;
+      }
+    }
+    if (longest != nullptr) {
+      std::printf("  %-12s %-36s %u h (prevalence %.0f%%)\n",
+                  std::string(metric_name(m)).c_str(),
+                  loaded.schema.describe(longest->key).c_str(),
+                  longest->max_persistence, 100.0 * longest->prevalence);
+    }
+  }
+  return 0;
+}
+
+int cmd_report(const ArgParser& args) {
+  const auto in = args.option("in");
+  if (!in.has_value()) return usage();
+  const LoadedTrace loaded = load(*in);
+  PipelineConfig config;
+  config.cluster_params.min_sessions = auto_min_sessions(loaded.table, args);
+  const PipelineResult result = run_pipeline(loaded.table, config);
+  ReportOptions options;
+  options.top_clusters = args.option_u64("top", 5);
+  std::fputs(
+      render_report(loaded.table, result, loaded.schema, options).c_str(),
+      stdout);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const ArgParser args{argc, argv};
+  const std::string_view command = args.positional(0);
+  try {
+    if (command == "generate") return cmd_generate(args);
+    if (command == "analyze") return cmd_analyze(args);
+    if (command == "whatif") return cmd_whatif(args);
+    if (command == "monitor") return cmd_monitor(args);
+    if (command == "timeline") return cmd_timeline(args);
+    if (command == "report") return cmd_report(args);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  return usage();
+}
