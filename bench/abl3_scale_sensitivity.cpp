@@ -54,7 +54,8 @@ int main() {
       problem += agg.mean_problem_clusters;
       critical += agg.mean_critical_clusters;
       const auto report =
-          build_prevalence(problem_cluster_keys(result, m), epochs);
+          build_prevalence(problem_cluster_keys(result, m),
+                           result.num_epochs);
       std::size_t above = 0;
       for (const auto& t : report.timelines) {
         if (t.median_persistence >= 2) ++above;

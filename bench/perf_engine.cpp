@@ -5,11 +5,13 @@
 #include <benchmark/benchmark.h>
 
 #include <unordered_map>
+#include <vector>
 
 #include "src/core/critical_cluster.h"
 #include "src/core/pipeline.h"
 #include "src/gen/tracegen.h"
 #include "src/util/flat_hash_map.h"
+#include "src/util/thread_pool.h"
 
 namespace vq {
 namespace {
@@ -90,6 +92,81 @@ void BM_AggregateEpoch(benchmark::State& state) {
                           static_cast<long>(sessions.size()));
 }
 BENCHMARK(BM_AggregateEpoch)->Arg(2)->Arg(4)->Arg(7);
+
+/// An epoch with a controlled sessions-per-leaf ratio: `num_sessions`
+/// sessions cycling over exactly `distinct_leaves` attribute combinations.
+/// This is the knob the folded engine's win depends on.
+std::vector<Session> leaf_ratio_epoch(std::size_t num_sessions,
+                                      std::size_t distinct_leaves) {
+  std::vector<Session> sessions;
+  sessions.reserve(num_sessions);
+  for (std::size_t i = 0; i < num_sessions; ++i) {
+    const std::uint64_t j = i % distinct_leaves;
+    Session s;
+    s.epoch = 0;
+    s.attrs[AttrDim::kSite] = static_cast<std::uint16_t>(j & 0x3F);
+    s.attrs[AttrDim::kCdn] = static_cast<std::uint16_t>((j >> 6) & 0x7);
+    s.attrs[AttrDim::kAsn] = static_cast<std::uint16_t>(j >> 9);
+    s.attrs[AttrDim::kConnType] = static_cast<std::uint16_t>(j % 3);
+    s.attrs[AttrDim::kPlayer] = static_cast<std::uint16_t>(j % 5);
+    s.attrs[AttrDim::kBrowser] = static_cast<std::uint16_t>(j % 4);
+    s.attrs[AttrDim::kVodLive] = static_cast<std::uint16_t>(j & 1);
+    s.quality.bitrate_kbps = 2'000.0F;
+    s.quality.buffering_ratio = (i % 8 == 0) ? 0.2F : 0.0F;
+    sessions.push_back(s);
+  }
+  return sessions;
+}
+
+constexpr std::size_t kLeafRatioSessions = 50'000;
+
+void BM_AggregateEpochUnfoldedByLeafRatio(benchmark::State& state) {
+  const auto ratio = static_cast<std::size_t>(state.range(0));
+  const std::vector<Session> sessions =
+      leaf_ratio_epoch(kLeafRatioSessions, kLeafRatioSessions / ratio);
+  const ProblemThresholds thresholds;
+  for (auto _ : state) {
+    const auto table = aggregate_epoch_unfolded(sessions, thresholds, {}, 0);
+    benchmark::DoNotOptimize(table.clusters.size());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<long>(sessions.size()));
+}
+BENCHMARK(BM_AggregateEpochUnfoldedByLeafRatio)
+    ->Arg(1)->Arg(4)->Arg(16)->Arg(64);
+
+void BM_AggregateEpochFoldedByLeafRatio(benchmark::State& state) {
+  const auto ratio = static_cast<std::size_t>(state.range(0));
+  const std::vector<Session> sessions =
+      leaf_ratio_epoch(kLeafRatioSessions, kLeafRatioSessions / ratio);
+  const ProblemThresholds thresholds;
+  for (auto _ : state) {
+    const LeafFold fold = fold_sessions(sessions, thresholds, 0);
+    const auto table = expand_fold(fold, {});
+    benchmark::DoNotOptimize(table.clusters.size());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<long>(sessions.size()));
+}
+BENCHMARK(BM_AggregateEpochFoldedByLeafRatio)
+    ->Arg(1)->Arg(4)->Arg(16)->Arg(64);
+
+void BM_ExpandFoldSharded(benchmark::State& state) {
+  // Pass-2 expansion alone over a pre-built fold, at several shard counts
+  // (shards=1 is the serial expansion baseline).
+  const auto shards = static_cast<std::size_t>(state.range(0));
+  const std::vector<Session> sessions =
+      leaf_ratio_epoch(kLeafRatioSessions, kLeafRatioSessions / 4);
+  const LeafFold fold = fold_sessions(sessions, {}, 0);
+  ThreadPool pool{4};
+  for (auto _ : state) {
+    const auto table = expand_fold(fold, {}, &pool, shards);
+    benchmark::DoNotOptimize(table.clusters.size());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<long>(fold.leaves.size()) * 127);
+}
+BENCHMARK(BM_ExpandFoldSharded)->Arg(1)->Arg(2)->Arg(4);
 
 void BM_CriticalClusters(benchmark::State& state) {
   const SessionTable& trace = bench_trace();

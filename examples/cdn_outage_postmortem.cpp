@@ -78,7 +78,7 @@ int main() {
   // Streak view: how long did each detected cause persist?
   std::printf("\ndetected incident streaks (buffering):\n");
   const auto buf_report = build_prevalence(
-      critical_cluster_keys(result, Metric::kBufRatio), kEpochs);
+      critical_cluster_keys(result, Metric::kBufRatio), result.num_epochs);
   for (const auto& timeline : buf_report.timelines) {
     if (timeline.max_persistence < 3 || timeline.key.arity() > 2) continue;
     for (const Streak& streak : streaks_from_epochs(timeline.epochs)) {
@@ -90,7 +90,7 @@ int main() {
   }
   std::printf("\ndetected incident streaks (join failures):\n");
   const auto fail_report = build_prevalence(
-      critical_cluster_keys(result, Metric::kJoinFailure), kEpochs);
+      critical_cluster_keys(result, Metric::kJoinFailure), result.num_epochs);
   for (const auto& timeline : fail_report.timelines) {
     if (timeline.max_persistence < 3 || timeline.key.arity() > 2) continue;
     for (const Streak& streak : streaks_from_epochs(timeline.epochs)) {

@@ -3,6 +3,9 @@
 #include <bit>
 #include <stdexcept>
 
+#include "src/util/rng.h"
+#include "src/util/thread_pool.h"
+
 namespace vq {
 
 ClusterStats ClusterStats::minus(const ClusterStats& o) const noexcept {
@@ -34,10 +37,102 @@ std::vector<std::uint8_t> lattice_masks(int max_arity) {
   return masks;
 }
 
-EpochClusterTable aggregate_epoch(std::span<const Session> sessions,
-                                  const ProblemThresholds& thresholds,
-                                  const ClusterEngineConfig& config,
-                                  std::uint32_t epoch) {
+LeafFold fold_sessions(std::span<const Session> sessions,
+                       const ProblemThresholds& thresholds,
+                       std::uint32_t epoch) {
+  LeafFold fold;
+  fold.epoch = epoch;
+  fold.leaves.reserve(sessions.size() / 4 + 16);
+  for (const Session& s : sessions) {
+    if (s.epoch != epoch) {
+      throw std::invalid_argument{
+          "aggregate_epoch: session epoch mismatch"};
+    }
+    const std::uint8_t bits = thresholds.problem_bits(s.quality);
+    ClusterStats& leaf =
+        fold.leaves[ClusterKey::pack(kFullMask, s.attrs).raw()];
+    fold.root.sessions += 1;
+    leaf.sessions += 1;
+    for (int m = 0; m < kNumMetrics; ++m) {
+      const std::uint32_t bit = (bits >> m) & 1u;
+      fold.root.problems[m] += bit;
+      leaf.problems[m] += bit;
+    }
+  }
+  return fold;
+}
+
+namespace {
+
+/// Expands every (leaf, stats) pair in `leaves` across `masks` into `out`.
+void expand_leaves(
+    const std::vector<std::pair<std::uint64_t, const ClusterStats*>>& leaves,
+    const std::vector<std::uint8_t>& masks, FlatMap64<ClusterStats>& out) {
+  // Distinct cells are bounded by |leaves| x |masks| but heavily shared in
+  // practice; 8x leaves avoids most rehashes without overcommitting.
+  out.reserve(leaves.size() * 8 + 64);
+  for (const auto& [raw, stats] : leaves) {
+    const ClusterKey leaf = ClusterKey::from_raw(raw);
+    for (const std::uint8_t mask : masks) {
+      out[leaf.project(mask).raw()] += *stats;
+    }
+  }
+}
+
+}  // namespace
+
+EpochClusterTable expand_fold(const LeafFold& fold,
+                              const ClusterEngineConfig& config,
+                              ThreadPool* pool, std::size_t shards) {
+  const std::vector<std::uint8_t> masks = lattice_masks(config.max_arity);
+
+  EpochClusterTable table;
+  table.epoch = fold.epoch;
+  table.root = fold.root;
+
+  // Sharding only pays off when each shard gets a meaningful slice.
+  constexpr std::size_t kMinLeavesPerShard = 256;
+  if (pool == nullptr || shards <= 1 ||
+      fold.leaves.size() < 2 * kMinLeavesPerShard) {
+    std::vector<std::pair<std::uint64_t, const ClusterStats*>> leaves;
+    leaves.reserve(fold.leaves.size());
+    fold.leaves.for_each(
+        [&](std::uint64_t raw, const ClusterStats& s) {
+          leaves.emplace_back(raw, &s);
+        });
+    expand_leaves(leaves, masks, table.clusters);
+    return table;
+  }
+
+  shards = std::min(shards, fold.leaves.size() / kMinLeavesPerShard);
+  // Partition leaves by key hash: each leaf lands in exactly one shard, so
+  // the shard tables are disjoint sums whose merge (uint32 addition,
+  // commutative + associative) matches the serial expansion bit for bit.
+  std::vector<std::vector<std::pair<std::uint64_t, const ClusterStats*>>>
+      shard_leaves(shards);
+  for (auto& v : shard_leaves) {
+    v.reserve(fold.leaves.size() / shards + 16);
+  }
+  fold.leaves.for_each([&](std::uint64_t raw, const ClusterStats& s) {
+    shard_leaves[splitmix64(raw) % shards].emplace_back(raw, &s);
+  });
+
+  std::vector<FlatMap64<ClusterStats>> shard_tables(shards);
+  pool->parallel_for(0, shards, [&](std::size_t shard) {
+    expand_leaves(shard_leaves[shard], masks, shard_tables[shard]);
+  });
+
+  table.clusters = std::move(shard_tables[0]);
+  for (std::size_t shard = 1; shard < shards; ++shard) {
+    table.clusters.merge_add(shard_tables[shard]);
+  }
+  return table;
+}
+
+EpochClusterTable aggregate_epoch_unfolded(std::span<const Session> sessions,
+                                           const ProblemThresholds& thresholds,
+                                           const ClusterEngineConfig& config,
+                                           std::uint32_t epoch) {
   const std::vector<std::uint8_t> masks = lattice_masks(config.max_arity);
 
   EpochClusterTable table;
@@ -69,6 +164,19 @@ EpochClusterTable aggregate_epoch(std::span<const Session> sessions,
     }
   }
   return table;
+}
+
+EpochClusterTable aggregate_epoch(std::span<const Session> sessions,
+                                  const ProblemThresholds& thresholds,
+                                  const ClusterEngineConfig& config,
+                                  std::uint32_t epoch) {
+  if (!config.fold_leaves) {
+    return aggregate_epoch_unfolded(sessions, thresholds, config, epoch);
+  }
+  // Validate the arity cap before folding so both strategies reject bad
+  // configs at the same point.
+  (void)lattice_masks(config.max_arity);
+  return expand_fold(fold_sessions(sessions, thresholds, epoch), config);
 }
 
 }  // namespace vq

@@ -5,6 +5,21 @@
 // attribute values (127 cells, optionally capped by arity).  The result is
 // one hash table per epoch mapping packed ClusterKey -> ClusterStats, plus
 // the epoch's global counters (the lattice root).
+//
+// Two aggregation strategies produce bit-identical tables:
+//
+//  * unfolded (the original): one pass over sessions, 127 hash bumps each.
+//  * leaf-folded (default): pass 1 folds sessions onto their distinct
+//    full-arity leaves (one hash bump per session); pass 2 expands each
+//    *distinct* leaf once across its projections, adding the leaf's whole
+//    counter block per cell.  Real workloads have far fewer distinct
+//    7-attribute leaves than sessions, so pass 2 — the expensive part —
+//    shrinks by the sessions-per-leaf ratio.  Pass 2 can additionally be
+//    sharded across a ThreadPool: leaves are partitioned by hash into
+//    disjoint per-shard tables that are merged at the end.  Since every
+//    leaf lands in exactly one shard and counter addition is commutative
+//    and associative over uint32, the merged table's content is identical
+//    to the serial expansion regardless of shard count or merge order.
 
 #pragma once
 
@@ -18,6 +33,8 @@
 #include "src/util/flat_hash_map.h"
 
 namespace vq {
+
+class ThreadPool;
 
 /// Counters for one cluster within one epoch.
 struct ClusterStats {
@@ -38,6 +55,8 @@ struct ClusterStats {
     return *this;
   }
 
+  friend bool operator==(const ClusterStats&, const ClusterStats&) = default;
+
   /// Saturating subtraction (used by the critical-cluster removal test).
   [[nodiscard]] ClusterStats minus(const ClusterStats& o) const noexcept;
 };
@@ -47,6 +66,10 @@ struct ClusterEngineConfig {
   /// full 127-cell lattice (default, what the paper's method implies); lower
   /// caps trade fidelity for speed (explored in the perf benches).
   int max_arity = kNumDims;
+  /// Leaf-folded two-pass aggregation (see file comment). Off reverts to
+  /// the original session-by-session path; results are identical either
+  /// way, which tests/test_fold_differential.cpp enforces.
+  bool fold_leaves = true;
 };
 
 /// All cluster statistics of one epoch.
@@ -63,9 +86,39 @@ struct EpochClusterTable {
   [[nodiscard]] ClusterStats stats(const ClusterKey& key) const noexcept;
 };
 
-/// Aggregates one epoch's sessions into a cluster table.
-/// All sessions must carry the same epoch id as `epoch`.
+/// Pass-1 output: sessions folded onto their distinct full-arity leaves.
+/// `leaves` maps ClusterKey::pack(kFullMask, attrs).raw() to the combined
+/// counters of every session sharing that leaf; `root` is their sum.
+struct LeafFold {
+  std::uint32_t epoch = 0;
+  ClusterStats root;
+  FlatMap64<ClusterStats> leaves;
+};
+
+/// Folds one epoch's sessions into their distinct leaves (one hash op per
+/// session). All sessions must carry the same epoch id as `epoch`.
+[[nodiscard]] LeafFold fold_sessions(std::span<const Session> sessions,
+                                     const ProblemThresholds& thresholds,
+                                     std::uint32_t epoch);
+
+/// Expands a leaf fold into the full cluster table (pass 2). With `pool`
+/// non-null and `shards > 1`, leaves are partitioned across shards expanded
+/// in parallel and merged; content is identical to the serial expansion.
+[[nodiscard]] EpochClusterTable expand_fold(const LeafFold& fold,
+                                            const ClusterEngineConfig& config,
+                                            ThreadPool* pool = nullptr,
+                                            std::size_t shards = 1);
+
+/// Aggregates one epoch's sessions into a cluster table, dispatching on
+/// `config.fold_leaves`. All sessions must carry the same epoch id as
+/// `epoch`.
 [[nodiscard]] EpochClusterTable aggregate_epoch(
+    std::span<const Session> sessions, const ProblemThresholds& thresholds,
+    const ClusterEngineConfig& config, std::uint32_t epoch);
+
+/// The original one-pass path (127 hash bumps per session); kept as the
+/// differential-testing and benchmarking baseline.
+[[nodiscard]] EpochClusterTable aggregate_epoch_unfolded(
     std::span<const Session> sessions, const ProblemThresholds& thresholds,
     const ClusterEngineConfig& config, std::uint32_t epoch);
 

@@ -10,18 +10,15 @@ namespace {
 
 constexpr int kNumMasks = kFullMask + 1;  // 128 subsets incl. root
 
-struct LeafInfo {
-  std::vector<std::uint8_t> candidates;
-  bool in_problem_cluster = false;
-};
-
 }  // namespace
 
-std::vector<std::uint8_t> critical_candidate_masks(
-    const ClusterKey& leaf, const EpochClusterTable& table,
-    const ProblemClusterParams& params, Metric metric) {
+LeafCandidates critical_leaf_candidates(const ClusterKey& leaf,
+                                        const EpochClusterTable& table,
+                                        const ProblemClusterParams& params,
+                                        Metric metric) {
   const double global = table.global_ratio(metric);
 
+  LeafCandidates out;
   std::array<ClusterStats, kNumMasks> stats;
   std::array<bool, kNumMasks> flagged{};
   stats[0] = table.root;
@@ -29,6 +26,7 @@ std::vector<std::uint8_t> critical_candidate_masks(
     stats[mask] = table.stats(leaf.project(static_cast<std::uint8_t>(mask)));
     flagged[mask] =
         is_problem_cluster(stats[mask], global, params, metric);
+    out.in_problem_cluster |= flagged[mask];
   }
 
   std::vector<std::uint8_t> candidates;
@@ -63,20 +61,24 @@ std::vector<std::uint8_t> critical_candidate_masks(
   }
 
   // Keep only masks minimal by inclusion ("closest to the root").
-  std::vector<std::uint8_t> minimal;
   for (const std::uint8_t m : candidates) {
     const bool dominated = std::any_of(
         candidates.begin(), candidates.end(), [m](std::uint8_t other) {
           return other != m && (other & m) == other;
         });
-    if (!dominated) minimal.push_back(m);
+    if (!dominated) out.masks.push_back(m);
   }
-  return minimal;
+  return out;
 }
 
-CriticalAnalysis find_critical_clusters(std::span<const Session> sessions,
+std::vector<std::uint8_t> critical_candidate_masks(
+    const ClusterKey& leaf, const EpochClusterTable& table,
+    const ProblemClusterParams& params, Metric metric) {
+  return critical_leaf_candidates(leaf, table, params, metric).masks;
+}
+
+CriticalAnalysis find_critical_clusters(const LeafFold& fold,
                                         const EpochClusterTable& table,
-                                        const ProblemThresholds& thresholds,
                                         const ProblemClusterParams& params,
                                         Metric metric) {
   CriticalAnalysis out;
@@ -89,38 +91,24 @@ CriticalAnalysis find_critical_clusters(std::span<const Session> sessions,
   out.num_problem_clusters = static_cast<std::uint32_t>(
       find_problem_clusters(table, params, metric).size());
 
-  const double global = out.global_ratio;
-
-  // Per distinct leaf, the candidate set and coverage are identical for all
-  // of its sessions; memoise.
-  FlatMap64<LeafInfo> leaf_memo;
+  // Candidates and membership depend only on the leaf, so evaluate each
+  // distinct leaf once and weight by its problem-session count.
   FlatMap64<double> attribution;
-
-  for (const Session& s : sessions) {
-    if (!thresholds.is_problem(metric, s.quality)) continue;
-    const ClusterKey leaf = ClusterKey::pack(kFullMask, s.attrs);
-    LeafInfo* info = leaf_memo.find(leaf.raw());
-    if (info == nullptr) {
-      LeafInfo fresh;
-      fresh.candidates =
-          critical_candidate_masks(leaf, table, params, metric);
-      for (unsigned mask = 1; mask <= kFullMask && !fresh.in_problem_cluster;
-           ++mask) {
-        const ClusterStats stats =
-            table.stats(leaf.project(static_cast<std::uint8_t>(mask)));
-        fresh.in_problem_cluster =
-            is_problem_cluster(stats, global, params, metric);
-      }
-      info = &(leaf_memo[leaf.raw()] = std::move(fresh));
-    }
-
-    if (info->in_problem_cluster) ++out.problem_sessions_in_pc;
-    if (info->candidates.empty()) continue;
-    const double share = 1.0 / static_cast<double>(info->candidates.size());
-    for (const std::uint8_t mask : info->candidates) {
+  fold.leaves.for_each([&](std::uint64_t raw, const ClusterStats& stats) {
+    const std::uint32_t problems =
+        stats.problems[static_cast<std::uint8_t>(metric)];
+    if (problems == 0) return;
+    const ClusterKey leaf = ClusterKey::from_raw(raw);
+    const LeafCandidates info =
+        critical_leaf_candidates(leaf, table, params, metric);
+    if (info.in_problem_cluster) out.problem_sessions_in_pc += problems;
+    if (info.masks.empty()) return;
+    const double share = static_cast<double>(problems) /
+                         static_cast<double>(info.masks.size());
+    for (const std::uint8_t mask : info.masks) {
       attribution[leaf.project(mask).raw()] += share;
     }
-  }
+  });
 
   out.criticals.reserve(attribution.size());
   attribution.for_each([&](std::uint64_t raw, double mass) {
@@ -136,6 +124,16 @@ CriticalAnalysis find_critical_clusters(std::span<const Session> sessions,
               return a.key.raw() < b.key.raw();
             });
   return out;
+}
+
+CriticalAnalysis find_critical_clusters(std::span<const Session> sessions,
+                                        const EpochClusterTable& table,
+                                        const ProblemThresholds& thresholds,
+                                        const ProblemClusterParams& params,
+                                        Metric metric) {
+  return find_critical_clusters(
+      fold_sessions(sessions, thresholds, table.epoch), table, params,
+      metric);
 }
 
 }  // namespace vq

@@ -10,7 +10,7 @@
 // Concretely, a mask m over a problem session's leaf attributes is a
 // critical candidate when:
 //   (a) cluster(m) is a problem cluster;
-//   (b) every *significant* superset cluster within the leaf is a problem
+//   (b) every *significant* descendant within the leaf is a problem
 //       cluster (insignificant descendants sit below the paper's
 //       1000-session noise floor and cannot veto);
 //   (c) for every proper non-empty subset a of m, cluster(a) minus
@@ -19,6 +19,11 @@
 // and m is minimal by inclusion among such masks ("closest to the root").
 // When several minimal candidates exist (correlated attributes), the
 // session's mass is divided equally among them, exactly as the paper does.
+//
+// The candidate set and the problem-cluster membership flag depend only on
+// a session's full-arity leaf, so the whole analysis runs over the epoch's
+// *distinct* leaves (the pass-1 LeafFold of the aggregation engine), each
+// weighted by its problem-session count — not over raw sessions.
 
 #pragma once
 
@@ -72,12 +77,34 @@ struct CriticalAnalysis {
   }
 };
 
-/// Runs the phase-transition algorithm for one epoch and metric.
-/// `sessions` must be the span the `table` was aggregated from.
+/// Runs the phase-transition algorithm for one epoch and metric over the
+/// epoch's distinct leaves. `fold` must be the pass-1 fold of the sessions
+/// the `table` was aggregated from (run_pipeline computes it once per epoch
+/// and shares it across all four metrics).
+[[nodiscard]] CriticalAnalysis find_critical_clusters(
+    const LeafFold& fold, const EpochClusterTable& table,
+    const ProblemClusterParams& params, Metric metric);
+
+/// Session-span convenience wrapper: folds `sessions` (which must be the
+/// span the `table` was aggregated from) and delegates to the overload
+/// above.
 [[nodiscard]] CriticalAnalysis find_critical_clusters(
     std::span<const Session> sessions, const EpochClusterTable& table,
     const ProblemThresholds& thresholds, const ProblemClusterParams& params,
     Metric metric);
+
+/// Per-leaf candidate evaluation output: the minimal candidate masks plus
+/// whether any of the leaf's 127 projections is a problem cluster (both fall
+/// out of the same flagged-mask sweep, so they are computed together).
+struct LeafCandidates {
+  std::vector<std::uint8_t> masks;  // minimal candidate masks, ascending
+  bool in_problem_cluster = false;
+};
+
+/// Critical candidate masks + problem-cluster membership for a single leaf.
+[[nodiscard]] LeafCandidates critical_leaf_candidates(
+    const ClusterKey& leaf, const EpochClusterTable& table,
+    const ProblemClusterParams& params, Metric metric);
 
 /// Critical candidate masks for a single leaf (exposed for tests and the
 /// HHH comparison bench). Returns minimal candidate masks, ascending.

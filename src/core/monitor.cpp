@@ -27,8 +27,14 @@ std::vector<IncidentEvent> StreamingDetector::ingest(
   last_epoch_ = epoch;
   has_ingested_ = true;
 
+  // One fold per ingested epoch, shared by the expansion and all metrics.
+  const LeafFold fold =
+      fold_sessions(sessions, config_.thresholds, epoch);
   const EpochClusterTable lattice =
-      aggregate_epoch(sessions, config_.thresholds, config_.engine, epoch);
+      config_.engine.fold_leaves
+          ? expand_fold(fold, config_.engine)
+          : aggregate_epoch_unfolded(sessions, config_.thresholds,
+                                     config_.engine, epoch);
 
   std::vector<IncidentEvent> events;
   for (const Metric metric : kAllMetrics) {
@@ -36,8 +42,7 @@ std::vector<IncidentEvent> StreamingDetector::ingest(
     auto& incidents = registry_[mi];
 
     const CriticalAnalysis analysis =
-        find_critical_clusters(sessions, lattice, config_.thresholds,
-                               config_.cluster_params, metric);
+        find_critical_clusters(fold, lattice, config_.cluster_params, metric);
 
     // Mark every open incident as unseen; re-arm those still present.
     for (auto& [raw, incident] : incidents) incident.attributed = -1.0;

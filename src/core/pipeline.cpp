@@ -1,5 +1,7 @@
 #include "src/core/pipeline.h"
 
+#include <algorithm>
+#include <optional>
 #include <stdexcept>
 
 #include "src/util/thread_pool.h"
@@ -36,6 +38,20 @@ PipelineResult::MetricAggregates PipelineResult::aggregates(Metric m) const {
   return agg;
 }
 
+namespace {
+
+std::size_t resolve_shards(const PipelineConfig& config, std::size_t workers,
+                           std::size_t num_epochs) {
+  if (config.shards != 0) return config.shards;
+  if (workers <= 1 || num_epochs == 0) return 1;
+  // With epochs >= workers the epoch level saturates the pool by itself;
+  // below that, shard each epoch's expansion so every worker has a slice.
+  if (num_epochs >= workers) return 1;
+  return (workers + num_epochs - 1) / num_epochs;
+}
+
+}  // namespace
+
 PipelineResult run_pipeline(const SessionTable& table,
                             const PipelineConfig& config) {
   PipelineResult result;
@@ -43,16 +59,32 @@ PipelineResult run_pipeline(const SessionTable& table,
   result.num_epochs = table.num_epochs();
   for (auto& v : result.per_metric) v.resize(result.num_epochs);
 
+  const std::size_t workers =
+      config.workers == 0
+          ? std::max<std::size_t>(1, std::thread::hardware_concurrency())
+          : config.workers;
+  std::optional<ThreadPool> pool;
+  if (workers > 1 && result.num_epochs > 0) pool.emplace(workers);
+  ThreadPool* pool_ptr = pool ? &*pool : nullptr;
+  const std::size_t shards = resolve_shards(config, workers,
+                                            result.num_epochs);
+
   const auto process_epoch = [&](std::size_t e) {
     const auto epoch = static_cast<std::uint32_t>(e);
     const std::span<const Session> sessions = table.epoch(epoch);
+    // One leaf fold per epoch feeds both the lattice expansion and all four
+    // per-metric critical analyses.
+    const LeafFold fold = fold_sessions(sessions, config.thresholds, epoch);
     const EpochClusterTable lattice =
-        aggregate_epoch(sessions, config.thresholds, config.engine, epoch);
+        config.engine.fold_leaves
+            ? expand_fold(fold, config.engine, pool_ptr, shards)
+            : aggregate_epoch_unfolded(sessions, config.thresholds,
+                                       config.engine, epoch);
     for (const Metric m : kAllMetrics) {
       EpochMetricSummary& summary =
           result.per_metric[static_cast<std::uint8_t>(m)][epoch];
-      summary.analysis = find_critical_clusters(
-          sessions, lattice, config.thresholds, config.cluster_params, m);
+      summary.analysis =
+          find_critical_clusters(fold, lattice, config.cluster_params, m);
       for (const ProblemCluster& pc :
            find_problem_clusters(lattice, config.cluster_params, m)) {
         summary.problem_cluster_keys.push_back(pc.key.raw());
@@ -60,11 +92,14 @@ PipelineResult run_pipeline(const SessionTable& table,
     }
   };
 
-  if (config.workers == 1 || result.num_epochs <= 1) {
+  if (pool_ptr == nullptr) {
     for (std::uint32_t e = 0; e < result.num_epochs; ++e) process_epoch(e);
   } else {
-    ThreadPool pool{config.workers};
-    pool.parallel_for(0, result.num_epochs, process_epoch);
+    // parallel_for is re-entrant, so the per-epoch workers can themselves
+    // fan the lattice expansion out across the same pool; a throwing epoch
+    // (e.g. an epoch-mismatch in fold_sessions) surfaces here rather than
+    // terminating the process.
+    pool_ptr->parallel_for(0, result.num_epochs, process_epoch);
   }
   return result;
 }

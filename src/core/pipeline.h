@@ -6,6 +6,12 @@
 // after extracting what the longitudinal analyses need, and returns a
 // PipelineResult the §4/§5 analytics (prevalence, persistence, overlap,
 // what-if) consume.
+//
+// Parallelism has two levels sharing one thread pool: epochs are spread
+// across workers, and within an epoch the lattice expansion can be sharded
+// (see cluster_engine.h).  Sharding matters when there are fewer epochs
+// than cores — e.g. a live monitor re-analysing the latest hour — and is
+// derived automatically by default.
 
 #pragma once
 
@@ -27,6 +33,10 @@ struct PipelineConfig {
   ClusterEngineConfig engine;
   /// Worker threads for per-epoch parallelism; 0 = hardware concurrency.
   std::size_t workers = 1;
+  /// Lattice-expansion shards per epoch: 1 = serial expansion, 0 = derive
+  /// from the worker/epoch ratio (shard only when epochs alone cannot keep
+  /// the pool busy). Any value yields identical results.
+  std::size_t shards = 0;
 };
 
 /// Everything retained per (epoch, metric).

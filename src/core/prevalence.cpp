@@ -1,6 +1,8 @@
 #include "src/core/prevalence.h"
 
 #include <algorithm>
+#include <stdexcept>
+#include <string>
 #include <unordered_map>
 
 #include "src/stats/timeseries.h"
@@ -35,6 +37,15 @@ std::vector<double> PrevalenceReport::max_persistences() const {
 PrevalenceReport build_prevalence(
     std::span<const std::vector<std::uint64_t>> keys_by_epoch,
     std::uint32_t num_epochs) {
+  // A key list per epoch is the contract; a mismatch would silently skew
+  // every prevalence denominator (and out-of-range epochs could inflate
+  // ratios past 1), so fail loudly instead.
+  if (keys_by_epoch.size() != num_epochs) {
+    throw std::invalid_argument{
+        "build_prevalence: keys_by_epoch has " +
+        std::to_string(keys_by_epoch.size()) + " epochs, expected " +
+        std::to_string(num_epochs)};
+  }
   PrevalenceReport report;
   report.num_epochs = num_epochs;
   if (num_epochs == 0) return report;

@@ -36,7 +36,9 @@ struct PrevalenceReport {
 };
 
 /// Builds timelines from per-epoch key lists: `keys_by_epoch[e]` holds the
-/// flagged cluster keys of epoch e.
+/// flagged cluster keys of epoch e. Exactly one list per epoch is required;
+/// a size mismatch throws std::invalid_argument (it would silently skew the
+/// prevalence denominator otherwise).
 [[nodiscard]] PrevalenceReport build_prevalence(
     std::span<const std::vector<std::uint64_t>> keys_by_epoch,
     std::uint32_t num_epochs);

@@ -1,5 +1,6 @@
 #include "src/gen/trace_io.h"
 
+#include <algorithm>
 #include <array>
 #include <bit>
 #include <charconv>
@@ -52,6 +53,20 @@ T parse_number(std::string_view field, std::size_t line_no) {
 
 void write_trace_csv(std::ostream& out, const SessionTable& table,
                      const AttributeSchema& schema) {
+  // Names are written unquoted, so a delimiter or line break inside one
+  // would silently corrupt the round trip read_trace_csv relies on; reject
+  // the whole schema up front rather than emit a malformed file.
+  for (const AttrDim dim : kColumnDims) {
+    for (std::size_t id = 0; id < schema.cardinality(dim); ++id) {
+      const std::string_view name =
+          schema.name(dim, static_cast<std::uint16_t>(id));
+      if (name.find_first_of(",\n\r") != std::string_view::npos) {
+        throw std::invalid_argument{
+            "write_trace_csv: attribute name contains a delimiter: \"" +
+            std::string{name} + "\""};
+      }
+    }
+  }
   // max_digits10 for float: values survive a write/read round trip exactly.
   out.precision(9);
   out << kHeader << '\n';
@@ -219,7 +234,13 @@ LoadedTrace read_trace_binary(std::istream& in) {
   }
   const auto count = read_pod<std::uint64_t>(in);
   std::vector<Session> sessions;
-  sessions.reserve(count);
+  // The count is untrusted: a corrupted header could demand a multi-GB
+  // up-front allocation before the first truncated read fails. Reserve a
+  // bounded floor and let push_back's geometric growth cover honest large
+  // traces.
+  constexpr std::uint64_t kMaxInitialReserve = 1u << 16;
+  sessions.reserve(
+      static_cast<std::size_t>(std::min(count, kMaxInitialReserve)));
   for (std::uint64_t i = 0; i < count; ++i) {
     Session s;
     for (int d = 0; d < kNumDims; ++d) {

@@ -90,6 +90,17 @@ class FlatMap64 {
     return find(key) != nullptr;
   }
 
+  /// Adds every entry of `other` into this map, combining colliding values
+  /// with `+=` (default-constructing absent ones first). This is the shard
+  /// merge of the lattice engine: V's += must be commutative and associative
+  /// for the merged content to be independent of merge order — true for the
+  /// integer counters stored there.
+  void merge_add(const FlatMap64& other) {
+    reserve(size_ + other.size());
+    other.for_each(
+        [this](std::uint64_t key, const V& value) { (*this)[key] += value; });
+  }
+
   /// Invokes fn(key, value) for every entry (unspecified order).
   template <typename Fn>
   void for_each(Fn&& fn) const {

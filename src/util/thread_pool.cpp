@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <atomic>
+#include <exception>
+#include <memory>
 
 namespace vq {
 
@@ -38,6 +40,60 @@ void ThreadPool::wait_idle() {
   idle_.wait(lock, [this] { return in_flight_ == 0; });
 }
 
+namespace {
+
+/// Per-parallel_for shared state. `pending` counts iterations not yet
+/// finished (or cancelled); the caller waits for it to reach zero, which
+/// only ever depends on iterations actively running on some thread — never
+/// on helper tasks still sitting in the queue. That property is what makes
+/// nested parallel_for calls deadlock-free.
+struct ForBatch {
+  std::atomic<std::size_t> cursor;
+  std::atomic<std::size_t> pending;
+  std::size_t end;
+  std::mutex mutex;
+  std::condition_variable done;
+  std::exception_ptr error;  // first exception, guarded by mutex
+
+  ForBatch(std::size_t begin_, std::size_t end_)
+      : cursor{begin_}, pending{end_ - begin_}, end{end_} {}
+
+  void finish(std::size_t n) {
+    if (pending.fetch_sub(n) == n) {
+      {  // pair with the waiter's predicate check (avoids missed wakeups)
+        const std::lock_guard lock{mutex};
+      }
+      done.notify_all();
+    }
+  }
+
+  /// Claims and runs iterations until the cursor is exhausted. Returns
+  /// normally even when an iteration throws: the exception is stored (first
+  /// one wins) and every still-unclaimed iteration is cancelled.
+  void drain(const std::function<void(std::size_t)>& fn) {
+    for (;;) {
+      const std::size_t i = cursor.fetch_add(1);
+      if (i >= end) return;
+      try {
+        fn(i);
+      } catch (...) {
+        {
+          const std::lock_guard lock{mutex};
+          if (!error) error = std::current_exception();
+        }
+        // Cancel everything not yet claimed; `exchange` serialises against
+        // concurrent claims so each index is either run once or cancelled
+        // once, never both.
+        const std::size_t old = cursor.exchange(end);
+        if (old < end) finish(end - old);
+      }
+      finish(1);
+    }
+  }
+};
+
+}  // namespace
+
 void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
                               const std::function<void(std::size_t)>& fn) {
   if (begin >= end) return;
@@ -46,20 +102,25 @@ void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
     for (std::size_t i = begin; i < end; ++i) fn(i);
     return;
   }
-  // One shared atomic cursor: workers pull indices until exhausted, which
-  // load-balances uneven per-epoch costs better than static chunking.
-  auto cursor = std::make_shared<std::atomic<std::size_t>>(begin);
-  const std::size_t tasks = std::min(threads_.size(), n);
-  for (std::size_t t = 0; t < tasks; ++t) {
-    submit([cursor, end, &fn] {
-      for (;;) {
-        const std::size_t i = cursor->fetch_add(1);
-        if (i >= end) return;
-        fn(i);
-      }
+  auto batch = std::make_shared<ForBatch>(begin, end);
+  // One shared atomic cursor: participants pull indices until exhausted,
+  // which load-balances uneven per-iteration costs better than static
+  // chunking. The caller is one participant; helpers that only get
+  // scheduled after the cursor drains exit immediately (they never touch
+  // `fn`, which may be gone by then — hence the pointer capture).
+  const auto* fn_ptr = &fn;
+  const std::size_t helpers = std::min(threads_.size(), n - 1);
+  for (std::size_t t = 0; t < helpers; ++t) {
+    submit([batch, fn_ptr] {
+      if (batch->pending.load() != 0) batch->drain(*fn_ptr);
     });
   }
-  wait_idle();
+  batch->drain(fn);
+  {
+    std::unique_lock lock{batch->mutex};
+    batch->done.wait(lock, [&] { return batch->pending.load() == 0; });
+  }
+  if (batch->error) std::rethrow_exception(batch->error);
 }
 
 void ThreadPool::worker_loop() {

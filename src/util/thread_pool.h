@@ -3,6 +3,14 @@
 // The analysis pipeline processes epochs independently; on multi-core hosts
 // parallel_for spreads epochs across workers, on single-core hosts it runs
 // inline with zero thread overhead (worker count 0 or 1 short-circuits).
+//
+// parallel_for is re-entrant: the calling thread participates in the loop
+// and only ever waits on iterations that are already running on some thread,
+// so a worker may itself call parallel_for (epoch-level x shard-level
+// nesting in run_pipeline) without risking queue-starvation deadlock.
+// Exceptions thrown by iterations are captured (first wins), remaining
+// unclaimed iterations are cancelled, and the exception is rethrown on the
+// calling thread once in-flight iterations drain.
 
 #pragma once
 
@@ -32,7 +40,8 @@ class ThreadPool {
   }
 
   /// Enqueues a task; tasks must not throw (they run on worker threads with
-  /// no channel back to the caller — wrap fallible work yourself).
+  /// no channel back to the caller — wrap fallible work yourself, or use
+  /// parallel_for which does).
   void submit(std::function<void()> task);
 
   /// Blocks until every submitted task has finished.
@@ -40,7 +49,8 @@ class ThreadPool {
 
   /// Runs fn(i) for i in [begin, end), partitioned across workers; blocks
   /// until complete. Runs inline when the range is small or the pool has a
-  /// single worker.
+  /// single worker. If an iteration throws, no further iterations start and
+  /// the first exception is rethrown here after in-flight ones finish.
   void parallel_for(std::size_t begin, std::size_t end,
                     const std::function<void(std::size_t)>& fn);
 

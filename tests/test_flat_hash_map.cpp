@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <array>
 #include <unordered_map>
 #include <unordered_set>
 
@@ -118,6 +119,47 @@ TEST(FlatMap64, MatchesUnorderedMapUnderRandomWorkload) {
     }
   }
   EXPECT_EQ(map.size(), reference.size());
+}
+
+TEST(FlatMap64, MergeAddCombinesWithPlusEquals) {
+  FlatMap64<std::uint64_t> a;
+  a[1] = 10;
+  a[2] = 20;
+  FlatMap64<std::uint64_t> b;
+  b[2] = 5;
+  b[3] = 7;
+  a.merge_add(b);
+  EXPECT_EQ(a.size(), 3u);
+  EXPECT_EQ(*a.find(1), 10u);
+  EXPECT_EQ(*a.find(2), 25u);
+  EXPECT_EQ(*a.find(3), 7u);
+  // The source map is untouched.
+  EXPECT_EQ(b.size(), 2u);
+  EXPECT_EQ(*b.find(2), 5u);
+}
+
+TEST(FlatMap64, MergeAddManyShardsMatchesSingleMap) {
+  // Shard a stream of upserts by key hash, merge, and compare against one
+  // flat accumulation — the lattice engine's shard/merge pattern.
+  constexpr std::size_t kShards = 5;
+  FlatMap64<std::uint64_t> whole;
+  std::array<FlatMap64<std::uint64_t>, kShards> shards;
+  Xoshiro256ss rng{7};
+  for (int op = 0; op < 20'000; ++op) {
+    const std::uint64_t key = rng.below(500);
+    const std::uint64_t value = rng.below(100);
+    whole[key] += value;
+    shards[splitmix64(key) % kShards][key] += value;
+  }
+  FlatMap64<std::uint64_t> merged;
+  for (const auto& shard : shards) merged.merge_add(shard);
+  ASSERT_EQ(merged.size(), whole.size());
+  std::size_t mismatches = 0;
+  whole.for_each([&](std::uint64_t key, std::uint64_t value) {
+    const auto* found = merged.find(key);
+    if (found == nullptr || *found != value) ++mismatches;
+  });
+  EXPECT_EQ(mismatches, 0u);
 }
 
 TEST(FlatSet64, InsertContainsClear) {

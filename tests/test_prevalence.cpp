@@ -96,6 +96,20 @@ TEST(Prevalence, EmptyInput) {
   EXPECT_TRUE(report.prevalences().empty());
 }
 
+TEST(Prevalence, EpochCountMismatchThrows) {
+  // Fewer (or more) key lists than epochs would silently skew every
+  // denominator; the contract is one list per epoch.
+  std::vector<std::vector<std::uint64_t>> keys_by_epoch(3);
+  const ClusterKey k = key_of(dim_bit(AttrDim::kSite), Attrs{.site = 1});
+  keys_by_epoch[0] = {k.raw()};
+  EXPECT_THROW((void)build_prevalence(keys_by_epoch, 6),
+               std::invalid_argument);
+  EXPECT_THROW((void)build_prevalence(keys_by_epoch, 2),
+               std::invalid_argument);
+  EXPECT_THROW((void)build_prevalence({}, 1), std::invalid_argument);
+  EXPECT_NO_THROW((void)build_prevalence(keys_by_epoch, 3));
+}
+
 TEST(Prevalence, DuplicateKeysWithinEpochCountOnce) {
   std::vector<std::vector<std::uint64_t>> keys_by_epoch(2);
   const ClusterKey k = key_of(dim_bit(AttrDim::kSite), Attrs{.site = 3});

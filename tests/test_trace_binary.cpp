@@ -1,6 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <cstring>
 #include <sstream>
+#include <string>
 
 #include "src/gen/trace_io.h"
 #include "src/gen/tracegen.h"
@@ -98,6 +100,27 @@ TEST(TraceBinary, RejectsTruncation) {
                                         static_cast<long>(full.size() - 7)},
                         std::ios::in | std::ios::binary};
   EXPECT_THROW((void)read_trace_binary(cut), std::runtime_error);
+}
+
+TEST(TraceBinary, CorruptedSessionCountFailsFastWithoutHugeAllocation) {
+  // Patch the 64-bit session count to an absurd value: the reader must hit
+  // "truncated input" quickly instead of reserving sessions for the claimed
+  // count (a multi-GB allocation) first.
+  const LoadedTrace original = generate_loaded(1, 20);
+  std::stringstream buffer{std::ios::in | std::ios::out | std::ios::binary};
+  write_trace_binary(buffer, original.table, original.schema);
+  std::string bytes = buffer.str();
+
+  // The count is the little-endian u64 right before the fixed-size session
+  // records (31 bytes each).
+  constexpr std::size_t kRecordSize = 7 * 2 + 4 + 3 * 4 + 1;
+  static_assert(kRecordSize == 31);
+  const std::size_t count_pos = bytes.size() - 20 * kRecordSize - 8;
+  const std::uint64_t huge = std::uint64_t{1} << 60;
+  std::memcpy(bytes.data() + count_pos, &huge, sizeof huge);
+
+  std::stringstream patched{bytes, std::ios::in | std::ios::binary};
+  EXPECT_THROW((void)read_trace_binary(patched), std::runtime_error);
 }
 
 TEST(TraceBinary, RejectsWrongVersion) {

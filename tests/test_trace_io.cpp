@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <sstream>
+#include <string>
 
 #include "src/gen/tracegen.h"
 #include "tests/test_support.h"
@@ -99,6 +100,42 @@ TEST(TraceIo, SkipsBlankLines) {
   EXPECT_EQ(loaded.table.sessions()[1].epoch, 1u);
   EXPECT_TRUE(loaded.table.sessions()[1].quality.join_failed);
   EXPECT_EQ(loaded.schema.name(AttrDim::kVodLive, 1), "Live");
+}
+
+TEST(TraceIo, RejectsAttributeNamesThatWouldCorruptTheCsv) {
+  // A comma (or newline) inside an attribute name would silently shift every
+  // later column on read-back; the writer must refuse up front.
+  for (const std::string bad : {"evil,name", "line\nbreak", "cr\rhere"}) {
+    AttributeSchema schema;
+    for (int d = 0; d < kNumDims; ++d) {
+      (void)schema.intern(static_cast<AttrDim>(d), "ok");
+    }
+    (void)schema.intern(AttrDim::kAsn, bad);
+    std::vector<Session> sessions;
+    test::add_sessions(sessions, 0, Attrs{.asn = 1}, test::good_quality(), 1);
+    std::stringstream buffer;
+    EXPECT_THROW(
+        write_trace_csv(buffer, SessionTable{std::move(sessions)}, schema),
+        std::invalid_argument)
+        << bad;
+  }
+}
+
+TEST(TraceIo, PunctuatedButCommaFreeNamesRoundTrip) {
+  AttributeSchema schema;
+  for (int d = 0; d < kNumDims; ++d) {
+    (void)schema.intern(static_cast<AttrDim>(d), "plain");
+  }
+  (void)schema.intern(AttrDim::kAsn, "AS 7922 (Comcast-like; res.)");
+  std::vector<Session> sessions;
+  test::add_sessions(sessions, 0, Attrs{.asn = 1}, test::good_quality(), 2);
+  std::stringstream buffer;
+  write_trace_csv(buffer, SessionTable{std::move(sessions)}, schema);
+  const LoadedTrace loaded = read_trace_csv(buffer);
+  ASSERT_EQ(loaded.table.size(), 2u);
+  EXPECT_EQ(loaded.schema.name(AttrDim::kAsn,
+                               loaded.table.sessions()[0].attrs[AttrDim::kAsn]),
+            "AS 7922 (Comcast-like; res.)");
 }
 
 TEST(TraceIo, FileRoundTrip) {

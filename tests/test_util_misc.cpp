@@ -100,5 +100,65 @@ TEST(ThreadPool, DefaultsToHardwareConcurrency) {
   EXPECT_GE(pool.worker_count(), 1u);
 }
 
+TEST(ThreadPool, ParallelForRethrowsFirstExceptionOnCaller) {
+  ThreadPool pool{4};
+  std::atomic<int> ran{0};
+  EXPECT_THROW(
+      pool.parallel_for(0, 1'000,
+                        [&ran](std::size_t i) {
+                          if (i == 13) {
+                            throw std::invalid_argument{"boom"};
+                          }
+                          ran.fetch_add(1);
+                        }),
+      std::invalid_argument);
+  // Unclaimed iterations are cancelled once the exception fires.
+  EXPECT_LT(ran.load(), 1'000);
+  // The pool survives and keeps working.
+  std::atomic<int> after{0};
+  pool.parallel_for(0, 100, [&after](std::size_t) { after.fetch_add(1); });
+  EXPECT_EQ(after.load(), 100);
+}
+
+TEST(ThreadPool, ParallelForPropagatesExceptionsFromEveryWorker) {
+  // Whichever participant throws — worker or caller — the exception must
+  // surface on the calling thread instead of std::terminate.
+  ThreadPool pool{4};
+  for (int trial = 0; trial < 20; ++trial) {
+    EXPECT_THROW(pool.parallel_for(0, 64,
+                                   [](std::size_t) {
+                                     throw std::runtime_error{"all fail"};
+                                   }),
+                 std::runtime_error);
+  }
+}
+
+TEST(ThreadPool, NestedParallelForCompletes) {
+  // A worker running an outer iteration may itself call parallel_for (the
+  // pipeline's epoch x shard nesting). With as many outer iterations as
+  // workers this used to starve: every worker blocked waiting on inner
+  // tasks that no thread was left to run.
+  ThreadPool pool{2};
+  std::atomic<int> total{0};
+  pool.parallel_for(0, 4, [&](std::size_t) {
+    pool.parallel_for(0, 8, [&](std::size_t) { total.fetch_add(1); });
+  });
+  EXPECT_EQ(total.load(), 32);
+}
+
+TEST(ThreadPool, NestedParallelForPropagatesInnerException) {
+  ThreadPool pool{3};
+  EXPECT_THROW(
+      pool.parallel_for(0, 3,
+                        [&](std::size_t) {
+                          pool.parallel_for(0, 4, [](std::size_t j) {
+                            if (j == 2) {
+                              throw std::invalid_argument{"inner"};
+                            }
+                          });
+                        }),
+      std::invalid_argument);
+}
+
 }  // namespace
 }  // namespace vq
