@@ -71,7 +71,7 @@ inline void save_result(const std::filesystem::path& path,
   std::ofstream out{path, std::ios::binary};
   if (!out) throw std::runtime_error{"result cache: cannot open for write"};
   out.write("VQPR", 4);
-  put<std::uint32_t>(out, 2);  // version
+  put<std::uint32_t>(out, 3);  // version
   put<std::uint32_t>(out, result.num_epochs);
   put<std::uint32_t>(out, result.config.cluster_params.min_sessions);
   put<double>(out, result.config.cluster_params.ratio_multiplier);
@@ -94,8 +94,8 @@ inline void save_result(const std::filesystem::path& path,
           put<std::uint32_t>(out, c.stats.problems[i]);
         }
       }
-      put<std::uint64_t>(out, s.problem_cluster_keys.size());
-      for (const std::uint64_t key : s.problem_cluster_keys) {
+      put<std::uint64_t>(out, a.problem_cluster_keys.size());
+      for (const std::uint64_t key : a.problem_cluster_keys) {
         put<std::uint64_t>(out, key);
       }
     }
@@ -112,7 +112,7 @@ inline PipelineResult load_result(const std::filesystem::path& path,
   if (!in || std::string_view{magic, 4} != "VQPR") {
     throw std::runtime_error{"result cache: bad magic"};
   }
-  if (get<std::uint32_t>(in) != 2) {
+  if (get<std::uint32_t>(in) != 3) {
     throw std::runtime_error{"result cache: version mismatch"};
   }
   PipelineResult result;
@@ -147,8 +147,8 @@ inline PipelineResult load_result(const std::filesystem::path& path,
         }
       }
       const auto keys = get<std::uint64_t>(in);
-      s.problem_cluster_keys.resize(keys);
-      for (auto& key : s.problem_cluster_keys) {
+      a.problem_cluster_keys.resize(keys);
+      for (auto& key : a.problem_cluster_keys) {
         key = get<std::uint64_t>(in);
       }
     }

@@ -1,0 +1,168 @@
+// Standalone critical-extraction benchmark: times the hashed baseline
+// against the indexed strategy (serial and sharded) on one realistic epoch
+// and writes the numbers to BENCH_critical.json.
+//
+// Unlike the google-benchmark microbenches (perf_engine), this harness is a
+// plain main() so CI can run it in smoke mode and the JSON can be checked
+// in as the PR's perf evidence.
+//
+//   usage: perf_critical [--smoke] [output.json]
+//
+//   VIDQUAL_CRIT_SESSIONS  sessions in the benchmarked epoch (default 200000)
+//   VIDQUAL_CRIT_REPS      timed repetitions per strategy    (default 20)
+//   VIDQUAL_CRIT_SHARDS    shard count for the sharded run   (default 4)
+//
+// Smoke mode shrinks both knobs so the whole binary finishes in seconds; it
+// still exercises every strategy and the equality check.
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+#include <string_view>
+
+#include "src/core/critical_cluster.h"
+#include "src/gen/tracegen.h"
+#include "src/util/thread_pool.h"
+
+namespace {
+
+std::uint64_t env_u64(const char* name, std::uint64_t fallback) {
+  const char* value = std::getenv(name);
+  return value == nullptr ? fallback : std::strtoull(value, nullptr, 10);
+}
+
+/// Seconds for `reps` runs of `body` (one warmup run first).
+template <typename F>
+double time_reps(std::size_t reps, F&& body) {
+  body();
+  const auto start = std::chrono::steady_clock::now();
+  for (std::size_t r = 0; r < reps; ++r) body();
+  const auto stop = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(stop - start).count();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace vq;
+
+  bool smoke = false;
+  std::string out_path = "BENCH_critical.json";
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg == "--smoke") {
+      smoke = true;
+    } else {
+      out_path = arg;
+    }
+  }
+
+  const auto sessions_n = static_cast<std::uint32_t>(
+      env_u64("VIDQUAL_CRIT_SESSIONS", smoke ? 20'000 : 200'000));
+  const auto reps =
+      static_cast<std::size_t>(env_u64("VIDQUAL_CRIT_REPS", smoke ? 3 : 20));
+  const auto shards =
+      static_cast<std::size_t>(env_u64("VIDQUAL_CRIT_SHARDS", 4));
+
+  // One epoch over a compact attribute universe: leaves repeat heavily,
+  // clusters clear the significance floor — the regime the paper's traces
+  // live in and the one both strategies are built for.
+  WorldConfig world_config;
+  world_config.num_sites = 20;
+  world_config.num_cdns = 3;
+  world_config.num_asns = 50;
+  const World world = World::build(world_config);
+  EventScheduleConfig event_config;
+  event_config.num_epochs = 1;
+  const EventSchedule events = EventSchedule::generate(world, event_config);
+  TraceConfig trace_config;
+  trace_config.num_epochs = 1;
+  trace_config.sessions_per_epoch = sessions_n;
+  trace_config.diurnal_amplitude = 0.0;
+  const SessionTable trace = generate_trace(world, events, trace_config);
+
+  const ProblemThresholds thresholds;
+  const ProblemClusterParams params{.ratio_multiplier = 1.5,
+                                    .min_sessions = 150};
+  const LeafFold fold = fold_sessions(trace.epoch(0), thresholds, 0);
+  const EpochClusterTable table = expand_fold(fold, {});
+  ThreadPool pool{shards};
+
+  std::printf("perf_critical: %zu sessions, %zu leaves, %u cells, %zu reps\n",
+              trace.size(), fold.leaves.size(), table.clusters.size(), reps);
+
+  // A "rep" covers all four metrics, matching what the pipeline does per
+  // epoch — so reps/sec is directly epochs/sec of critical extraction.
+  const double hash_s = time_reps(reps, [&] {
+    for (const Metric m : kAllMetrics) {
+      const auto a = find_critical_clusters_hashed(fold, table, params, m);
+      if (a.criticals.empty() && a.num_problem_clusters > 0) std::abort();
+    }
+  });
+  const double indexed_s = time_reps(reps, [&] {
+    for (const Metric m : kAllMetrics) {
+      const auto a = find_critical_clusters_indexed(table, params, m);
+      if (a.criticals.empty() && a.num_problem_clusters > 0) std::abort();
+    }
+  });
+  const double sharded_s = time_reps(reps, [&] {
+    for (const Metric m : kAllMetrics) {
+      const auto a =
+          find_critical_clusters_indexed(table, params, m, &pool, shards);
+      if (a.criticals.empty() && a.num_problem_clusters > 0) std::abort();
+    }
+  });
+
+  // Differential sanity: strategies must agree exactly before the numbers
+  // mean anything (the full check lives in test_critical_differential.cpp).
+  std::size_t criticals = 0;
+  for (const Metric m : kAllMetrics) {
+    const auto h = find_critical_clusters_hashed(fold, table, params, m);
+    const auto x =
+        find_critical_clusters_indexed(table, params, m, &pool, shards);
+    if (h.criticals.size() != x.criticals.size() ||
+        h.attributed_mass != x.attributed_mass ||
+        h.problem_cluster_keys != x.problem_cluster_keys) {
+      std::fprintf(stderr, "FATAL: strategies disagree on metric %d\n",
+                   static_cast<int>(m));
+      return 1;
+    }
+    criticals += h.criticals.size();
+  }
+
+  const double n = static_cast<double>(reps);
+  const double hash_eps = n / hash_s;
+  const double indexed_eps = n / indexed_s;
+  const double sharded_eps = n / sharded_s;
+  const double speedup = indexed_eps / hash_eps;
+
+  std::printf("  hashed          : %8.2f epochs/sec\n", hash_eps);
+  std::printf("  indexed         : %8.2f epochs/sec  (%.2fx)\n", indexed_eps,
+              speedup);
+  std::printf("  indexed x%zu     : %8.2f epochs/sec  (%.2fx)\n", shards,
+              sharded_eps, sharded_eps / hash_eps);
+
+  std::ofstream out{out_path};
+  if (!out) {
+    std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  out << "{\n"
+      << "  \"bench\": \"critical_extraction\",\n"
+      << "  \"smoke\": " << (smoke ? "true" : "false") << ",\n"
+      << "  \"sessions\": " << trace.size() << ",\n"
+      << "  \"distinct_leaves\": " << fold.leaves.size() << ",\n"
+      << "  \"lattice_cells\": " << table.clusters.size() << ",\n"
+      << "  \"critical_clusters\": " << criticals << ",\n"
+      << "  \"reps\": " << reps << ",\n"
+      << "  \"shards\": " << shards << ",\n"
+      << "  \"hash_epochs_per_sec\": " << hash_eps << ",\n"
+      << "  \"indexed_epochs_per_sec\": " << indexed_eps << ",\n"
+      << "  \"indexed_sharded_epochs_per_sec\": " << sharded_eps << ",\n"
+      << "  \"speedup_indexed_vs_hash\": " << speedup << "\n"
+      << "}\n";
+  std::printf("wrote %s\n", out_path.c_str());
+  return 0;
+}

@@ -168,20 +168,99 @@ void BM_ExpandFoldSharded(benchmark::State& state) {
 }
 BENCHMARK(BM_ExpandFoldSharded)->Arg(1)->Arg(2)->Arg(4);
 
-void BM_CriticalClusters(benchmark::State& state) {
-  const SessionTable& trace = bench_trace();
-  const ProblemThresholds thresholds;
-  const ProblemClusterParams params{.ratio_multiplier = 1.5,
-                                    .min_sessions = 100};
-  const auto sessions = trace.epoch(0);
-  const auto table = aggregate_epoch(sessions, thresholds, {}, 0);
+// --- critical extraction: hashed baseline vs indexed strategy ---------------
+// Shared fixture: one fold + one indexed table per process, so the loops
+// time extraction alone (not aggregation).
+
+struct CriticalFixture {
+  LeafFold fold;
+  EpochClusterTable table;
+  ProblemClusterParams params{.ratio_multiplier = 1.5, .min_sessions = 100};
+};
+
+const CriticalFixture& critical_fixture() {
+  static const CriticalFixture fixture = [] {
+    CriticalFixture f;
+    f.fold = fold_sessions(bench_trace().epoch(0), {}, 0);
+    f.table = expand_fold(f.fold, {});
+    return f;
+  }();
+  return fixture;
+}
+
+void BM_CriticalHash(benchmark::State& state) {
+  const CriticalFixture& f = critical_fixture();
   for (auto _ : state) {
-    const auto analysis = find_critical_clusters(
-        sessions, table, thresholds, params, Metric::kBufRatio);
+    const auto analysis = find_critical_clusters_hashed(
+        f.fold, f.table, f.params, Metric::kBufRatio);
     benchmark::DoNotOptimize(analysis.criticals.size());
   }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<long>(f.fold.leaves.size()));
 }
-BENCHMARK(BM_CriticalClusters);
+BENCHMARK(BM_CriticalHash);
+
+void BM_CriticalIndexed(benchmark::State& state) {
+  const CriticalFixture& f = critical_fixture();
+  for (auto _ : state) {
+    const auto analysis =
+        find_critical_clusters_indexed(f.table, f.params, Metric::kBufRatio);
+    benchmark::DoNotOptimize(analysis.criticals.size());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<long>(f.fold.leaves.size()));
+}
+BENCHMARK(BM_CriticalIndexed);
+
+void BM_CriticalIndexedSharded(benchmark::State& state) {
+  const auto shards = static_cast<std::size_t>(state.range(0));
+  const CriticalFixture& f = critical_fixture();
+  ThreadPool pool{4};
+  for (auto _ : state) {
+    const auto analysis = find_critical_clusters_indexed(
+        f.table, f.params, Metric::kBufRatio, &pool, shards);
+    benchmark::DoNotOptimize(analysis.criticals.size());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<long>(f.fold.leaves.size()));
+}
+BENCHMARK(BM_CriticalIndexedSharded)->Arg(2)->Arg(4);
+
+void BM_CriticalHashByLeafRatio(benchmark::State& state) {
+  const auto ratio = static_cast<std::size_t>(state.range(0));
+  const std::vector<Session> sessions =
+      leaf_ratio_epoch(kLeafRatioSessions, kLeafRatioSessions / ratio);
+  const ProblemClusterParams params{.ratio_multiplier = 1.5,
+                                    .min_sessions = 100};
+  const LeafFold fold = fold_sessions(sessions, {}, 0);
+  const EpochClusterTable table = expand_fold(fold, {});
+  for (auto _ : state) {
+    const auto analysis =
+        find_critical_clusters_hashed(fold, table, params, Metric::kBufRatio);
+    benchmark::DoNotOptimize(analysis.criticals.size());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<long>(fold.leaves.size()));
+}
+BENCHMARK(BM_CriticalHashByLeafRatio)->Arg(4)->Arg(16);
+
+void BM_CriticalIndexedByLeafRatio(benchmark::State& state) {
+  const auto ratio = static_cast<std::size_t>(state.range(0));
+  const std::vector<Session> sessions =
+      leaf_ratio_epoch(kLeafRatioSessions, kLeafRatioSessions / ratio);
+  const ProblemClusterParams params{.ratio_multiplier = 1.5,
+                                    .min_sessions = 100};
+  const LeafFold fold = fold_sessions(sessions, {}, 0);
+  const EpochClusterTable table = expand_fold(fold, {});
+  for (auto _ : state) {
+    const auto analysis =
+        find_critical_clusters_indexed(table, params, Metric::kBufRatio);
+    benchmark::DoNotOptimize(analysis.criticals.size());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<long>(fold.leaves.size()));
+}
+BENCHMARK(BM_CriticalIndexedByLeafRatio)->Arg(4)->Arg(16);
 
 void BM_FullPipelinePerEpoch(benchmark::State& state) {
   const SessionTable& trace = bench_trace();

@@ -1,5 +1,6 @@
 #include "src/core/cluster_engine.h"
 
+#include <algorithm>
 #include <bit>
 #include <stdexcept>
 
@@ -64,17 +65,23 @@ LeafFold fold_sessions(std::span<const Session> sessions,
 
 namespace {
 
-/// Expands every (leaf, stats) pair in `leaves` across `masks` into `out`.
-void expand_leaves(
+/// Expands leaves [lo, hi) across `masks` into `out`.  When `rows` is
+/// non-null it receives the dense cell ids of every projection, row-major
+/// starting at leaf `lo` — the LeafCellIndex falls out of the same
+/// id_or_insert that bumps the counters, so indexing costs no extra hashing.
+void expand_leaf_range(
     const std::vector<std::pair<std::uint64_t, const ClusterStats*>>& leaves,
-    const std::vector<std::uint8_t>& masks, FlatMap64<ClusterStats>& out) {
+    std::size_t lo, std::size_t hi, const std::vector<std::uint8_t>& masks,
+    CellStore& out, std::uint32_t* rows) {
   // Distinct cells are bounded by |leaves| x |masks| but heavily shared in
   // practice; 8x leaves avoids most rehashes without overcommitting.
-  out.reserve(leaves.size() * 8 + 64);
-  for (const auto& [raw, stats] : leaves) {
+  out.reserve((hi - lo) * 8 + 64);
+  for (std::size_t i = lo; i < hi; ++i) {
+    const auto& [raw, stats] = leaves[i];
     const ClusterKey leaf = ClusterKey::from_raw(raw);
-    for (const std::uint8_t mask : masks) {
-      out[leaf.project(mask).raw()] += *stats;
+    for (std::size_t j = 0; j < masks.size(); ++j) {
+      const std::uint32_t id = out.bump(leaf.project(masks[j]).raw(), *stats);
+      if (rows != nullptr) rows[(i - lo) * masks.size() + j] = id;
     }
   }
 }
@@ -90,41 +97,74 @@ EpochClusterTable expand_fold(const LeafFold& fold,
   table.epoch = fold.epoch;
   table.root = fold.root;
 
+  // Canonical leaf order: ascending raw key.  This fixes the dense-id
+  // assignment and the iteration order of every downstream per-leaf sweep,
+  // independent of hash-table layout and shard count.
+  std::vector<std::pair<std::uint64_t, const ClusterStats*>> leaves;
+  leaves.reserve(fold.leaves.size());
+  fold.leaves.for_each([&](std::uint64_t raw, const ClusterStats& s) {
+    leaves.emplace_back(raw, &s);
+  });
+  std::sort(leaves.begin(), leaves.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+
+  std::uint32_t* rows = nullptr;
+  if (config.index_cells) {
+    LeafCellIndex& index = table.leaf_index;
+    index.masks = masks;
+    index.leaf_keys.reserve(leaves.size());
+    index.leaf_stats.reserve(leaves.size());
+    for (const auto& [raw, stats] : leaves) {
+      index.leaf_keys.push_back(raw);
+      index.leaf_stats.push_back(*stats);
+    }
+    index.cell_rows.resize(leaves.size() * masks.size());
+    rows = index.cell_rows.data();
+  }
+
   // Sharding only pays off when each shard gets a meaningful slice.
   constexpr std::size_t kMinLeavesPerShard = 256;
   if (pool == nullptr || shards <= 1 ||
-      fold.leaves.size() < 2 * kMinLeavesPerShard) {
-    std::vector<std::pair<std::uint64_t, const ClusterStats*>> leaves;
-    leaves.reserve(fold.leaves.size());
-    fold.leaves.for_each(
-        [&](std::uint64_t raw, const ClusterStats& s) {
-          leaves.emplace_back(raw, &s);
-        });
-    expand_leaves(leaves, masks, table.clusters);
+      leaves.size() < 2 * kMinLeavesPerShard) {
+    expand_leaf_range(leaves, 0, leaves.size(), masks, table.clusters, rows);
     return table;
   }
 
-  shards = std::min(shards, fold.leaves.size() / kMinLeavesPerShard);
-  // Partition leaves by key hash: each leaf lands in exactly one shard, so
-  // the shard tables are disjoint sums whose merge (uint32 addition,
-  // commutative + associative) matches the serial expansion bit for bit.
-  std::vector<std::vector<std::pair<std::uint64_t, const ClusterStats*>>>
-      shard_leaves(shards);
-  for (auto& v : shard_leaves) {
-    v.reserve(fold.leaves.size() / shards + 16);
+  shards = std::min(shards, leaves.size() / kMinLeavesPerShard);
+  // Cut the sorted leaf array into contiguous ranges: every leaf lands in
+  // exactly one shard, so the shard stores are disjoint sums whose merge
+  // (uint32 addition, commutative + associative) matches the serial
+  // expansion bit for bit.  Because the merge walks shards in range order
+  // and each shard discovers cells in its range's first-touch order, the
+  // remapped dense ids come out identical to the serial assignment too.
+  std::vector<CellStore> shard_stores(shards);
+  std::vector<std::size_t> bounds(shards + 1);
+  for (std::size_t s = 0; s <= shards; ++s) {
+    bounds[s] = leaves.size() * s / shards;
   }
-  fold.leaves.for_each([&](std::uint64_t raw, const ClusterStats& s) {
-    shard_leaves[splitmix64(raw) % shards].emplace_back(raw, &s);
-  });
-
-  std::vector<FlatMap64<ClusterStats>> shard_tables(shards);
   pool->parallel_for(0, shards, [&](std::size_t shard) {
-    expand_leaves(shard_leaves[shard], masks, shard_tables[shard]);
+    std::uint32_t* shard_rows =
+        rows == nullptr ? nullptr : rows + bounds[shard] * masks.size();
+    expand_leaf_range(leaves, bounds[shard], bounds[shard + 1], masks,
+                      shard_stores[shard], shard_rows);
   });
 
-  table.clusters = std::move(shard_tables[0]);
+  table.clusters = std::move(shard_stores[0]);
   for (std::size_t shard = 1; shard < shards; ++shard) {
-    table.clusters.merge_add(shard_tables[shard]);
+    const CellStore& local = shard_stores[shard];
+    // Merge counters and build the local-id -> global-id remap in local id
+    // order, then rewrite the shard's row slots in place.
+    std::vector<std::uint32_t> remap(local.size());
+    for (std::uint32_t lid = 0; lid < local.size(); ++lid) {
+      remap[lid] = table.clusters.bump(local.key(lid), local.cell(lid));
+    }
+    if (rows != nullptr) {
+      const std::size_t begin = bounds[shard] * masks.size();
+      const std::size_t end = bounds[shard + 1] * masks.size();
+      for (std::size_t slot = begin; slot < end; ++slot) {
+        rows[slot] = remap[rows[slot]];
+      }
+    }
   }
   return table;
 }

@@ -3,8 +3,8 @@
 // For every session we bump {total, per-metric problem} counters in every
 // lattice cell the session belongs to: all non-empty subsets of its seven
 // attribute values (127 cells, optionally capped by arity).  The result is
-// one hash table per epoch mapping packed ClusterKey -> ClusterStats, plus
-// the epoch's global counters (the lattice root).
+// one indexed cell store per epoch mapping packed ClusterKey -> dense cell
+// id -> ClusterStats, plus the epoch's global counters (the lattice root).
 //
 // Two aggregation strategies produce bit-identical tables:
 //
@@ -15,15 +15,25 @@
 //    counter block per cell.  Real workloads have far fewer distinct
 //    7-attribute leaves than sessions, so pass 2 — the expensive part —
 //    shrinks by the sessions-per-leaf ratio.  Pass 2 can additionally be
-//    sharded across a ThreadPool: leaves are partitioned by hash into
-//    disjoint per-shard tables that are merged at the end.  Since every
-//    leaf lands in exactly one shard and counter addition is commutative
-//    and associative over uint32, the merged table's content is identical
-//    to the serial expansion regardless of shard count or merge order.
+//    sharded across a ThreadPool: the (sorted) distinct-leaf array is cut
+//    into contiguous ranges expanded into disjoint per-shard stores that
+//    are merged in shard order.  Since every leaf lands in exactly one
+//    shard and counter addition is commutative and associative over
+//    uint32, the merged store's content is identical to the serial
+//    expansion regardless of shard count or merge order.
+//
+// Cells are stored *indexed*: a FlatMap64 maps the packed key to a dense
+// uint32 id assigned in first-touch order, and the ClusterStats live in one
+// contiguous vector keyed by id.  As a byproduct of pass 2, expand_fold can
+// record a LeafCellIndex — for every distinct leaf, the dense ids of its
+// materialised projections — which lets the critical-cluster analysis
+// (critical_cluster.h) replace its 127 hash lookups per leaf with plain
+// array gathers over precomputed per-metric flag bitsets.
 
 #pragma once
 
 #include <array>
+#include <cassert>
 #include <cstdint>
 #include <span>
 #include <vector>
@@ -61,6 +71,124 @@ struct ClusterStats {
   [[nodiscard]] ClusterStats minus(const ClusterStats& o) const noexcept;
 };
 
+/// Dense-id cell store: raw ClusterKey -> uint32 id (first-touch order) with
+/// the ClusterStats in one contiguous vector keyed by id.  Keeps the lookup
+/// surface of the FlatMap64 it replaced (find/size/for_each/operator[]) and
+/// adds id-based accessors for the indexed critical path.  Iteration order
+/// is id order, i.e. deterministic insertion order.
+class CellStore {
+ public:
+  /// Sentinel for "no cell" in id-typed contexts.
+  static constexpr std::uint32_t kNoCell = ~std::uint32_t{0};
+
+  [[nodiscard]] std::size_t size() const noexcept { return stats_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return stats_.empty(); }
+
+  void reserve(std::size_t n) {
+    ids_.reserve(n);
+    keys_.reserve(n);
+    stats_.reserve(n);
+  }
+
+  /// Dense id for `raw`, inserting a zero-stats cell on first touch.
+  std::uint32_t id_or_insert(std::uint64_t raw) {
+    // The map stores id + 1 so the value-initialised 0 means "absent" and
+    // one probe serves both hit and miss.
+    std::uint32_t& slot = ids_[raw];
+    if (slot == 0) {
+      assert(keys_.size() < kNoCell);
+      keys_.push_back(raw);
+      stats_.emplace_back();
+      slot = static_cast<std::uint32_t>(keys_.size());
+    }
+    return slot - 1;
+  }
+
+  /// Dense id for `raw`, or kNoCell when absent.
+  [[nodiscard]] std::uint32_t id_of(std::uint64_t raw) const noexcept {
+    const std::uint32_t* slot = ids_.find(raw);
+    return slot == nullptr ? kNoCell : *slot - 1;
+  }
+
+  /// Inserts (or finds) the cell and adds `s` to it; returns its dense id.
+  std::uint32_t bump(std::uint64_t raw, const ClusterStats& s) {
+    const std::uint32_t id = id_or_insert(raw);
+    stats_[id] += s;
+    return id;
+  }
+
+  ClusterStats& operator[](std::uint64_t raw) {
+    return stats_[id_or_insert(raw)];
+  }
+
+  [[nodiscard]] const ClusterStats* find(std::uint64_t raw) const noexcept {
+    const std::uint32_t id = id_of(raw);
+    return id == kNoCell ? nullptr : &stats_[id];
+  }
+
+  [[nodiscard]] bool contains(std::uint64_t raw) const noexcept {
+    return ids_.find(raw) != nullptr;
+  }
+
+  [[nodiscard]] std::uint64_t key(std::uint32_t id) const noexcept {
+    return keys_[id];
+  }
+  [[nodiscard]] const ClusterStats& cell(std::uint32_t id) const noexcept {
+    return stats_[id];
+  }
+  [[nodiscard]] std::span<const std::uint64_t> keys() const noexcept {
+    return keys_;
+  }
+  [[nodiscard]] std::span<const ClusterStats> cells() const noexcept {
+    return stats_;
+  }
+
+  /// Invokes fn(raw_key, stats) for every cell in dense-id order.
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    for (std::size_t id = 0; id < stats_.size(); ++id) {
+      fn(keys_[id], stats_[id]);
+    }
+  }
+
+  /// Adds every cell of `other` into this store in `other`'s id order
+  /// (counter addition is commutative and associative, so merged content is
+  /// independent of merge order — the shard-merge invariant).
+  void merge_add(const CellStore& other) {
+    reserve(size() + other.size());
+    for (std::size_t id = 0; id < other.stats_.size(); ++id) {
+      bump(other.keys_[id], other.stats_[id]);
+    }
+  }
+
+ private:
+  FlatMap64<std::uint32_t> ids_;  // raw key -> dense id + 1
+  std::vector<std::uint64_t> keys_;
+  std::vector<ClusterStats> stats_;
+};
+
+/// Byproduct of the indexed pass-2 expansion: for every distinct leaf, the
+/// dense cell ids of its materialised projections.  Leaves are sorted by
+/// ascending raw key — the canonical order every critical-extraction
+/// strategy iterates in, which is what makes sharded and serial runs
+/// bit-identical (see critical_cluster.h).  Rows are row-major: row i holds
+/// cell_rows[i * masks.size() + j] = id of leaf i projected onto masks[j].
+struct LeafCellIndex {
+  std::vector<std::uint8_t> masks;       // materialised masks, ascending
+  std::vector<std::uint64_t> leaf_keys;  // distinct leaves, ascending raw
+  std::vector<ClusterStats> leaf_stats;  // parallel to leaf_keys
+  std::vector<std::uint32_t> cell_rows;  // leaf_keys.size() x masks.size()
+
+  [[nodiscard]] bool empty() const noexcept { return leaf_keys.empty(); }
+  [[nodiscard]] std::size_t num_leaves() const noexcept {
+    return leaf_keys.size();
+  }
+  [[nodiscard]] std::span<const std::uint32_t> row(
+      std::size_t leaf) const noexcept {
+    return std::span{cell_rows}.subspan(leaf * masks.size(), masks.size());
+  }
+};
+
 struct ClusterEngineConfig {
   /// Largest attribute-subset size to materialise. kNumDims materialises the
   /// full 127-cell lattice (default, what the paper's method implies); lower
@@ -70,13 +198,22 @@ struct ClusterEngineConfig {
   /// the original session-by-session path; results are identical either
   /// way, which tests/test_fold_differential.cpp enforces.
   bool fold_leaves = true;
+  /// Record the LeafCellIndex during expand_fold, enabling the indexed
+  /// (gather + flag-bitset) critical-cluster path. Off leaves the index
+  /// empty so the analyses fall back to the per-leaf hash-lookup path;
+  /// results are identical either way, which
+  /// tests/test_critical_differential.cpp enforces.
+  bool index_cells = true;
 };
 
 /// All cluster statistics of one epoch.
 struct EpochClusterTable {
   std::uint32_t epoch = 0;
   ClusterStats root;  // the epoch's global counters
-  FlatMap64<ClusterStats> clusters;
+  CellStore clusters;
+  /// Per-leaf projection rows; empty unless built by expand_fold with
+  /// ClusterEngineConfig::index_cells (the unfolded path never builds it).
+  LeafCellIndex leaf_index;
 
   [[nodiscard]] double global_ratio(Metric m) const noexcept {
     return root.problem_ratio(m);
@@ -102,8 +239,10 @@ struct LeafFold {
                                      std::uint32_t epoch);
 
 /// Expands a leaf fold into the full cluster table (pass 2). With `pool`
-/// non-null and `shards > 1`, leaves are partitioned across shards expanded
-/// in parallel and merged; content is identical to the serial expansion.
+/// non-null and `shards > 1`, the sorted leaf array is partitioned into
+/// contiguous ranges expanded in parallel and merged; content is identical
+/// to the serial expansion. With `config.index_cells` the table additionally
+/// carries the LeafCellIndex (same dense ids for any shard count).
 [[nodiscard]] EpochClusterTable expand_fold(const LeafFold& fold,
                                             const ClusterEngineConfig& config,
                                             ThreadPool* pool = nullptr,

@@ -22,8 +22,24 @@
 //
 // The candidate set and the problem-cluster membership flag depend only on
 // a session's full-arity leaf, so the whole analysis runs over the epoch's
-// *distinct* leaves (the pass-1 LeafFold of the aggregation engine), each
-// weighted by its problem-session count — not over raw sessions.
+// *distinct* leaves, each weighted by its problem-session count — not over
+// raw sessions.
+//
+// Two extraction strategies produce bit-identical analyses (enforced by
+// tests/test_critical_differential.cpp):
+//
+//  * hashed (the original): per leaf, up to 127 table.stats() hash lookups
+//    and per-(leaf, mask) is_problem_cluster evaluations.
+//  * indexed (default when the table carries a LeafCellIndex): per-metric
+//    flag bitsets are precomputed once over the table's contiguous cell
+//    vector (compute_cell_flags), and each leaf's sweep gathers its
+//    precomputed projection cell ids — zero hash lookups and zero repeated
+//    threshold evaluations in the inner loop; conditions (a)/(b) collapse
+//    to 128-bit subset/superset bit tricks.  The per-leaf loop can shard
+//    across a ThreadPool: shards take contiguous ranges of the canonical
+//    (ascending-key) leaf array and their share lists are replayed in shard
+//    order, reproducing the serial floating-point accumulation sequence
+//    exactly — output is bit-identical for any shard count.
 
 #pragma once
 
@@ -37,6 +53,8 @@
 #include "src/util/flat_hash_map.h"
 
 namespace vq {
+
+class ThreadPool;
 
 /// A critical cluster of one epoch with its attributed problem-session mass.
 struct CriticalRecord {
@@ -57,6 +75,10 @@ struct CriticalAnalysis {
   std::uint64_t problem_sessions_in_pc = 0;
   double global_ratio = 0.0;
   std::uint32_t num_problem_clusters = 0;
+  /// Raw keys of this epoch's problem clusters, ascending (shared with the
+  /// pipeline's prevalence/persistence analytics so the problem-cluster
+  /// sweep runs once per (epoch, metric)).
+  std::vector<std::uint64_t> problem_cluster_keys;
 
   /// Critical clusters sorted by attributed mass, descending.
   std::vector<CriticalRecord> criticals;
@@ -77,13 +99,17 @@ struct CriticalAnalysis {
   }
 };
 
-/// Runs the phase-transition algorithm for one epoch and metric over the
-/// epoch's distinct leaves. `fold` must be the pass-1 fold of the sessions
-/// the `table` was aggregated from (run_pipeline computes it once per epoch
-/// and shares it across all four metrics).
+/// Runs the phase-transition algorithm for one epoch and metric, dispatching
+/// to the indexed strategy when the table carries a LeafCellIndex (i.e. it
+/// was built by expand_fold with ClusterEngineConfig::index_cells) and to
+/// the retained hashed baseline otherwise. `fold` must be the pass-1 fold of
+/// the sessions the `table` was aggregated from (run_pipeline computes it
+/// once per epoch and shares it across all four metrics). With `pool`
+/// non-null and `shards > 1` the indexed per-leaf loop runs sharded.
 [[nodiscard]] CriticalAnalysis find_critical_clusters(
     const LeafFold& fold, const EpochClusterTable& table,
-    const ProblemClusterParams& params, Metric metric);
+    const ProblemClusterParams& params, Metric metric,
+    ThreadPool* pool = nullptr, std::size_t shards = 1);
 
 /// Session-span convenience wrapper: folds `sessions` (which must be the
 /// span the `table` was aggregated from) and delegates to the overload
@@ -93,6 +119,19 @@ struct CriticalAnalysis {
     const ProblemThresholds& thresholds, const ProblemClusterParams& params,
     Metric metric);
 
+/// The retained hash-lookup strategy (127 table.stats() probes per leaf);
+/// the differential-testing and benchmarking baseline.
+[[nodiscard]] CriticalAnalysis find_critical_clusters_hashed(
+    const LeafFold& fold, const EpochClusterTable& table,
+    const ProblemClusterParams& params, Metric metric);
+
+/// The indexed strategy: precomputed flag bitsets + per-leaf cell-id
+/// gathers, optionally sharded. Requires the table to carry a LeafCellIndex
+/// (throws std::invalid_argument on a non-empty table without one).
+[[nodiscard]] CriticalAnalysis find_critical_clusters_indexed(
+    const EpochClusterTable& table, const ProblemClusterParams& params,
+    Metric metric, ThreadPool* pool = nullptr, std::size_t shards = 1);
+
 /// Per-leaf candidate evaluation output: the minimal candidate masks plus
 /// whether any of the leaf's 127 projections is a problem cluster (both fall
 /// out of the same flagged-mask sweep, so they are computed together).
@@ -101,7 +140,9 @@ struct LeafCandidates {
   bool in_problem_cluster = false;
 };
 
-/// Critical candidate masks + problem-cluster membership for a single leaf.
+/// Critical candidate masks + problem-cluster membership for a single leaf
+/// (hash-lookup evaluation; the indexed strategy computes the same result
+/// from the LeafCellIndex).
 [[nodiscard]] LeafCandidates critical_leaf_candidates(
     const ClusterKey& leaf, const EpochClusterTable& table,
     const ProblemClusterParams& params, Metric metric);

@@ -41,6 +41,9 @@ std::vector<IncidentEvent> StreamingDetector::ingest(
     const auto mi = static_cast<std::uint8_t>(metric);
     auto& incidents = registry_[mi];
 
+    // Dispatches to the indexed extraction when the expansion built a leaf
+    // index (the fold_leaves default); falls back to the hashed baseline
+    // for unfolded configs.
     const CriticalAnalysis analysis =
         find_critical_clusters(fold, lattice, config_.cluster_params, metric);
 

@@ -83,12 +83,10 @@ PipelineResult run_pipeline(const SessionTable& table,
     for (const Metric m : kAllMetrics) {
       EpochMetricSummary& summary =
           result.per_metric[static_cast<std::uint8_t>(m)][epoch];
-      summary.analysis =
-          find_critical_clusters(fold, lattice, config.cluster_params, m);
-      for (const ProblemCluster& pc :
-           find_problem_clusters(lattice, config.cluster_params, m)) {
-        summary.problem_cluster_keys.push_back(pc.key.raw());
-      }
+      // Publishes analysis.problem_cluster_keys as a byproduct, so no
+      // separate find_problem_clusters pass is needed per metric.
+      summary.analysis = find_critical_clusters(
+          fold, lattice, config.cluster_params, m, pool_ptr, shards);
     }
   };
 

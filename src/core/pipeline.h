@@ -39,11 +39,12 @@ struct PipelineConfig {
   std::size_t shards = 0;
 };
 
-/// Everything retained per (epoch, metric).
+/// Everything retained per (epoch, metric).  The problem-cluster keys that
+/// prevalence/persistence consume live in analysis.problem_cluster_keys —
+/// the critical extraction publishes them, so the per-cell predicate sweep
+/// runs exactly once per (epoch, metric).
 struct EpochMetricSummary {
   CriticalAnalysis analysis;
-  /// Raw keys of this epoch's problem clusters (for prevalence/persistence).
-  std::vector<std::uint64_t> problem_cluster_keys;
 };
 
 struct PipelineResult {

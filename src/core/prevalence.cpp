@@ -85,7 +85,7 @@ std::vector<std::vector<std::uint64_t>> problem_cluster_keys(
   out.reserve(result.num_epochs);
   for (const auto& summary :
        result.per_metric[static_cast<std::uint8_t>(metric)]) {
-    out.push_back(summary.problem_cluster_keys);
+    out.push_back(summary.analysis.problem_cluster_keys);
   }
   return out;
 }

@@ -1,6 +1,7 @@
 #include "src/core/whatif.h"
 
 #include <algorithm>
+#include <array>
 #include <cmath>
 
 #include "src/stats/timeseries.h"
@@ -98,32 +99,38 @@ std::vector<WhatIfAnalyzer::SweepPoint> WhatIfAnalyzer::sweep_impl(
   const double total_problem = total_problem_sessions_[mi];
   const std::size_t total_keys = index.size();
 
-  std::vector<std::pair<double, double>> ranked;  // (rank value, alleviated)
-  std::vector<std::pair<std::uint64_t, const KeyInfo*>> eligible;
+  // O(1) mask admission instead of a linear std::find per key: only 128
+  // mask values exist, so the allow-list collapses into a lookup table.
+  std::array<bool, kFullMask + 1> mask_allowed{};
+  if (allowed_masks.empty()) {
+    mask_allowed.fill(true);
+  } else {
+    for (const std::uint8_t mask : allowed_masks) mask_allowed[mask] = true;
+  }
+
+  // (rank value, alleviated, raw key): the rank value is computed once per
+  // key up front, so the comparator does no repeated rank_value calls.
+  struct RankedEntry {
+    double rank;
+    double alleviated;
+    std::uint64_t raw;
+  };
+  std::vector<RankedEntry> ranked;
+  ranked.reserve(index.size());
   for (const auto& [raw, info] : index) {
-    const auto mask = ClusterKey::from_raw(raw).mask();
-    const bool allowed =
-        allowed_masks.empty() ||
-        std::find(allowed_masks.begin(), allowed_masks.end(), mask) !=
-            allowed_masks.end();
-    if (allowed) eligible.emplace_back(raw, &info);
+    if (!mask_allowed[ClusterKey::from_raw(raw).mask()]) continue;
+    ranked.push_back({rank_value(info, rank_by), info.total_alleviated, raw});
   }
-  ranked.reserve(eligible.size());
   // Stable deterministic order: rank value desc, then raw key.
-  std::sort(eligible.begin(), eligible.end(),
-            [&](const auto& a, const auto& b) {
-              const double ra = rank_value(*a.second, rank_by);
-              const double rb = rank_value(*b.second, rank_by);
-              if (ra != rb) return ra > rb;
-              return a.first < b.first;
+  std::sort(ranked.begin(), ranked.end(),
+            [](const RankedEntry& a, const RankedEntry& b) {
+              if (a.rank != b.rank) return a.rank > b.rank;
+              return a.raw < b.raw;
             });
-  for (const auto& [raw, info] : eligible) {
-    ranked.emplace_back(rank_value(*info, rank_by), info->total_alleviated);
-  }
 
   std::vector<double> cumulative(ranked.size() + 1, 0.0);
   for (std::size_t i = 0; i < ranked.size(); ++i) {
-    cumulative[i + 1] = cumulative[i] + ranked[i].second;
+    cumulative[i + 1] = cumulative[i] + ranked[i].alleviated;
   }
 
   std::vector<SweepPoint> out;

@@ -56,7 +56,8 @@ void expect_equal(const PipelineResult& a, const PipelineResult& b) {
         EXPECT_EQ(x.analysis.criticals[i].stats.problems,
                   y.analysis.criticals[i].stats.problems);
       }
-      EXPECT_EQ(x.problem_cluster_keys, y.problem_cluster_keys);
+      EXPECT_EQ(x.analysis.problem_cluster_keys,
+                y.analysis.problem_cluster_keys);
     }
   }
 }

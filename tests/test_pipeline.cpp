@@ -80,18 +80,19 @@ TEST_F(GeneratedFixture, CoverageChainInequalityHolds) {
 TEST_F(GeneratedFixture, EveryCriticalClusterIsAProblemCluster) {
   for (const Metric m : kAllMetrics) {
     for (std::uint32_t e = 0; e < result.num_epochs; ++e) {
-      const auto& summary = result.at(m, e);
-      for (const CriticalRecord& c : summary.analysis.criticals) {
-        EXPECT_NE(std::find(summary.problem_cluster_keys.begin(),
-                            summary.problem_cluster_keys.end(),
-                            c.key.raw()),
-                  summary.problem_cluster_keys.end())
+      const auto& analysis = result.at(m, e).analysis;
+      const auto& pc_keys = analysis.problem_cluster_keys;
+      EXPECT_TRUE(std::is_sorted(pc_keys.begin(), pc_keys.end()));
+      EXPECT_EQ(pc_keys.size(), analysis.num_problem_clusters);
+      for (const CriticalRecord& c : analysis.criticals) {
+        EXPECT_TRUE(std::binary_search(pc_keys.begin(), pc_keys.end(),
+                                       c.key.raw()))
             << "critical cluster not in problem-cluster set";
         // Stats satisfy the flagging conditions.
         EXPECT_GE(c.stats.sessions, config.cluster_params.min_sessions);
         EXPECT_GE(c.stats.problem_ratio(m),
                   config.cluster_params.ratio_multiplier *
-                      summary.analysis.global_ratio -
+                      analysis.global_ratio -
                       1e-12);
       }
     }
@@ -156,7 +157,8 @@ TEST_F(GeneratedFixture, ShardedExpansionMatchesSerial) {
       const auto& a = result.at(m, e);
       for (const auto* other : {&sharded.at(m, e), &unfolded.at(m, e)}) {
         EXPECT_EQ(a.analysis.problem_sessions, other->analysis.problem_sessions);
-        EXPECT_EQ(a.problem_cluster_keys, other->problem_cluster_keys);
+        EXPECT_EQ(a.analysis.problem_cluster_keys,
+                  other->analysis.problem_cluster_keys);
         ASSERT_EQ(a.analysis.criticals.size(), other->analysis.criticals.size());
         for (std::size_t i = 0; i < a.analysis.criticals.size(); ++i) {
           EXPECT_EQ(a.analysis.criticals[i].key,
