@@ -6,11 +6,30 @@
 // that loop as a library: feed it one epoch of sessions at a time and it
 // returns incident lifecycle events (new / escalated / cleared) while
 // maintaining the active-incident registry.
+//
+// Fault tolerance (DESIGN.md §4.3): the detector survives the realities of
+// production telemetry.
+//  * Checkpoint/restore — save_checkpoint/load_checkpoint serialise the
+//    full detector state (incident registry, counters, last epoch) in a
+//    versioned, checksummed container with a config fingerprint, so a
+//    monitor killed mid-stream resumes producing the *identical* incident
+//    event sequence.  The path overload writes atomically
+//    (temp-then-rename), so a crash mid-save never corrupts the previous
+//    checkpoint.
+//  * Epoch ordering policy — out-of-order or duplicate epochs either throw
+//    (kThrow, default) or are counted and dropped (kSkipStale).
+//  * Degraded epochs — when the ingest report flags an epoch as
+//    data-starved (robust_io.h), pass EpochDataQuality{.degraded = true}:
+//    incidents that fail to recur on such an epoch are retained instead of
+//    cleared (absence of evidence on a gappy feed is not evidence of
+//    absence), which stops incident flapping across collector hiccups.
 
 #pragma once
 
 #include <array>
 #include <cstdint>
+#include <filesystem>
+#include <iosfwd>
 #include <span>
 #include <string_view>
 #include <unordered_map>
@@ -23,6 +42,13 @@
 
 namespace vq {
 
+/// What to do when ingest() sees an epoch <= the last ingested epoch
+/// (duplicate delivery, late replay, a collector restarting behind).
+enum class EpochOrderPolicy : std::uint8_t {
+  kThrow = 0,      // std::invalid_argument (default)
+  kSkipStale = 1,  // drop the epoch, count it in stale_epochs_dropped()
+};
+
 struct MonitorConfig {
   ProblemThresholds thresholds;
   ProblemClusterParams cluster_params{.ratio_multiplier = 1.5,
@@ -31,6 +57,7 @@ struct MonitorConfig {
   /// Consecutive epochs a critical cluster must persist before it
   /// escalates (the paper's reactive strategy uses 1).
   std::uint32_t escalate_after = 1;
+  EpochOrderPolicy order_policy = EpochOrderPolicy::kThrow;
 };
 
 /// One tracked incident: a critical cluster with a live streak.
@@ -59,16 +86,26 @@ struct IncidentEvent {
   Incident incident;
 };
 
+/// Ingest-time data-quality annotation for one epoch (typically derived
+/// from IngestReport::degraded_epochs, see gen/robust_io.h).
+struct EpochDataQuality {
+  bool degraded = false;
+};
+
 class StreamingDetector {
  public:
   explicit StreamingDetector(const MonitorConfig& config)
       : config_(config) {}
 
-  /// Processes one closed epoch. Epochs must be fed in strictly increasing
-  /// order (gaps allowed: a gap clears all incidents). Returns the
-  /// lifecycle events raised by this epoch, in (metric, key) order.
+  /// Processes one closed epoch. Epochs must be fed in increasing order
+  /// (gaps allowed: a gap resets streaks); a non-increasing epoch follows
+  /// config().order_policy. On a degraded epoch, kCleared transitions are
+  /// suppressed: open incidents that fail to recur stay open with their
+  /// streak frozen. Returns the lifecycle events raised by this epoch, in
+  /// (metric, key) order.
   std::vector<IncidentEvent> ingest(std::span<const Session> sessions,
-                                    std::uint32_t epoch);
+                                    std::uint32_t epoch,
+                                    EpochDataQuality quality = {});
 
   /// Currently open incidents for a metric (unspecified order).
   [[nodiscard]] std::vector<Incident> active(Metric metric) const;
@@ -78,15 +115,57 @@ class StreamingDetector {
     return opened_[static_cast<std::uint8_t>(metric)];
   }
 
+  /// Stale (non-increasing) epochs dropped under kSkipStale.
+  [[nodiscard]] std::uint64_t stale_epochs_dropped() const noexcept {
+    return stale_epochs_dropped_;
+  }
+
+  /// kCleared transitions suppressed on degraded epochs.
+  [[nodiscard]] std::uint64_t suppressed_clears() const noexcept {
+    return suppressed_clears_;
+  }
+
+  [[nodiscard]] bool has_ingested() const noexcept { return has_ingested_; }
+
+  /// Last ingested epoch; meaningful only when has_ingested().
+  [[nodiscard]] std::uint32_t last_epoch() const noexcept {
+    return last_epoch_;
+  }
+
   [[nodiscard]] const MonitorConfig& config() const noexcept {
     return config_;
   }
+
+  // --- checkpoint/restore ----------------------------------------------
+  // Container: magic "VQCK", u32 version, u64 config fingerprint, the
+  // detector state (counters, last epoch, incident registry sorted by key),
+  // and a trailing FNV-1a checksum over the payload.  load_checkpoint
+  // throws std::runtime_error on bad magic, unsupported version, checksum
+  // mismatch, truncation, or a fingerprint from a different configuration.
+
+  void save_checkpoint(std::ostream& out) const;
+  /// Atomic file save: writes `path`.tmp, then renames over `path`, so an
+  /// interrupted save leaves the previous checkpoint intact.
+  void save_checkpoint(const std::filesystem::path& path) const;
+
+  void load_checkpoint(std::istream& in);
+  void load_checkpoint(const std::filesystem::path& path);
+
+  /// Fingerprint of the result-affecting config fields (thresholds, cluster
+  /// params, escalate_after, order policy). Engine knobs are excluded: the
+  /// folded/unfolded and indexed/hashed strategies are bit-identical by
+  /// construction (differential-tested), so they may differ across a
+  /// save/restore without changing the event stream.
+  [[nodiscard]] static std::uint64_t config_fingerprint(
+      const MonitorConfig& config) noexcept;
 
  private:
   MonitorConfig config_;
   std::array<std::unordered_map<std::uint64_t, Incident>, kNumMetrics>
       registry_;
   std::array<std::uint64_t, kNumMetrics> opened_{};
+  std::uint64_t stale_epochs_dropped_ = 0;
+  std::uint64_t suppressed_clears_ = 0;
   std::uint32_t last_epoch_ = 0;
   bool has_ingested_ = false;
 };

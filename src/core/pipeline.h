@@ -15,8 +15,10 @@
 
 #pragma once
 
+#include <algorithm>
 #include <array>
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "src/core/cluster_engine.h"
@@ -54,6 +56,19 @@ struct PipelineResult {
   /// per_metric[m][e] summarises metric m in epoch e.
   std::array<std::vector<EpochMetricSummary>, kNumMetrics> per_metric;
 
+  /// Epochs flagged degraded by the ingest layer (IngestReport, see
+  /// gen/robust_io.h): rows were quarantined or the feed was truncated, so
+  /// these epochs' counts understate reality. Sorted ascending; empty when
+  /// the trace loaded cleanly.  The analytics still run over them — this is
+  /// the explicit data-quality annotation consumers check before trusting a
+  /// per-epoch number (e.g. the monitor suppresses kCleared there).
+  std::vector<std::uint32_t> degraded_epochs;
+
+  [[nodiscard]] bool is_degraded(std::uint32_t epoch) const noexcept {
+    return std::binary_search(degraded_epochs.begin(), degraded_epochs.end(),
+                              epoch);
+  }
+
   [[nodiscard]] const EpochMetricSummary& at(Metric m,
                                              std::uint32_t epoch) const {
     return per_metric[static_cast<std::uint8_t>(m)].at(epoch);
@@ -75,5 +90,11 @@ struct PipelineResult {
 
 [[nodiscard]] PipelineResult run_pipeline(const SessionTable& table,
                                           const PipelineConfig& config);
+
+/// As above, carrying the ingest layer's degraded-epoch annotation through
+/// to the result (`degraded` must be sorted ascending).
+[[nodiscard]] PipelineResult run_pipeline(
+    const SessionTable& table, const PipelineConfig& config,
+    std::span<const std::uint32_t> degraded);
 
 }  // namespace vq

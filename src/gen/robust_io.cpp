@@ -1,0 +1,519 @@
+#include "src/gen/robust_io.h"
+
+#include <algorithm>
+#include <charconv>
+#include <cmath>
+#include <cstring>
+#include <fstream>
+#include <istream>
+#include <map>
+#include <stdexcept>
+#include <utility>
+
+#include "src/gen/trace_format.h"
+
+namespace vq {
+
+std::string_view error_policy_name(ErrorPolicy p) noexcept {
+  switch (p) {
+    case ErrorPolicy::kStrict:
+      return "strict";
+    case ErrorPolicy::kQuarantine:
+      return "quarantine";
+    case ErrorPolicy::kBestEffort:
+      return "best-effort";
+  }
+  return "?";
+}
+
+std::optional<ErrorPolicy> parse_error_policy(std::string_view name) noexcept {
+  if (name == "strict") return ErrorPolicy::kStrict;
+  if (name == "quarantine") return ErrorPolicy::kQuarantine;
+  if (name == "best-effort") return ErrorPolicy::kBestEffort;
+  return std::nullopt;
+}
+
+std::string_view row_error_name(RowErrorKind k) noexcept {
+  switch (k) {
+    case RowErrorKind::kFieldCount:
+      return "field-count";
+    case RowErrorKind::kBadNumber:
+      return "bad-number";
+    case RowErrorKind::kNonFinite:
+      return "non-finite";
+    case RowErrorKind::kBadFlag:
+      return "bad-flag";
+    case RowErrorKind::kAttrOverflow:
+      return "attr-overflow";
+    case RowErrorKind::kSchemaViolation:
+      return "schema-violation";
+    case RowErrorKind::kTruncated:
+      return "truncated";
+    case RowErrorKind::kIoError:
+      return "io-error";
+  }
+  return "?";
+}
+
+std::vector<std::uint32_t> IngestReport::degraded_epochs(
+    double min_fraction) const {
+  std::vector<std::uint32_t> out;
+  for (const EpochIngestStats& e : epochs) {
+    const auto total = static_cast<double>(e.kept + e.quarantined);
+    if (e.quarantined > 0 &&
+        static_cast<double>(e.quarantined) >= min_fraction * total) {
+      out.push_back(e.epoch);
+    }
+  }
+  // A truncation cut the tail off the stream: whatever epoch was last being
+  // filled lost an unknown number of rows.
+  if (input_truncated && !epochs.empty()) {
+    const std::uint32_t last = epochs.back().epoch;
+    if (out.empty() || out.back() != last) out.push_back(last);
+  }
+  return out;
+}
+
+std::string IngestReport::summary() const {
+  std::string s = std::to_string(rows_read) + " rows: " +
+                  std::to_string(rows_kept) + " kept, " +
+                  std::to_string(rows_quarantined) + " quarantined";
+  if (rows_quarantined > 0) {
+    s += " (";
+    bool first = true;
+    for (int k = 0; k < kNumRowErrorKinds; ++k) {
+      if (reason_counts[k] == 0) continue;
+      if (!first) s += ", ";
+      first = false;
+      s += std::string{row_error_name(static_cast<RowErrorKind>(k))} + "=" +
+           std::to_string(reason_counts[k]);
+    }
+    s += ")";
+  }
+  if (fields_clamped > 0) {
+    s += ", " + std::to_string(fields_clamped) + " fields clamped";
+  }
+  if (input_truncated) s += ", input truncated";
+  return s;
+}
+
+namespace {
+
+using detail::kBinaryRecordSize;
+using detail::kCsvColumnDims;
+using detail::kCsvHeader;
+
+/// Shared rejection path: counts the event, keeps a bounded sample, and in
+/// strict mode throws instead of diverting.  `context` is the public
+/// function name the strict exception is attributed to.
+class RowSink {
+ public:
+  RowSink(const char* context, const RobustReadOptions& options,
+          IngestReport& report)
+      : context_(context), options_(options), report_(report) {}
+
+  /// Rejects one row. `line` and `offset` follow QuarantinedRow semantics.
+  void reject(std::uint64_t line, std::uint64_t offset, RowErrorKind kind,
+              std::string detail) {
+    report_.rows_quarantined += 1;
+    report_.reason_counts[static_cast<std::uint8_t>(kind)] += 1;
+    if (options_.policy == ErrorPolicy::kStrict) {
+      throw std::runtime_error{std::string{context_} + ": " + detail};
+    }
+    if (report_.quarantine.size() < options_.max_quarantine_samples) {
+      report_.quarantine.push_back(
+          QuarantinedRow{line, offset, kind, std::move(detail)});
+    }
+  }
+
+ private:
+  const char* context_;
+  const RobustReadOptions& options_;
+  IngestReport& report_;
+};
+
+/// Per-epoch kept/quarantined tallies, folded into the report at the end.
+class EpochTally {
+ public:
+  void kept(std::uint32_t epoch) { counts_[epoch].first += 1; }
+  void quarantined(std::uint32_t epoch) { counts_[epoch].second += 1; }
+
+  void fold_into(IngestReport& report) const {
+    report.epochs.reserve(counts_.size());
+    for (const auto& [epoch, kq] : counts_) {
+      report.epochs.push_back(EpochIngestStats{epoch, kq.first, kq.second});
+    }
+  }
+
+ private:
+  std::map<std::uint32_t, std::pair<std::uint64_t, std::uint64_t>> counts_;
+};
+
+void strip_cr(std::string& line) {
+  if (!line.empty() && line.back() == '\r') line.pop_back();
+}
+
+std::vector<std::string_view> split_csv(std::string_view line) {
+  std::vector<std::string_view> fields;
+  std::size_t start = 0;
+  for (std::size_t i = 0; i <= line.size(); ++i) {
+    if (i == line.size() || line[i] == ',') {
+      fields.push_back(line.substr(start, i - start));
+      start = i + 1;
+    }
+  }
+  return fields;
+}
+
+template <typename T>
+bool try_parse(std::string_view field, T& value) {
+  const auto [ptr, ec] =
+      std::from_chars(field.data(), field.data() + field.size(), value);
+  return ec == std::errc{} && ptr == field.data() + field.size();
+}
+
+[[nodiscard]] std::string at_line(std::uint64_t line_no) {
+  return " at line " + std::to_string(line_no);
+}
+
+}  // namespace
+
+RobustLoadedTrace read_trace_csv_robust(std::istream& in,
+                                        const RobustReadOptions& options) {
+  RobustLoadedTrace out;
+  IngestReport& report = out.report;
+  report.policy = options.policy;
+  RowSink sink{"read_trace_csv", options, report};
+  EpochTally tally;
+
+  std::string line;
+  if (!std::getline(in, line)) {
+    // A missing header is structural under every policy: there is nothing
+    // to quarantine row-by-row.
+    throw std::runtime_error{in.bad()
+                                 ? "read_trace_csv: stream failure at line 1"
+                                 : "read_trace_csv: empty input at line 1"};
+  }
+  strip_cr(line);
+  if (line != kCsvHeader) {
+    throw std::runtime_error{"read_trace_csv: unexpected header at line 1"};
+  }
+
+  std::vector<Session> sessions;
+  std::uint64_t line_no = 1;  // physical, 1-based; header is line 1
+  const bool best_effort = options.policy == ErrorPolicy::kBestEffort;
+  while (std::getline(in, line)) {
+    ++line_no;
+    strip_cr(line);
+    if (line.empty()) continue;
+    report.rows_read += 1;
+
+    const auto fields = split_csv(line);
+    if (fields.size() != 12) {
+      sink.reject(line_no, 0, RowErrorKind::kFieldCount,
+                  "expected 12 fields, got " + std::to_string(fields.size()) +
+                      at_line(line_no));
+      continue;
+    }
+
+    Session s;
+    if (!try_parse(fields[0], s.epoch)) {
+      // Without an epoch the row cannot be placed; unsalvageable even under
+      // best-effort.
+      sink.reject(line_no, 0, RowErrorKind::kBadNumber,
+                  "bad numeric field (epoch)" + at_line(line_no));
+      continue;
+    }
+    if (s.epoch > options.max_epoch) {
+      // Epochs index dense per-epoch structures; a poisoned value would make
+      // downstream code allocate proportionally to it.
+      sink.reject(line_no, 0, RowErrorKind::kBadNumber,
+                  "epoch " + std::to_string(s.epoch) + " out of range (max " +
+                      std::to_string(options.max_epoch) + ")" +
+                      at_line(line_no));
+      continue;
+    }
+
+    // Metrics are validated before any attribute is interned so a rejected
+    // row cannot grow the schema.
+    bool rejected = false;
+    const auto metric_field = [&](std::size_t idx, std::string_view label,
+                                  float& dst) {
+      float v = 0.0F;
+      if (!try_parse(fields[idx], v)) {
+        if (best_effort) {
+          report.fields_clamped += 1;
+          dst = 0.0F;
+          return;
+        }
+        tally.quarantined(s.epoch);
+        sink.reject(line_no, 0, RowErrorKind::kBadNumber,
+                    "bad numeric field (" + std::string{label} + ")" +
+                        at_line(line_no));
+        rejected = true;
+      } else if (!std::isfinite(v)) {
+        if (best_effort) {
+          report.fields_clamped += 1;
+          dst = 0.0F;
+          return;
+        }
+        tally.quarantined(s.epoch);
+        sink.reject(line_no, 0, RowErrorKind::kNonFinite,
+                    "non-finite " + std::string{label} + at_line(line_no));
+        rejected = true;
+      } else {
+        dst = v;
+      }
+    };
+    metric_field(8, "buffering_ratio", s.quality.buffering_ratio);
+    if (rejected) continue;
+    metric_field(9, "bitrate_kbps", s.quality.bitrate_kbps);
+    if (rejected) continue;
+    metric_field(10, "join_time_ms", s.quality.join_time_ms);
+    if (rejected) continue;
+
+    int join_failed = 0;
+    if (!try_parse(fields[11], join_failed)) {
+      if (best_effort) {
+        report.fields_clamped += 1;
+        join_failed = 0;
+      } else {
+        tally.quarantined(s.epoch);
+        sink.reject(line_no, 0, RowErrorKind::kBadNumber,
+                    "bad numeric field (join_failed)" + at_line(line_no));
+        continue;
+      }
+    }
+    s.quality.join_failed = join_failed != 0;
+
+    try {
+      for (std::size_t d = 0; d < kCsvColumnDims.size(); ++d) {
+        s.attrs[kCsvColumnDims[d]] =
+            out.schema.intern(kCsvColumnDims[d], fields[1 + d]);
+      }
+    } catch (const std::length_error& e) {
+      tally.quarantined(s.epoch);
+      sink.reject(line_no, 0, RowErrorKind::kAttrOverflow,
+                  std::string{e.what()} + at_line(line_no));
+      continue;
+    }
+
+    tally.kept(s.epoch);
+    report.rows_kept += 1;
+    sessions.push_back(s);
+  }
+  if (in.bad()) {
+    // The stream died mid-read: treat the line being read as one lost row so
+    // rows_read == rows_kept + rows_quarantined stays an invariant.
+    report.rows_read += 1;
+    report.input_truncated = true;
+    sink.reject(line_no + 1, 0, RowErrorKind::kIoError,
+                "stream failure (I/O error)" + at_line(line_no + 1));
+  }
+
+  tally.fold_into(report);
+  out.table = SessionTable{std::move(sessions)};
+  return out;
+}
+
+RobustLoadedTrace read_trace_csv_robust(const std::filesystem::path& path,
+                                        const RobustReadOptions& options) {
+  std::ifstream in{path};
+  if (!in) {
+    throw std::runtime_error{"read_trace_csv: cannot open " + path.string()};
+  }
+  return read_trace_csv_robust(in, options);
+}
+
+// --- binary ------------------------------------------------------------------
+
+namespace {
+
+[[nodiscard]] std::string at_record(std::uint64_t ordinal,
+                                    std::uint64_t offset) {
+  return " at record " + std::to_string(ordinal) + " (offset " +
+         std::to_string(offset) + ")";
+}
+
+}  // namespace
+
+RobustLoadedTrace read_trace_binary_robust(std::istream& in,
+                                           const RobustReadOptions& options) {
+  RobustLoadedTrace out;
+  IngestReport& report = out.report;
+  report.policy = options.policy;
+  RowSink sink{"read_trace_binary", options, report};
+  EpochTally tally;
+
+  // Container header and schema section: structural, strict under every
+  // policy — without the schema no session record can be decoded.
+  char magic[4];
+  in.read(magic, sizeof magic);
+  if (!in || std::memcmp(magic, detail::kBinaryMagic, sizeof magic) != 0) {
+    throw std::runtime_error{"read_trace_binary: bad magic at offset 0"};
+  }
+  const auto version = detail::read_pod<std::uint32_t>(in);
+  if (version != detail::kBinaryVersion) {
+    throw std::runtime_error{"read_trace_binary: unsupported version " +
+                             std::to_string(version)};
+  }
+  std::uint64_t offset = 8;  // magic + version
+  for (int d = 0; d < kNumDims; ++d) {
+    const auto dim = static_cast<AttrDim>(d);
+    const auto count = detail::read_pod<std::uint32_t>(in);
+    offset += 4;
+    if (count > dim_capacity(dim) + 1u) {
+      throw std::runtime_error{"read_trace_binary: schema too large for " +
+                               std::string{dim_name(dim)} + " at offset " +
+                               std::to_string(offset - 4)};
+    }
+    std::string name;
+    for (std::uint32_t id = 0; id < count; ++id) {
+      const auto len = detail::read_pod<std::uint16_t>(in);
+      name.resize(len);
+      in.read(name.data(), len);
+      if (!in) {
+        throw std::runtime_error{
+            "read_trace_binary: truncated name at offset " +
+            std::to_string(offset + 2)};
+      }
+      offset += 2 + len;
+      const std::uint16_t assigned = out.schema.intern(dim, name);
+      if (assigned != id) {
+        throw std::runtime_error{
+            "read_trace_binary: duplicate name in schema section at offset " +
+            std::to_string(offset - 2 - len)};
+      }
+    }
+  }
+  const auto count = detail::read_pod<std::uint64_t>(in);
+  offset += 8;
+
+  std::vector<Session> sessions;
+  // The count is untrusted: a corrupted header could demand a multi-GB
+  // up-front allocation before the first truncated read fails. Reserve a
+  // bounded floor and let push_back's geometric growth cover honest large
+  // traces.
+  constexpr std::uint64_t kMaxInitialReserve = 1u << 16;
+  sessions.reserve(
+      static_cast<std::size_t>(std::min(count, kMaxInitialReserve)));
+
+  const bool best_effort = options.policy == ErrorPolicy::kBestEffort;
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const std::uint64_t ordinal = i + 1;  // 1-based, mirrors CSV lines
+    char record[kBinaryRecordSize];
+    in.read(record, kBinaryRecordSize);
+    if (in.gcount() != static_cast<std::streamsize>(kBinaryRecordSize)) {
+      // Mid-record cut (or stream failure): everything after it is gone, so
+      // this is terminal for the loop under every policy.
+      report.rows_read += 1;
+      report.input_truncated = true;
+      if (in.bad()) {
+        sink.reject(ordinal, offset, RowErrorKind::kIoError,
+                    "stream failure (I/O error)" + at_record(ordinal, offset));
+      } else {
+        sink.reject(ordinal, offset, RowErrorKind::kTruncated,
+                    "truncated input" + at_record(ordinal, offset));
+      }
+      break;
+    }
+    report.rows_read += 1;
+
+    Session s;
+    for (int d = 0; d < kNumDims; ++d) {
+      s.attrs.v[d] = detail::load_pod<std::uint16_t>(record + 2 * d);
+    }
+    s.epoch = detail::load_pod<std::uint32_t>(record + 14);
+    s.quality.buffering_ratio = detail::load_pod<float>(record + 18);
+    s.quality.bitrate_kbps = detail::load_pod<float>(record + 22);
+    s.quality.join_time_ms = detail::load_pod<float>(record + 26);
+    const auto join_byte = detail::load_pod<std::uint8_t>(record + 30);
+
+    if (s.epoch > options.max_epoch) {
+      // Checked before anything tallies by epoch: a poisoned epoch is a
+      // dense-index bomb downstream and must not enter the report either.
+      sink.reject(ordinal, offset, RowErrorKind::kBadNumber,
+                  "epoch " + std::to_string(s.epoch) + " out of range (max " +
+                      std::to_string(options.max_epoch) + ")" +
+                      at_record(ordinal, offset));
+      offset += kBinaryRecordSize;
+      continue;
+    }
+
+    bool rejected = false;
+    for (int d = 0; d < kNumDims && !rejected; ++d) {
+      const auto dim = static_cast<AttrDim>(d);
+      if (s.attrs.v[d] >= out.schema.cardinality(dim)) {
+        // An unknown attribute id has no salvageable interpretation.
+        tally.quarantined(s.epoch);
+        sink.reject(ordinal, offset, RowErrorKind::kSchemaViolation,
+                    "attribute id outside schema (" +
+                        std::string{dim_name(dim)} + "=" +
+                        std::to_string(s.attrs.v[d]) +
+                        ")" + at_record(ordinal, offset));
+        rejected = true;
+      }
+    }
+    if (rejected) {
+      offset += kBinaryRecordSize;
+      continue;
+    }
+
+    const auto check_metric = [&](float& value, std::string_view label) {
+      if (std::isfinite(value)) return;
+      if (best_effort) {
+        report.fields_clamped += 1;
+        value = 0.0F;
+        return;
+      }
+      tally.quarantined(s.epoch);
+      sink.reject(ordinal, offset, RowErrorKind::kNonFinite,
+                  "non-finite " + std::string{label} +
+                      at_record(ordinal, offset));
+      rejected = true;
+    };
+    check_metric(s.quality.buffering_ratio, "buffering_ratio");
+    if (!rejected) check_metric(s.quality.bitrate_kbps, "bitrate_kbps");
+    if (!rejected) check_metric(s.quality.join_time_ms, "join_time_ms");
+    if (rejected) {
+      offset += kBinaryRecordSize;
+      continue;
+    }
+
+    if (join_byte > 1) {
+      if (best_effort) {
+        report.fields_clamped += 1;
+      } else {
+        tally.quarantined(s.epoch);
+        sink.reject(ordinal, offset, RowErrorKind::kBadFlag,
+                    "join_failed byte must be 0 or 1, got " +
+                        std::to_string(join_byte) +
+                        at_record(ordinal, offset));
+        offset += kBinaryRecordSize;
+        continue;
+      }
+    }
+    s.quality.join_failed = join_byte != 0;
+
+    tally.kept(s.epoch);
+    report.rows_kept += 1;
+    sessions.push_back(s);
+    offset += kBinaryRecordSize;
+  }
+
+  tally.fold_into(report);
+  out.table = SessionTable{std::move(sessions)};
+  return out;
+}
+
+RobustLoadedTrace read_trace_binary_robust(const std::filesystem::path& path,
+                                           const RobustReadOptions& options) {
+  std::ifstream in{path, std::ios::binary};
+  if (!in) {
+    throw std::runtime_error{"read_trace_binary: cannot open " +
+                             path.string()};
+  }
+  return read_trace_binary_robust(in, options);
+}
+
+}  // namespace vq

@@ -1,0 +1,164 @@
+// Fault-tolerant streaming trace ingest.
+//
+// Production telemetry is dirty: collectors crash mid-upload, rows arrive
+// truncated or malformed, and a single bad byte must not cost the whole
+// epoch.  These readers wrap the CSV/binary trace parsers with an explicit
+// per-row error policy:
+//
+//   kStrict     — throw a positioned exception on the first bad row (the
+//                 behaviour of read_trace_csv / read_trace_binary, which
+//                 delegate here).
+//   kQuarantine — divert bad rows to a quarantine sink (line/offset +
+//                 reason) and keep parsing; good rows keep flowing.
+//   kBestEffort — additionally salvage rows with repairable fields (a
+//                 non-finite metric, an out-of-range flag byte) by clamping
+//                 the field to a safe default; only structurally broken
+//                 rows are quarantined.
+//
+// Every read returns an IngestReport — rows read/kept/quarantined, counts
+// per failure reason, clamped-field counts, and per-epoch damage tallies —
+// so downstream analyses can annotate partial epochs as degraded instead of
+// either crashing or silently treating starved data as healthy (see
+// StreamingDetector's degraded-epoch policy in core/monitor.h).
+
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <filesystem>
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/gen/trace_io.h"
+
+namespace vq {
+
+enum class ErrorPolicy : std::uint8_t {
+  kStrict = 0,
+  kQuarantine = 1,
+  kBestEffort = 2,
+};
+
+[[nodiscard]] std::string_view error_policy_name(ErrorPolicy p) noexcept;
+
+/// Parses "strict" / "quarantine" / "best-effort" (the CLI's --on-error
+/// vocabulary); nullopt on anything else.
+[[nodiscard]] std::optional<ErrorPolicy> parse_error_policy(
+    std::string_view name) noexcept;
+
+/// Why a row was rejected (or repaired, for kNonFinite/kBadFlag under
+/// best-effort).
+enum class RowErrorKind : std::uint8_t {
+  kFieldCount = 0,       // CSV: wrong number of fields
+  kBadNumber = 1,        // unparseable numeric field
+  kNonFinite = 2,        // NaN/Inf metric value
+  kBadFlag = 3,          // join_failed outside {0, 1}
+  kAttrOverflow = 4,     // attribute dimension id space exhausted
+  kSchemaViolation = 5,  // binary: attribute id outside the schema section
+  kTruncated = 6,        // stream ended mid-record
+  kIoError = 7,          // underlying stream failure (badbit)
+};
+
+inline constexpr int kNumRowErrorKinds = 8;
+
+[[nodiscard]] std::string_view row_error_name(RowErrorKind k) noexcept;
+
+/// One diverted row: where it was and why it was rejected.
+struct QuarantinedRow {
+  /// 1-based position: physical line number for CSV (header = line 1),
+  /// record ordinal for binary (first session record = 1).
+  std::uint64_t line = 0;
+  /// Byte offset of the record start (binary only; 0 for CSV).
+  std::uint64_t offset = 0;
+  RowErrorKind kind = RowErrorKind::kBadNumber;
+  std::string detail;  // human-readable reason, positioned
+};
+
+/// Per-epoch damage tally (epochs ascending). Rows whose epoch field itself
+/// was unreadable are counted only in the global totals.
+struct EpochIngestStats {
+  std::uint32_t epoch = 0;
+  std::uint64_t kept = 0;
+  std::uint64_t quarantined = 0;
+};
+
+/// Data-quality annotation for one ingest pass.
+struct IngestReport {
+  ErrorPolicy policy = ErrorPolicy::kStrict;
+  std::uint64_t rows_read = 0;         // data rows encountered
+  std::uint64_t rows_kept = 0;         // rows that reached the table
+  std::uint64_t rows_quarantined = 0;  // rows diverted to the sink
+  std::uint64_t fields_clamped = 0;    // best-effort field repairs
+  /// True when the stream ended mid-record or failed (badbit): everything
+  /// after the cut is missing, so trailing epochs are suspect.
+  bool input_truncated = false;
+  std::array<std::uint64_t, kNumRowErrorKinds> reason_counts{};
+  /// First max_quarantine_samples diverted rows (bounded so a fully
+  /// corrupt multi-GB feed cannot balloon the report).
+  std::vector<QuarantinedRow> quarantine;
+  std::vector<EpochIngestStats> epochs;
+
+  [[nodiscard]] bool degraded() const noexcept {
+    return rows_quarantined > 0 || input_truncated;
+  }
+
+  /// Epochs whose quarantined-row fraction is >= min_fraction (min_fraction
+  /// of 0 flags any epoch that lost at least one row). When the input was
+  /// truncated the last epoch seen is always included — the cut may have
+  /// cost it an unknown number of rows.
+  [[nodiscard]] std::vector<std::uint32_t> degraded_epochs(
+      double min_fraction = 0.0) const;
+
+  /// One-line human summary ("1200 rows: 1190 kept, 10 quarantined
+  /// (bad-number=7, non-finite=3), 0 clamped").
+  [[nodiscard]] std::string summary() const;
+};
+
+/// Default epoch sanity cap (~120 years of hourly epochs). Epochs index
+/// dense per-epoch structures throughout the pipeline (SessionTable offsets,
+/// per-epoch summaries), so a corrupt epoch field must be rejected here —
+/// otherwise one flipped high bit makes downstream code allocate
+/// proportionally to a ~2^31 epoch id.
+inline constexpr std::uint32_t kDefaultMaxEpoch = 1u << 20;
+
+struct RobustReadOptions {
+  ErrorPolicy policy = ErrorPolicy::kStrict;
+  /// Cap on retained QuarantinedRow samples (counts are always exact).
+  std::size_t max_quarantine_samples = 64;
+  /// Rows with epoch > max_epoch are rejected (kBadNumber): an epoch is a
+  /// dense index, and a poisoned one is as unsalvageable as an unparseable
+  /// one.
+  std::uint32_t max_epoch = kDefaultMaxEpoch;
+};
+
+/// LoadedTrace plus the data-quality annotation.
+struct RobustLoadedTrace {
+  SessionTable table;
+  AttributeSchema schema;
+  IngestReport report;
+};
+
+/// Policy-driven CSV reader. Header errors (missing/garbled header) are
+/// structural and throw under every policy; row-level errors follow the
+/// policy. All error messages carry 1-based physical line numbers (the
+/// header is line 1). CR/LF line endings and trailing newlines are accepted.
+[[nodiscard]] RobustLoadedTrace read_trace_csv_robust(
+    std::istream& in, const RobustReadOptions& options = {});
+[[nodiscard]] RobustLoadedTrace read_trace_csv_robust(
+    const std::filesystem::path& path, const RobustReadOptions& options = {});
+
+/// Policy-driven binary reader. The container header and schema section are
+/// structural (unrecoverable without them) and throw under every policy;
+/// session records follow the policy. Records are fixed-size, so a corrupt
+/// record never desynchronises its successors; a mid-record truncation ends
+/// the stream (input_truncated) rather than throwing in the non-strict
+/// policies.
+[[nodiscard]] RobustLoadedTrace read_trace_binary_robust(
+    std::istream& in, const RobustReadOptions& options = {});
+[[nodiscard]] RobustLoadedTrace read_trace_binary_robust(
+    const std::filesystem::path& path, const RobustReadOptions& options = {});
+
+}  // namespace vq

@@ -1,0 +1,61 @@
+// Internal wire-format constants shared by the trace writers (trace_io.cpp)
+// and the policy-driven readers (robust_io.cpp).  Not installed as public
+// API: include only from src/gen/*.cpp.
+
+#pragma once
+
+#include <array>
+#include <bit>
+#include <cstdint>
+#include <cstring>
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+#include <string_view>
+
+#include "src/core/attributes.h"
+
+namespace vq::detail {
+
+inline constexpr std::string_view kCsvHeader =
+    "epoch,site,cdn,asn,conn_type,player,browser,vod_live,"
+    "buffering_ratio,bitrate_kbps,join_time_ms,join_failed";
+
+inline constexpr std::array<AttrDim, kNumDims> kCsvColumnDims = {
+    AttrDim::kSite,     AttrDim::kCdn,    AttrDim::kAsn,
+    AttrDim::kConnType, AttrDim::kPlayer, AttrDim::kBrowser,
+    AttrDim::kVodLive};
+
+inline constexpr char kBinaryMagic[4] = {'V', 'Q', 'T', 'R'};
+inline constexpr std::uint32_t kBinaryVersion = 1;
+
+/// Fixed size of one session record in the binary container:
+/// 7 x u16 attrs + u32 epoch + 3 x f32 metrics + u8 join_failed.
+inline constexpr std::size_t kBinaryRecordSize = 7 * 2 + 4 + 3 * 4 + 1;
+static_assert(kBinaryRecordSize == 31);
+
+static_assert(std::endian::native == std::endian::little,
+              "binary trace format assumes a little-endian host");
+
+template <typename T>
+void write_pod(std::ostream& out, T value) {
+  out.write(reinterpret_cast<const char*>(&value), sizeof value);
+}
+
+template <typename T>
+T read_pod(std::istream& in) {
+  T value{};
+  in.read(reinterpret_cast<char*>(&value), sizeof value);
+  if (!in) throw std::runtime_error{"read_trace_binary: truncated input"};
+  return value;
+}
+
+/// Unaligned little-endian load out of a record buffer.
+template <typename T>
+[[nodiscard]] T load_pod(const char* bytes) noexcept {
+  T value{};
+  std::memcpy(&value, bytes, sizeof value);
+  return value;
+}
+
+}  // namespace vq::detail

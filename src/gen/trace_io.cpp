@@ -1,62 +1,26 @@
 #include "src/gen/trace_io.h"
 
-#include <algorithm>
-#include <array>
-#include <bit>
-#include <charconv>
-#include <cstring>
 #include <fstream>
 #include <ostream>
-#include <sstream>
 #include <stdexcept>
 #include <string>
-#include <vector>
+#include <utility>
+
+#include "src/gen/robust_io.h"
+#include "src/gen/trace_format.h"
 
 namespace vq {
 
-namespace {
-
-constexpr std::string_view kHeader =
-    "epoch,site,cdn,asn,conn_type,player,browser,vod_live,"
-    "buffering_ratio,bitrate_kbps,join_time_ms,join_failed";
-
-constexpr std::array<AttrDim, kNumDims> kColumnDims = {
-    AttrDim::kSite,     AttrDim::kCdn,    AttrDim::kAsn,
-    AttrDim::kConnType, AttrDim::kPlayer, AttrDim::kBrowser,
-    AttrDim::kVodLive};
-
-std::vector<std::string_view> split_csv(std::string_view line) {
-  std::vector<std::string_view> fields;
-  std::size_t start = 0;
-  for (std::size_t i = 0; i <= line.size(); ++i) {
-    if (i == line.size() || line[i] == ',') {
-      fields.push_back(line.substr(start, i - start));
-      start = i + 1;
-    }
-  }
-  return fields;
-}
-
-template <typename T>
-T parse_number(std::string_view field, std::size_t line_no) {
-  T value{};
-  const auto [ptr, ec] =
-      std::from_chars(field.data(), field.data() + field.size(), value);
-  if (ec != std::errc{} || ptr != field.data() + field.size()) {
-    throw std::runtime_error{"read_trace_csv: bad numeric field at line " +
-                             std::to_string(line_no)};
-  }
-  return value;
-}
-
-}  // namespace
+using detail::kCsvColumnDims;
+using detail::kCsvHeader;
+using detail::write_pod;
 
 void write_trace_csv(std::ostream& out, const SessionTable& table,
                      const AttributeSchema& schema) {
   // Names are written unquoted, so a delimiter or line break inside one
   // would silently corrupt the round trip read_trace_csv relies on; reject
   // the whole schema up front rather than emit a malformed file.
-  for (const AttrDim dim : kColumnDims) {
+  for (const AttrDim dim : kCsvColumnDims) {
     for (std::size_t id = 0; id < schema.cardinality(dim); ++id) {
       const std::string_view name =
           schema.name(dim, static_cast<std::uint16_t>(id));
@@ -69,10 +33,10 @@ void write_trace_csv(std::ostream& out, const SessionTable& table,
   }
   // max_digits10 for float: values survive a write/read round trip exactly.
   out.precision(9);
-  out << kHeader << '\n';
+  out << kCsvHeader << '\n';
   for (const Session& s : table.sessions()) {
     out << s.epoch;
-    for (const AttrDim dim : kColumnDims) {
+    for (const AttrDim dim : kCsvColumnDims) {
       out << ',' << schema.name(dim, s.attrs[dim]);
     }
     out << ',' << s.quality.buffering_ratio << ',' << s.quality.bitrate_kbps
@@ -91,40 +55,13 @@ void write_trace_csv(const std::filesystem::path& path,
   write_trace_csv(out, table, schema);
 }
 
-LoadedTrace read_trace_csv(std::istream& in) {
-  LoadedTrace loaded;
-  std::string line;
-  if (!std::getline(in, line)) {
-    throw std::runtime_error{"read_trace_csv: empty input"};
-  }
-  if (line != kHeader) {
-    throw std::runtime_error{"read_trace_csv: unexpected header"};
-  }
+// The strict readers are thin shims over the policy-driven robust readers
+// (robust_io.h): one parser, one set of positioned error messages.
 
-  std::vector<Session> sessions;
-  std::size_t line_no = 1;
-  while (std::getline(in, line)) {
-    ++line_no;
-    if (line.empty()) continue;
-    const auto fields = split_csv(line);
-    if (fields.size() != 12) {
-      throw std::runtime_error{"read_trace_csv: expected 12 fields at line " +
-                               std::to_string(line_no)};
-    }
-    Session s;
-    s.epoch = parse_number<std::uint32_t>(fields[0], line_no);
-    for (std::size_t d = 0; d < kColumnDims.size(); ++d) {
-      s.attrs[kColumnDims[d]] =
-          loaded.schema.intern(kColumnDims[d], fields[1 + d]);
-    }
-    s.quality.buffering_ratio = parse_number<float>(fields[8], line_no);
-    s.quality.bitrate_kbps = parse_number<float>(fields[9], line_no);
-    s.quality.join_time_ms = parse_number<float>(fields[10], line_no);
-    s.quality.join_failed = parse_number<int>(fields[11], line_no) != 0;
-    sessions.push_back(s);
-  }
-  loaded.table = SessionTable{std::move(sessions)};
-  return loaded;
+LoadedTrace read_trace_csv(std::istream& in) {
+  RobustLoadedTrace loaded =
+      read_trace_csv_robust(in, {.policy = ErrorPolicy::kStrict});
+  return LoadedTrace{std::move(loaded.table), std::move(loaded.schema)};
 }
 
 LoadedTrace read_trace_csv(const std::filesystem::path& path) {
@@ -137,35 +74,10 @@ LoadedTrace read_trace_csv(const std::filesystem::path& path) {
 
 // --- binary format -----------------------------------------------------------
 
-namespace {
-
-constexpr char kMagic[4] = {'V', 'Q', 'T', 'R'};
-constexpr std::uint32_t kBinaryVersion = 1;
-
-template <typename T>
-void write_pod(std::ostream& out, T value) {
-  // Little-endian hosts only (checked below); fine for this project's
-  // deployment targets.
-  out.write(reinterpret_cast<const char*>(&value), sizeof value);
-}
-
-template <typename T>
-T read_pod(std::istream& in) {
-  T value{};
-  in.read(reinterpret_cast<char*>(&value), sizeof value);
-  if (!in) throw std::runtime_error{"read_trace_binary: truncated input"};
-  return value;
-}
-
-static_assert(std::endian::native == std::endian::little,
-              "binary trace format assumes a little-endian host");
-
-}  // namespace
-
 void write_trace_binary(std::ostream& out, const SessionTable& table,
                         const AttributeSchema& schema) {
-  out.write(kMagic, sizeof kMagic);
-  write_pod(out, kBinaryVersion);
+  out.write(detail::kBinaryMagic, sizeof detail::kBinaryMagic);
+  write_pod(out, detail::kBinaryVersion);
   for (int d = 0; d < kNumDims; ++d) {
     const auto dim = static_cast<AttrDim>(d);
     const auto count = static_cast<std::uint32_t>(schema.cardinality(dim));
@@ -201,65 +113,9 @@ void write_trace_binary(const std::filesystem::path& path,
 }
 
 LoadedTrace read_trace_binary(std::istream& in) {
-  char magic[4];
-  in.read(magic, sizeof magic);
-  if (!in || std::memcmp(magic, kMagic, sizeof kMagic) != 0) {
-    throw std::runtime_error{"read_trace_binary: bad magic"};
-  }
-  const auto version = read_pod<std::uint32_t>(in);
-  if (version != kBinaryVersion) {
-    throw std::runtime_error{"read_trace_binary: unsupported version " +
-                             std::to_string(version)};
-  }
-  LoadedTrace loaded;
-  for (int d = 0; d < kNumDims; ++d) {
-    const auto dim = static_cast<AttrDim>(d);
-    const auto count = read_pod<std::uint32_t>(in);
-    if (count > dim_capacity(dim) + 1u) {
-      throw std::runtime_error{"read_trace_binary: schema too large for " +
-                               std::string{dim_name(dim)}};
-    }
-    std::string name;
-    for (std::uint32_t id = 0; id < count; ++id) {
-      const auto len = read_pod<std::uint16_t>(in);
-      name.resize(len);
-      in.read(name.data(), len);
-      if (!in) throw std::runtime_error{"read_trace_binary: truncated name"};
-      const std::uint16_t assigned = loaded.schema.intern(dim, name);
-      if (assigned != id) {
-        throw std::runtime_error{
-            "read_trace_binary: duplicate name in schema section"};
-      }
-    }
-  }
-  const auto count = read_pod<std::uint64_t>(in);
-  std::vector<Session> sessions;
-  // The count is untrusted: a corrupted header could demand a multi-GB
-  // up-front allocation before the first truncated read fails. Reserve a
-  // bounded floor and let push_back's geometric growth cover honest large
-  // traces.
-  constexpr std::uint64_t kMaxInitialReserve = 1u << 16;
-  sessions.reserve(
-      static_cast<std::size_t>(std::min(count, kMaxInitialReserve)));
-  for (std::uint64_t i = 0; i < count; ++i) {
-    Session s;
-    for (int d = 0; d < kNumDims; ++d) {
-      s.attrs.v[d] = read_pod<std::uint16_t>(in);
-      const auto dim = static_cast<AttrDim>(d);
-      if (s.attrs.v[d] >= loaded.schema.cardinality(dim)) {
-        throw std::runtime_error{
-            "read_trace_binary: attribute id outside schema"};
-      }
-    }
-    s.epoch = read_pod<std::uint32_t>(in);
-    s.quality.buffering_ratio = read_pod<float>(in);
-    s.quality.bitrate_kbps = read_pod<float>(in);
-    s.quality.join_time_ms = read_pod<float>(in);
-    s.quality.join_failed = read_pod<std::uint8_t>(in) != 0;
-    sessions.push_back(s);
-  }
-  loaded.table = SessionTable{std::move(sessions)};
-  return loaded;
+  RobustLoadedTrace loaded =
+      read_trace_binary_robust(in, {.policy = ErrorPolicy::kStrict});
+  return LoadedTrace{std::move(loaded.table), std::move(loaded.schema)};
 }
 
 LoadedTrace read_trace_binary(const std::filesystem::path& path) {

@@ -30,7 +30,11 @@ struct LoadedTrace {
 };
 
 /// Reads a trace written by write_trace_csv (or produced by any compliant
-/// exporter). Throws std::runtime_error on malformed input.
+/// exporter). Accepts LF and CRLF line endings and trailing newlines.
+/// Throws std::runtime_error on malformed input; every message carries the
+/// 1-based physical line number (the header is line 1).  For per-row fault
+/// tolerance instead of first-error abort, see read_trace_csv_robust
+/// (robust_io.h), which this delegates to.
 [[nodiscard]] LoadedTrace read_trace_csv(std::istream& in);
 [[nodiscard]] LoadedTrace read_trace_csv(const std::filesystem::path& path);
 
@@ -51,8 +55,11 @@ void write_trace_binary(const std::filesystem::path& path,
                         const SessionTable& table,
                         const AttributeSchema& schema);
 
-/// Reads the binary container. Throws std::runtime_error on corruption,
-/// truncation, or version mismatch.
+/// Reads the binary container. Throws std::runtime_error (positioned by
+/// record ordinal and byte offset) on corruption, truncation, or version
+/// mismatch; rejects join_failed bytes outside {0, 1} and non-finite f32
+/// metric fields rather than propagating poison into the lattice.  For
+/// per-record fault tolerance, see read_trace_binary_robust (robust_io.h).
 [[nodiscard]] LoadedTrace read_trace_binary(std::istream& in);
 [[nodiscard]] LoadedTrace read_trace_binary(const std::filesystem::path& path);
 

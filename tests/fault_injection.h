@@ -1,0 +1,102 @@
+// Fault-injection harness for the ingest chaos tests.
+//
+// FaultyStreambuf wraps an in-memory byte string and injects the failure
+// modes of real telemetry collection:
+//   * truncation        — the stream simply ends at a chosen offset;
+//   * bit flips         — one byte is XOR-corrupted in place;
+//   * short reads       — underflow serves at most `chunk` bytes at a time,
+//                         so any reader assuming one read() fills its buffer
+//                         breaks (std::istream::read retries internally,
+//                         which is exactly what we want to prove we rely on);
+//   * transient I/O faults — underflow throws when the read position
+//                         reaches `fail_at` (an istream translates that into
+//                         badbit), for `fail_count` occurrences.
+//
+// The harness is reader-agnostic: tests drive read_trace_csv/_binary and
+// the robust_io readers over it and assert "positioned exception or
+// quarantined row — never a crash" (tests/test_fault_injection.cpp), with
+// CI running the sweep under ASan/UBSan.
+
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <istream>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+namespace vq::test {
+
+class FaultyStreambuf : public std::streambuf {
+ public:
+  static constexpr std::size_t kNone = static_cast<std::size_t>(-1);
+
+  struct Options {
+    std::size_t truncate_at = kNone;  // stream ends at this offset
+    std::size_t flip_offset = kNone;  // XOR flip_mask into this byte
+    unsigned char flip_mask = 0x01;
+    std::size_t chunk = 0;       // max bytes served per underflow (0 = all)
+    std::size_t fail_at = kNone; // throw when the read position reaches this
+    int fail_count = 1;          // how often fail_at fires (transient = 1)
+  };
+
+  FaultyStreambuf(std::string bytes, const Options& options)
+      : data_(std::move(bytes)), options_(options) {
+    if (options_.flip_offset != kNone && options_.flip_offset < data_.size()) {
+      data_[options_.flip_offset] =
+          static_cast<char>(static_cast<unsigned char>(
+                                data_[options_.flip_offset]) ^
+                            options_.flip_mask);
+    }
+    if (options_.truncate_at != kNone &&
+        options_.truncate_at < data_.size()) {
+      data_.resize(options_.truncate_at);
+    }
+  }
+
+  [[nodiscard]] int faults_fired() const noexcept { return faults_fired_; }
+
+ protected:
+  int_type underflow() override {
+    if (pos_ >= data_.size()) return traits_type::eof();
+    std::size_t n = data_.size() - pos_;
+    if (options_.chunk != 0) n = std::min(n, options_.chunk);
+    if (options_.fail_at != kNone && faults_fired_ < options_.fail_count) {
+      if (pos_ >= options_.fail_at) {
+        ++faults_fired_;
+        throw std::runtime_error{"injected I/O fault"};
+      }
+      // Stop the chunk just short of the fault so it fires at exactly
+      // fail_at, byte-precise regardless of chunking.
+      n = std::min(n, options_.fail_at - pos_);
+    }
+    char* base = data_.data() + pos_;
+    setg(base, base, base + n);
+    pos_ += n;
+    return traits_type::to_int_type(*base);
+  }
+
+ private:
+  std::string data_;
+  Options options_;
+  std::size_t pos_ = 0;
+  int faults_fired_ = 0;
+};
+
+/// Owning istream over a FaultyStreambuf (member order matters: the buffer
+/// must outlive — and be constructed before — the stream head).
+class FaultyStream {
+ public:
+  FaultyStream(std::string bytes, const FaultyStreambuf::Options& options)
+      : buf_(std::move(bytes), options), in_(&buf_) {}
+
+  [[nodiscard]] std::istream& stream() noexcept { return in_; }
+  [[nodiscard]] const FaultyStreambuf& buf() const noexcept { return buf_; }
+
+ private:
+  FaultyStreambuf buf_;
+  std::istream in_;
+};
+
+}  // namespace vq::test

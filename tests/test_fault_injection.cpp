@@ -1,0 +1,261 @@
+// Chaos tests: every injected truncation, bit flip, short read, and
+// transient I/O fault must end in a positioned exception (strict) or a
+// quarantined row with exact IngestReport accounting (quarantine /
+// best-effort) — never a crash, never UB.  CI runs this suite under
+// ASan+UBSan (the chaos job), which is what turns "never crashes" into a
+// checked property.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/gen/robust_io.h"
+#include "src/gen/trace_io.h"
+#include "tests/fault_injection.h"
+#include "tests/test_support.h"
+
+namespace vq {
+namespace {
+
+using test::Attrs;
+using test::FaultyStream;
+using test::FaultyStreambuf;
+
+constexpr std::size_t kSessions = 16;   // 2 epochs x 8
+constexpr std::size_t kRecordSize = 31;
+
+/// A tiny but fully featured trace (several attribute values per dimension,
+/// both epochs, good and bad quality) rendered as CSV and binary.  Small on
+/// purpose: the sweeps below re-parse it once per byte offset.
+struct TinyTrace {
+  std::string csv;
+  std::string binary;
+};
+
+TinyTrace tiny_trace() {
+  AttributeSchema schema;
+  for (int d = 0; d < kNumDims; ++d) {
+    for (int i = 0; i < 3; ++i) {
+      (void)schema.intern(static_cast<AttrDim>(d), "v" + std::to_string(i));
+    }
+  }
+  std::vector<Session> sessions;
+  for (std::uint32_t epoch = 0; epoch < 2; ++epoch) {
+    for (std::uint16_t i = 0; i < 8; ++i) {
+      test::add_sessions(
+          sessions, epoch,
+          Attrs{.cdn = static_cast<std::uint16_t>(i % 3),
+                .asn = static_cast<std::uint16_t>((i + 1) % 3)},
+          i % 2 == 0 ? test::good_quality() : test::bad_buffering(), 1);
+    }
+  }
+  const SessionTable table{std::move(sessions)};
+  TinyTrace out;
+  std::stringstream csv;
+  write_trace_csv(csv, table, schema);
+  out.csv = csv.str();
+  std::stringstream bin{std::ios::in | std::ios::out | std::ios::binary};
+  write_trace_binary(bin, table, schema);
+  out.binary = bin.str();
+  return out;
+}
+
+std::size_t records_start(const TinyTrace& t) {
+  return t.binary.size() - kSessions * kRecordSize;
+}
+
+TEST(FaultInjection, BinaryTruncationSweepStrictAlwaysThrows) {
+  const TinyTrace t = tiny_trace();
+  for (std::size_t cut = 0; cut < t.binary.size(); ++cut) {
+    FaultyStream fs{t.binary, {.truncate_at = cut}};
+    EXPECT_THROW((void)read_trace_binary(fs.stream()), std::runtime_error)
+        << "cut at " << cut;
+  }
+}
+
+TEST(FaultInjection, BinaryTruncationSweepQuarantineAccountsExactly) {
+  const TinyTrace t = tiny_trace();
+  const std::size_t start = records_start(t);
+  for (std::size_t cut = start; cut < t.binary.size(); ++cut) {
+    FaultyStream fs{t.binary, {.truncate_at = cut}};
+    const RobustLoadedTrace loaded = read_trace_binary_robust(
+        fs.stream(), {.policy = ErrorPolicy::kQuarantine});
+    const std::uint64_t complete = (cut - start) / kRecordSize;
+    EXPECT_TRUE(loaded.report.input_truncated) << "cut at " << cut;
+    EXPECT_EQ(loaded.report.rows_kept, complete) << "cut at " << cut;
+    EXPECT_EQ(loaded.table.size(), complete) << "cut at " << cut;
+    EXPECT_EQ(loaded.report.rows_quarantined, 1u) << "cut at " << cut;
+    EXPECT_EQ(loaded.report.reason_counts[static_cast<std::uint8_t>(
+                  RowErrorKind::kTruncated)],
+              1u)
+        << "cut at " << cut;
+    EXPECT_EQ(loaded.report.rows_read,
+              loaded.report.rows_kept + loaded.report.rows_quarantined);
+    ASSERT_EQ(loaded.report.quarantine.size(), 1u);
+    EXPECT_EQ(loaded.report.quarantine[0].kind, RowErrorKind::kTruncated);
+    EXPECT_EQ(loaded.report.quarantine[0].line, complete + 1);
+  }
+}
+
+TEST(FaultInjection, BinaryBitFlipSweepNeverCrashes) {
+  const TinyTrace t = tiny_trace();
+  for (std::size_t off = 0; off < t.binary.size(); ++off) {
+    for (const unsigned char mask : {0x01, 0x80}) {
+      FaultyStream strict{t.binary,
+                          {.flip_offset = off, .flip_mask = mask}};
+      try {
+        const LoadedTrace loaded = read_trace_binary(strict.stream());
+        // A flip can land in a value bit and still decode; it must never
+        // manufacture rows.
+        EXPECT_LE(loaded.table.size(), kSessions) << "flip at " << off;
+      } catch (const std::runtime_error&) {
+        // Positioned rejection: fine.
+      }
+      FaultyStream lenient{t.binary,
+                           {.flip_offset = off, .flip_mask = mask}};
+      try {
+        const RobustLoadedTrace loaded = read_trace_binary_robust(
+            lenient.stream(), {.policy = ErrorPolicy::kQuarantine});
+        EXPECT_EQ(loaded.report.rows_read,
+                  loaded.report.rows_kept + loaded.report.rows_quarantined)
+            << "flip at " << off;
+        EXPECT_EQ(loaded.table.size(), loaded.report.rows_kept);
+      } catch (const std::runtime_error&) {
+        // Structural (header/schema) flips throw under every policy.
+      }
+    }
+  }
+}
+
+TEST(FaultInjection, BinaryBitFlipsInRecordsNeverThrowUnderQuarantine) {
+  const TinyTrace t = tiny_trace();
+  for (std::size_t off = records_start(t); off < t.binary.size(); ++off) {
+    for (const unsigned char mask : {0x01, 0x80}) {
+      FaultyStream fs{t.binary, {.flip_offset = off, .flip_mask = mask}};
+      const RobustLoadedTrace loaded = read_trace_binary_robust(
+          fs.stream(), {.policy = ErrorPolicy::kQuarantine});
+      EXPECT_EQ(loaded.report.rows_read, kSessions) << "flip at " << off;
+      EXPECT_EQ(loaded.report.rows_kept + loaded.report.rows_quarantined,
+                kSessions)
+          << "flip at " << off;
+    }
+  }
+}
+
+TEST(FaultInjection, CsvTruncationSweepNeverCrashes) {
+  const TinyTrace t = tiny_trace();
+  for (std::size_t cut = 0; cut < t.csv.size(); ++cut) {
+    FaultyStream fs{t.csv, {.truncate_at = cut}};
+    try {
+      const LoadedTrace loaded = read_trace_csv(fs.stream());
+      // Cutting at a line boundary yields a valid shorter file.
+      EXPECT_LE(loaded.table.size(), kSessions) << "cut at " << cut;
+    } catch (const std::runtime_error&) {
+      // Mid-line cuts reject the partial row (or the header).
+    }
+  }
+}
+
+TEST(FaultInjection, CsvBitFlipSweepQuarantineKeepsAccounts) {
+  const TinyTrace t = tiny_trace();
+  const std::size_t first_row = t.csv.find('\n') + 1;
+  for (std::size_t off = 0; off < t.csv.size(); ++off) {
+    FaultyStream fs{t.csv, {.flip_offset = off, .flip_mask = 0x01}};
+    try {
+      const RobustLoadedTrace loaded = read_trace_csv_robust(
+          fs.stream(), {.policy = ErrorPolicy::kQuarantine});
+      EXPECT_GE(off, first_row) << "header flip must throw";
+      EXPECT_EQ(loaded.report.rows_read,
+                loaded.report.rows_kept + loaded.report.rows_quarantined)
+          << "flip at " << off;
+      EXPECT_EQ(loaded.table.size(), loaded.report.rows_kept);
+    } catch (const std::runtime_error&) {
+      // Header flips (and a flipped header newline) are structural.
+      EXPECT_LE(off, first_row) << "row flip must quarantine, not throw";
+    }
+  }
+}
+
+TEST(FaultInjection, ShortReadsParseIdentically) {
+  const TinyTrace t = tiny_trace();
+  std::stringstream direct_bin{t.binary,
+                               std::ios::in | std::ios::binary};
+  const LoadedTrace expected = read_trace_binary(direct_bin);
+  for (const std::size_t chunk : {std::size_t{1}, std::size_t{7}}) {
+    FaultyStream bin{t.binary, {.chunk = chunk}};
+    const LoadedTrace loaded = read_trace_binary(bin.stream());
+    ASSERT_EQ(loaded.table.size(), expected.table.size()) << chunk;
+    for (std::size_t i = 0; i < loaded.table.size(); ++i) {
+      EXPECT_EQ(loaded.table.sessions()[i].attrs,
+                expected.table.sessions()[i].attrs);
+      EXPECT_EQ(loaded.table.sessions()[i].quality,
+                expected.table.sessions()[i].quality);
+    }
+    FaultyStream csv{t.csv, {.chunk = chunk}};
+    const LoadedTrace loaded_csv = read_trace_csv(csv.stream());
+    EXPECT_EQ(loaded_csv.table.size(), kSessions) << chunk;
+  }
+}
+
+TEST(FaultInjection, TransientIoFaultCsv) {
+  const TinyTrace t = tiny_trace();
+  const std::size_t mid = t.csv.size() / 2;
+  {
+    FaultyStream fs{t.csv, {.fail_at = mid}};
+    EXPECT_THROW((void)read_trace_csv(fs.stream()), std::runtime_error);
+  }
+  FaultyStream fs{t.csv, {.fail_at = mid}};
+  const RobustLoadedTrace loaded = read_trace_csv_robust(
+      fs.stream(), {.policy = ErrorPolicy::kQuarantine});
+  EXPECT_EQ(fs.buf().faults_fired(), 1);
+  EXPECT_TRUE(loaded.report.input_truncated);
+  EXPECT_EQ(loaded.report.reason_counts[static_cast<std::uint8_t>(
+                RowErrorKind::kIoError)],
+            1u);
+  EXPECT_EQ(loaded.report.rows_read,
+            loaded.report.rows_kept + loaded.report.rows_quarantined);
+  EXPECT_LT(loaded.table.size(), kSessions);
+  EXPECT_EQ(loaded.table.size(), loaded.report.rows_kept);
+}
+
+TEST(FaultInjection, TransientIoFaultBinary) {
+  const TinyTrace t = tiny_trace();
+  const std::size_t fail_at = records_start(t) + 5 * kRecordSize + 7;
+  {
+    FaultyStream fs{t.binary, {.fail_at = fail_at}};
+    EXPECT_THROW((void)read_trace_binary(fs.stream()), std::runtime_error);
+  }
+  FaultyStream fs{t.binary, {.fail_at = fail_at}};
+  const RobustLoadedTrace loaded = read_trace_binary_robust(
+      fs.stream(), {.policy = ErrorPolicy::kQuarantine});
+  EXPECT_TRUE(loaded.report.input_truncated);
+  EXPECT_EQ(loaded.report.rows_kept, 5u);
+  EXPECT_EQ(loaded.report.reason_counts[static_cast<std::uint8_t>(
+                RowErrorKind::kIoError)],
+            1u);
+  ASSERT_EQ(loaded.report.quarantine.size(), 1u);
+  EXPECT_EQ(loaded.report.quarantine[0].kind, RowErrorKind::kIoError);
+  EXPECT_EQ(loaded.report.quarantine[0].line, 6u);  // 1-based record ordinal
+}
+
+TEST(FaultInjection, IoFaultInHeaderIsStructuralUnderEveryPolicy) {
+  const TinyTrace t = tiny_trace();
+  for (const ErrorPolicy policy :
+       {ErrorPolicy::kStrict, ErrorPolicy::kQuarantine,
+        ErrorPolicy::kBestEffort}) {
+    FaultyStream csv{t.csv, {.fail_at = 3}};
+    EXPECT_THROW(
+        (void)read_trace_csv_robust(csv.stream(), {.policy = policy}),
+        std::runtime_error);
+    FaultyStream bin{t.binary, {.fail_at = 3}};
+    EXPECT_THROW(
+        (void)read_trace_binary_robust(bin.stream(), {.policy = policy}),
+        std::runtime_error);
+  }
+}
+
+}  // namespace
+}  // namespace vq

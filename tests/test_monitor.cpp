@@ -130,6 +130,58 @@ TEST(StreamingDetector, RejectsNonMonotonicEpochs) {
                std::invalid_argument);
   EXPECT_THROW((void)detector.ingest(monitored_epoch(1, false), 1),
                std::invalid_argument);
+  // The throwing path must not have advanced detector state.
+  EXPECT_EQ(detector.last_epoch(), 3u);
+  EXPECT_EQ(detector.stale_epochs_dropped(), 0u);
+}
+
+TEST(StreamingDetector, SkipStaleDropsDuplicatesAndCounts) {
+  MonitorConfig config = small_monitor();
+  config.order_policy = EpochOrderPolicy::kSkipStale;
+  StreamingDetector detector{config};
+  (void)detector.ingest(monitored_epoch(3, true), 3);
+
+  // Duplicate and late epochs are dropped: no events, no state change.
+  EXPECT_TRUE(detector.ingest(monitored_epoch(3, true), 3).empty());
+  EXPECT_TRUE(detector.ingest(monitored_epoch(1, false), 1).empty());
+  EXPECT_EQ(detector.stale_epochs_dropped(), 2u);
+  EXPECT_EQ(detector.last_epoch(), 3u);
+  EXPECT_EQ(detector.active(Metric::kBufRatio).size(), 1u);
+
+  // The stream continues normally afterwards.
+  const auto events = detector.ingest(monitored_epoch(4, true), 4);
+  EXPECT_EQ(
+      events_of(events, IncidentUpdate::kEscalated, Metric::kBufRatio).size(),
+      1u);
+}
+
+TEST(StreamingDetector, DegradedEpochSuppressesClears) {
+  StreamingDetector detector{small_monitor()};
+  (void)detector.ingest(monitored_epoch(0, true), 0);
+
+  // The incident fails to recur on a degraded epoch: no kCleared, the
+  // incident stays open with its streak frozen and zero attributed mass.
+  const auto e1 =
+      detector.ingest(monitored_epoch(1, false), 1, {.degraded = true});
+  EXPECT_TRUE(
+      events_of(e1, IncidentUpdate::kCleared, Metric::kBufRatio).empty());
+  EXPECT_GE(detector.suppressed_clears(), 1u);
+  auto active = detector.active(Metric::kBufRatio);
+  ASSERT_EQ(active.size(), 1u);
+  EXPECT_EQ(active[0].streak, 1u);
+  EXPECT_EQ(active[0].attributed, 0.0);
+
+  // Recurring on the next (non-contiguous because epoch 1 "cleared" nothing)
+  // epoch keeps the same incident open rather than raising a second kNew.
+  const auto e2 = detector.ingest(monitored_epoch(2, true), 2);
+  EXPECT_TRUE(events_of(e2, IncidentUpdate::kNew, Metric::kBufRatio).empty());
+  EXPECT_EQ(detector.total_opened(Metric::kBufRatio), 1u);
+
+  // A clean quiet epoch finally clears it.
+  const auto e3 = detector.ingest(monitored_epoch(3, false), 3);
+  EXPECT_EQ(
+      events_of(e3, IncidentUpdate::kCleared, Metric::kBufRatio).size(), 1u);
+  EXPECT_TRUE(detector.active(Metric::kBufRatio).empty());
 }
 
 TEST(StreamingDetector, ActiveListsMatchRegistry) {

@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <cstring>
+#include <limits>
 #include <sstream>
 #include <string>
 
@@ -144,6 +145,60 @@ TEST(TraceBinary, RejectsOutOfSchemaAttributeIds) {
   std::stringstream buffer{std::ios::in | std::ios::out | std::ios::binary};
   write_trace_binary(buffer, SessionTable{sessions}, schema);
   EXPECT_THROW((void)read_trace_binary(buffer), std::runtime_error);
+}
+
+/// A deterministic container: `n` good sessions, one-name schema per dim.
+std::string tiny_binary(std::size_t n) {
+  AttributeSchema schema;
+  for (int d = 0; d < kNumDims; ++d) {
+    (void)schema.intern(static_cast<AttrDim>(d), "v");
+  }
+  std::vector<Session> sessions;
+  for (std::size_t i = 0; i < n; ++i) {
+    sessions.push_back(test::make_session(0, Attrs{}, test::good_quality()));
+  }
+  std::stringstream buffer{std::ios::in | std::ios::out | std::ios::binary};
+  write_trace_binary(buffer, SessionTable{std::move(sessions)}, schema);
+  return buffer.str();
+}
+
+TEST(TraceBinary, RejectsBadJoinFlagByte) {
+  constexpr std::size_t kRecordSize = 31;
+  const std::size_t n = 8;
+  std::string bytes = tiny_binary(n);
+  // join_failed is the last byte of each record; corrupt record 4's (the
+  // 4 records after it span the trailing 4 * kRecordSize bytes).
+  bytes[bytes.size() - 4 * kRecordSize - 1] = 2;
+  std::stringstream patched{bytes, std::ios::in | std::ios::binary};
+  try {
+    (void)read_trace_binary(patched);
+    FAIL() << "expected throw";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string{e.what()}.find(
+                  "join_failed byte must be 0 or 1, got 2 at record 4"),
+              std::string::npos)
+        << "got: " << e.what();
+  }
+}
+
+TEST(TraceBinary, RejectsNonFiniteMetrics) {
+  constexpr std::size_t kRecordSize = 31;
+  const std::size_t n = 8;
+  std::string bytes = tiny_binary(n);
+  // buffering_ratio is the f32 at record offset 18; give record 1 an Inf.
+  const float inf = std::numeric_limits<float>::infinity();
+  std::memcpy(bytes.data() + bytes.size() - n * kRecordSize + 18, &inf,
+              sizeof inf);
+  std::stringstream patched{bytes, std::ios::in | std::ios::binary};
+  try {
+    (void)read_trace_binary(patched);
+    FAIL() << "expected throw";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string{e.what()}.find(
+                  "non-finite buffering_ratio at record 1"),
+              std::string::npos)
+        << "got: " << e.what();
+  }
 }
 
 TEST(TraceBinary, FileRoundTrip) {

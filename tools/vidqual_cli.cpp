@@ -13,6 +13,8 @@
 #include <optional>
 #include <string>
 
+#include <algorithm>
+
 #include "src/core/anomaly.h"
 #include "src/core/monitor.h"
 #include "src/core/report.h"
@@ -20,6 +22,7 @@
 #include "src/core/pipeline.h"
 #include "src/core/prevalence.h"
 #include "src/core/whatif.h"
+#include "src/gen/robust_io.h"
 #include "src/gen/trace_io.h"
 #include "src/gen/tracegen.h"
 #include "src/util/args.h"
@@ -36,14 +39,21 @@ int usage() {
       "                   [--seed S=2013] [--sites N=379] [--cdns N=19]\n"
       "                   [--asns N=2000] [--no-events]\n"
       "  vidqual analyze  --in FILE [--min-sessions N=auto] [--top K=5]\n"
+      "                   [--on-error strict|quarantine|best-effort]\n"
       "  vidqual whatif   --in FILE [--metric NAME=JoinFailure]\n"
       "                   [--top-frac F=0.01] [--rank coverage|prevalence|"
       "persistence]\n"
       "                   [--min-sessions N=auto] [--reactive-delay H]\n"
       "  vidqual monitor  --in FILE [--delay H=1] [--min-sessions N=auto]\n"
+      "                   [--checkpoint FILE] [--on-error strict|quarantine|"
+      "best-effort]\n"
+      "                   [--stop-after N]\n"
       "  vidqual timeline --in FILE [--min-sessions N=auto] [--z 3.0]\n"
       "  vidqual report   --in FILE [--min-sessions N=auto] [--top K=5]\n"
-      "\nFILEs ending in .vqtr are binary; anything else is CSV.\n");
+      "\nFILEs ending in .vqtr are binary; anything else is CSV.\n"
+      "monitor --checkpoint saves detector state after every epoch (atomic\n"
+      "temp-then-rename) and resumes from it when the file exists, so a\n"
+      "killed monitor replays no epoch and re-raises no incident.\n");
   return 2;
 }
 
@@ -54,6 +64,35 @@ bool is_binary_path(std::string_view path) {
 LoadedTrace load(std::string_view path) {
   const std::filesystem::path p{std::string{path}};
   return is_binary_path(path) ? read_trace_binary(p) : read_trace_csv(p);
+}
+
+/// --on-error POLICY (default strict); exits via usage() on a bad name, so
+/// callers receive a valid policy or the process is already done.
+std::optional<ErrorPolicy> on_error_policy(const ArgParser& args) {
+  const auto name = args.option("on-error").value_or("strict");
+  const auto policy = parse_error_policy(name);
+  if (!policy.has_value()) {
+    std::fprintf(stderr,
+                 "unknown --on-error '%s' (use strict, quarantine, or "
+                 "best-effort)\n",
+                 std::string{name}.c_str());
+  }
+  return policy;
+}
+
+/// Loads with the row-error policy and reports data quality on stderr.
+RobustLoadedTrace load_robust(std::string_view path, ErrorPolicy policy) {
+  const std::filesystem::path p{std::string{path}};
+  const RobustReadOptions options{.policy = policy};
+  RobustLoadedTrace loaded = is_binary_path(path)
+                                 ? read_trace_binary_robust(p, options)
+                                 : read_trace_csv_robust(p, options);
+  if (loaded.report.degraded()) {
+    std::fprintf(stderr, "ingest (%s): %s\n",
+                 std::string{error_policy_name(policy)}.c_str(),
+                 loaded.report.summary().c_str());
+  }
+  return loaded;
 }
 
 std::uint32_t auto_min_sessions(const SessionTable& table,
@@ -123,14 +162,26 @@ int cmd_generate(const ArgParser& args) {
 int cmd_analyze(const ArgParser& args) {
   const auto in = args.option("in");
   if (!in.has_value()) return usage();
-  const LoadedTrace loaded = load(*in);
+  const auto policy = on_error_policy(args);
+  if (!policy.has_value()) return 2;
+  const RobustLoadedTrace loaded = load_robust(*in, *policy);
+  const std::vector<std::uint32_t> degraded =
+      loaded.report.degraded_epochs();
   PipelineConfig config;
   config.cluster_params.min_sessions = auto_min_sessions(loaded.table, args);
   std::fprintf(stderr, "analyzing %zu sessions over %u epochs "
                "(min_sessions=%u)...\n",
                loaded.table.size(), loaded.table.num_epochs(),
                config.cluster_params.min_sessions);
-  const PipelineResult result = run_pipeline(loaded.table, config);
+  const PipelineResult result = run_pipeline(loaded.table, config, degraded);
+  if (!result.degraded_epochs.empty()) {
+    std::printf("data quality: %zu epoch(s) degraded by quarantined rows:",
+                result.degraded_epochs.size());
+    for (const std::uint32_t e : result.degraded_epochs) {
+      std::printf(" %u", e);
+    }
+    std::printf("\n");
+  }
   const auto top_k = args.option_u64("top", 5);
 
   for (const Metric m : kAllMetrics) {
@@ -208,16 +259,44 @@ int cmd_whatif(const ArgParser& args) {
 int cmd_monitor(const ArgParser& args) {
   const auto in = args.option("in");
   if (!in.has_value()) return usage();
-  const LoadedTrace loaded = load(*in);
+  const auto policy = on_error_policy(args);
+  if (!policy.has_value()) return 2;
+  const RobustLoadedTrace loaded = load_robust(*in, *policy);
+  const std::vector<std::uint32_t> degraded =
+      loaded.report.degraded_epochs();
+
   MonitorConfig config;
   config.cluster_params.min_sessions = auto_min_sessions(loaded.table, args);
   config.escalate_after =
       static_cast<std::uint32_t>(args.option_u64("delay", 1));
   StreamingDetector detector{config};
 
-  for (std::uint32_t e = 0; e < loaded.table.num_epochs(); ++e) {
+  // Resume: an existing checkpoint restores the registry/counters and skips
+  // every epoch it already processed, so the resumed run's event stream
+  // continues exactly where the killed run's left off.
+  const auto checkpoint = args.option("checkpoint");
+  std::filesystem::path checkpoint_path;
+  std::uint32_t start = 0;
+  if (checkpoint.has_value()) {
+    checkpoint_path = std::string{*checkpoint};
+    if (std::filesystem::exists(checkpoint_path)) {
+      detector.load_checkpoint(checkpoint_path);
+      if (detector.has_ingested()) start = detector.last_epoch() + 1;
+      std::fprintf(stderr, "resuming from %s at epoch %u\n",
+                   checkpoint_path.string().c_str(), start);
+    }
+  }
+  // --stop-after N: process N epochs then exit without the summary line (a
+  // deterministic stand-in for a mid-stream kill; CI diffs the concatenated
+  // partial outputs against an uninterrupted run).
+  const auto stop_after = args.option_u64("stop-after", 0);
+
+  std::uint64_t processed = 0;
+  for (std::uint32_t e = start; e < loaded.table.num_epochs(); ++e) {
+    const EpochDataQuality quality{
+        .degraded = std::binary_search(degraded.begin(), degraded.end(), e)};
     for (const IncidentEvent& event :
-         detector.ingest(loaded.table.epoch(e), e)) {
+         detector.ingest(loaded.table.epoch(e), e, quality)) {
       if (event.update == IncidentUpdate::kNew) continue;  // alert on action
       std::printf("%02u:00 %-9s %-11s %s (streak %u h, %.0f sessions)\n", e,
                   std::string(incident_update_name(event.update)).c_str(),
@@ -225,6 +304,8 @@ int cmd_monitor(const ArgParser& args) {
                   loaded.schema.describe(event.incident.key).c_str(),
                   event.incident.streak, event.incident.attributed);
     }
+    if (checkpoint.has_value()) detector.save_checkpoint(checkpoint_path);
+    if (stop_after != 0 && ++processed >= stop_after) return 0;
   }
   std::printf("total incidents opened:");
   for (const Metric m : kAllMetrics) {
@@ -232,6 +313,10 @@ int cmd_monitor(const ArgParser& args) {
                 static_cast<std::uintmax_t>(detector.total_opened(m)));
   }
   std::printf("\n");
+  if (detector.suppressed_clears() > 0) {
+    std::fprintf(stderr, "suppressed %ju clear(s) on degraded epochs\n",
+                 static_cast<std::uintmax_t>(detector.suppressed_clears()));
+  }
   return 0;
 }
 
