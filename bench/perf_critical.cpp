@@ -90,7 +90,7 @@ int main(int argc, char** argv) {
   const EpochClusterTable table = expand_fold(fold, {});
   ThreadPool pool{shards};
 
-  std::printf("perf_critical: %zu sessions, %zu leaves, %u cells, %zu reps\n",
+  std::printf("perf_critical: %zu sessions, %zu leaves, %zu cells, %zu reps\n",
               trace.size(), fold.leaves.size(), table.clusters.size(), reps);
 
   // A "rep" covers all four metrics, matching what the pipeline does per

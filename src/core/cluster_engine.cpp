@@ -100,37 +100,38 @@ EpochClusterTable expand_fold(const LeafFold& fold,
   // Canonical leaf order: ascending raw key.  This fixes the dense-id
   // assignment and the iteration order of every downstream per-leaf sweep,
   // independent of hash-table layout and shard count.
-  std::vector<std::pair<std::uint64_t, const ClusterStats*>> leaves;
-  leaves.reserve(fold.leaves.size());
+  std::vector<std::pair<std::uint64_t, const ClusterStats*>> sorted_leaves;
+  sorted_leaves.reserve(fold.leaves.size());
   fold.leaves.for_each([&](std::uint64_t raw, const ClusterStats& s) {
-    leaves.emplace_back(raw, &s);
+    sorted_leaves.emplace_back(raw, &s);
   });
-  std::sort(leaves.begin(), leaves.end(),
+  std::sort(sorted_leaves.begin(), sorted_leaves.end(),
             [](const auto& a, const auto& b) { return a.first < b.first; });
 
   std::uint32_t* rows = nullptr;
   if (config.index_cells) {
     LeafCellIndex& index = table.leaf_index;
     index.masks = masks;
-    index.leaf_keys.reserve(leaves.size());
-    index.leaf_stats.reserve(leaves.size());
-    for (const auto& [raw, stats] : leaves) {
+    index.leaf_keys.reserve(sorted_leaves.size());
+    index.leaf_stats.reserve(sorted_leaves.size());
+    for (const auto& [raw, stats] : sorted_leaves) {
       index.leaf_keys.push_back(raw);
       index.leaf_stats.push_back(*stats);
     }
-    index.cell_rows.resize(leaves.size() * masks.size());
+    index.cell_rows.resize(sorted_leaves.size() * masks.size());
     rows = index.cell_rows.data();
   }
 
   // Sharding only pays off when each shard gets a meaningful slice.
   constexpr std::size_t kMinLeavesPerShard = 256;
   if (pool == nullptr || shards <= 1 ||
-      leaves.size() < 2 * kMinLeavesPerShard) {
-    expand_leaf_range(leaves, 0, leaves.size(), masks, table.clusters, rows);
+      sorted_leaves.size() < 2 * kMinLeavesPerShard) {
+    expand_leaf_range(sorted_leaves, 0, sorted_leaves.size(), masks,
+                      table.clusters, rows);
     return table;
   }
 
-  shards = std::min(shards, leaves.size() / kMinLeavesPerShard);
+  shards = std::min(shards, sorted_leaves.size() / kMinLeavesPerShard);
   // Cut the sorted leaf array into contiguous ranges: every leaf lands in
   // exactly one shard, so the shard stores are disjoint sums whose merge
   // (uint32 addition, commutative + associative) matches the serial
@@ -140,12 +141,12 @@ EpochClusterTable expand_fold(const LeafFold& fold,
   std::vector<CellStore> shard_stores(shards);
   std::vector<std::size_t> bounds(shards + 1);
   for (std::size_t s = 0; s <= shards; ++s) {
-    bounds[s] = leaves.size() * s / shards;
+    bounds[s] = sorted_leaves.size() * s / shards;
   }
   pool->parallel_for(0, shards, [&](std::size_t shard) {
     std::uint32_t* shard_rows =
         rows == nullptr ? nullptr : rows + bounds[shard] * masks.size();
-    expand_leaf_range(leaves, bounds[shard], bounds[shard + 1], masks,
+    expand_leaf_range(sorted_leaves, bounds[shard], bounds[shard + 1], masks,
                       shard_stores[shard], shard_rows);
   });
 

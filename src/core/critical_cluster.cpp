@@ -266,16 +266,16 @@ CriticalAnalysis find_critical_clusters_hashed(
   // distinct leaf once and weight by its problem-session count. Leaves are
   // walked in ascending raw-key order — the canonical accumulation order
   // every strategy shares, making the attribution doubles bit-comparable.
-  std::vector<std::pair<std::uint64_t, const ClusterStats*>> leaves;
-  leaves.reserve(fold.leaves.size());
+  std::vector<std::pair<std::uint64_t, const ClusterStats*>> sorted_leaves;
+  sorted_leaves.reserve(fold.leaves.size());
   fold.leaves.for_each([&](std::uint64_t raw, const ClusterStats& stats) {
-    leaves.emplace_back(raw, &stats);
+    sorted_leaves.emplace_back(raw, &stats);
   });
-  std::sort(leaves.begin(), leaves.end(),
+  std::sort(sorted_leaves.begin(), sorted_leaves.end(),
             [](const auto& a, const auto& b) { return a.first < b.first; });
 
   FlatMap64<double> attribution;
-  for (const auto& [raw, stats] : leaves) {
+  for (const auto& [raw, stats] : sorted_leaves) {
     const std::uint32_t problems =
         stats->problems[static_cast<std::uint8_t>(metric)];
     if (problems == 0) continue;
@@ -292,6 +292,9 @@ CriticalAnalysis find_critical_clusters_hashed(
   }
 
   out.criticals.reserve(attribution.size());
+  // Accumulation only: finalize_analysis below sorts out.criticals by
+  // (mass, key) before anything is emitted.
+  // vq-lint: allow(unordered-iter)
   attribution.for_each([&](std::uint64_t raw, double mass) {
     const ClusterKey key = ClusterKey::from_raw(raw);
     out.criticals.push_back({key, mass, table.stats(key)});

@@ -27,6 +27,10 @@ std::string_view incident_update_name(IncidentUpdate u) noexcept {
 std::vector<IncidentEvent> StreamingDetector::ingest(
     std::span<const Session> sessions, std::uint32_t epoch,
     EpochDataQuality quality) {
+  // One lock over the whole epoch: the registry must not be observed (or
+  // checkpointed) while an epoch's transitions are half-applied, and the
+  // epoch-ordering check below must be atomic with the state update.
+  const MutexLock lock{mutex_};
   if (has_ingested_ && epoch <= last_epoch_) {
     if (config_.order_policy == EpochOrderPolicy::kSkipStale) {
       stale_epochs_dropped_ += 1;
@@ -123,6 +127,7 @@ std::vector<IncidentEvent> StreamingDetector::ingest(
 }
 
 std::vector<Incident> StreamingDetector::active(Metric metric) const {
+  const MutexLock lock{mutex_};
   std::vector<Incident> out;
   const auto& incidents = registry_[static_cast<std::uint8_t>(metric)];
   out.reserve(incidents.size());
@@ -211,6 +216,7 @@ std::uint64_t StreamingDetector::config_fingerprint(
 }
 
 void StreamingDetector::save_checkpoint(std::ostream& out) const {
+  const MutexLock lock{mutex_};
   std::string payload;
   put(payload, static_cast<std::uint8_t>(has_ingested_ ? 1 : 0));
   put(payload, last_epoch_);
@@ -362,6 +368,8 @@ void StreamingDetector::load_checkpoint(std::istream& in) {
         "load_checkpoint: trailing bytes after registry section"};
   }
 
+  // Parse happened into locals; only the commit needs the state lock.
+  const MutexLock lock{mutex_};
   registry_ = std::move(registry);
   opened_ = opened;
   stale_epochs_dropped_ = stale_dropped;

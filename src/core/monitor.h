@@ -23,6 +23,14 @@
 //    incidents that fail to recur on such an epoch are retained instead of
 //    cleared (absence of evidence on a gappy feed is not evidence of
 //    absence), which stops incident flapping across collector hiccups.
+//
+// Thread safety (DESIGN.md §4.7): the detector state (incident registry,
+// counters, epoch cursor) is guarded by an internal mutex with Clang
+// thread-safety annotations, so one thread may ingest epochs while another
+// saves periodic checkpoints or inspects active incidents.  Epoch ordering
+// is still the caller's job: concurrent ingest() calls serialise in an
+// unspecified order, and whichever runs second sees the other's epoch as
+// already ingested.
 
 #pragma once
 
@@ -39,6 +47,8 @@
 #include "src/core/critical_cluster.h"
 #include "src/core/problem_cluster.h"
 #include "src/core/session.h"
+#include "src/util/mutex.h"
+#include "src/util/thread_annotations.h"
 
 namespace vq {
 
@@ -105,30 +115,41 @@ class StreamingDetector {
   /// (metric, key) order.
   std::vector<IncidentEvent> ingest(std::span<const Session> sessions,
                                     std::uint32_t epoch,
-                                    EpochDataQuality quality = {});
+                                    EpochDataQuality quality = {})
+      VQ_EXCLUDES(mutex_);
 
-  /// Currently open incidents for a metric (unspecified order).
-  [[nodiscard]] std::vector<Incident> active(Metric metric) const;
+  /// Currently open incidents for a metric, sorted by key.
+  [[nodiscard]] std::vector<Incident> active(Metric metric) const
+      VQ_EXCLUDES(mutex_);
 
   /// Total incidents ever opened for a metric.
-  [[nodiscard]] std::uint64_t total_opened(Metric metric) const noexcept {
+  [[nodiscard]] std::uint64_t total_opened(Metric metric) const
+      VQ_EXCLUDES(mutex_) {
+    const MutexLock lock{mutex_};
     return opened_[static_cast<std::uint8_t>(metric)];
   }
 
   /// Stale (non-increasing) epochs dropped under kSkipStale.
-  [[nodiscard]] std::uint64_t stale_epochs_dropped() const noexcept {
+  [[nodiscard]] std::uint64_t stale_epochs_dropped() const
+      VQ_EXCLUDES(mutex_) {
+    const MutexLock lock{mutex_};
     return stale_epochs_dropped_;
   }
 
   /// kCleared transitions suppressed on degraded epochs.
-  [[nodiscard]] std::uint64_t suppressed_clears() const noexcept {
+  [[nodiscard]] std::uint64_t suppressed_clears() const VQ_EXCLUDES(mutex_) {
+    const MutexLock lock{mutex_};
     return suppressed_clears_;
   }
 
-  [[nodiscard]] bool has_ingested() const noexcept { return has_ingested_; }
+  [[nodiscard]] bool has_ingested() const VQ_EXCLUDES(mutex_) {
+    const MutexLock lock{mutex_};
+    return has_ingested_;
+  }
 
   /// Last ingested epoch; meaningful only when has_ingested().
-  [[nodiscard]] std::uint32_t last_epoch() const noexcept {
+  [[nodiscard]] std::uint32_t last_epoch() const VQ_EXCLUDES(mutex_) {
+    const MutexLock lock{mutex_};
     return last_epoch_;
   }
 
@@ -143,13 +164,15 @@ class StreamingDetector {
   // throws std::runtime_error on bad magic, unsupported version, checksum
   // mismatch, truncation, or a fingerprint from a different configuration.
 
-  void save_checkpoint(std::ostream& out) const;
+  void save_checkpoint(std::ostream& out) const VQ_EXCLUDES(mutex_);
   /// Atomic file save: writes `path`.tmp, then renames over `path`, so an
   /// interrupted save leaves the previous checkpoint intact.
-  void save_checkpoint(const std::filesystem::path& path) const;
+  void save_checkpoint(const std::filesystem::path& path) const
+      VQ_EXCLUDES(mutex_);
 
-  void load_checkpoint(std::istream& in);
-  void load_checkpoint(const std::filesystem::path& path);
+  void load_checkpoint(std::istream& in) VQ_EXCLUDES(mutex_);
+  void load_checkpoint(const std::filesystem::path& path)
+      VQ_EXCLUDES(mutex_);
 
   /// Fingerprint of the result-affecting config fields (thresholds, cluster
   /// params, escalate_after, order policy). Engine knobs are excluded: the
@@ -160,14 +183,16 @@ class StreamingDetector {
       const MonitorConfig& config) noexcept;
 
  private:
-  MonitorConfig config_;
+  const MonitorConfig config_;  // immutable after construction: unguarded
+
+  mutable Mutex mutex_;
   std::array<std::unordered_map<std::uint64_t, Incident>, kNumMetrics>
-      registry_;
-  std::array<std::uint64_t, kNumMetrics> opened_{};
-  std::uint64_t stale_epochs_dropped_ = 0;
-  std::uint64_t suppressed_clears_ = 0;
-  std::uint32_t last_epoch_ = 0;
-  bool has_ingested_ = false;
+      registry_ VQ_GUARDED_BY(mutex_);
+  std::array<std::uint64_t, kNumMetrics> opened_ VQ_GUARDED_BY(mutex_){};
+  std::uint64_t stale_epochs_dropped_ VQ_GUARDED_BY(mutex_) = 0;
+  std::uint64_t suppressed_clears_ VQ_GUARDED_BY(mutex_) = 0;
+  std::uint32_t last_epoch_ VQ_GUARDED_BY(mutex_) = 0;
+  bool has_ingested_ VQ_GUARDED_BY(mutex_) = false;
 };
 
 }  // namespace vq

@@ -1,6 +1,7 @@
 #include "src/core/overlap.h"
 
 #include <algorithm>
+#include <map>
 #include <string>
 #include <unordered_map>
 
@@ -51,7 +52,9 @@ TypeBreakdown critical_type_breakdown(const PipelineResult& result,
   double total_problem = 0.0;
   double total_in_pc = 0.0;
   double total_attributed = 0.0;
-  std::unordered_map<std::uint8_t, double> by_mask;
+  // Ordered map: iterated below to fill breakdown.by_mask, and key order is
+  // what makes that walk (and any future emission from it) deterministic.
+  std::map<std::uint8_t, double> by_mask;
 
   for (const auto& summary :
        result.per_metric[static_cast<std::uint8_t>(metric)]) {

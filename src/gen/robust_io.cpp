@@ -11,6 +11,8 @@
 #include <utility>
 
 #include "src/gen/trace_format.h"
+#include "src/util/mutex.h"
+#include "src/util/thread_annotations.h"
 
 namespace vq {
 
@@ -106,30 +108,44 @@ using detail::kCsvHeader;
 /// Shared rejection path: counts the event, keeps a bounded sample, and in
 /// strict mode throws instead of diverting.  `context` is the public
 /// function name the strict exception is attributed to.
+///
+/// The sink is mutex-protected (and Clang-annotated): rejection is the rare
+/// path, so one uncontended lock per bad row costs nothing today and lets a
+/// future sharded ingest divert rows from several reader threads into one
+/// report.  The hot-path report fields (rows_read/rows_kept/...) stay
+/// reader-local by contract — each reader owns its stream and report until
+/// it returns.
 class RowSink {
  public:
   RowSink(const char* context, const RobustReadOptions& options,
           IngestReport& report)
-      : context_(context), options_(options), report_(report) {}
+      : context_(context), options_(options), report_(&report) {}
 
   /// Rejects one row. `line` and `offset` follow QuarantinedRow semantics.
+  /// Throws (after recording the rejection) under ErrorPolicy::kStrict.
   void reject(std::uint64_t line, std::uint64_t offset, RowErrorKind kind,
-              std::string detail) {
-    report_.rows_quarantined += 1;
-    report_.reason_counts[static_cast<std::uint8_t>(kind)] += 1;
+              std::string detail) VQ_EXCLUDES(mutex_) {
+    const MutexLock lock{mutex_};
+    report_->rows_quarantined += 1;
+    report_->reason_counts[static_cast<std::uint8_t>(kind)] += 1;
     if (options_.policy == ErrorPolicy::kStrict) {
+      // The position lives inside `detail`: every caller formats
+      // "... at line/record N (offset M)" (the exact strings are
+      // contract-tested in test_robust_io.cpp).
+      // vq-lint: allow(positioned-throw)
       throw std::runtime_error{std::string{context_} + ": " + detail};
     }
-    if (report_.quarantine.size() < options_.max_quarantine_samples) {
-      report_.quarantine.push_back(
+    if (report_->quarantine.size() < options_.max_quarantine_samples) {
+      report_->quarantine.push_back(
           QuarantinedRow{line, offset, kind, std::move(detail)});
     }
   }
 
  private:
-  const char* context_;
+  const char* const context_;
   const RobustReadOptions& options_;
-  IngestReport& report_;
+  Mutex mutex_;
+  IngestReport* const report_ VQ_PT_GUARDED_BY(mutex_);
 };
 
 /// Per-epoch kept/quarantined tallies, folded into the report at the end.
@@ -355,7 +371,7 @@ RobustLoadedTrace read_trace_binary_robust(std::istream& in,
   const auto version = detail::read_pod<std::uint32_t>(in);
   if (version != detail::kBinaryVersion) {
     throw std::runtime_error{"read_trace_binary: unsupported version " +
-                             std::to_string(version)};
+                             std::to_string(version) + " at offset 4"};
   }
   std::uint64_t offset = 8;  // magic + version
   for (int d = 0; d < kNumDims; ++d) {

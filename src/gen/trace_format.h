@@ -46,6 +46,10 @@ template <typename T>
 T read_pod(std::istream& in) {
   T value{};
   in.read(reinterpret_cast<char*>(&value), sizeof value);
+  // Generic header/schema-section helper; the stream offset is not threaded
+  // this deep.  Record-level reads go through the positioned robust_io path
+  // instead of this function.
+  // vq-lint: allow(positioned-throw)
   if (!in) throw std::runtime_error{"read_trace_binary: truncated input"};
   return value;
 }

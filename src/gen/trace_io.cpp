@@ -25,6 +25,9 @@ void write_trace_csv(std::ostream& out, const SessionTable& table,
       const std::string_view name =
           schema.name(dim, static_cast<std::uint16_t>(id));
       if (name.find_first_of(",\n\r") != std::string_view::npos) {
+        // Writer-side schema validation: no stream position exists yet;
+        // the offending name is quoted instead.
+        // vq-lint: allow(positioned-throw)
         throw std::invalid_argument{
             "write_trace_csv: attribute name contains a delimiter: \"" +
             std::string{name} + "\""};
@@ -98,6 +101,9 @@ void write_trace_binary(std::ostream& out, const SessionTable& table,
     write_pod(out, s.quality.join_time_ms);
     write_pod(out, static_cast<std::uint8_t>(s.quality.join_failed ? 1 : 0));
   }
+  // Write-side failure on a caller-owned stream; there is no input
+  // position, and the path (if any) is known only to the overload below.
+  // vq-lint: allow(positioned-throw)
   if (!out) throw std::runtime_error{"write_trace_binary: write failed"};
 }
 

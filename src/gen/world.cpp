@@ -58,12 +58,16 @@ Region sample_region(Xoshiro256ss& rng, const DiscreteSampler& sampler) {
 }  // namespace
 
 World World::build(const WorldConfig& config) {
+  // Config validation, not stream ingest: there is no line/record/offset
+  // to report, and the failing field is named in the message.
   if (config.num_sites == 0 || config.num_cdns == 0 || config.num_asns == 0) {
+    // vq-lint: allow(positioned-throw)
     throw std::invalid_argument{"WorldConfig: empty population"};
   }
   if (config.num_sites > dim_capacity(AttrDim::kSite) ||
       config.num_cdns > dim_capacity(AttrDim::kCdn) ||
       config.num_asns > dim_capacity(AttrDim::kAsn)) {
+    // vq-lint: allow(positioned-throw) — config validation, as above.
     throw std::invalid_argument{
         "WorldConfig: population exceeds attribute id space"};
   }

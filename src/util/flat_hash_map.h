@@ -9,6 +9,11 @@
 // Constraint: the key value FlatMap64::kEmptyKey (all ones) is reserved and
 // must never be inserted.  vidqual cluster keys use at most 62 bits, so this
 // never collides in practice and is checked in debug builds.
+//
+// The container's own internals (merge(), for_each()) necessarily walk the
+// table in slot order; determinism is the *callers'* obligation, enforced at
+// every call site by the unordered-iter lint rule.
+// vq-lint: allow-file(unordered-iter)
 
 #pragma once
 

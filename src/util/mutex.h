@@ -1,0 +1,83 @@
+// Annotated synchronisation primitives.
+//
+// vq::Mutex / vq::MutexLock / vq::CondVar are thin wrappers over the
+// standard primitives whose only job is to carry the Clang thread-safety
+// capability annotations (thread_annotations.h): libstdc++'s std::mutex is
+// not annotated, so `-Wthread-safety` cannot reason about it.  Every
+// vidqual component that needs a lock uses these wrappers — raw std::mutex
+// outside this header defeats the analysis (and vidqual_lint's
+// `naked-thread` rule keeps raw std::thread out of the same paths).
+//
+// Zero-cost by construction: on GCC the annotation macros expand to
+// nothing and every wrapper method is a single inlined forwarding call.
+
+#pragma once
+
+#include <condition_variable>
+#include <mutex>
+
+#include "src/util/thread_annotations.h"
+
+namespace vq {
+
+class CondVar;
+
+/// std::mutex carrying the Clang `capability` attribute.
+class VQ_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() VQ_ACQUIRE() { m_.lock(); }
+  void unlock() VQ_RELEASE() { m_.unlock(); }
+  [[nodiscard]] bool try_lock() VQ_TRY_ACQUIRE(true) { return m_.try_lock(); }
+
+ private:
+  friend class CondVar;
+  std::mutex m_;
+};
+
+/// Scoped lock (RAII) over vq::Mutex; the annotated std::lock_guard.
+class VQ_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) VQ_ACQUIRE(mu) : mu_(mu) { mu_.lock(); }
+  ~MutexLock() VQ_RELEASE() { mu_.unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+/// Condition variable bound to vq::Mutex.  wait() requires the mutex held
+/// (which the analysis enforces at every call site); internally it adopts
+/// the already-held std::mutex, waits, and releases the adoption so the
+/// caller's MutexLock remains the sole owner.
+///
+/// No predicate overload on purpose: `while (!pred) cv.wait(mu);` keeps
+/// every guarded-field read inside the caller's annotated scope, where the
+/// analysis can see it (a predicate lambda would need its own annotation).
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  /// Atomically releases `mu`, blocks, and reacquires `mu` before
+  /// returning.  Subject to spurious wakeups: always wait in a loop.
+  void wait(Mutex& mu) VQ_REQUIRES(mu) {
+    std::unique_lock<std::mutex> lock{mu.m_, std::adopt_lock};
+    cv_.wait(lock);
+    lock.release();  // ownership stays with the caller's MutexLock
+  }
+
+  void notify_one() noexcept { cv_.notify_one(); }
+  void notify_all() noexcept { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace vq

@@ -1,0 +1,77 @@
+// Clang thread-safety annotation macros (no-ops on other compilers).
+//
+// These wrap Clang's `-Wthread-safety` capability analysis
+// (https://clang.llvm.org/docs/ThreadSafetyAnalysis.html) so the compiler
+// proves, at build time, which mutex protects which field and which lock a
+// function requires — instead of hoping the differential tests catch every
+// race.  The repo's concurrency invariants live in three places:
+//
+//   * util/mutex.h      — the annotated Mutex/MutexLock/CondVar primitives
+//                         every vidqual component uses (never raw std::mutex
+//                         outside that header).
+//   * util/thread_pool  — the only component that owns threads; fully
+//                         annotated.
+//   * DESIGN.md §4.7    — the audit of the share-nothing shard paths that
+//                         carry no locks by construction.
+//
+// CI builds with Clang turn the analysis into a hard error
+// (-Werror=thread-safety); GCC builds compile the macros away.
+
+#pragma once
+
+#if defined(__clang__) && (!defined(SWIG))
+#define VQ_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define VQ_THREAD_ANNOTATION(x)  // no-op outside Clang
+#endif
+
+/// Marks a class as a lockable capability (e.g. a mutex wrapper).
+#define VQ_CAPABILITY(x) VQ_THREAD_ANNOTATION(capability(x))
+
+/// Marks an RAII class that acquires a capability in its constructor and
+/// releases it in its destructor.
+#define VQ_SCOPED_CAPABILITY VQ_THREAD_ANNOTATION(scoped_lockable)
+
+/// Field annotation: reads/writes require holding the given capability.
+#define VQ_GUARDED_BY(x) VQ_THREAD_ANNOTATION(guarded_by(x))
+
+/// Pointer/reference field annotation: the pointed-to data requires the
+/// capability (the pointer itself may be read freely).
+#define VQ_PT_GUARDED_BY(x) VQ_THREAD_ANNOTATION(pt_guarded_by(x))
+
+/// Function annotation: caller must hold the capability on entry (and still
+/// holds it on exit).
+#define VQ_REQUIRES(...) \
+  VQ_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+
+/// Function annotation: acquires the capability; caller must not hold it.
+#define VQ_ACQUIRE(...) \
+  VQ_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+
+/// Function annotation: releases the capability; caller must hold it.
+#define VQ_RELEASE(...) \
+  VQ_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+
+/// Function annotation: acquires the capability iff the return value equals
+/// the first argument.
+#define VQ_TRY_ACQUIRE(...) \
+  VQ_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+
+/// Function annotation: caller must NOT hold the capability (deadlock guard
+/// for self-locking public entry points).
+#define VQ_EXCLUDES(...) VQ_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/// Declares the relative acquisition order of two capabilities.
+#define VQ_ACQUIRED_BEFORE(...) \
+  VQ_THREAD_ANNOTATION(acquired_before(__VA_ARGS__))
+#define VQ_ACQUIRED_AFTER(...) \
+  VQ_THREAD_ANNOTATION(acquired_after(__VA_ARGS__))
+
+/// Function annotation: returns a reference to the given capability.
+#define VQ_RETURN_CAPABILITY(x) VQ_THREAD_ANNOTATION(lock_returned(x))
+
+/// Escape hatch: disables the analysis for one function.  Every use must
+/// carry a justification comment (vidqual_lint's suppression discipline
+/// applies in spirit).
+#define VQ_NO_THREAD_SAFETY_ANALYSIS \
+  VQ_THREAD_ANNOTATION(no_thread_safety_analysis)

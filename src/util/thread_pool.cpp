@@ -19,7 +19,7 @@ ThreadPool::ThreadPool(std::size_t workers) {
 
 ThreadPool::~ThreadPool() {
   {
-    const std::lock_guard lock{mutex_};
+    const MutexLock lock{mutex_};
     stopping_ = true;
   }
   work_available_.notify_all();
@@ -28,7 +28,7 @@ ThreadPool::~ThreadPool() {
 
 void ThreadPool::submit(std::function<void()> task) {
   {
-    const std::lock_guard lock{mutex_};
+    const MutexLock lock{mutex_};
     queue_.push_back(std::move(task));
     ++in_flight_;
   }
@@ -36,8 +36,8 @@ void ThreadPool::submit(std::function<void()> task) {
 }
 
 void ThreadPool::wait_idle() {
-  std::unique_lock lock{mutex_};
-  idle_.wait(lock, [this] { return in_flight_ == 0; });
+  MutexLock lock{mutex_};
+  while (in_flight_ != 0) idle_.wait(mutex_);
 }
 
 namespace {
@@ -47,13 +47,17 @@ namespace {
 /// only ever depends on iterations actively running on some thread — never
 /// on helper tasks still sitting in the queue. That property is what makes
 /// nested parallel_for calls deadlock-free.
+///
+/// Lock ordering: `mutex` here is only ever taken by a thread holding no
+/// other lock (drain runs outside ThreadPool::mutex_), so it cannot
+/// participate in a cycle with the pool's own mutex.
 struct ForBatch {
   std::atomic<std::size_t> cursor;
   std::atomic<std::size_t> pending;
   std::size_t end;
-  std::mutex mutex;
-  std::condition_variable done;
-  std::exception_ptr error;  // first exception, guarded by mutex
+  Mutex mutex;
+  CondVar done;
+  std::exception_ptr error VQ_GUARDED_BY(mutex);  // first exception wins
 
   ForBatch(std::size_t begin_, std::size_t end_)
       : cursor{begin_}, pending{end_ - begin_}, end{end_} {}
@@ -61,7 +65,7 @@ struct ForBatch {
   void finish(std::size_t n) {
     if (pending.fetch_sub(n) == n) {
       {  // pair with the waiter's predicate check (avoids missed wakeups)
-        const std::lock_guard lock{mutex};
+        const MutexLock lock{mutex};
       }
       done.notify_all();
     }
@@ -78,7 +82,7 @@ struct ForBatch {
         fn(i);
       } catch (...) {
         {
-          const std::lock_guard lock{mutex};
+          const MutexLock lock{mutex};
           if (!error) error = std::current_exception();
         }
         // Cancel everything not yet claimed; `exchange` serialises against
@@ -116,27 +120,33 @@ void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
     });
   }
   batch->drain(fn);
+  // Copy the exception pointer out while still holding the batch mutex:
+  // `error` is guarded by it, and reading it after the wait but outside the
+  // lock — the pre-annotation code — is exactly the pattern the analysis
+  // rejects (safe here only via a subtle release-sequence argument on
+  // `pending`; holding the lock makes it unconditionally correct).
+  std::exception_ptr error;
   {
-    std::unique_lock lock{batch->mutex};
-    batch->done.wait(lock, [&] { return batch->pending.load() == 0; });
+    MutexLock lock{batch->mutex};
+    while (batch->pending.load() != 0) batch->done.wait(batch->mutex);
+    error = batch->error;
   }
-  if (batch->error) std::rethrow_exception(batch->error);
+  if (error) std::rethrow_exception(error);
 }
 
 void ThreadPool::worker_loop() {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock lock{mutex_};
-      work_available_.wait(lock,
-                           [this] { return stopping_ || !queue_.empty(); });
+      MutexLock lock{mutex_};
+      while (!stopping_ && queue_.empty()) work_available_.wait(mutex_);
       if (queue_.empty()) return;  // stopping_ with a drained queue
       task = std::move(queue_.front());
       queue_.pop_front();
     }
     task();
     {
-      const std::lock_guard lock{mutex_};
+      const MutexLock lock{mutex_};
       if (--in_flight_ == 0) idle_.notify_all();
     }
   }

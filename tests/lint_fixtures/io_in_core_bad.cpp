@@ -1,0 +1,8 @@
+// Fixture: direct console output from the analysis layer.
+#include <cstdio>
+#include <iostream>
+
+void debug_dump(int n) {
+  std::printf("n=%d\n", n);  // LINT-EXPECT: io-in-core
+  std::cerr << n << "\n";  // LINT-EXPECT: io-in-core
+}

@@ -1,0 +1,12 @@
+// Fixture: raw thread creation outside util/thread_pool.  The
+// hardware_concurrency query on the last line is allowed (it is a static
+// member call, not thread creation).
+#include <future>
+#include <thread>
+
+int run_detached() {
+  std::thread worker{[] {}};  // LINT-EXPECT: naked-thread
+  worker.join();
+  auto f = std::async([] { return 1; });  // LINT-EXPECT: naked-thread
+  return f.get() + static_cast<int>(std::thread::hardware_concurrency());
+}

@@ -1,0 +1,12 @@
+// Fixture: a bare throw in the ingest layer is flagged; one that carries a
+// position is clean.
+#include <stdexcept>
+#include <string>
+
+void fail_bare() {
+  throw std::runtime_error{"parse error"};  // LINT-EXPECT: positioned-throw
+}
+
+void fail_positioned(unsigned long long line_no) {
+  throw std::runtime_error{"parse error at line " + std::to_string(line_no)};
+}

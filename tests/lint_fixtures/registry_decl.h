@@ -1,0 +1,10 @@
+// Fixture: the unordered-container member is declared here; the violating
+// iteration lives in registry_use.cpp.  Exercises the cross-file registry.
+#pragma once
+
+template <typename V>
+class FlatMap64;
+
+struct Fold {
+  FlatMap64<int> leaves_by_key;
+};

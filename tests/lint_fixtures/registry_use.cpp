@@ -1,0 +1,11 @@
+// Fixture: iterates a member whose unordered type is only visible in
+// registry_decl.h — the linter must resolve the name across files.
+#include "registry_decl.h"
+
+int sum(const Fold& fold) {
+  int total = 0;
+  fold.leaves_by_key.for_each([&](unsigned long long k, int v) {  // LINT-EXPECT: unordered-iter
+    total += v + static_cast<int>(k);
+  });
+  return total;
+}

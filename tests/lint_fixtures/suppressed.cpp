@@ -1,0 +1,16 @@
+// Fixture: line-level suppressions on the violating line and the line
+// directly above both silence the finding.
+#include <cstdio>
+#include <unordered_map>
+
+std::unordered_map<int, int> sizes;
+
+int total() {
+  int n = 0;
+  // vq-lint: allow(unordered-iter) — order-independent sum (fixture).
+  for (const auto& [k, v] : sizes) {
+    n += v + k;
+  }
+  std::printf("total\n");  // vq-lint: allow(io-in-core) — fixture.
+  return n;
+}

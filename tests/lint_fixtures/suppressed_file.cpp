@@ -1,0 +1,11 @@
+// Fixture: a file-wide comma-separated suppression list.
+// vq-lint: allow-file(wall-clock, naked-thread) — fixture exercising the
+// file-wide grammar.
+#include <cstdlib>
+#include <thread>
+
+int file_wide() {
+  std::thread t{[] {}};
+  t.join();
+  return std::rand();
+}

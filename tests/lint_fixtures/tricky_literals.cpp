@@ -1,0 +1,13 @@
+// Fixture: patterns inside comments, string literals, raw strings, and
+// char/numeric literals must never fire.
+// std::printf("in a comment") and rand() should not fire here.
+#include <string>
+
+/* block comment mentioning std::cout << rand() << std::thread */
+std::string docs() {
+  std::string s = "call std::printf(\"x\") or rand() here";
+  s += R"(std::cerr << "raw" << std::thread)";
+  const int big = 1'000'000;
+  const char quote = '\'';
+  return s + std::to_string(big) + quote;
+}

@@ -1,0 +1,16 @@
+// Fixture: unsorted iteration over an unordered container must be flagged.
+// Marker comments (LINT hyphen EXPECT, spelled out to stay out of the
+// parser's way here) tag the lines findings are expected on; fixtures are
+// lint inputs, never compiled or linted by CI itself.
+#include <unordered_map>
+#include <vector>
+
+std::unordered_map<unsigned long long, int> totals;
+
+std::vector<int> dump() {
+  std::vector<int> out;
+  for (const auto& [key, value] : totals) {  // LINT-EXPECT: unordered-iter
+    out.push_back(value + static_cast<int>(key));
+  }
+  return out;
+}

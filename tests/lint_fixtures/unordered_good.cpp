@@ -1,0 +1,15 @@
+// Fixture: iteration followed by a sort within the window is clean.
+#include <algorithm>
+#include <unordered_map>
+#include <vector>
+
+std::unordered_map<unsigned long long, int> totals2;
+
+std::vector<int> dump_sorted() {
+  std::vector<int> out;
+  for (const auto& [key, value] : totals2) {
+    out.push_back(value + static_cast<int>(key));
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}

@@ -1,0 +1,12 @@
+// Fixture: nondeterministic time/randomness sources in a core path.
+#include <chrono>
+#include <cstdlib>
+
+int jitter() {
+  return std::rand();  // LINT-EXPECT: wall-clock
+}
+
+double now_seconds() {
+  const auto t = std::chrono::steady_clock::now();  // LINT-EXPECT: wall-clock
+  return std::chrono::duration<double>(t.time_since_epoch()).count();
+}

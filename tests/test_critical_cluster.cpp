@@ -242,14 +242,18 @@ TEST(CriticalCluster, MetricsAnalysedIndependently) {
   ASSERT_FALSE(fails.criticals.empty());
   for (const auto& c : fails.criticals) {
     EXPECT_TRUE(c.key.has(AttrDim::kCdn) || c.key.has(AttrDim::kAsn));
-    if (c.key.has(AttrDim::kCdn)) EXPECT_EQ(c.key.value(AttrDim::kCdn), 1);
+    if (c.key.has(AttrDim::kCdn)) {
+      EXPECT_EQ(c.key.value(AttrDim::kCdn), 1);
+    }
   }
 
   const auto bitrate = find_critical_clusters(sessions, table, thresholds,
                                               params, Metric::kBitrate);
   ASSERT_FALSE(bitrate.criticals.empty());
   for (const auto& c : bitrate.criticals) {
-    if (c.key.has(AttrDim::kCdn)) EXPECT_EQ(c.key.value(AttrDim::kCdn), 2);
+    if (c.key.has(AttrDim::kCdn)) {
+      EXPECT_EQ(c.key.value(AttrDim::kCdn), 2);
+    }
   }
 }
 

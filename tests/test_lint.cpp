@@ -1,0 +1,189 @@
+// Tests for the vidqual_lint engine (tools/lint_core.h) against the planted
+// fixtures in tests/lint_fixtures/.
+//
+// Fixtures mark every expected finding with a `LINT-EXPECT: <rule>` comment
+// on the violating line; each test loads a fixture under a virtual repo
+// path (scoping keys off the path the SourceFile carries, not where the
+// fixture sits on disk) and requires the findings to match the markers
+// exactly — same lines, same rules, nothing extra.
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "tools/lint_core.h"
+
+namespace vq::lint {
+namespace {
+
+std::string read_fixture(const std::string& name) {
+  const std::string path = std::string{VQ_LINT_FIXTURE_DIR} + "/" + name;
+  std::ifstream in{path, std::ios::binary};
+  EXPECT_TRUE(in.is_open()) << "missing fixture " << path;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+SourceFile fixture(const std::string& name, std::string virtual_path) {
+  return SourceFile{std::move(virtual_path), read_fixture(name)};
+}
+
+/// (line, rule) pairs harvested from LINT-EXPECT markers.
+std::vector<std::pair<std::size_t, std::string>> expectations(
+    const std::string& content) {
+  std::vector<std::pair<std::size_t, std::string>> out;
+  std::istringstream in{content};
+  std::string text;
+  for (std::size_t line = 1; std::getline(in, text); ++line) {
+    const std::size_t tag = text.find("LINT-EXPECT:");
+    if (tag == std::string::npos) continue;
+    std::string rule = text.substr(tag + 12);
+    rule.erase(0, rule.find_first_not_of(' '));
+    rule.erase(rule.find_last_not_of(' ') + 1);
+    out.emplace_back(line, rule);
+  }
+  return out;
+}
+
+/// Lints `files` and requires findings == the union of every file's
+/// LINT-EXPECT markers.
+void expect_exact(const std::vector<SourceFile>& files) {
+  std::vector<std::pair<std::string, std::pair<std::size_t, std::string>>>
+      expected;
+  for (const SourceFile& f : files) {
+    for (const auto& e : expectations(f.content)) {
+      expected.emplace_back(f.path, e);
+    }
+  }
+  const std::vector<Finding> findings = run_lint(files);
+  std::vector<std::pair<std::string, std::pair<std::size_t, std::string>>>
+      actual;
+  for (const Finding& f : findings) {
+    actual.emplace_back(f.path, std::make_pair(f.line, f.rule));
+  }
+  std::sort(expected.begin(), expected.end());
+  std::sort(actual.begin(), actual.end());
+  EXPECT_EQ(actual, expected) << [&] {
+    std::ostringstream msg;
+    for (const Finding& f : findings) msg << format_finding(f) << "\n";
+    return msg.str();
+  }();
+}
+
+TEST(Lint, RuleTableListsAllFiveRules) {
+  const std::vector<RuleInfo>& table = rules();
+  ASSERT_EQ(table.size(), 5u);
+  const std::vector<std::string> names = {
+      "unordered-iter", "wall-clock", "naked-thread", "io-in-core",
+      "positioned-throw"};
+  for (const std::string& name : names) {
+    EXPECT_TRUE(std::any_of(table.begin(), table.end(),
+                            [&](const RuleInfo& r) { return r.name == name; }))
+        << name;
+  }
+}
+
+TEST(Lint, FormatFinding) {
+  const Finding f{"src/core/x.cpp", 12, "wall-clock", "call to 'rand'"};
+  EXPECT_EQ(format_finding(f),
+            "src/core/x.cpp:12: [wall-clock] call to 'rand'");
+}
+
+TEST(Lint, FlagsUnsortedUnorderedIteration) {
+  expect_exact({fixture("unordered_bad.cpp", "src/core/unordered_bad.cpp")});
+}
+
+TEST(Lint, SortWithinWindowIsClean) {
+  expect_exact({fixture("unordered_good.cpp", "src/core/unordered_good.cpp")});
+}
+
+TEST(Lint, ResolvesUnorderedTypeAcrossFiles) {
+  // The FlatMap64 member is declared in the header; the for_each lives in
+  // the .cpp.  Linted together, the registry must connect them.
+  expect_exact({fixture("registry_decl.h", "src/core/registry_decl.h"),
+                fixture("registry_use.cpp", "src/core/registry_use.cpp")});
+}
+
+TEST(Lint, FlagsWallClockSources) {
+  expect_exact({fixture("wall_clock_bad.cpp", "src/core/wall_clock_bad.cpp")});
+}
+
+TEST(Lint, WallClockExemptInUtilRng) {
+  // Identical content is clean when it *is* the sanctioned RNG component.
+  SourceFile f = fixture("wall_clock_bad.cpp", "src/util/rng.cpp");
+  const std::vector<Finding> findings = run_lint({f});
+  EXPECT_TRUE(findings.empty());
+}
+
+TEST(Lint, FlagsNakedThreads) {
+  expect_exact(
+      {fixture("naked_thread_bad.cpp", "src/core/naked_thread_bad.cpp")});
+}
+
+TEST(Lint, NakedThreadExemptInThreadPool) {
+  SourceFile f = fixture("naked_thread_bad.cpp", "src/util/thread_pool.cpp");
+  const std::vector<Finding> findings = run_lint({f});
+  EXPECT_TRUE(findings.empty());
+}
+
+TEST(Lint, FlagsConsoleIoOnlyInAnalysisLayers) {
+  expect_exact({fixture("io_in_core_bad.cpp", "src/core/io_in_core_bad.cpp")});
+  // The same writes are fine from the generator layer or tools.
+  EXPECT_TRUE(run_lint({fixture("io_in_core_bad.cpp",
+                                "src/gen/io_elsewhere.cpp")})
+                  .empty());
+  EXPECT_TRUE(
+      run_lint({fixture("io_in_core_bad.cpp", "tools/io_tool.cpp")}).empty());
+}
+
+TEST(Lint, FlagsPositionFreeThrowsOnlyInGen) {
+  expect_exact(
+      {fixture("positioned_throw.cpp", "src/gen/positioned_throw.cpp")});
+  EXPECT_TRUE(run_lint({fixture("positioned_throw.cpp",
+                                "src/core/positioned_throw.cpp")})
+                  .empty());
+}
+
+TEST(Lint, LineSuppressionsSilenceFindings) {
+  expect_exact({fixture("suppressed.cpp", "src/core/suppressed.cpp")});
+}
+
+TEST(Lint, FileWideSuppressionListSilencesFindings) {
+  expect_exact(
+      {fixture("suppressed_file.cpp", "src/core/suppressed_file.cpp")});
+}
+
+TEST(Lint, LiteralsAndCommentsNeverFire) {
+  expect_exact(
+      {fixture("tricky_literals.cpp", "src/core/tricky_literals.cpp")});
+}
+
+TEST(Lint, OutsideScopePathsAreIgnored) {
+  // Everything under tests/ (or any unscoped path) is out of bounds for
+  // every rule except naked-thread; unordered iteration there is fine.
+  EXPECT_TRUE(
+      run_lint({fixture("unordered_bad.cpp", "tests/unordered_bad.cpp")})
+          .empty());
+}
+
+TEST(Lint, FindingsAreSortedByPathAndLine) {
+  const std::vector<SourceFile> files = {
+      fixture("wall_clock_bad.cpp", "src/core/b.cpp"),
+      fixture("io_in_core_bad.cpp", "src/core/a.cpp")};
+  const std::vector<Finding> findings = run_lint(files);
+  ASSERT_GE(findings.size(), 2u);
+  EXPECT_TRUE(std::is_sorted(findings.begin(), findings.end(),
+                             [](const Finding& x, const Finding& y) {
+                               return std::tie(x.path, x.line) <=
+                                      std::tie(y.path, y.line);
+                             }));
+}
+
+}  // namespace
+}  // namespace vq::lint

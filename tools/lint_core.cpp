@@ -1,0 +1,594 @@
+#include "tools/lint_core.h"
+
+#include <algorithm>
+#include <array>
+#include <cctype>
+#include <unordered_set>
+
+namespace vq::lint {
+
+namespace {
+
+// --- source stripping --------------------------------------------------------
+
+[[nodiscard]] bool ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+/// Two comment-free views of a file, index-aligned with the original so a
+/// byte position maps to the same line in all three.  `code` additionally
+/// blanks string/char literals (patterns in literals must not fire);
+/// `with_strings` keeps them (the positioned-throw rule inspects message
+/// text).  Stripped bytes become spaces; newlines survive.
+struct Stripped {
+  std::string code;
+  std::string with_strings;
+};
+
+Stripped strip(std::string_view src) {
+  Stripped out;
+  out.code.assign(src.begin(), src.end());
+  out.with_strings.assign(src.begin(), src.end());
+
+  const auto blank_code = [&](std::size_t i) {
+    if (out.code[i] != '\n') out.code[i] = ' ';
+  };
+  const auto blank_both = [&](std::size_t i) {
+    blank_code(i);
+    if (out.with_strings[i] != '\n') out.with_strings[i] = ' ';
+  };
+
+  std::size_t i = 0;
+  const std::size_t n = src.size();
+  while (i < n) {
+    const char c = src[i];
+    if (c == '/' && i + 1 < n && src[i + 1] == '/') {
+      while (i < n && src[i] != '\n') blank_both(i++);
+    } else if (c == '/' && i + 1 < n && src[i + 1] == '*') {
+      blank_both(i++);
+      blank_both(i++);
+      while (i < n && !(src[i] == '*' && i + 1 < n && src[i + 1] == '/')) {
+        blank_both(i++);
+      }
+      if (i < n) blank_both(i++);
+      if (i < n) blank_both(i++);
+    } else if (c == '"') {
+      // Raw string? R"delim( ... )delim"
+      if (i > 0 && src[i - 1] == 'R' &&
+          (i < 2 || !ident_char(src[i - 2]))) {
+        std::size_t j = i + 1;
+        while (j < n && src[j] != '(') ++j;
+        const std::string delim{src.substr(i + 1, j - i - 1)};
+        const std::string close = ")" + delim + "\"";
+        const std::size_t end = src.find(close, j);
+        const std::size_t stop =
+            end == std::string_view::npos ? n : end + close.size();
+        while (i < stop) blank_code(i++);
+      } else {
+        blank_code(i++);
+        while (i < n && src[i] != '"' && src[i] != '\n') {
+          if (src[i] == '\\' && i + 1 < n) blank_code(i++);
+          blank_code(i++);
+        }
+        if (i < n) blank_code(i++);
+      }
+    } else if (c == '\'') {
+      // Digit separator (1'000) vs char literal.
+      const bool sep = i > 0 && i + 1 < n &&
+                       std::isalnum(static_cast<unsigned char>(src[i - 1])) &&
+                       std::isalnum(static_cast<unsigned char>(src[i + 1]));
+      if (sep) {
+        ++i;
+      } else {
+        blank_code(i++);
+        while (i < n && src[i] != '\'' && src[i] != '\n') {
+          if (src[i] == '\\' && i + 1 < n) blank_code(i++);
+          blank_code(i++);
+        }
+        if (i < n) blank_code(i++);
+      }
+    } else {
+      ++i;
+    }
+  }
+  return out;
+}
+
+[[nodiscard]] std::size_t line_of(std::string_view s, std::size_t pos) {
+  return 1 + static_cast<std::size_t>(
+                 std::count(s.begin(), s.begin() + static_cast<long>(pos),
+                            '\n'));
+}
+
+/// Finds the next occurrence of `token` at or after `from` that is a whole
+/// identifier (boundary-checked on both sides). npos when absent.
+[[nodiscard]] std::size_t find_token(std::string_view s,
+                                     std::string_view token,
+                                     std::size_t from) {
+  for (std::size_t pos = s.find(token, from); pos != std::string_view::npos;
+       pos = s.find(token, pos + 1)) {
+    const bool left_ok = pos == 0 || !ident_char(s[pos - 1]);
+    const std::size_t end = pos + token.size();
+    const bool right_ok = end >= s.size() || !ident_char(s[end]);
+    if (left_ok && right_ok) return pos;
+  }
+  return std::string_view::npos;
+}
+
+[[nodiscard]] std::size_t skip_ws(std::string_view s, std::size_t i) {
+  while (i < s.size() &&
+         std::isspace(static_cast<unsigned char>(s[i])) != 0) {
+    ++i;
+  }
+  return i;
+}
+
+/// Skips a balanced <...> starting at `i` (s[i] == '<'); returns the index
+/// one past the closing '>', or npos if unbalanced.
+[[nodiscard]] std::size_t skip_template_args(std::string_view s,
+                                             std::size_t i) {
+  int depth = 0;
+  for (; i < s.size(); ++i) {
+    if (s[i] == '<') ++depth;
+    if (s[i] == '>' && --depth == 0) return i + 1;
+  }
+  return std::string_view::npos;
+}
+
+// --- suppressions ------------------------------------------------------------
+
+struct Suppressions {
+  // (rule, line) pairs; line 0 = whole file.
+  std::vector<std::pair<std::string, std::size_t>> allows;
+
+  [[nodiscard]] bool covers(std::string_view rule, std::size_t line) const {
+    return std::any_of(
+        allows.begin(), allows.end(), [&](const auto& a) {
+          return a.first == rule &&
+                 (a.second == 0 || a.second == line || a.second + 1 == line);
+        });
+  }
+};
+
+Suppressions parse_suppressions(std::string_view raw) {
+  Suppressions out;
+  std::size_t line = 1;
+  std::size_t start = 0;
+  while (start <= raw.size()) {
+    std::size_t eol = raw.find('\n', start);
+    if (eol == std::string_view::npos) eol = raw.size();
+    const std::string_view text = raw.substr(start, eol - start);
+    const std::size_t tag = text.find("vq-lint:");
+    if (tag != std::string_view::npos) {
+      const std::string_view rest = text.substr(tag + 8);
+      const bool file_wide =
+          rest.find("allow-file(") != std::string_view::npos;
+      const std::size_t open = rest.find('(');
+      const std::size_t close =
+          open == std::string_view::npos ? std::string_view::npos
+                                         : rest.find(')', open);
+      if (open != std::string_view::npos &&
+          close != std::string_view::npos) {
+        std::string_view list = rest.substr(open + 1, close - open - 1);
+        while (!list.empty()) {
+          std::size_t comma = list.find(',');
+          std::string_view item = list.substr(0, comma);
+          while (!item.empty() && item.front() == ' ') item.remove_prefix(1);
+          while (!item.empty() && item.back() == ' ') item.remove_suffix(1);
+          if (!item.empty()) {
+            out.allows.emplace_back(std::string{item},
+                                    file_wide ? 0 : line);
+          }
+          if (comma == std::string_view::npos) break;
+          list.remove_prefix(comma + 1);
+        }
+      }
+    }
+    start = eol + 1;
+    ++line;
+  }
+  return out;
+}
+
+// --- path scoping ------------------------------------------------------------
+
+[[nodiscard]] std::string normalize(std::string_view path) {
+  std::string p{path};
+  std::replace(p.begin(), p.end(), '\\', '/');
+  return p;
+}
+
+/// True when `path` has `dir` ("src/core") as a leading or embedded
+/// directory-segment prefix — so both "src/core/x.cpp" and
+/// "/root/repo/src/core/x.cpp" match.
+[[nodiscard]] bool under(std::string_view path, std::string_view dir) {
+  const std::string p = normalize(path);
+  const std::string d = std::string{dir} + "/";
+  if (p.rfind(d, 0) == 0) return true;
+  return p.find("/" + d) != std::string::npos;
+}
+
+/// True when `path` names the file `file` ("src/util/rng.cpp") exactly,
+/// allowing an absolute prefix.
+[[nodiscard]] bool is_file(std::string_view path, std::string_view file) {
+  const std::string p = normalize(path);
+  if (p == file) return true;
+  return p.size() > file.size() &&
+         p.compare(p.size() - file.size(), file.size(), file) == 0 &&
+         p[p.size() - file.size() - 1] == '/';
+}
+
+// --- per-file context --------------------------------------------------------
+
+struct FileCtx {
+  const SourceFile* src = nullptr;
+  Stripped stripped;
+  Suppressions suppressions;
+};
+
+struct Sink {
+  std::vector<Finding>* findings;
+  const FileCtx* ctx;
+  std::string_view rule;
+
+  void emit(std::size_t pos_in_code, std::string message) const {
+    const std::size_t line = line_of(ctx->stripped.code, pos_in_code);
+    if (ctx->suppressions.covers(rule, line)) return;
+    findings->push_back(Finding{ctx->src->path, line, std::string{rule},
+                                std::move(message)});
+  }
+};
+
+// --- rule: unordered-iter ----------------------------------------------------
+
+constexpr std::array<std::string_view, 6> kUnorderedTypes = {
+    "unordered_map",      "unordered_set", "unordered_multimap",
+    "unordered_multiset", "FlatMap64",     "FlatSet64"};
+
+/// Collects identifiers declared with an unordered container type:
+/// `Type<...> [*&]* name` where the name is not immediately followed by '('
+/// (which would be a function declarator).
+void collect_unordered_names(const std::string& code,
+                             std::unordered_set<std::string>& names) {
+  for (const std::string_view type : kUnorderedTypes) {
+    for (std::size_t pos = find_token(code, type, 0);
+         pos != std::string_view::npos;
+         pos = find_token(code, type, pos + type.size())) {
+      std::size_t i = skip_ws(code, pos + type.size());
+      if (i < code.size() && code[i] == '<') {
+        i = skip_template_args(code, i);
+        if (i == std::string_view::npos) break;
+      }
+      i = skip_ws(code, i);
+      while (i < code.size() && (code[i] == '*' || code[i] == '&')) {
+        i = skip_ws(code, i + 1);
+      }
+      std::size_t end = i;
+      while (end < code.size() && ident_char(code[end])) ++end;
+      if (end == i) continue;
+      const std::size_t after = skip_ws(code, end);
+      if (after < code.size() && code[after] == '(') continue;  // function
+      names.insert(code.substr(i, end - i));
+    }
+  }
+}
+
+/// A sort within this many lines after the iteration counts as the
+/// "intervening sort" that restores determinism before anything is emitted.
+constexpr std::size_t kSortWindowLines = 40;
+
+[[nodiscard]] bool sort_follows(const std::string& code, std::size_t pos) {
+  std::size_t newlines = 0;
+  for (std::size_t i = pos; i < code.size() && newlines <= kSortWindowLines;
+       ++i) {
+    if (code[i] == '\n') {
+      ++newlines;
+      continue;
+    }
+    if (code.compare(i, 5, "sort(") == 0 &&
+        (i == 0 || !ident_char(code[i - 1]) ||
+         code.compare(i >= 7 ? i - 7 : 0, 12, "stable_sort(") == 0)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+/// Last top-level identifier of an expression, with bracketed/parenthesised
+/// segments ignored — `fold.leaves` -> "leaves", `registry_[mi]` ->
+/// "registry_".
+[[nodiscard]] std::string last_identifier(std::string_view expr) {
+  std::string flat{expr};
+  int depth = 0;
+  for (char& c : flat) {
+    if (c == '(' || c == '[' || c == '{') {
+      ++depth;
+      c = ' ';
+    } else if (c == ')' || c == ']' || c == '}') {
+      --depth;
+      c = ' ';
+    } else if (depth > 0) {
+      c = ' ';
+    }
+  }
+  std::size_t end = flat.size();
+  while (end > 0 && !ident_char(flat[end - 1])) --end;
+  std::size_t begin = end;
+  while (begin > 0 && ident_char(flat[begin - 1])) --begin;
+  return flat.substr(begin, end - begin);
+}
+
+void check_unordered_iter(const FileCtx& ctx,
+                          const std::unordered_set<std::string>& names,
+                          Sink sink) {
+  const std::string& code = ctx.stripped.code;
+
+  // Range-for over a tracked container.
+  for (std::size_t pos = find_token(code, "for", 0);
+       pos != std::string_view::npos;
+       pos = find_token(code, "for", pos + 3)) {
+    std::size_t i = skip_ws(code, pos + 3);
+    if (i >= code.size() || code[i] != '(') continue;
+    int depth = 0;
+    std::size_t close = i;
+    for (; close < code.size(); ++close) {
+      if (code[close] == '(') ++depth;
+      if (code[close] == ')' && --depth == 0) break;
+    }
+    if (close >= code.size()) continue;
+    const std::string_view head{code.data() + i + 1, close - i - 1};
+    // Classic for (has a top-level ';') or no range ':': skip.
+    std::size_t colon = std::string_view::npos;
+    int d = 0;
+    bool classic = false;
+    for (std::size_t k = 0; k < head.size(); ++k) {
+      const char c = head[k];
+      if (c == '(' || c == '[' || c == '{') ++d;
+      if (c == ')' || c == ']' || c == '}') --d;
+      if (d != 0) continue;
+      if (c == ';') classic = true;
+      if (c == ':' && (k == 0 || head[k - 1] != ':') &&
+          (k + 1 >= head.size() || head[k + 1] != ':') &&
+          colon == std::string_view::npos) {
+        colon = k;
+      }
+    }
+    if (classic || colon == std::string_view::npos) continue;
+    const std::string name = last_identifier(head.substr(colon + 1));
+    if (name.empty() || names.find(name) == names.end()) continue;
+    if (sort_follows(code, pos)) continue;
+    sink.emit(pos, "range-for over unordered container '" + name +
+                       "' with no sort in the next " +
+                       std::to_string(kSortWindowLines) +
+                       " lines; hash order must not reach output "
+                       "(sort, or justify with a suppression)");
+  }
+
+  // for_each on a tracked container.
+  for (std::size_t pos = find_token(code, "for_each", 0);
+       pos != std::string_view::npos;
+       pos = find_token(code, "for_each", pos + 8)) {
+    std::size_t recv_end = pos;
+    if (recv_end >= 1 && code[recv_end - 1] == '.') {
+      recv_end -= 1;
+    } else if (recv_end >= 2 && code[recv_end - 2] == '-' &&
+               code[recv_end - 1] == '>') {
+      recv_end -= 2;
+    } else {
+      continue;
+    }
+    std::size_t begin = recv_end;
+    while (begin > 0 && ident_char(code[begin - 1])) --begin;
+    const std::string name = code.substr(begin, recv_end - begin);
+    if (name.empty() || names.find(name) == names.end()) continue;
+    if (sort_follows(code, pos)) continue;
+    sink.emit(pos, "for_each over unordered container '" + name +
+                       "' with no sort in the next " +
+                       std::to_string(kSortWindowLines) +
+                       " lines; hash order must not reach output "
+                       "(sort, or justify with a suppression)");
+  }
+}
+
+// --- rule: wall-clock --------------------------------------------------------
+
+void check_wall_clock(const FileCtx& ctx, Sink sink) {
+  const std::string& code = ctx.stripped.code;
+  // Function-style: identifier must be called.
+  constexpr std::array<std::string_view, 8> kCalls = {
+      "rand",      "srand",        "time",   "clock",
+      "localtime", "gettimeofday", "gmtime", "mktime"};
+  for (const std::string_view fn : kCalls) {
+    for (std::size_t pos = find_token(code, fn, 0);
+         pos != std::string_view::npos;
+         pos = find_token(code, fn, pos + fn.size())) {
+      const std::size_t after = skip_ws(code, pos + fn.size());
+      if (after >= code.size() || code[after] != '(') continue;
+      sink.emit(pos, "call to '" + std::string{fn} +
+                         "' in a core path; all randomness and time must "
+                         "flow through util/rng's seeded streams");
+    }
+  }
+  // Type-style: any mention is nondeterministic state.
+  constexpr std::array<std::string_view, 4> kTypes = {
+      "system_clock", "steady_clock", "high_resolution_clock",
+      "random_device"};
+  for (const std::string_view ty : kTypes) {
+    for (std::size_t pos = find_token(code, ty, 0);
+         pos != std::string_view::npos;
+         pos = find_token(code, ty, pos + ty.size())) {
+      sink.emit(pos, "'" + std::string{ty} +
+                         "' in a core path; results must be reproducible "
+                         "from a seed (use util/rng, or keep timing in "
+                         "bench/)");
+    }
+  }
+}
+
+// --- rule: naked-thread ------------------------------------------------------
+
+void check_naked_thread(const FileCtx& ctx, Sink sink) {
+  const std::string& code = ctx.stripped.code;
+  for (std::size_t pos = code.find("std::thread");
+       pos != std::string::npos; pos = code.find("std::thread", pos + 1)) {
+    const std::size_t end = pos + 11;
+    if (end < code.size() && (ident_char(code[end]) || code[end] == ':')) {
+      continue;  // std::thread_xxx or std::thread::hardware_concurrency
+    }
+    sink.emit(pos, "raw std::thread outside util/thread_pool; parallelise "
+                   "through ThreadPool::parallel_for so exceptions and "
+                   "determinism stay handled in one place");
+  }
+  constexpr std::array<std::string_view, 3> kOthers = {
+      "jthread", "async", "pthread_create"};
+  for (const std::string_view tok : kOthers) {
+    for (std::size_t pos = find_token(code, tok, 0);
+         pos != std::string_view::npos;
+         pos = find_token(code, tok, pos + tok.size())) {
+      if (tok == "async") {
+        // only std::async is thread creation
+        if (pos < 5 || code.compare(pos - 5, 5, "std::") != 0) continue;
+      }
+      sink.emit(pos, "'" + std::string{tok} +
+                         "' outside util/thread_pool; parallelise through "
+                         "ThreadPool::parallel_for");
+    }
+  }
+}
+
+// --- rule: io-in-core --------------------------------------------------------
+
+void check_io_in_core(const FileCtx& ctx, Sink sink) {
+  const std::string& code = ctx.stripped.code;
+  constexpr std::array<std::string_view, 7> kPrintf = {
+      "printf", "fprintf", "vprintf", "vfprintf", "puts", "fputs", "putchar"};
+  for (const std::string_view fn : kPrintf) {
+    for (std::size_t pos = find_token(code, fn, 0);
+         pos != std::string_view::npos;
+         pos = find_token(code, fn, pos + fn.size())) {
+      const std::size_t after = skip_ws(code, pos + fn.size());
+      if (after >= code.size() || code[after] != '(') continue;
+      sink.emit(pos, "'" + std::string{fn} +
+                         "' in the analysis layer; human-facing output goes "
+                         "through core/report");
+    }
+  }
+  constexpr std::array<std::string_view, 3> kStreams = {
+      "std::cout", "std::cerr", "std::clog"};
+  for (const std::string_view st : kStreams) {
+    for (std::size_t pos = code.find(st); pos != std::string::npos;
+         pos = code.find(st, pos + 1)) {
+      const std::size_t end = pos + st.size();
+      if (end < code.size() && ident_char(code[end])) continue;
+      sink.emit(pos, "'" + std::string{st} +
+                         "' in the analysis layer; human-facing output goes "
+                         "through core/report");
+    }
+  }
+}
+
+// --- rule: positioned-throw --------------------------------------------------
+
+constexpr std::array<std::string_view, 5> kPositionWords = {
+    "line", "offset", "record", "position", "path"};
+
+void check_positioned_throw(const FileCtx& ctx, Sink sink) {
+  const std::string& code = ctx.stripped.code;
+  const std::string& text = ctx.stripped.with_strings;
+  for (std::size_t pos = find_token(code, "throw", 0);
+       pos != std::string_view::npos;
+       pos = find_token(code, "throw", pos + 5)) {
+    // Statement extent from the literal-blanked view (';' in a message
+    // cannot end it), message inspection on the literal-preserving view.
+    const std::size_t semi = code.find(';', pos);
+    const std::size_t end = semi == std::string::npos ? code.size() : semi;
+    const std::string_view stmt{text.data() + pos, end - pos};
+    const bool positioned = std::any_of(
+        kPositionWords.begin(), kPositionWords.end(),
+        [&](std::string_view w) {
+          return stmt.find(w) != std::string_view::npos;
+        });
+    if (positioned) continue;
+    sink.emit(pos,
+              "throw without a position (line/record/offset/path) in the "
+              "ingest layer; fault-tolerant readers live on positioned "
+              "errors (see robust_io)");
+  }
+}
+
+}  // namespace
+
+const std::vector<RuleInfo>& rules() {
+  static const std::vector<RuleInfo> kRules = {
+      {"unordered-iter",
+       "iteration over an unordered container must sort before anything is "
+       "emitted (src/)"},
+      {"wall-clock",
+       "no rand/srand/time/clock/std::chrono wall clocks outside util/rng "
+       "(src/)"},
+      {"naked-thread",
+       "no std::thread/std::async outside util/thread_pool (src/, tools/, "
+       "bench/)"},
+      {"io-in-core",
+       "no printf-family or std::cout/cerr writes in src/core or src/stats "
+       "(reporting goes through core/report)"},
+      {"positioned-throw",
+       "every throw in src/gen carries a position: line, record, offset, or "
+       "path"},
+  };
+  return kRules;
+}
+
+std::vector<Finding> run_lint(const std::vector<SourceFile>& files) {
+  std::vector<FileCtx> ctxs;
+  ctxs.reserve(files.size());
+  std::unordered_set<std::string> unordered_names;
+  for (const SourceFile& f : files) {
+    FileCtx ctx;
+    ctx.src = &f;
+    ctx.stripped = strip(f.content);
+    ctx.suppressions = parse_suppressions(f.content);
+    collect_unordered_names(ctx.stripped.code, unordered_names);
+    ctxs.push_back(std::move(ctx));
+  }
+
+  std::vector<Finding> findings;
+  for (const FileCtx& ctx : ctxs) {
+    const std::string& path = ctx.src->path;
+    if (under(path, "src")) {
+      check_unordered_iter(ctx, unordered_names,
+                           {&findings, &ctx, "unordered-iter"});
+      if (!is_file(path, "src/util/rng.h") &&
+          !is_file(path, "src/util/rng.cpp")) {
+        check_wall_clock(ctx, {&findings, &ctx, "wall-clock"});
+      }
+    }
+    if ((under(path, "src") || under(path, "tools") ||
+         under(path, "bench")) &&
+        !is_file(path, "src/util/thread_pool.h") &&
+        !is_file(path, "src/util/thread_pool.cpp")) {
+      check_naked_thread(ctx, {&findings, &ctx, "naked-thread"});
+    }
+    if (under(path, "src/core") || under(path, "src/stats")) {
+      check_io_in_core(ctx, {&findings, &ctx, "io-in-core"});
+    }
+    if (under(path, "src/gen")) {
+      check_positioned_throw(ctx, {&findings, &ctx, "positioned-throw"});
+    }
+  }
+
+  std::sort(findings.begin(), findings.end(),
+            [](const Finding& a, const Finding& b) {
+              if (a.path != b.path) return a.path < b.path;
+              if (a.line != b.line) return a.line < b.line;
+              return a.rule < b.rule;
+            });
+  return findings;
+}
+
+std::string format_finding(const Finding& f) {
+  return f.path + ":" + std::to_string(f.line) + ": [" + f.rule + "] " +
+         f.message;
+}
+
+}  // namespace vq::lint

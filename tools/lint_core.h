@@ -1,0 +1,80 @@
+// vidqual_lint — repo-specific static analysis (DESIGN.md §4.7).
+//
+// A fast, dependency-free, file-level linter (tokenizing line scanner, no
+// libclang) for the invariants the generic tools cannot express:
+//
+//   unordered-iter    Iteration over an unordered container (FlatMap64 /
+//                     FlatSet64 / std::unordered_*) with no sort within the
+//                     following window.  Hash-order iteration that feeds
+//                     reports or serialisation is the classic determinism
+//                     bug; every legitimate use either sorts right after or
+//                     carries a justified suppression.     [scope: src/]
+//   wall-clock        rand()/srand()/time()/clock()/std::chrono wall clocks /
+//                     std::random_device in core paths.  All randomness must
+//                     flow through util/rng's seeded streams, or results are
+//                     not reproducible from a seed.  [scope: src/, except
+//                     util/rng]
+//   naked-thread      std::thread / std::jthread / std::async / pthread_create
+//                     outside util/thread_pool.  One component owns threads;
+//                     everything else parallelises through it (and inherits
+//                     its exception + determinism guarantees).
+//                     [scope: src/, tools/, bench/]
+//   io-in-core        printf-family / std::cout|cerr|clog writes in the
+//                     analysis layers; human-facing output goes through
+//                     core/report.                  [scope: src/core, src/stats]
+//   positioned-throw  A `throw` whose message carries no position (line /
+//                     record / offset / path).  Fault-tolerant ingest lives
+//                     and dies on positioned errors (robust_io).
+//                     [scope: src/gen]
+//
+// Suppressions: `// vq-lint: allow(rule)` on the violating line or the line
+// directly above silences that one finding; `// vq-lint: allow-file(rule)`
+// anywhere in a file silences the rule for the whole file.  Both accept a
+// comma-separated rule list.  Every suppression in the repo must carry a
+// one-line justification next to it (reviewed, not machine-checked).
+//
+// The scanner strips comments and string/char literals (handling raw
+// strings and digit separators) before matching, so patterns inside
+// literals never fire — which also lets this linter lint itself.
+
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace vq::lint {
+
+struct SourceFile {
+  std::string path;     // repo-relative, '/'-separated (used for scoping)
+  std::string content;  // full file text
+};
+
+struct Finding {
+  std::string path;
+  std::size_t line = 0;  // 1-based
+  std::string rule;
+  std::string message;
+};
+
+struct RuleInfo {
+  std::string_view name;
+  std::string_view summary;
+};
+
+/// The rule table, in evaluation order.
+[[nodiscard]] const std::vector<RuleInfo>& rules();
+
+/// Lints a set of files as one unit.  Two passes: the first collects the
+/// names of variables/members declared with unordered container types
+/// across *all* files (so `fold.leaves` in one TU resolves against the
+/// declaration in the header), the second applies every rule.  Returns
+/// unsuppressed findings ordered by (path, line).
+[[nodiscard]] std::vector<Finding> run_lint(
+    const std::vector<SourceFile>& files);
+
+/// Formats one finding as "path:line: [rule] message".
+[[nodiscard]] std::string format_finding(const Finding& f);
+
+}  // namespace vq::lint

@@ -1,0 +1,105 @@
+// vidqual_lint CLI — runs the repo-specific lint rules (tools/lint_core.h)
+// over files and directories given on the command line.
+//
+//   vidqual_lint [--list-rules] <file-or-dir>...
+//
+// Directories are walked recursively for .h/.cpp/.cc.  Paths are reported
+// as given (CI invokes it from the repo root with `src tools bench`, so the
+// scoping rules see repo-relative paths).  Exit status: 0 when clean, 1
+// when any finding survives suppressions, 2 on usage/IO errors.
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "tools/lint_core.h"
+
+namespace {
+
+namespace fs = std::filesystem;
+
+[[nodiscard]] bool lintable(const fs::path& p) {
+  const std::string ext = p.extension().string();
+  return ext == ".h" || ext == ".cpp" || ext == ".cc";
+}
+
+[[nodiscard]] bool read_file(const fs::path& p, std::string& out) {
+  std::ifstream in{p, std::ios::binary};
+  if (!in) return false;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  out = buf.str();
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> roots;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg == "--list-rules") {
+      for (const vq::lint::RuleInfo& r : vq::lint::rules()) {
+        std::printf("%-17s %s\n", std::string{r.name}.c_str(),
+                    std::string{r.summary}.c_str());
+      }
+      return 0;
+    }
+    if (arg == "--help" || arg == "-h") {
+      std::printf("usage: vidqual_lint [--list-rules] <file-or-dir>...\n");
+      return 0;
+    }
+    roots.emplace_back(arg);
+  }
+  if (roots.empty()) {
+    std::fprintf(stderr,
+                 "usage: vidqual_lint [--list-rules] <file-or-dir>...\n");
+    return 2;
+  }
+
+  std::vector<vq::lint::SourceFile> files;
+  for (const std::string& root : roots) {
+    std::error_code ec;
+    const fs::file_status st = fs::status(root, ec);
+    if (ec) {
+      std::fprintf(stderr, "vidqual_lint: cannot stat %s\n", root.c_str());
+      return 2;
+    }
+    std::vector<fs::path> paths;
+    if (fs::is_directory(st)) {
+      for (const auto& entry : fs::recursive_directory_iterator{root}) {
+        if (entry.is_regular_file() && lintable(entry.path())) {
+          paths.push_back(entry.path());
+        }
+      }
+    } else {
+      paths.emplace_back(root);
+    }
+    for (const fs::path& p : paths) {
+      vq::lint::SourceFile f;
+      f.path = p.generic_string();
+      if (!read_file(p, f.content)) {
+        std::fprintf(stderr, "vidqual_lint: cannot read %s\n",
+                     f.path.c_str());
+        return 2;
+      }
+      files.push_back(std::move(f));
+    }
+  }
+
+  const std::vector<vq::lint::Finding> findings = vq::lint::run_lint(files);
+  for (const vq::lint::Finding& f : findings) {
+    std::fprintf(stderr, "%s\n", vq::lint::format_finding(f).c_str());
+  }
+  if (!findings.empty()) {
+    std::fprintf(stderr, "vidqual_lint: %zu finding(s) in %zu file(s)\n",
+                 findings.size(), files.size());
+    return 1;
+  }
+  std::printf("vidqual_lint: %zu file(s) clean\n", files.size());
+  return 0;
+}
