@@ -5,6 +5,7 @@
 #include <bit>
 #include <stdexcept>
 
+#include "src/obs/trace.h"
 #include "src/util/thread_pool.h"
 
 namespace vq {
@@ -393,6 +394,7 @@ CriticalAnalysis find_critical_clusters(const LeafFold& fold,
                                         const ProblemClusterParams& params,
                                         Metric metric, ThreadPool* pool,
                                         std::size_t shards) {
+  VQ_SPAN_EPOCH("core.find_critical_clusters", table.epoch);
   if (!table.leaf_index.empty() || table.clusters.empty()) {
     return find_critical_clusters_indexed(table, params, metric, pool,
                                           shards);

@@ -10,7 +10,40 @@
 #include <stdexcept>
 #include <string>
 
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
+
 namespace vq {
+
+namespace {
+
+// Incident life-cycle counters are kStable: they mirror the detector's own
+// deterministic per-epoch state machine, independent of scheduling.
+struct MonitorMetrics {
+  obs::Counter& epochs;
+  obs::Counter& incidents_opened;
+  obs::Counter& incidents_escalated;
+  obs::Counter& incidents_cleared;
+  obs::Counter& clears_suppressed;
+  obs::Counter& stale_epochs_dropped;
+  obs::Counter& checkpoint_saves;
+  obs::Counter& checkpoint_loads;
+
+  static MonitorMetrics& get() {
+    obs::Registry& reg = obs::Registry::global();
+    static MonitorMetrics m{reg.counter("monitor.epochs"),
+                            reg.counter("monitor.incidents_opened"),
+                            reg.counter("monitor.incidents_escalated"),
+                            reg.counter("monitor.incidents_cleared"),
+                            reg.counter("monitor.clears_suppressed"),
+                            reg.counter("monitor.stale_epochs_dropped"),
+                            reg.counter("monitor.checkpoint_saves"),
+                            reg.counter("monitor.checkpoint_loads")};
+    return m;
+  }
+};
+
+}  // namespace
 
 std::string_view incident_update_name(IncidentUpdate u) noexcept {
   switch (u) {
@@ -27,6 +60,8 @@ std::string_view incident_update_name(IncidentUpdate u) noexcept {
 std::vector<IncidentEvent> StreamingDetector::ingest(
     std::span<const Session> sessions, std::uint32_t epoch,
     EpochDataQuality quality) {
+  VQ_SPAN_EPOCH("monitor.ingest", epoch);
+  MonitorMetrics& metrics = MonitorMetrics::get();
   // One lock over the whole epoch: the registry must not be observed (or
   // checkpointed) while an epoch's transitions are half-applied, and the
   // epoch-ordering check below must be atomic with the state update.
@@ -34,6 +69,7 @@ std::vector<IncidentEvent> StreamingDetector::ingest(
   if (has_ingested_ && epoch <= last_epoch_) {
     if (config_.order_policy == EpochOrderPolicy::kSkipStale) {
       stale_epochs_dropped_ += 1;
+      metrics.stale_epochs_dropped.add(1);
       return {};
     }
     throw std::invalid_argument{
@@ -85,10 +121,12 @@ std::vector<IncidentEvent> StreamingDetector::ingest(
       incident.attributed = c.attributed;
       incident.stats = c.stats;
       if (inserted) {
+        metrics.incidents_opened.add(1);
         events.push_back({IncidentUpdate::kNew, epoch, incident});
       }
       if (!incident.escalated && incident.streak > config_.escalate_after) {
         incident.escalated = true;
+        metrics.incidents_escalated.add(1);
         events.push_back({IncidentUpdate::kEscalated, epoch, incident});
       }
     }
@@ -102,9 +140,11 @@ std::vector<IncidentEvent> StreamingDetector::ingest(
         it->second.attributed = 0.0;
         if (quality.degraded) {
           suppressed_clears_ += 1;
+          metrics.clears_suppressed.add(1);
           ++it;
           continue;
         }
+        metrics.incidents_cleared.add(1);
         events.push_back({IncidentUpdate::kCleared, epoch, it->second});
         it = incidents.erase(it);
       } else {
@@ -123,6 +163,7 @@ std::vector<IncidentEvent> StreamingDetector::ingest(
               }
               return a.update < b.update;
             });
+  metrics.epochs.add(1);
   return events;
 }
 
@@ -216,6 +257,8 @@ std::uint64_t StreamingDetector::config_fingerprint(
 }
 
 void StreamingDetector::save_checkpoint(std::ostream& out) const {
+  VQ_SPAN("monitor.save_checkpoint");
+  MonitorMetrics::get().checkpoint_saves.add(1);
   const MutexLock lock{mutex_};
   std::string payload;
   put(payload, static_cast<std::uint8_t>(has_ingested_ ? 1 : 0));
@@ -287,6 +330,8 @@ void StreamingDetector::save_checkpoint(
 }
 
 void StreamingDetector::load_checkpoint(std::istream& in) {
+  VQ_SPAN("monitor.load_checkpoint");
+  MonitorMetrics::get().checkpoint_loads.add(1);
   char magic[4];
   in.read(magic, sizeof magic);
   if (!in || std::memcmp(magic, kCheckpointMagic, sizeof magic) != 0) {

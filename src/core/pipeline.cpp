@@ -4,6 +4,8 @@
 #include <optional>
 #include <stdexcept>
 
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 #include "src/util/thread_pool.h"
 
 namespace vq {
@@ -82,17 +84,31 @@ PipelineResult run_pipeline(const SessionTable& table,
   const std::size_t shards = resolve_shards(config, workers,
                                             result.num_epochs);
 
+  // Event counts here are properties of the analysis, not the schedule, so
+  // they are kStable: totals match for any workers/shards setting.
+  obs::Registry& reg = obs::Registry::global();
+  obs::Counter& epochs_done = reg.counter("pipeline.epochs");
+  obs::Counter& sessions_seen = reg.counter("pipeline.sessions");
+  obs::Counter& problem_clusters = reg.counter("pipeline.problem_clusters");
+  obs::Counter& critical_clusters = reg.counter("pipeline.critical_clusters");
+
   const auto process_epoch = [&](std::size_t e) {
     const auto epoch = static_cast<std::uint32_t>(e);
+    VQ_SPAN_EPOCH("pipeline.epoch", epoch);
     const std::span<const Session> sessions = table.epoch(epoch);
     // One leaf fold per epoch feeds both the lattice expansion and all four
     // per-metric critical analyses.
-    const LeafFold fold = fold_sessions(sessions, config.thresholds, epoch);
-    const EpochClusterTable lattice =
-        config.engine.fold_leaves
-            ? expand_fold(fold, config.engine, pool_ptr, shards)
-            : aggregate_epoch_unfolded(sessions, config.thresholds,
-                                       config.engine, epoch);
+    const LeafFold fold = [&] {
+      VQ_SPAN_EPOCH("pipeline.fold_sessions", epoch);
+      return fold_sessions(sessions, config.thresholds, epoch);
+    }();
+    const EpochClusterTable lattice = [&] {
+      VQ_SPAN_EPOCH("pipeline.expand_lattice", epoch);
+      return config.engine.fold_leaves
+                 ? expand_fold(fold, config.engine, pool_ptr, shards)
+                 : aggregate_epoch_unfolded(sessions, config.thresholds,
+                                            config.engine, epoch);
+    }();
     for (const Metric m : kAllMetrics) {
       EpochMetricSummary& summary =
           result.per_metric[static_cast<std::uint8_t>(m)][epoch];
@@ -100,7 +116,11 @@ PipelineResult run_pipeline(const SessionTable& table,
       // separate find_problem_clusters pass is needed per metric.
       summary.analysis = find_critical_clusters(
           fold, lattice, config.cluster_params, m, pool_ptr, shards);
+      problem_clusters.add(summary.analysis.num_problem_clusters);
+      critical_clusters.add(summary.analysis.criticals.size());
     }
+    epochs_done.add(1);
+    sessions_seen.add(sessions.size());
   };
 
   if (pool_ptr == nullptr) {

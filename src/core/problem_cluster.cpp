@@ -1,5 +1,7 @@
 #include "src/core/problem_cluster.h"
 
+#include "src/obs/trace.h"
+
 namespace vq {
 
 bool is_problem_cluster(const ClusterStats& stats, double global_ratio,
@@ -32,6 +34,7 @@ std::vector<ProblemCluster> find_problem_clusters(
 CellFlags compute_cell_flags(const EpochClusterTable& table,
                              const ProblemClusterParams& params,
                              Metric metric) {
+  VQ_SPAN_EPOCH("core.compute_cell_flags", table.epoch);
   const double global = table.global_ratio(metric);
   const std::span<const ClusterStats> cells = table.clusters.cells();
   CellFlags flags;

@@ -4,6 +4,8 @@
 #include <array>
 #include <cmath>
 
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 #include "src/stats/timeseries.h"
 
 namespace vq {
@@ -94,6 +96,8 @@ std::vector<WhatIfAnalyzer::SweepPoint> WhatIfAnalyzer::topk_sweep_masks(
 std::vector<WhatIfAnalyzer::SweepPoint> WhatIfAnalyzer::sweep_impl(
     Metric metric, RankBy rank_by, std::span<const double> fractions,
     std::span<const std::uint8_t> allowed_masks) const {
+  VQ_SPAN("whatif.sweep");
+  obs::Registry::global().counter("whatif.sweeps").add(1);
   const auto mi = static_cast<std::uint8_t>(metric);
   const KeyIndex& index = index_[mi];
   const double total_problem = total_problem_sessions_[mi];
@@ -224,7 +228,18 @@ WhatIfAnalyzer::ReactiveOutcome WhatIfAnalyzer::reactive(
 
   double alleviated_total = 0.0;
   double potential_total = 0.0;
-  for (const auto& [raw, info] : index_[mi]) {
+  // Accumulate in sorted-key order, not hash order: the totals are float
+  // sums, and float addition does not commute, so hash-order iteration
+  // would make the reported fractions depend on the map's bucket layout.
+  std::vector<std::pair<std::uint64_t, const KeyInfo*>> sorted_keys;
+  sorted_keys.reserve(index_[mi].size());
+  for (const auto& [raw, key_info] : index_[mi]) {
+    sorted_keys.emplace_back(raw, &key_info);
+  }
+  std::sort(sorted_keys.begin(), sorted_keys.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  for (const auto& [raw, info_ptr] : sorted_keys) {
+    const KeyInfo& info = *info_ptr;
     // Walk the entries streak by streak; fix from `delay_epochs` into each.
     std::size_t i = 0;
     while (i < info.entries.size()) {

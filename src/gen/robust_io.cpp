@@ -11,10 +11,32 @@
 #include <utility>
 
 #include "src/gen/trace_format.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 #include "src/util/mutex.h"
 #include "src/util/thread_annotations.h"
 
 namespace vq {
+
+void publish_ingest_metrics(const IngestReport& report) {
+  obs::Registry& reg = obs::Registry::global();
+  // Eagerly register every per-reason counter (not just the nonzero ones) so
+  // the snapshot's key set does not depend on which corruptions an input
+  // happened to contain.
+  reg.counter("ingest.rows_read").add(report.rows_read);
+  reg.counter("ingest.rows_kept").add(report.rows_kept);
+  reg.counter("ingest.rows_quarantined").add(report.rows_quarantined);
+  reg.counter("ingest.fields_clamped").add(report.fields_clamped);
+  for (int k = 0; k < kNumRowErrorKinds; ++k) {
+    const std::string name =
+        "ingest.quarantined." +
+        std::string{row_error_name(static_cast<RowErrorKind>(k))};
+    reg.counter(name).add(report.reason_counts[static_cast<std::size_t>(k)]);
+  }
+  reg.gauge("ingest.degraded_epochs")
+      .set(static_cast<std::int64_t>(report.degraded_epochs().size()));
+  reg.gauge("ingest.input_truncated").set(report.input_truncated ? 1 : 0);
+}
 
 std::string_view error_policy_name(ErrorPolicy p) noexcept {
   switch (p) {
@@ -196,6 +218,7 @@ bool try_parse(std::string_view field, T& value) {
 
 RobustLoadedTrace read_trace_csv_robust(std::istream& in,
                                         const RobustReadOptions& options) {
+  VQ_SPAN("ingest.read_trace_csv");
   RobustLoadedTrace out;
   IngestReport& report = out.report;
   report.policy = options.policy;
@@ -328,6 +351,7 @@ RobustLoadedTrace read_trace_csv_robust(std::istream& in,
   }
 
   tally.fold_into(report);
+  publish_ingest_metrics(report);
   out.table = SessionTable{std::move(sessions)};
   return out;
 }
@@ -355,6 +379,7 @@ namespace {
 
 RobustLoadedTrace read_trace_binary_robust(std::istream& in,
                                            const RobustReadOptions& options) {
+  VQ_SPAN("ingest.read_trace_binary");
   RobustLoadedTrace out;
   IngestReport& report = out.report;
   report.policy = options.policy;
@@ -518,6 +543,7 @@ RobustLoadedTrace read_trace_binary_robust(std::istream& in,
   }
 
   tally.fold_into(report);
+  publish_ingest_metrics(report);
   out.table = SessionTable{std::move(sessions)};
   return out;
 }

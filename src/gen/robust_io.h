@@ -161,4 +161,11 @@ struct RobustLoadedTrace {
 [[nodiscard]] RobustLoadedTrace read_trace_binary_robust(
     const std::filesystem::path& path, const RobustReadOptions& options = {});
 
+/// Publishes an ingest pass into the observability registry: ingest.rows_*
+/// counters, one ingest.quarantined.<reason> counter per RowErrorKind, and
+/// the ingest.degraded_epochs / ingest.input_truncated gauges. Both robust
+/// readers call this on every completed pass; callers that assemble an
+/// IngestReport some other way may publish it themselves.
+void publish_ingest_metrics(const IngestReport& report);
+
 }  // namespace vq

@@ -1,0 +1,219 @@
+#include "src/obs/metrics.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace vq::obs {
+
+namespace {
+
+std::atomic<bool> g_enabled{false};
+
+}  // namespace
+
+void set_enabled(bool on) noexcept {
+  g_enabled.store(on, std::memory_order_relaxed);
+}
+
+bool enabled() noexcept { return g_enabled.load(std::memory_order_relaxed); }
+
+namespace detail {
+
+std::size_t stripe_index() noexcept {
+  static std::atomic<std::size_t> next{0};
+  thread_local const std::size_t idx =
+      next.fetch_add(1, std::memory_order_relaxed) % kStripes;
+  return idx;
+}
+
+}  // namespace detail
+
+// --- Histogram ---------------------------------------------------------------
+
+Histogram::Histogram(std::vector<std::uint64_t> edges)
+    : edges_(std::move(edges)),
+      buckets_(new std::atomic<std::uint64_t>[edges_.size() + 1]()) {
+  if (!std::is_sorted(edges_.begin(), edges_.end()) ||
+      std::adjacent_find(edges_.begin(), edges_.end()) != edges_.end()) {
+    throw std::logic_error{
+        "obs::Histogram: bucket edges must be strictly increasing"};
+  }
+}
+
+void Histogram::record(std::uint64_t v) noexcept {
+  // First edge >= v; everything past the last edge lands in the overflow
+  // bucket at index edges_.size().
+  const auto it = std::lower_bound(edges_.begin(), edges_.end(), v);
+  const auto i = static_cast<std::size_t>(it - edges_.begin());
+  buckets_[i].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(v, std::memory_order_relaxed);
+}
+
+std::vector<std::uint64_t> Histogram::counts() const {
+  std::vector<std::uint64_t> out(edges_.size() + 1);
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    out[i] = buckets_[i].load(std::memory_order_relaxed);
+  }
+  return out;
+}
+
+void Histogram::reset() noexcept {
+  for (std::size_t i = 0; i <= edges_.size(); ++i) {
+    buckets_[i].store(0, std::memory_order_relaxed);
+  }
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+}
+
+// --- Registry ----------------------------------------------------------------
+
+Registry& Registry::global() {
+  static Registry registry;
+  return registry;
+}
+
+Counter& Registry::counter(std::string_view name, Determinism det) {
+  const MutexLock lock{mutex_};
+  const auto it = index_.find(std::string{name});
+  if (it != index_.end()) {
+    if (it->second.first != Kind::kCounter) {
+      throw std::logic_error{"obs::Registry: '" + std::string{name} +
+                             "' is already registered as a different kind"};
+    }
+    return *static_cast<Counter*>(it->second.second);
+  }
+  counters_.emplace_back(std::string{name}, det);
+  CounterEntry& entry = counters_.back();
+  index_.emplace(entry.name, std::make_pair(Kind::kCounter, &entry.counter));
+  return entry.counter;
+}
+
+Gauge& Registry::gauge(std::string_view name, Determinism det) {
+  const MutexLock lock{mutex_};
+  const auto it = index_.find(std::string{name});
+  if (it != index_.end()) {
+    if (it->second.first != Kind::kGauge) {
+      throw std::logic_error{"obs::Registry: '" + std::string{name} +
+                             "' is already registered as a different kind"};
+    }
+    return *static_cast<Gauge*>(it->second.second);
+  }
+  gauges_.emplace_back(std::string{name}, det);
+  GaugeEntry& entry = gauges_.back();
+  index_.emplace(entry.name, std::make_pair(Kind::kGauge, &entry.gauge));
+  return entry.gauge;
+}
+
+Histogram& Registry::histogram(std::string_view name,
+                               std::vector<std::uint64_t> edges,
+                               Determinism det) {
+  const MutexLock lock{mutex_};
+  const auto it = index_.find(std::string{name});
+  if (it != index_.end()) {
+    if (it->second.first != Kind::kHistogram) {
+      throw std::logic_error{"obs::Registry: '" + std::string{name} +
+                             "' is already registered as a different kind"};
+    }
+    auto* existing = static_cast<Histogram*>(it->second.second);
+    if (existing->edges() != edges) {
+      throw std::logic_error{"obs::Registry: histogram '" +
+                             std::string{name} +
+                             "' re-registered with different bucket edges"};
+    }
+    return *existing;
+  }
+  histograms_.emplace_back(std::string{name}, det, std::move(edges));
+  HistogramEntry& entry = histograms_.back();
+  index_.emplace(entry.name,
+                 std::make_pair(Kind::kHistogram, &entry.histogram));
+  return entry.histogram;
+}
+
+namespace {
+
+void append_u64(std::string& out, std::uint64_t v) {
+  out += std::to_string(v);
+}
+
+}  // namespace
+
+std::string Registry::snapshot_json(bool include_runtime) const {
+  const MutexLock lock{mutex_};
+
+  const auto included = [&](Determinism det) {
+    return include_runtime || det == Determinism::kStable;
+  };
+
+  // Sorted name lists per section; values are read under the registry lock
+  // but with relaxed atomics, which is exact because writers only add.
+  std::vector<const CounterEntry*> counters;
+  for (const CounterEntry& e : counters_) {
+    if (included(e.det)) counters.push_back(&e);
+  }
+  std::vector<const GaugeEntry*> gauges;
+  for (const GaugeEntry& e : gauges_) {
+    if (included(e.det)) gauges.push_back(&e);
+  }
+  std::vector<const HistogramEntry*> histograms;
+  for (const HistogramEntry& e : histograms_) {
+    if (included(e.det)) histograms.push_back(&e);
+  }
+  const auto by_name = [](const auto* a, const auto* b) {
+    return a->name < b->name;
+  };
+  std::sort(counters.begin(), counters.end(), by_name);
+  std::sort(gauges.begin(), gauges.end(), by_name);
+  std::sort(histograms.begin(), histograms.end(), by_name);
+
+  std::string out = "{\n  \"counters\": {";
+  for (std::size_t i = 0; i < counters.size(); ++i) {
+    out += i == 0 ? "\n" : ",\n";
+    out += "    \"" + counters[i]->name + "\": ";
+    append_u64(out, counters[i]->counter.value());
+  }
+  out += counters.empty() ? "},\n" : "\n  },\n";
+
+  out += "  \"gauges\": {";
+  for (std::size_t i = 0; i < gauges.size(); ++i) {
+    out += i == 0 ? "\n" : ",\n";
+    out += "    \"" + gauges[i]->name + "\": ";
+    out += std::to_string(gauges[i]->gauge.value());
+  }
+  out += gauges.empty() ? "},\n" : "\n  },\n";
+
+  out += "  \"histograms\": {";
+  for (std::size_t i = 0; i < histograms.size(); ++i) {
+    const HistogramEntry& e = *histograms[i];
+    out += i == 0 ? "\n" : ",\n";
+    out += "    \"" + e.name + "\": {\"edges\": [";
+    const auto& edges = e.histogram.edges();
+    for (std::size_t k = 0; k < edges.size(); ++k) {
+      if (k != 0) out += ", ";
+      append_u64(out, edges[k]);
+    }
+    out += "], \"counts\": [";
+    const auto counts = e.histogram.counts();
+    for (std::size_t k = 0; k < counts.size(); ++k) {
+      if (k != 0) out += ", ";
+      append_u64(out, counts[k]);
+    }
+    out += "], \"count\": ";
+    append_u64(out, e.histogram.count());
+    out += ", \"sum\": ";
+    append_u64(out, e.histogram.sum());
+    out += "}";
+  }
+  out += histograms.empty() ? "}\n" : "\n  }\n";
+  out += "}\n";
+  return out;
+}
+
+void Registry::reset_values() {
+  const MutexLock lock{mutex_};
+  for (CounterEntry& e : counters_) e.counter.reset();
+  for (GaugeEntry& e : gauges_) e.gauge.reset();
+  for (HistogramEntry& e : histograms_) e.histogram.reset();
+}
+
+}  // namespace vq::obs

@@ -1,0 +1,230 @@
+// Observability: the metrics registry (DESIGN.md §4.8).
+//
+// Named counters, gauges, and fixed-bucket histograms, registered once and
+// read out as a sorted JSON snapshot.  The design splits the cost the way a
+// production pipeline needs it split:
+//
+//   * Registration (`Registry::counter("pipeline.epochs")`) takes the
+//     registry mutex once; instrumented code caches the returned reference
+//     in a function-local static, so the lock is paid once per process, not
+//     per event.
+//   * The hot path pays one relaxed atomic add.  Counters stripe their
+//     cells across cache lines (thread -> stripe), so concurrent epoch
+//     workers do not serialise on a single contended line; a snapshot sums
+//     the stripes.  Integer addition is commutative, so the summed value is
+//     independent of scheduling.
+//   * Snapshots are deterministic by construction: entries are emitted
+//     sorted by name and every published value is an integer (no float
+//     formatting), so the same input produces byte-identical JSON for any
+//     {workers, shards} configuration.
+//
+// Determinism contract: every metric is tagged at registration.
+// `Determinism::kStable` metrics count *events of the analysis* (rows
+// ingested, epochs processed, incidents opened) whose totals are provably
+// independent of thread scheduling; these are what `snapshot_json()` emits
+// by default, and what the CLI's --stats-out writes.  `kRuntime` metrics
+// (queue depths, batch latencies, task counts) describe the execution and
+// legitimately vary run to run; they are excluded from the default snapshot
+// and opt in via `snapshot_json(/*include_runtime=*/true)`.
+//
+// The runtime kill switch (`set_enabled`) gates *timing* collection only —
+// spans (trace.h) and duration histograms check it.  Plain counters and
+// gauges stay on unconditionally: at the per-epoch/per-report granularity
+// this layer instruments, their cost is one relaxed add and does not show
+// up on any benchmark (EXPERIMENTS.md records the measurement).
+
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "src/util/mutex.h"
+#include "src/util/thread_annotations.h"
+
+namespace vq::obs {
+
+/// Master runtime kill switch for timing instrumentation (spans and
+/// duration histograms).  Off by default: an uninstrumented run reads no
+/// clocks and buffers no events.  The CLI flips it on when --stats-out or
+/// --trace-out is requested.
+void set_enabled(bool on) noexcept;
+[[nodiscard]] bool enabled() noexcept;
+
+/// How a metric behaves across reruns of the same input.
+enum class Determinism : std::uint8_t {
+  kStable = 0,   // same value for any workers/shards setting; in --stats-out
+  kRuntime = 1,  // scheduling-dependent (latency, queue depth); opt-in only
+};
+
+namespace detail {
+inline constexpr std::size_t kStripes = 16;
+
+/// Stable per-thread stripe index; threads round-robin over the stripes so
+/// any fixed worker-pool size spreads across distinct cache lines.
+[[nodiscard]] std::size_t stripe_index() noexcept;
+}  // namespace detail
+
+/// Monotonic event counter.  add() is one relaxed fetch_add on a
+/// thread-striped cell; value() sums the stripes (exact: integer addition
+/// commutes).
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) noexcept {
+    cells_[detail::stripe_index()].v.fetch_add(n, std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] std::uint64_t value() const noexcept {
+    std::uint64_t total = 0;
+    for (const Cell& c : cells_) total += c.v.load(std::memory_order_relaxed);
+    return total;
+  }
+
+  void reset() noexcept {
+    for (Cell& c : cells_) c.v.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  struct alignas(64) Cell {
+    std::atomic<std::uint64_t> v{0};
+  };
+  std::array<Cell, detail::kStripes> cells_{};
+};
+
+/// Last-write / high-water-mark gauge.
+class Gauge {
+ public:
+  void set(std::int64_t v) noexcept {
+    value_.store(v, std::memory_order_relaxed);
+  }
+
+  void add(std::int64_t v) noexcept {
+    value_.fetch_add(v, std::memory_order_relaxed);
+  }
+
+  /// Raises the gauge to `v` if `v` is larger (monotonic max).
+  void update_max(std::int64_t v) noexcept {
+    std::int64_t cur = value_.load(std::memory_order_relaxed);
+    while (v > cur &&
+           !value_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+    }
+  }
+
+  [[nodiscard]] std::int64_t value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+  void reset() noexcept { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::int64_t> value_{0};
+};
+
+/// Fixed-bucket histogram over unsigned integer samples (durations in ns,
+/// row counts).  Bucket i counts samples v with edges[i-1] < v <= edges[i];
+/// one implicit overflow bucket catches v > edges.back().  Integer counts
+/// and an integer sum keep snapshots deterministic for kStable uses.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<std::uint64_t> edges);
+
+  void record(std::uint64_t v) noexcept;
+
+  [[nodiscard]] const std::vector<std::uint64_t>& edges() const noexcept {
+    return edges_;
+  }
+  /// Per-bucket counts (edges().size() + 1 entries, last = overflow).
+  [[nodiscard]] std::vector<std::uint64_t> counts() const;
+  [[nodiscard]] std::uint64_t count() const noexcept {
+    return count_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t sum() const noexcept {
+    return sum_.load(std::memory_order_relaxed);
+  }
+
+  void reset() noexcept;
+
+ private:
+  const std::vector<std::uint64_t> edges_;  // strictly increasing
+  std::unique_ptr<std::atomic<std::uint64_t>[]> buckets_;
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> sum_{0};
+};
+
+/// Process-wide metric registry.  Handles returned by counter()/gauge()/
+/// histogram() are valid for the registry's lifetime (entries are never
+/// removed); registering an existing name returns the existing handle, and
+/// re-registering a name as a different kind (or a histogram with different
+/// edges) throws std::logic_error — names are a global contract.
+class Registry {
+ public:
+  [[nodiscard]] static Registry& global();
+
+  Counter& counter(std::string_view name,
+                   Determinism det = Determinism::kStable)
+      VQ_EXCLUDES(mutex_);
+  Gauge& gauge(std::string_view name, Determinism det = Determinism::kStable)
+      VQ_EXCLUDES(mutex_);
+  Histogram& histogram(std::string_view name,
+                       std::vector<std::uint64_t> edges,
+                       Determinism det = Determinism::kStable)
+      VQ_EXCLUDES(mutex_);
+
+  /// Sorted-by-name JSON snapshot.  Deterministic metrics only by default;
+  /// include_runtime adds the scheduling-dependent ones (see the
+  /// determinism contract above).  Integer values only, 2-space indent, so
+  /// equal state means byte-equal output.
+  [[nodiscard]] std::string snapshot_json(bool include_runtime = false) const
+      VQ_EXCLUDES(mutex_);
+
+  /// Zeroes every value while keeping all registrations (handles held by
+  /// instrumented code stay valid).  Test/CLI-startup hook, not a hot path.
+  void reset_values() VQ_EXCLUDES(mutex_);
+
+ private:
+  Registry() = default;
+
+  enum class Kind : std::uint8_t { kCounter, kGauge, kHistogram };
+
+  // Entries hold atomics, so they are neither copyable nor movable; the
+  // deques construct them in place and never relocate them.
+  struct CounterEntry {
+    CounterEntry(std::string n, Determinism d) : name(std::move(n)), det(d) {}
+    std::string name;
+    Determinism det;
+    Counter counter;
+  };
+  struct GaugeEntry {
+    GaugeEntry(std::string n, Determinism d) : name(std::move(n)), det(d) {}
+    std::string name;
+    Determinism det;
+    Gauge gauge;
+  };
+  struct HistogramEntry {
+    HistogramEntry(std::string n, Determinism d,
+                   std::vector<std::uint64_t> edges)
+        : name(std::move(n)), det(d), histogram(std::move(edges)) {}
+    std::string name;
+    Determinism det;
+    Histogram histogram;
+  };
+
+  mutable Mutex mutex_;
+  // Deques for reference stability under growth.
+  std::deque<CounterEntry> counters_ VQ_GUARDED_BY(mutex_);
+  std::deque<GaugeEntry> gauges_ VQ_GUARDED_BY(mutex_);
+  std::deque<HistogramEntry> histograms_ VQ_GUARDED_BY(mutex_);
+  // Name -> (kind, entry). Lookup only; never iterated (snapshot walks the
+  // deques and sorts by name, so hash order cannot reach output).
+  std::unordered_map<std::string, std::pair<Kind, void*>> index_
+      VQ_GUARDED_BY(mutex_);
+};
+
+}  // namespace vq::obs

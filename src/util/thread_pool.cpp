@@ -5,7 +5,41 @@
 #include <exception>
 #include <memory>
 
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
+
 namespace vq {
+
+namespace {
+
+// Execution-shape metrics: how the pool ran, not what the analysis found.
+// All kRuntime — queue depth and batch latency depend on scheduling (and on
+// whether a pool exists at all), so they must stay out of the default
+// deterministic snapshot.
+struct PoolMetrics {
+  obs::Gauge& queue_depth_max;
+  obs::Counter& batches;
+  obs::Counter& tasks;
+  obs::Histogram& batch_latency_ns;
+
+  static PoolMetrics& get() {
+    static PoolMetrics m{
+        obs::Registry::global().gauge("threadpool.queue_depth_max",
+                                      obs::Determinism::kRuntime),
+        obs::Registry::global().counter("threadpool.parallel_for_batches",
+                                        obs::Determinism::kRuntime),
+        obs::Registry::global().counter("threadpool.tasks",
+                                        obs::Determinism::kRuntime),
+        obs::Registry::global().histogram(
+            "threadpool.batch_latency_ns",
+            // 100us, 1ms, 10ms, 100ms, 1s; overflow catches the rest.
+            {100'000, 1'000'000, 10'000'000, 100'000'000, 1'000'000'000},
+            obs::Determinism::kRuntime)};
+    return m;
+  }
+};
+
+}  // namespace
 
 ThreadPool::ThreadPool(std::size_t workers) {
   if (workers == 0) {
@@ -27,11 +61,15 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::submit(std::function<void()> task) {
+  PoolMetrics& metrics = PoolMetrics::get();
   {
     const MutexLock lock{mutex_};
     queue_.push_back(std::move(task));
     ++in_flight_;
+    metrics.queue_depth_max.update_max(
+        static_cast<std::int64_t>(queue_.size()));
   }
+  metrics.tasks.add(1);
   work_available_.notify_one();
 }
 
@@ -106,6 +144,12 @@ void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
     for (std::size_t i = begin; i < end; ++i) fn(i);
     return;
   }
+  PoolMetrics& metrics = PoolMetrics::get();
+  metrics.batches.add(1);
+  // Wall-clock reads stay behind the kill switch; with obs disabled a batch
+  // costs no clock syscalls.
+  const std::uint64_t batch_start_ns =
+      obs::enabled() ? obs::Stopwatch::now_ns() : 0;
   auto batch = std::make_shared<ForBatch>(begin, end);
   // One shared atomic cursor: participants pull indices until exhausted,
   // which load-balances uneven per-iteration costs better than static
@@ -130,6 +174,10 @@ void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
     MutexLock lock{batch->mutex};
     while (batch->pending.load() != 0) batch->done.wait(batch->mutex);
     error = batch->error;
+  }
+  if (batch_start_ns != 0 && obs::enabled()) {
+    metrics.batch_latency_ns.record(obs::Stopwatch::now_ns() -
+                                    batch_start_ns);
   }
   if (error) std::rethrow_exception(error);
 }

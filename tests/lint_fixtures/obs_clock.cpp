@@ -1,0 +1,20 @@
+// Fixture: steady-clock timing — sanctioned inside src/obs/ (timing is that
+// component's job), a wall-clock violation anywhere else in src/.
+#include <chrono>
+
+unsigned long long stamp_ns() {
+  const auto t = std::chrono::steady_clock::now();  // LINT-EXPECT: wall-clock
+  return static_cast<unsigned long long>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          t.time_since_epoch())
+          .count());
+}
+
+double elapsed_ms(unsigned long long begin_ns) {
+  const auto end = std::chrono::high_resolution_clock::now();  // LINT-EXPECT: wall-clock
+  const auto end_ns = static_cast<unsigned long long>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          end.time_since_epoch())
+          .count());
+  return static_cast<double>(end_ns - begin_ns) / 1e6;
+}

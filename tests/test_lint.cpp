@@ -121,6 +121,25 @@ TEST(Lint, WallClockExemptInUtilRng) {
   EXPECT_TRUE(findings.empty());
 }
 
+TEST(Lint, WallClockExemptInObs) {
+  // src/obs owns timing (Stopwatch/VQ_SPAN); clock reads there are the
+  // carve-out, not a violation.
+  SourceFile f = fixture("obs_clock.cpp", "src/obs/trace.cpp");
+  const std::vector<Finding> findings = run_lint({f});
+  EXPECT_TRUE(findings.empty());
+}
+
+TEST(Lint, WallClockObsCarveOutIsSegmentAnchored) {
+  // "src/observability" shares the "src/obs" prefix but is a different
+  // directory — the carve-out must not leak to it.
+  expect_exact({fixture("obs_clock.cpp", "src/observability/clock.cpp")});
+}
+
+TEST(Lint, WallClockStillFiresNextToObs) {
+  // A file in core that merely *calls into* obs gets no exemption.
+  expect_exact({fixture("obs_clock.cpp", "src/core/timing.cpp")});
+}
+
 TEST(Lint, FlagsNakedThreads) {
   expect_exact(
       {fixture("naked_thread_bad.cpp", "src/core/naked_thread_bad.cpp")});

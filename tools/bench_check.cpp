@@ -1,0 +1,124 @@
+// bench_check — the CI perf-regression gate.
+//
+//   usage: bench_check <current.json> <baseline.json> [--max-regress F=0.30]
+//
+// Compares a perf_critical run (typically `perf_critical --smoke` in CI)
+// against the checked-in baseline (bench/baselines/critical_smoke.json) and
+// exits nonzero when any tracked throughput metric regressed by more than
+// the threshold: current < baseline * (1 - F).  Improvements and small
+// fluctuations pass; the default 30 % floor absorbs runner-to-runner noise
+// while still catching a genuine 2x slowdown (a 50 % regression).
+//
+// Only the flat numeric keys it tracks are read — the JSON "parser" is a
+// deliberate 30-line key scanner, same dependency budget as the rest of
+// tools/ (none).
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace {
+
+std::optional<std::string> slurp(const char* path) {
+  std::ifstream in{path, std::ios::binary};
+  if (!in) return std::nullopt;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+/// Value of `"key": <number>` in a flat JSON object; nullopt when absent.
+std::optional<double> number_field(const std::string& json,
+                                   const std::string& key) {
+  const std::string needle = "\"" + key + "\"";
+  std::size_t pos = json.find(needle);
+  if (pos == std::string::npos) return std::nullopt;
+  pos = json.find(':', pos + needle.size());
+  if (pos == std::string::npos) return std::nullopt;
+  const char* start = json.c_str() + pos + 1;
+  char* end = nullptr;
+  const double v = std::strtod(start, &end);
+  if (end == start) return std::nullopt;
+  return v;
+}
+
+/// Throughput metrics the gate tracks (higher is better).
+constexpr const char* kTracked[] = {
+    "indexed_epochs_per_sec",
+    "indexed_sharded_epochs_per_sec",
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3) {
+    std::fprintf(stderr,
+                 "usage: bench_check <current.json> <baseline.json> "
+                 "[--max-regress F=0.30]\n");
+    return 2;
+  }
+  double max_regress = 0.30;
+  for (int i = 3; i < argc; ++i) {
+    if (std::string{argv[i]} == "--max-regress" && i + 1 < argc) {
+      max_regress = std::atof(argv[++i]);
+    }
+  }
+
+  const auto current = slurp(argv[1]);
+  const auto baseline = slurp(argv[2]);
+  if (!current.has_value() || !baseline.has_value()) {
+    std::fprintf(stderr, "bench_check: cannot read %s\n",
+                 current.has_value() ? argv[2] : argv[1]);
+    return 2;
+  }
+
+  int failures = 0;
+  int checked = 0;
+  for (const char* key : kTracked) {
+    const auto cur = number_field(*current, key);
+    const auto base = number_field(*baseline, key);
+    if (!base.has_value()) {
+      std::fprintf(stderr, "bench_check: baseline lacks '%s' — skipping\n",
+                   key);
+      continue;
+    }
+    if (!cur.has_value()) {
+      std::fprintf(stderr, "bench_check: FAIL %s missing from current run\n",
+                   key);
+      ++failures;
+      continue;
+    }
+    ++checked;
+    const double floor = *base * (1.0 - max_regress);
+    const double delta = *base > 0.0 ? (*cur - *base) / *base * 100.0 : 0.0;
+    if (*cur < floor) {
+      std::fprintf(stderr,
+                   "bench_check: FAIL %s = %.4g vs baseline %.4g "
+                   "(%+.1f%%, floor %.4g at -%.0f%%)\n",
+                   key, *cur, *base, delta, floor, max_regress * 100.0);
+      ++failures;
+    } else {
+      std::fprintf(stderr, "bench_check: ok   %s = %.4g vs baseline %.4g "
+                   "(%+.1f%%)\n",
+                   key, *cur, *base, delta);
+    }
+  }
+  if (checked == 0 && failures == 0) {
+    std::fprintf(stderr,
+                 "bench_check: no tracked metrics found in baseline\n");
+    return 2;
+  }
+  if (failures > 0) {
+    std::fprintf(stderr,
+                 "bench_check: %d metric(s) regressed beyond %.0f%%\n",
+                 failures, max_regress * 100.0);
+    return 1;
+  }
+  std::fprintf(stderr, "bench_check: all %d tracked metric(s) within "
+               "threshold\n", checked);
+  return 0;
+}

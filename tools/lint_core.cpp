@@ -419,8 +419,8 @@ void check_wall_clock(const FileCtx& ctx, Sink sink) {
          pos = find_token(code, ty, pos + ty.size())) {
       sink.emit(pos, "'" + std::string{ty} +
                          "' in a core path; results must be reproducible "
-                         "from a seed (use util/rng, or keep timing in "
-                         "bench/)");
+                         "from a seed (use util/rng; timing belongs in "
+                         "src/obs or bench/)");
     }
   }
 }
@@ -525,7 +525,7 @@ const std::vector<RuleInfo>& rules() {
        "emitted (src/)"},
       {"wall-clock",
        "no rand/srand/time/clock/std::chrono wall clocks outside util/rng "
-       "(src/)"},
+       "and obs/ (src/)"},
       {"naked-thread",
        "no std::thread/std::async outside util/thread_pool (src/, tools/, "
        "bench/)"},
@@ -558,8 +558,12 @@ std::vector<Finding> run_lint(const std::vector<SourceFile>& files) {
     if (under(path, "src")) {
       check_unordered_iter(ctx, unordered_names,
                            {&findings, &ctx, "unordered-iter"});
+      // util/rng owns randomness; src/obs owns timing (steady_clock behind
+      // Stopwatch/VQ_SPAN). Everywhere else a clock or rand() call breaks
+      // seed-reproducibility. under() is segment-anchored, so e.g.
+      // "src/observability" would NOT inherit the carve-out.
       if (!is_file(path, "src/util/rng.h") &&
-          !is_file(path, "src/util/rng.cpp")) {
+          !is_file(path, "src/util/rng.cpp") && !under(path, "src/obs")) {
         check_wall_clock(ctx, {&findings, &ctx, "wall-clock"});
       }
     }

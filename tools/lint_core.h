@@ -12,8 +12,10 @@
 //   wall-clock        rand()/srand()/time()/clock()/std::chrono wall clocks /
 //                     std::random_device in core paths.  All randomness must
 //                     flow through util/rng's seeded streams, or results are
-//                     not reproducible from a seed.  [scope: src/, except
-//                     util/rng]
+//                     not reproducible from a seed; all timing flows through
+//                     src/obs (Stopwatch/VQ_SPAN), whose durations feed
+//                     observability output only.  [scope: src/, except
+//                     util/rng and obs/]
 //   naked-thread      std::thread / std::jthread / std::async / pthread_create
 //                     outside util/thread_pool.  One component owns threads;
 //                     everything else parallelises through it (and inherits

@@ -10,6 +10,7 @@
 
 #include <cstdio>
 #include <filesystem>
+#include <fstream>
 #include <optional>
 #include <string>
 
@@ -25,6 +26,8 @@
 #include "src/gen/robust_io.h"
 #include "src/gen/trace_io.h"
 #include "src/gen/tracegen.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 #include "src/util/args.h"
 
 namespace {
@@ -40,6 +43,8 @@ int usage() {
       "                   [--asns N=2000] [--no-events]\n"
       "  vidqual analyze  --in FILE [--min-sessions N=auto] [--top K=5]\n"
       "                   [--on-error strict|quarantine|best-effort]\n"
+      "                   [--workers N=auto] [--shards N=auto]\n"
+      "                   [--stats-out FILE] [--trace-out FILE]\n"
       "  vidqual whatif   --in FILE [--metric NAME=JoinFailure]\n"
       "                   [--top-frac F=0.01] [--rank coverage|prevalence|"
       "persistence]\n"
@@ -47,13 +52,17 @@ int usage() {
       "  vidqual monitor  --in FILE [--delay H=1] [--min-sessions N=auto]\n"
       "                   [--checkpoint FILE] [--on-error strict|quarantine|"
       "best-effort]\n"
-      "                   [--stop-after N]\n"
+      "                   [--stop-after N] [--stats-out FILE] "
+      "[--trace-out FILE]\n"
       "  vidqual timeline --in FILE [--min-sessions N=auto] [--z 3.0]\n"
       "  vidqual report   --in FILE [--min-sessions N=auto] [--top K=5]\n"
       "\nFILEs ending in .vqtr are binary; anything else is CSV.\n"
       "monitor --checkpoint saves detector state after every epoch (atomic\n"
       "temp-then-rename) and resumes from it when the file exists, so a\n"
-      "killed monitor replays no epoch and re-raises no incident.\n");
+      "killed monitor replays no epoch and re-raises no incident.\n"
+      "--stats-out writes the deterministic metric snapshot (byte-identical\n"
+      "for any --workers/--shards); --trace-out writes per-stage spans as\n"
+      "chrome://tracing / Perfetto JSON.\n");
   return 2;
 }
 
@@ -93,6 +102,49 @@ RobustLoadedTrace load_robust(std::string_view path, ErrorPolicy policy) {
                  loaded.report.summary().c_str());
   }
   return loaded;
+}
+
+/// --stats-out / --trace-out plumbing shared by analyze and monitor.
+struct ObsRequest {
+  std::optional<std::string> stats_path;
+  std::optional<std::string> trace_path;
+};
+
+/// Parses the flags and flips the observability kill switch on when either
+/// output was requested, so spans and timing histograms record for the run.
+ObsRequest obs_request(const ArgParser& args) {
+  ObsRequest req;
+  if (const auto s = args.option("stats-out")) req.stats_path = std::string{*s};
+  if (const auto t = args.option("trace-out")) req.trace_path = std::string{*t};
+  if (req.stats_path.has_value() || req.trace_path.has_value()) {
+    obs::set_enabled(true);
+  }
+  return req;
+}
+
+/// Writes the requested observability outputs; returns 0 on success. The
+/// stats snapshot contains deterministic (kStable) metrics only, so it is
+/// byte-identical across workers/shards settings on the same input.
+int write_obs_outputs(const ObsRequest& req) {
+  if (req.stats_path.has_value()) {
+    std::ofstream out{*req.stats_path, std::ios::trunc};
+    out << obs::Registry::global().snapshot_json();
+    if (!out) {
+      std::fprintf(stderr, "error: cannot write --stats-out %s\n",
+                   req.stats_path->c_str());
+      return 1;
+    }
+  }
+  if (req.trace_path.has_value()) {
+    std::ofstream out{*req.trace_path, std::ios::trunc};
+    obs::TraceRecorder::global().write_chrome_trace(out);
+    if (!out) {
+      std::fprintf(stderr, "error: cannot write --trace-out %s\n",
+                   req.trace_path->c_str());
+      return 1;
+    }
+  }
+  return 0;
 }
 
 std::uint32_t auto_min_sessions(const SessionTable& table,
@@ -164,10 +216,13 @@ int cmd_analyze(const ArgParser& args) {
   if (!in.has_value()) return usage();
   const auto policy = on_error_policy(args);
   if (!policy.has_value()) return 2;
+  const ObsRequest obs_req = obs_request(args);  // before ingest spans start
   const RobustLoadedTrace loaded = load_robust(*in, *policy);
   const std::vector<std::uint32_t> degraded =
       loaded.report.degraded_epochs();
   PipelineConfig config;
+  config.workers = static_cast<std::size_t>(args.option_u64("workers", 0));
+  config.shards = static_cast<std::size_t>(args.option_u64("shards", 0));
   config.cluster_params.min_sessions = auto_min_sessions(loaded.table, args);
   std::fprintf(stderr, "analyzing %zu sessions over %u epochs "
                "(min_sessions=%u)...\n",
@@ -206,7 +261,7 @@ int cmd_analyze(const ArgParser& args) {
                   loaded.schema.describe(ClusterKey::from_raw(raw)).c_str());
     }
   }
-  return 0;
+  return write_obs_outputs(obs_req);
 }
 
 int cmd_whatif(const ArgParser& args) {
@@ -261,6 +316,7 @@ int cmd_monitor(const ArgParser& args) {
   if (!in.has_value()) return usage();
   const auto policy = on_error_policy(args);
   if (!policy.has_value()) return 2;
+  const ObsRequest obs_req = obs_request(args);  // before ingest spans start
   const RobustLoadedTrace loaded = load_robust(*in, *policy);
   const std::vector<std::uint32_t> degraded =
       loaded.report.degraded_epochs();
@@ -305,7 +361,9 @@ int cmd_monitor(const ArgParser& args) {
                   event.incident.streak, event.incident.attributed);
     }
     if (checkpoint.has_value()) detector.save_checkpoint(checkpoint_path);
-    if (stop_after != 0 && ++processed >= stop_after) return 0;
+    if (stop_after != 0 && ++processed >= stop_after) {
+      return write_obs_outputs(obs_req);
+    }
   }
   std::printf("total incidents opened:");
   for (const Metric m : kAllMetrics) {
@@ -317,7 +375,7 @@ int cmd_monitor(const ArgParser& args) {
     std::fprintf(stderr, "suppressed %ju clear(s) on degraded epochs\n",
                  static_cast<std::uintmax_t>(detector.suppressed_clears()));
   }
-  return 0;
+  return write_obs_outputs(obs_req);
 }
 
 int cmd_timeline(const ArgParser& args) {
