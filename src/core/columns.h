@@ -1,0 +1,141 @@
+// Structure-of-arrays session batches and the vectorized fold kernels.
+//
+// The row-wise hot loop (fold_sessions in cluster_engine.h) walks an array
+// of Session structs: every session costs a strided 40-byte record touch, a
+// branchy ClusterKey::pack call, and four scalar threshold compares.  At
+// paper scale (~300M sessions) that layout is the wall: the out-of-core
+// columnar trace format (gen/columnar.h) already stores each epoch as seven
+// u16 attribute columns plus four metric columns, so the aggregation can
+// consume them directly:
+//
+//   * problem_bits_columns — the per-metric threshold compares run over the
+//     metric columns in SIMD batches (SSE2/AVX2 float compares; the scalar
+//     fallback calls ProblemThresholds::problem_bits per element).  Both
+//     paths are bit-identical: the scalar thresholds already compare in
+//     float (session.cpp), which is exactly what the vector compares do.
+//   * pack_leaf_keys_columns — full-arity ClusterKey packing as a
+//     branch-free shift/OR sweep over the attribute columns, with the
+//     per-dimension range check hoisted out of the inner loop (one column
+//     max-scan per dimension instead of one branch per session per
+//     dimension).
+//   * fold_sessions_columns — pass 1 of the leaf-folded aggregation over a
+//     SessionColumns batch.  Produces a LeafFold identical to
+//     fold_sessions over the same sessions in the same order (enforced by
+//     tests/test_columns_fold.cpp at every workers x shards combination).
+//
+// SessionColumns is also the unit of streaming: EpochColumnsSource is the
+// abstract one-epoch-at-a-time feed run_pipeline_streaming (pipeline.h)
+// consumes, letting `analyze` run at O(one epoch) memory over traces that
+// never fit in RAM.  gen/columnar.h implements it over the on-disk format;
+// tests implement it over in-memory tables.
+
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "src/core/attributes.h"
+#include "src/core/session.h"
+
+namespace vq {
+
+struct LeafFold;
+
+/// Which kernel implementation the batch entry points dispatch to.  kAuto
+/// picks the widest instruction set the build supports (AVX2, else SSE2,
+/// else scalar); kScalar forces the portable fallback — the differential
+/// tests run both and require bit-identical output.
+enum class BatchKernel : std::uint8_t { kAuto = 0, kScalar = 1 };
+
+/// One batch of sessions in structure-of-arrays layout: column i of attrs
+/// holds dimension i's value ids, metric columns are parallel to it.  All
+/// columns always have equal length.  A batch carries no per-row epoch —
+/// batches are built per epoch (the columnar format stores one epoch per
+/// chunk), and the epoch id travels alongside.
+struct SessionColumns {
+  std::array<std::vector<std::uint16_t>, kNumDims> attrs;
+  std::vector<float> buffering_ratio;
+  std::vector<float> bitrate_kbps;
+  std::vector<float> join_time_ms;
+  std::vector<std::uint8_t> join_failed;  // 0 or 1
+
+  [[nodiscard]] std::size_t size() const noexcept {
+    return join_failed.size();
+  }
+  [[nodiscard]] bool empty() const noexcept { return join_failed.empty(); }
+
+  /// Empties every column; capacity is retained so a streaming reader can
+  /// reuse one batch across epochs without reallocating.
+  void clear() noexcept;
+
+  void reserve(std::size_t n);
+
+  void push_back(const Session& s);
+
+  /// Row view of element i (for tests and row-at-a-time consumers).
+  [[nodiscard]] Session row(std::size_t i, std::uint32_t epoch) const;
+
+  /// Appends the batch as Session rows carrying `epoch` (the streaming
+  /// monitor's per-epoch materialisation).
+  void append_rows(std::uint32_t epoch, std::vector<Session>& out) const;
+
+  /// Builds the batch from row-wise sessions. Every session must carry
+  /// `epoch`; throws std::invalid_argument otherwise (mirroring
+  /// fold_sessions' epoch check).
+  static SessionColumns from_sessions(std::span<const Session> sessions,
+                                      std::uint32_t epoch);
+};
+
+/// Problem bitmask per element: out[i] has bit m set iff element i is a
+/// problem session for metric m, exactly as ProblemThresholds::problem_bits
+/// computes it.  `out.size()` must equal `columns.size()`.
+void problem_bits_columns(const SessionColumns& columns,
+                          const ProblemThresholds& thresholds,
+                          std::span<std::uint8_t> out,
+                          BatchKernel kernel = BatchKernel::kAuto);
+
+/// Full-arity leaf key per element: out[i] ==
+/// ClusterKey::pack(kFullMask, row i attrs).raw().  Value ids must fit
+/// their field widths; throws std::out_of_range naming the offending
+/// dimension otherwise (checked per column, so the *dimension* reported for
+/// multi-error batches may differ from the row-wise path's first-session
+/// order — both always throw).  `out.size()` must equal `columns.size()`.
+void pack_leaf_keys_columns(const SessionColumns& columns,
+                            std::span<std::uint64_t> out,
+                            BatchKernel kernel = BatchKernel::kAuto);
+
+/// Pass-1 leaf fold over a column batch; identical to
+/// fold_sessions(rows, thresholds, epoch) over the same sessions in the
+/// same order.  The two hot kernels above run over fixed-size blocks so
+/// scratch stays cache-resident regardless of epoch size.
+[[nodiscard]] LeafFold fold_sessions_columns(
+    const SessionColumns& columns, const ProblemThresholds& thresholds,
+    std::uint32_t epoch, BatchKernel kernel = BatchKernel::kAuto);
+
+/// Name of the widest kernel kAuto resolves to in this build ("avx2",
+/// "sse2", or "scalar") — benchmark/report labelling only.
+[[nodiscard]] std::string_view batch_kernel_name() noexcept;
+
+/// Abstract one-epoch-at-a-time session feed, the streaming counterpart of
+/// SessionTable.  Implementations: gen/columnar.h's ColumnarReader (reads
+/// one column chunk per call at O(one epoch) memory) and in-memory test
+/// doubles.  Epochs with no sessions yield an empty batch.
+class EpochColumnsSource {
+ public:
+  virtual ~EpochColumnsSource() = default;
+
+  /// Epochs spanned (max epoch + 1), known up front (e.g. from the footer
+  /// index) so per-epoch result vectors can be sized before streaming.
+  [[nodiscard]] virtual std::uint32_t num_epochs() const = 0;
+
+  /// Replaces `out`'s contents with epoch e's sessions, in trace order.
+  /// Returns true when the epoch is degraded — rows were lost to
+  /// quarantine, checksum failure, or truncation — mirroring the
+  /// IngestReport::degraded_epochs annotation of the in-RAM readers.
+  /// Throws on unrecoverable input errors (strict-policy readers).
+  virtual bool read_epoch(std::uint32_t e, SessionColumns& out) = 0;
+};
+
+}  // namespace vq

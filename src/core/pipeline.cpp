@@ -135,4 +135,70 @@ PipelineResult run_pipeline(const SessionTable& table,
   return result;
 }
 
+PipelineResult run_pipeline_streaming(EpochColumnsSource& source,
+                                      const PipelineConfig& config) {
+  PipelineResult result;
+  result.config = config;
+  result.num_epochs = source.num_epochs();
+  for (auto& v : result.per_metric) v.resize(result.num_epochs);
+
+  const std::size_t workers =
+      config.workers == 0
+          ? std::max<std::size_t>(1, std::thread::hardware_concurrency())
+          : config.workers;
+  std::optional<ThreadPool> pool;
+  if (workers > 1 && result.num_epochs > 0) pool.emplace(workers);
+  ThreadPool* pool_ptr = pool ? &*pool : nullptr;
+  // Epochs stream sequentially (that is the memory bound), so all
+  // parallelism lives inside the epoch: default shards to the pool width.
+  const std::size_t shards =
+      config.shards != 0 ? config.shards : std::max<std::size_t>(1, workers);
+
+  obs::Registry& reg = obs::Registry::global();
+  obs::Counter& epochs_done = reg.counter("pipeline.epochs");
+  obs::Counter& sessions_seen = reg.counter("pipeline.sessions");
+  obs::Counter& problem_clusters = reg.counter("pipeline.problem_clusters");
+  obs::Counter& critical_clusters = reg.counter("pipeline.critical_clusters");
+  // Largest batch ever held: the structural O(one epoch) memory witness.
+  obs::Gauge& held_max = reg.gauge("pipeline.stream_epoch_sessions_max");
+
+  SessionColumns columns;  // reused across epochs; capacity is retained
+  std::vector<Session> rows;  // only for the unfolded (diagnostic) engine
+  for (std::uint32_t epoch = 0; epoch < result.num_epochs; ++epoch) {
+    VQ_SPAN_EPOCH("pipeline.epoch", epoch);
+    const bool degraded = [&] {
+      VQ_SPAN_EPOCH("pipeline.read_epoch", epoch);
+      return source.read_epoch(epoch, columns);
+    }();
+    if (degraded) result.degraded_epochs.push_back(epoch);
+    held_max.update_max(static_cast<std::int64_t>(columns.size()));
+
+    const LeafFold fold = [&] {
+      VQ_SPAN_EPOCH("pipeline.fold_sessions", epoch);
+      return fold_sessions_columns(columns, config.thresholds, epoch);
+    }();
+    const EpochClusterTable lattice = [&] {
+      VQ_SPAN_EPOCH("pipeline.expand_lattice", epoch);
+      if (config.engine.fold_leaves) {
+        return expand_fold(fold, config.engine, pool_ptr, shards);
+      }
+      rows.clear();
+      columns.append_rows(epoch, rows);
+      return aggregate_epoch_unfolded(rows, config.thresholds, config.engine,
+                                      epoch);
+    }();
+    for (const Metric m : kAllMetrics) {
+      EpochMetricSummary& summary =
+          result.per_metric[static_cast<std::uint8_t>(m)][epoch];
+      summary.analysis = find_critical_clusters(
+          fold, lattice, config.cluster_params, m, pool_ptr, shards);
+      problem_clusters.add(summary.analysis.num_problem_clusters);
+      critical_clusters.add(summary.analysis.criticals.size());
+    }
+    epochs_done.add(1);
+    sessions_seen.add(columns.size());
+  }
+  return result;
+}
+
 }  // namespace vq

@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "src/core/cluster_engine.h"
+#include "src/core/columns.h"
 #include "src/core/critical_cluster.h"
 #include "src/core/problem_cluster.h"
 #include "src/core/session.h"
@@ -96,5 +97,19 @@ struct PipelineResult {
 [[nodiscard]] PipelineResult run_pipeline(
     const SessionTable& table, const PipelineConfig& config,
     std::span<const std::uint32_t> degraded);
+
+/// Out-of-core variant: pulls epochs one at a time from `source` (e.g. a
+/// gen/columnar.h ColumnarReader) into one reused SessionColumns buffer, so
+/// peak memory is O(largest epoch) instead of O(whole trace).  Epochs run
+/// sequentially; `config.workers` parallelism is applied *within* each
+/// epoch via lattice-expansion sharding (shards = workers when
+/// config.shards is 0).  The result is identical to run_pipeline over the
+/// same sessions — the column-batch fold is bit-identical to the row-wise
+/// fold, and shard count never affects results.  Epochs whose read_epoch
+/// reported damage land in PipelineResult::degraded_epochs.  The
+/// pipeline.stream_epoch_sessions_max gauge records the largest batch held,
+/// making the memory claim observable.
+[[nodiscard]] PipelineResult run_pipeline_streaming(
+    EpochColumnsSource& source, const PipelineConfig& config);
 
 }  // namespace vq

@@ -1,0 +1,98 @@
+// Internal ingest plumbing shared by the policy-driven readers
+// (robust_io.cpp, columnar.cpp): the rejection sink, the per-epoch damage
+// tally, and the positioned-message helpers.  Not installed as public API:
+// include only from src/gen/*.cpp.
+
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+#include "src/gen/robust_io.h"
+#include "src/util/mutex.h"
+#include "src/util/thread_annotations.h"
+
+namespace vq::detail {
+
+/// Shared rejection path: counts the event, keeps a bounded sample, and in
+/// strict mode throws instead of diverting.  `context` is the public
+/// function name the strict exception is attributed to.
+///
+/// The sink is mutex-protected (and Clang-annotated): rejection is the rare
+/// path, so one uncontended lock per bad row costs nothing today and lets a
+/// future sharded ingest divert rows from several reader threads into one
+/// report.  The hot-path report fields (rows_read/rows_kept/...) stay
+/// reader-local by contract — each reader owns its stream and report until
+/// it returns.
+class RowSink {
+ public:
+  RowSink(const char* context, const RobustReadOptions& options,
+          IngestReport& report)
+      : context_(context), options_(options), report_(&report) {}
+
+  /// Rejects one row. `line` and `offset` follow QuarantinedRow semantics.
+  /// Throws (after recording the rejection) under ErrorPolicy::kStrict.
+  /// `weight` counts several rows lost to one event (a damaged column
+  /// chunk quarantines every row it held) while keeping a single sample.
+  void reject(std::uint64_t line, std::uint64_t offset, RowErrorKind kind,
+              std::string detail, std::uint64_t weight = 1)
+      VQ_EXCLUDES(mutex_) {
+    const MutexLock lock{mutex_};
+    report_->rows_quarantined += weight;
+    report_->reason_counts[static_cast<std::uint8_t>(kind)] += weight;
+    if (options_.policy == ErrorPolicy::kStrict) {
+      // The position lives inside `detail`: every caller formats
+      // "... at line/record N (offset M)" (the exact strings are
+      // contract-tested in test_robust_io.cpp).
+      // vq-lint: allow(positioned-throw)
+      throw std::runtime_error{std::string{context_} + ": " + detail};
+    }
+    if (report_->quarantine.size() < options_.max_quarantine_samples) {
+      report_->quarantine.push_back(
+          QuarantinedRow{line, offset, kind, std::move(detail)});
+    }
+  }
+
+ private:
+  const char* const context_;
+  const RobustReadOptions& options_;
+  Mutex mutex_;
+  IngestReport* const report_ VQ_PT_GUARDED_BY(mutex_);
+};
+
+/// Per-epoch kept/quarantined tallies, folded into the report at the end.
+class EpochTally {
+ public:
+  void kept(std::uint32_t epoch, std::uint64_t n = 1) {
+    counts_[epoch].first += n;
+  }
+  void quarantined(std::uint32_t epoch, std::uint64_t n = 1) {
+    counts_[epoch].second += n;
+  }
+
+  void fold_into(IngestReport& report) const {
+    report.epochs.clear();
+    report.epochs.reserve(counts_.size());
+    for (const auto& [epoch, kq] : counts_) {
+      report.epochs.push_back(EpochIngestStats{epoch, kq.first, kq.second});
+    }
+  }
+
+ private:
+  std::map<std::uint32_t, std::pair<std::uint64_t, std::uint64_t>> counts_;
+};
+
+[[nodiscard]] inline std::string at_line(std::uint64_t line_no) {
+  return " at line " + std::to_string(line_no);
+}
+
+[[nodiscard]] inline std::string at_record(std::uint64_t ordinal,
+                                           std::uint64_t offset) {
+  return " at record " + std::to_string(ordinal) + " (offset " +
+         std::to_string(offset) + ")";
+}
+
+}  // namespace vq::detail

@@ -10,11 +10,10 @@
 #include <stdexcept>
 #include <utility>
 
+#include "src/gen/ingest_sink.h"
 #include "src/gen/trace_format.h"
 #include "src/obs/metrics.h"
 #include "src/obs/trace.h"
-#include "src/util/mutex.h"
-#include "src/util/thread_annotations.h"
 
 namespace vq {
 
@@ -75,6 +74,8 @@ std::string_view row_error_name(RowErrorKind k) noexcept {
       return "truncated";
     case RowErrorKind::kIoError:
       return "io-error";
+    case RowErrorKind::kBadChecksum:
+      return "bad-checksum";
   }
   return "?";
 }
@@ -127,65 +128,9 @@ using detail::kBinaryRecordSize;
 using detail::kCsvColumnDims;
 using detail::kCsvHeader;
 
-/// Shared rejection path: counts the event, keeps a bounded sample, and in
-/// strict mode throws instead of diverting.  `context` is the public
-/// function name the strict exception is attributed to.
-///
-/// The sink is mutex-protected (and Clang-annotated): rejection is the rare
-/// path, so one uncontended lock per bad row costs nothing today and lets a
-/// future sharded ingest divert rows from several reader threads into one
-/// report.  The hot-path report fields (rows_read/rows_kept/...) stay
-/// reader-local by contract — each reader owns its stream and report until
-/// it returns.
-class RowSink {
- public:
-  RowSink(const char* context, const RobustReadOptions& options,
-          IngestReport& report)
-      : context_(context), options_(options), report_(&report) {}
-
-  /// Rejects one row. `line` and `offset` follow QuarantinedRow semantics.
-  /// Throws (after recording the rejection) under ErrorPolicy::kStrict.
-  void reject(std::uint64_t line, std::uint64_t offset, RowErrorKind kind,
-              std::string detail) VQ_EXCLUDES(mutex_) {
-    const MutexLock lock{mutex_};
-    report_->rows_quarantined += 1;
-    report_->reason_counts[static_cast<std::uint8_t>(kind)] += 1;
-    if (options_.policy == ErrorPolicy::kStrict) {
-      // The position lives inside `detail`: every caller formats
-      // "... at line/record N (offset M)" (the exact strings are
-      // contract-tested in test_robust_io.cpp).
-      // vq-lint: allow(positioned-throw)
-      throw std::runtime_error{std::string{context_} + ": " + detail};
-    }
-    if (report_->quarantine.size() < options_.max_quarantine_samples) {
-      report_->quarantine.push_back(
-          QuarantinedRow{line, offset, kind, std::move(detail)});
-    }
-  }
-
- private:
-  const char* const context_;
-  const RobustReadOptions& options_;
-  Mutex mutex_;
-  IngestReport* const report_ VQ_PT_GUARDED_BY(mutex_);
-};
-
-/// Per-epoch kept/quarantined tallies, folded into the report at the end.
-class EpochTally {
- public:
-  void kept(std::uint32_t epoch) { counts_[epoch].first += 1; }
-  void quarantined(std::uint32_t epoch) { counts_[epoch].second += 1; }
-
-  void fold_into(IngestReport& report) const {
-    report.epochs.reserve(counts_.size());
-    for (const auto& [epoch, kq] : counts_) {
-      report.epochs.push_back(EpochIngestStats{epoch, kq.first, kq.second});
-    }
-  }
-
- private:
-  std::map<std::uint32_t, std::pair<std::uint64_t, std::uint64_t>> counts_;
-};
+using detail::EpochTally;
+using detail::RowSink;
+using detail::at_line;
 
 void strip_cr(std::string& line) {
   if (!line.empty() && line.back() == '\r') line.pop_back();
@@ -208,10 +153,6 @@ bool try_parse(std::string_view field, T& value) {
   const auto [ptr, ec] =
       std::from_chars(field.data(), field.data() + field.size(), value);
   return ec == std::errc{} && ptr == field.data() + field.size();
-}
-
-[[nodiscard]] std::string at_line(std::uint64_t line_no) {
-  return " at line " + std::to_string(line_no);
 }
 
 }  // namespace
@@ -369,11 +310,7 @@ RobustLoadedTrace read_trace_csv_robust(const std::filesystem::path& path,
 
 namespace {
 
-[[nodiscard]] std::string at_record(std::uint64_t ordinal,
-                                    std::uint64_t offset) {
-  return " at record " + std::to_string(ordinal) + " (offset " +
-         std::to_string(offset) + ")";
-}
+using detail::at_record;
 
 }  // namespace
 
@@ -399,34 +336,7 @@ RobustLoadedTrace read_trace_binary_robust(std::istream& in,
                              std::to_string(version) + " at offset 4"};
   }
   std::uint64_t offset = 8;  // magic + version
-  for (int d = 0; d < kNumDims; ++d) {
-    const auto dim = static_cast<AttrDim>(d);
-    const auto count = detail::read_pod<std::uint32_t>(in);
-    offset += 4;
-    if (count > dim_capacity(dim) + 1u) {
-      throw std::runtime_error{"read_trace_binary: schema too large for " +
-                               std::string{dim_name(dim)} + " at offset " +
-                               std::to_string(offset - 4)};
-    }
-    std::string name;
-    for (std::uint32_t id = 0; id < count; ++id) {
-      const auto len = detail::read_pod<std::uint16_t>(in);
-      name.resize(len);
-      in.read(name.data(), len);
-      if (!in) {
-        throw std::runtime_error{
-            "read_trace_binary: truncated name at offset " +
-            std::to_string(offset + 2)};
-      }
-      offset += 2 + len;
-      const std::uint16_t assigned = out.schema.intern(dim, name);
-      if (assigned != id) {
-        throw std::runtime_error{
-            "read_trace_binary: duplicate name in schema section at offset " +
-            std::to_string(offset - 2 - len)};
-      }
-    }
-  }
+  detail::read_schema_section(in, out.schema, offset, "read_trace_binary");
   const auto count = detail::read_pod<std::uint64_t>(in);
   offset += 8;
 

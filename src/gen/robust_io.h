@@ -60,9 +60,10 @@ enum class RowErrorKind : std::uint8_t {
   kSchemaViolation = 5,  // binary: attribute id outside the schema section
   kTruncated = 6,        // stream ended mid-record
   kIoError = 7,          // underlying stream failure (badbit)
+  kBadChecksum = 8,      // columnar: chunk/footer checksum mismatch
 };
 
-inline constexpr int kNumRowErrorKinds = 8;
+inline constexpr int kNumRowErrorKinds = 9;
 
 [[nodiscard]] std::string_view row_error_name(RowErrorKind k) noexcept;
 

@@ -11,6 +11,7 @@
 #include <istream>
 #include <ostream>
 #include <stdexcept>
+#include <string>
 #include <string_view>
 
 #include "src/core/attributes.h"
@@ -28,6 +29,72 @@ inline constexpr std::array<AttrDim, kNumDims> kCsvColumnDims = {
 
 inline constexpr char kBinaryMagic[4] = {'V', 'Q', 'T', 'R'};
 inline constexpr std::uint32_t kBinaryVersion = 1;
+
+/// Shared cap on one attribute name's byte length, enforced by the writers
+/// (throw std::invalid_argument before the u16 length cast can truncate)
+/// and the readers (a claimed length beyond the cap is schema corruption,
+/// not a 64 KiB allocation request).  4096 is far beyond any real CDN/ASN/
+/// site label while keeping a corrupted 0xFFFF length field fail-fast.
+inline constexpr std::size_t kMaxAttrNameLen = 4096;
+
+// --- columnar container ("VQTC") ---------------------------------------------
+// Out-of-core layout (columnar.h): header + schema section (identical to the
+// VQTR schema block), then one self-delimiting column chunk per non-empty
+// epoch, then a checksummed footer index and a fixed-size tail that points
+// back at it:
+//
+//   "VQTC" u32 version
+//   7 x [u32 name_count, name_count x (u16 len, bytes)]
+//   chunks: "VQCH" u32 epoch, u64 count,
+//           7 x (count x u16 attr column),
+//           3 x (count x f32 metric column), count x u8 join_failed,
+//           u64 fnv1a(epoch, count, columns)
+//   footer: "VQTF" u32 chunk_count, u32 num_epochs,
+//           chunk_count x (u32 epoch, u64 offset, u64 count, u64 checksum),
+//           u64 fnv1a(entries)
+//   tail:   u64 footer_offset, "VQTE"
+//
+// Chunks are readable without the footer (magic + count make them
+// self-delimiting), so a damaged footer degrades to a sequential scan under
+// the non-strict policies instead of losing the file.
+
+inline constexpr char kColumnarMagic[4] = {'V', 'Q', 'T', 'C'};
+inline constexpr char kColumnarChunkMagic[4] = {'V', 'Q', 'C', 'H'};
+inline constexpr char kColumnarFooterMagic[4] = {'V', 'Q', 'T', 'F'};
+inline constexpr char kColumnarTailMagic[4] = {'V', 'Q', 'T', 'E'};
+inline constexpr std::uint32_t kColumnarVersion = 1;
+
+/// Column bytes per session in a chunk: 7 x u16 attrs + 3 x f32 metrics +
+/// u8 join_failed.
+inline constexpr std::size_t kColumnarRowBytes = 7 * 2 + 3 * 4 + 1;
+static_assert(kColumnarRowBytes == 27);
+
+/// Fixed chunk overhead: magic + u32 epoch + u64 count + u64 checksum.
+inline constexpr std::size_t kColumnarChunkHeaderBytes = 4 + 4 + 8;
+inline constexpr std::size_t kColumnarChunkTrailerBytes = 8;
+
+/// One footer index entry: u32 epoch, u64 offset, u64 count, u64 checksum.
+inline constexpr std::size_t kColumnarFooterEntryBytes = 4 + 8 + 8 + 8;
+
+/// Trailing tail: u64 footer_offset + tail magic.
+inline constexpr std::size_t kColumnarTailBytes = 8 + 4;
+
+inline constexpr std::uint64_t kFnvOffsetBasis = 1469598103934665603ULL;
+inline constexpr std::uint64_t kFnvPrime = 1099511628211ULL;
+
+/// Incremental FNV-1a 64: fold `n` bytes into hash `h`.  Chosen over CRC32
+/// for zero dependencies and branch-free bytewise folding; this is an
+/// integrity check against bit rot and truncation, not an adversary.
+[[nodiscard]] inline std::uint64_t fnv1a(const void* data, std::size_t n,
+                                         std::uint64_t h = kFnvOffsetBasis)
+    noexcept {
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= p[i];
+    h *= kFnvPrime;
+  }
+  return h;
+}
 
 /// Fixed size of one session record in the binary container:
 /// 7 x u16 attrs + u32 epoch + 3 x f32 metrics + u8 join_failed.
@@ -60,6 +127,88 @@ template <typename T>
   T value{};
   std::memcpy(&value, bytes, sizeof value);
   return value;
+}
+
+/// Writes the per-dimension name-table section shared by the VQTR and VQTC
+/// containers: 7 x [u32 count, count x (u16 len, bytes)].  Returns the bytes
+/// written.  Throws std::invalid_argument when a name exceeds
+/// kMaxAttrNameLen — the u16 length field would otherwise silently truncate
+/// it and corrupt every id that follows.
+inline std::uint64_t write_schema_section(std::ostream& out,
+                                          const AttributeSchema& schema,
+                                          const char* context) {
+  std::uint64_t bytes = 0;
+  for (int d = 0; d < kNumDims; ++d) {
+    const auto dim = static_cast<AttrDim>(d);
+    const auto count = static_cast<std::uint32_t>(schema.cardinality(dim));
+    write_pod(out, count);
+    bytes += 4;
+    for (std::uint32_t id = 0; id < count; ++id) {
+      const std::string_view name =
+          schema.name(dim, static_cast<std::uint16_t>(id));
+      if (name.size() > kMaxAttrNameLen) {
+        // Writer-side schema validation; no stream position exists for the
+        // caller's data, so the offending dimension is named instead.
+        // vq-lint: allow(positioned-throw)
+        throw std::invalid_argument{
+            std::string{context} + ": attribute name too long for " +
+            std::string{dim_name(dim)} + " (" + std::to_string(name.size()) +
+            " bytes, max " + std::to_string(kMaxAttrNameLen) + ")"};
+      }
+      write_pod(out, static_cast<std::uint16_t>(name.size()));
+      out.write(name.data(), static_cast<std::streamsize>(name.size()));
+      bytes += 2 + name.size();
+    }
+  }
+  return bytes;
+}
+
+/// Reads the section write_schema_section emits, interning every name into
+/// `schema`.  `offset` (the section's start offset) is advanced past the
+/// section.  Structural under every ErrorPolicy: without the schema no
+/// session record can be decoded, so all failures throw positioned
+/// std::runtime_error attributed to `context`.
+inline void read_schema_section(std::istream& in, AttributeSchema& schema,
+                                std::uint64_t& offset, const char* context) {
+  for (int d = 0; d < kNumDims; ++d) {
+    const auto dim = static_cast<AttrDim>(d);
+    const auto count = read_pod<std::uint32_t>(in);
+    offset += 4;
+    if (count > dim_capacity(dim) + 1u) {
+      throw std::runtime_error{std::string{context} +
+                               ": schema too large for " +
+                               std::string{dim_name(dim)} + " at offset " +
+                               std::to_string(offset - 4)};
+    }
+    std::string name;
+    for (std::uint32_t id = 0; id < count; ++id) {
+      const auto len = read_pod<std::uint16_t>(in);
+      if (len > kMaxAttrNameLen) {
+        // Symmetric with the writer's cap: a longer claimed length can only
+        // be corruption, so fail fast instead of allocating and desyncing.
+        throw std::runtime_error{
+            std::string{context} + ": attribute name length " +
+            std::to_string(len) + " exceeds cap " +
+            std::to_string(kMaxAttrNameLen) + " at offset " +
+            std::to_string(offset)};
+      }
+      name.resize(len);
+      in.read(name.data(), len);
+      if (!in) {
+        throw std::runtime_error{std::string{context} +
+                                 ": truncated name at offset " +
+                                 std::to_string(offset + 2)};
+      }
+      offset += 2 + len;
+      const std::uint16_t assigned = schema.intern(dim, name);
+      if (assigned != id) {
+        throw std::runtime_error{
+            std::string{context} +
+            ": duplicate name in schema section at offset " +
+            std::to_string(offset - 2 - len)};
+      }
+    }
+  }
 }
 
 }  // namespace vq::detail

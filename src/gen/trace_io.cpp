@@ -35,17 +35,33 @@ void write_trace_csv(std::ostream& out, const SessionTable& table,
     }
   }
   // max_digits10 for float: values survive a write/read round trip exactly.
-  out.precision(9);
-  out << kCsvHeader << '\n';
-  for (const Session& s : table.sessions()) {
-    out << s.epoch;
-    for (const AttrDim dim : kCsvColumnDims) {
-      out << ',' << schema.name(dim, s.attrs[dim]);
+  // The stream is caller-owned, so the precision is restored on every exit
+  // path instead of leaking a formatting change back to the caller.
+  const std::streamsize saved_precision = out.precision(9);
+  try {
+    out << kCsvHeader << '\n';
+    for (const Session& s : table.sessions()) {
+      out << s.epoch;
+      for (const AttrDim dim : kCsvColumnDims) {
+        out << ',' << schema.name(dim, s.attrs[dim]);
+      }
+      out << ',' << s.quality.buffering_ratio << ',' << s.quality.bitrate_kbps
+          << ',' << s.quality.join_time_ms << ','
+          << (s.quality.join_failed ? 1 : 0) << '\n';
     }
-    out << ',' << s.quality.buffering_ratio << ',' << s.quality.bitrate_kbps
-        << ',' << s.quality.join_time_ms << ','
-        << (s.quality.join_failed ? 1 : 0) << '\n';
+  } catch (...) {
+    out.precision(saved_precision);
+    // Rethrow of a write-side failure on a caller-owned stream: the
+    // original exception already carries whatever position it has.
+    // vq-lint: allow(positioned-throw)
+    throw;
   }
+  out.precision(saved_precision);
+  // A full disk or dead pipe leaves failbit/badbit set without throwing;
+  // a silently short CSV must not report success.  Write-side failure on a
+  // caller-owned stream: no input position exists.
+  // vq-lint: allow(positioned-throw)
+  if (!out) throw std::runtime_error{"write_trace_csv: write failed"};
 }
 
 void write_trace_csv(const std::filesystem::path& path,
@@ -56,6 +72,12 @@ void write_trace_csv(const std::filesystem::path& path,
     throw std::runtime_error{"write_trace_csv: cannot open " + path.string()};
   }
   write_trace_csv(out, table, schema);
+  // The destructor's implicit close swallows flush failures; close here and
+  // check so a disk-full tail loss surfaces with the path attached.
+  out.close();
+  if (!out) {
+    throw std::runtime_error{"write_trace_csv: cannot write " + path.string()};
+  }
 }
 
 // The strict readers are thin shims over the policy-driven robust readers
@@ -81,17 +103,10 @@ void write_trace_binary(std::ostream& out, const SessionTable& table,
                         const AttributeSchema& schema) {
   out.write(detail::kBinaryMagic, sizeof detail::kBinaryMagic);
   write_pod(out, detail::kBinaryVersion);
-  for (int d = 0; d < kNumDims; ++d) {
-    const auto dim = static_cast<AttrDim>(d);
-    const auto count = static_cast<std::uint32_t>(schema.cardinality(dim));
-    write_pod(out, count);
-    for (std::uint32_t id = 0; id < count; ++id) {
-      const std::string_view name =
-          schema.name(dim, static_cast<std::uint16_t>(id));
-      write_pod(out, static_cast<std::uint16_t>(name.size()));
-      out.write(name.data(), static_cast<std::streamsize>(name.size()));
-    }
-  }
+  // Validates every name against kMaxAttrNameLen before the u16 length
+  // cast — an oversized name used to truncate silently and desync the
+  // schema block for every id after it.
+  detail::write_schema_section(out, schema, "write_trace_binary");
   write_pod(out, static_cast<std::uint64_t>(table.size()));
   for (const Session& s : table.sessions()) {
     for (int d = 0; d < kNumDims; ++d) write_pod(out, s.attrs.v[d]);
@@ -116,6 +131,11 @@ void write_trace_binary(const std::filesystem::path& path,
                              path.string()};
   }
   write_trace_binary(out, table, schema);
+  out.close();
+  if (!out) {
+    throw std::runtime_error{"write_trace_binary: cannot write " +
+                             path.string()};
+  }
 }
 
 LoadedTrace read_trace_binary(std::istream& in) {

@@ -58,6 +58,32 @@ class FaultyStreambuf : public std::streambuf {
   [[nodiscard]] int faults_fired() const noexcept { return faults_fired_; }
 
  protected:
+  // Seek support (required by the columnar reader, which jumps to the
+  // footer index and then to per-epoch chunks).  Positions are absolute
+  // offsets into the post-truncation byte string, so a seek past the
+  // truncation point fails exactly like a seek past EOF on a real file.
+  pos_type seekoff(off_type off, std::ios_base::seekdir dir,
+                   std::ios_base::openmode which) override {
+    if ((which & std::ios_base::in) == 0) return pos_type(off_type(-1));
+    const off_type cur =
+        static_cast<off_type>(pos_) - (egptr() - gptr());
+    off_type target = -1;
+    if (dir == std::ios_base::beg) target = off;
+    else if (dir == std::ios_base::cur) target = cur + off;
+    else if (dir == std::ios_base::end)
+      target = static_cast<off_type>(data_.size()) + off;
+    if (target < 0 || target > static_cast<off_type>(data_.size())) {
+      return pos_type(off_type(-1));
+    }
+    pos_ = static_cast<std::size_t>(target);
+    setg(nullptr, nullptr, nullptr);  // discard the stale get area
+    return pos_type(target);
+  }
+
+  pos_type seekpos(pos_type sp, std::ios_base::openmode which) override {
+    return seekoff(off_type(sp), std::ios_base::beg, which);
+  }
+
   int_type underflow() override {
     if (pos_ >= data_.size()) return traits_type::eof();
     std::size_t n = data_.size() - pos_;

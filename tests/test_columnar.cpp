@@ -1,0 +1,296 @@
+// Columnar ("VQTC") container tests: round-trips, streaming reader
+// semantics, the CSV -> binary -> columnar differential, and the hardened
+// write-path contracts (stream-state checks, precision restoration, the
+// attribute-name length cap on both sides of the wire).
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+#include <filesystem>
+#include <span>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/core/pipeline.h"
+#include "src/gen/columnar.h"
+#include "src/gen/trace_io.h"
+#include "src/gen/tracegen.h"
+#include "tests/test_support.h"
+
+namespace vq {
+namespace {
+
+using test::Attrs;
+
+LoadedTrace generate_loaded(std::uint32_t epochs = 3,
+                            std::uint32_t per_epoch = 400) {
+  WorldConfig world_config;
+  world_config.num_sites = 20;
+  world_config.num_cdns = 4;
+  world_config.num_asns = 35;
+  const World world = World::build(world_config);
+  TraceConfig trace_config;
+  trace_config.num_epochs = epochs;
+  trace_config.sessions_per_epoch = per_epoch;
+  SessionTable table =
+      generate_trace(world, EventSchedule::none(epochs), trace_config);
+  std::stringstream buffer;
+  write_trace_csv(buffer, table, world.schema());
+  return read_trace_csv(buffer);
+}
+
+std::string columnar_bytes(const SessionTable& table,
+                           const AttributeSchema& schema) {
+  std::stringstream buffer{std::ios::in | std::ios::out | std::ios::binary};
+  write_trace_columnar(buffer, table, schema);
+  return buffer.str();
+}
+
+void expect_tables_equal(const SessionTable& expected,
+                         const SessionTable& actual) {
+  ASSERT_EQ(actual.size(), expected.size());
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    const Session& a = expected.sessions()[i];
+    const Session& b = actual.sessions()[i];
+    EXPECT_EQ(a.epoch, b.epoch);
+    EXPECT_EQ(a.attrs, b.attrs);
+    EXPECT_EQ(a.quality, b.quality);
+  }
+}
+
+TEST(Columnar, RoundTripsExactly) {
+  const LoadedTrace original = generate_loaded();
+  std::stringstream buffer{std::ios::in | std::ios::out | std::ios::binary};
+  write_trace_columnar(buffer, original.table, original.schema);
+  const LoadedTrace loaded = read_trace_columnar(buffer);
+  expect_tables_equal(original.table, loaded.table);
+  for (int d = 0; d < kNumDims; ++d) {
+    const auto dim = static_cast<AttrDim>(d);
+    ASSERT_EQ(loaded.schema.cardinality(dim),
+              original.schema.cardinality(dim));
+    for (std::size_t id = 0; id < loaded.schema.cardinality(dim); ++id) {
+      EXPECT_EQ(loaded.schema.name(dim, static_cast<std::uint16_t>(id)),
+                original.schema.name(dim, static_cast<std::uint16_t>(id)));
+    }
+  }
+}
+
+TEST(Columnar, StreamingReaderServesEpochsIndependently) {
+  const LoadedTrace original = generate_loaded(4, 250);
+  std::stringstream buffer{columnar_bytes(original.table, original.schema),
+                           std::ios::in | std::ios::binary};
+  ColumnarReader reader{buffer};
+  EXPECT_EQ(reader.num_epochs(), original.table.num_epochs());
+  EXPECT_EQ(reader.total_sessions(), original.table.size());
+  EXPECT_FALSE(reader.footer_recovered());
+
+  SessionColumns columns;  // reused across epochs, like the pipeline does
+  // Read out of order to prove chunks are independently addressable.
+  for (const std::uint32_t e : {2u, 0u, 3u, 1u, 2u}) {
+    EXPECT_FALSE(reader.read_epoch(e, columns));
+    const std::span<const Session> expected = original.table.epoch(e);
+    ASSERT_EQ(columns.size(), expected.size());
+    for (std::size_t i = 0; i < expected.size(); ++i) {
+      const Session round = columns.row(i, e);
+      EXPECT_EQ(round.attrs, expected[i].attrs);
+      EXPECT_EQ(round.quality, expected[i].quality);
+    }
+  }
+  EXPECT_THROW((void)reader.read_epoch(reader.num_epochs(), columns),
+               std::out_of_range);
+  EXPECT_FALSE(reader.report().degraded());
+}
+
+TEST(Columnar, EmptyEpochsYieldEmptyBatches) {
+  // Epoch 1 has no sessions: no chunk is written, the reader serves an
+  // empty, non-degraded batch for it, and neighbours are unaffected.
+  std::vector<Session> sessions;
+  test::add_sessions(sessions, 0, Attrs{.site = 1}, test::good_quality(), 5);
+  test::add_sessions(sessions, 2, Attrs{.site = 2}, test::bad_buffering(), 7);
+  AttributeSchema schema;
+  for (int d = 0; d < kNumDims; ++d) {
+    (void)schema.intern(static_cast<AttrDim>(d), "a");
+    (void)schema.intern(static_cast<AttrDim>(d), "b");
+    (void)schema.intern(static_cast<AttrDim>(d), "c");
+  }
+  const SessionTable table{std::move(sessions)};
+  std::stringstream buffer{columnar_bytes(table, schema),
+                           std::ios::in | std::ios::binary};
+  ColumnarReader reader{buffer};
+  EXPECT_EQ(reader.num_epochs(), 3u);
+  EXPECT_EQ(reader.total_sessions(), 12u);
+  SessionColumns columns;
+  EXPECT_FALSE(reader.read_epoch(0, columns));
+  EXPECT_EQ(columns.size(), 5u);
+  EXPECT_FALSE(reader.read_epoch(1, columns));
+  EXPECT_TRUE(columns.empty());
+  EXPECT_FALSE(reader.read_epoch(2, columns));
+  EXPECT_EQ(columns.size(), 7u);
+}
+
+TEST(Columnar, FileRoundTripAndStreamingPipelineAgree) {
+  const LoadedTrace original = generate_loaded(3, 300);
+  const auto path =
+      std::filesystem::temp_directory_path() / "vidqual_trace_test.vqtc";
+  write_trace_columnar(path, original.table, original.schema);
+
+  PipelineConfig config;
+  config.cluster_params.min_sessions = 30;
+  const PipelineResult in_ram = run_pipeline(original.table, config);
+  ColumnarReader reader{path};
+  const PipelineResult streamed = run_pipeline_streaming(reader, config);
+  ASSERT_EQ(streamed.num_epochs, in_ram.num_epochs);
+  for (const Metric m : kAllMetrics) {
+    for (std::uint32_t e = 0; e < in_ram.num_epochs; ++e) {
+      const CriticalAnalysis& a = in_ram.at(m, e).analysis;
+      const CriticalAnalysis& b = streamed.at(m, e).analysis;
+      EXPECT_EQ(a.problem_sessions, b.problem_sessions);
+      EXPECT_EQ(a.num_problem_clusters, b.num_problem_clusters);
+      ASSERT_EQ(a.criticals.size(), b.criticals.size());
+      for (std::size_t i = 0; i < a.criticals.size(); ++i) {
+        EXPECT_EQ(a.criticals[i].key.raw(), b.criticals[i].key.raw());
+        EXPECT_EQ(a.criticals[i].attributed, b.criticals[i].attributed);
+      }
+    }
+  }
+  std::filesystem::remove(path);
+  EXPECT_THROW(ColumnarReader{path}, std::runtime_error);
+}
+
+TEST(Columnar, CsvBinaryColumnarChainIsLossless) {
+  // The convert chain of the CLI: CSV -> binary -> columnar -> load must
+  // preserve every session bit-exactly at each hop.
+  const LoadedTrace original = generate_loaded(2, 350);
+
+  std::stringstream bin{std::ios::in | std::ios::out | std::ios::binary};
+  write_trace_binary(bin, original.table, original.schema);
+  const LoadedTrace from_bin = read_trace_binary(bin);
+  expect_tables_equal(original.table, from_bin.table);
+
+  std::stringstream col{std::ios::in | std::ios::out | std::ios::binary};
+  write_trace_columnar(col, from_bin.table, from_bin.schema);
+  const LoadedTrace from_col = read_trace_columnar(col);
+  expect_tables_equal(original.table, from_col.table);
+}
+
+TEST(Columnar, RejectsBadMagic) {
+  std::stringstream buffer{std::string{"NOPE garbage bytes"},
+                           std::ios::in | std::ios::binary};
+  EXPECT_THROW((void)read_trace_columnar(buffer), std::runtime_error);
+}
+
+TEST(Columnar, RejectsWrongVersion) {
+  const LoadedTrace original = generate_loaded(1, 20);
+  std::string bytes = columnar_bytes(original.table, original.schema);
+  bytes[4] = 99;  // patch the version field
+  std::stringstream patched{bytes, std::ios::in | std::ios::binary};
+  EXPECT_THROW((void)read_trace_columnar(patched), std::runtime_error);
+}
+
+TEST(Columnar, WriterReportsStreamFailure) {
+  const LoadedTrace original = generate_loaded(1, 10);
+  std::ostream broken{nullptr};  // every insertion sets badbit
+  EXPECT_THROW(write_trace_columnar(broken, original.table, original.schema),
+               std::runtime_error);
+}
+
+// --- hardened row-wise write paths (the bugfix satellites) ------------------
+
+TEST(TraceWritePath, CsvWriterThrowsOnStreamFailure) {
+  const LoadedTrace original = generate_loaded(1, 10);
+  std::ostream broken{nullptr};
+  EXPECT_THROW(write_trace_csv(broken, original.table, original.schema),
+               std::runtime_error);
+}
+
+TEST(TraceWritePath, CsvWriterRestoresCallerPrecision) {
+  const LoadedTrace original = generate_loaded(1, 10);
+  std::ostringstream out;
+  out.precision(3);
+  write_trace_csv(out, original.table, original.schema);
+  EXPECT_EQ(out.precision(), 3);
+
+  // Restored on the failure path too.
+  std::ostream broken{nullptr};
+  broken.precision(5);
+  EXPECT_THROW(write_trace_csv(broken, original.table, original.schema),
+               std::runtime_error);
+  EXPECT_EQ(broken.precision(), 5);
+}
+
+AttributeSchema schema_with_long_name(std::size_t len) {
+  AttributeSchema schema;
+  for (int d = 0; d < kNumDims; ++d) {
+    (void)schema.intern(static_cast<AttrDim>(d), "v");
+  }
+  (void)schema.intern(AttrDim::kSite, std::string(len, 'x'));
+  return schema;
+}
+
+TEST(TraceWritePath, BinaryWriterRejectsOverlongAttributeNames) {
+  // A name longer than the shared cap would silently truncate through the
+  // u16 length field; both binary-family writers must refuse it up front.
+  std::vector<Session> sessions;
+  test::add_sessions(sessions, 0, Attrs{}, test::good_quality(), 1);
+  const SessionTable table{std::move(sessions)};
+  const AttributeSchema schema = schema_with_long_name(4097);
+  std::stringstream buffer{std::ios::in | std::ios::out | std::ios::binary};
+  EXPECT_THROW(write_trace_binary(buffer, table, schema),
+               std::invalid_argument);
+  EXPECT_THROW(write_trace_columnar(buffer, table, schema),
+               std::invalid_argument);
+}
+
+TEST(TraceWritePath, NamesAtTheCapRoundTrip) {
+  std::vector<Session> sessions;
+  test::add_sessions(sessions, 0, Attrs{}, test::good_quality(), 1);
+  const SessionTable table{std::move(sessions)};
+  const AttributeSchema schema = schema_with_long_name(4096);
+  std::stringstream buffer{std::ios::in | std::ios::out | std::ios::binary};
+  write_trace_binary(buffer, table, schema);
+  const LoadedTrace loaded = read_trace_binary(buffer);
+  EXPECT_EQ(loaded.schema.name(AttrDim::kSite, 1),
+            std::string(4096, 'x'));
+}
+
+/// Patches the first schema name's u16 length field (offset 12 in both
+/// binary-family containers: magic + version + first dim's u32 count).
+std::string patch_first_name_len(std::string bytes, std::uint16_t claimed) {
+  std::memcpy(bytes.data() + 12, &claimed, sizeof claimed);
+  return bytes;
+}
+
+TEST(TraceWritePath, ReadersRejectOverlongClaimedNameLengths) {
+  // Reader-side symmetry: a corrupted length field beyond the cap is
+  // schema corruption, rejected before any allocation — in both containers.
+  const LoadedTrace original = generate_loaded(1, 10);
+
+  std::stringstream bin{std::ios::in | std::ios::out | std::ios::binary};
+  write_trace_binary(bin, original.table, original.schema);
+  std::stringstream bad_bin{patch_first_name_len(bin.str(), 4097),
+                            std::ios::in | std::ios::binary};
+  try {
+    (void)read_trace_binary(bad_bin);
+    FAIL() << "expected throw";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string{e.what()}.find("exceeds cap"), std::string::npos)
+        << e.what();
+  }
+
+  std::stringstream bad_col{
+      patch_first_name_len(
+          columnar_bytes(original.table, original.schema), 4097),
+      std::ios::in | std::ios::binary};
+  try {
+    (void)read_trace_columnar(bad_col);
+    FAIL() << "expected throw";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string{e.what()}.find("exceeds cap"), std::string::npos)
+        << e.what();
+  }
+}
+
+}  // namespace
+}  // namespace vq

@@ -1,13 +1,19 @@
 // bench_check — the CI perf-regression gate.
 //
-//   usage: bench_check <current.json> <baseline.json> [--max-regress F=0.30]
+//   usage: bench_check <current.json> <baseline.json>
+//                      [--max-regress F=0.30] [--track KEY]...
 //
-// Compares a perf_critical run (typically `perf_critical --smoke` in CI)
-// against the checked-in baseline (bench/baselines/critical_smoke.json) and
-// exits nonzero when any tracked throughput metric regressed by more than
-// the threshold: current < baseline * (1 - F).  Improvements and small
-// fluctuations pass; the default 30 % floor absorbs runner-to-runner noise
-// while still catching a genuine 2x slowdown (a 50 % regression).
+// Compares a perf harness run (typically `perf_critical --smoke` or
+// `perf_fold --smoke` in CI) against the checked-in baseline
+// (bench/baselines/*.json) and exits nonzero when any tracked throughput
+// metric regressed by more than the threshold:
+// current < baseline * (1 - F).  Improvements and small fluctuations pass;
+// the default 30 % floor absorbs runner-to-runner noise while still
+// catching a genuine 2x slowdown (a 50 % regression).
+//
+// With no --track flags the perf_critical keys are checked (the original
+// behaviour); each --track KEY replaces that default with an explicit
+// higher-is-better key list, so one binary gates every harness.
 //
 // Only the flat numeric keys it tracks are read — the JSON "parser" is a
 // deliberate 30-line key scanner, same dependency budget as the rest of
@@ -46,8 +52,8 @@ std::optional<double> number_field(const std::string& json,
   return v;
 }
 
-/// Throughput metrics the gate tracks (higher is better).
-constexpr const char* kTracked[] = {
+/// Default tracked metrics — perf_critical's keys (higher is better).
+constexpr const char* kDefaultTracked[] = {
     "indexed_epochs_per_sec",
     "indexed_sharded_epochs_per_sec",
 };
@@ -58,14 +64,25 @@ int main(int argc, char** argv) {
   if (argc < 3) {
     std::fprintf(stderr,
                  "usage: bench_check <current.json> <baseline.json> "
-                 "[--max-regress F=0.30]\n");
+                 "[--max-regress F=0.30] [--track KEY]...\n");
     return 2;
   }
   double max_regress = 0.30;
+  std::vector<std::string> tracked;
   for (int i = 3; i < argc; ++i) {
-    if (std::string{argv[i]} == "--max-regress" && i + 1 < argc) {
+    const std::string arg{argv[i]};
+    if (arg == "--max-regress" && i + 1 < argc) {
       max_regress = std::atof(argv[++i]);
+    } else if (arg == "--track" && i + 1 < argc) {
+      tracked.emplace_back(argv[++i]);
+    } else {
+      std::fprintf(stderr, "bench_check: unknown argument '%s'\n",
+                   arg.c_str());
+      return 2;
     }
+  }
+  if (tracked.empty()) {
+    for (const char* key : kDefaultTracked) tracked.emplace_back(key);
   }
 
   const auto current = slurp(argv[1]);
@@ -78,17 +95,17 @@ int main(int argc, char** argv) {
 
   int failures = 0;
   int checked = 0;
-  for (const char* key : kTracked) {
+  for (const std::string& key : tracked) {
     const auto cur = number_field(*current, key);
     const auto base = number_field(*baseline, key);
     if (!base.has_value()) {
       std::fprintf(stderr, "bench_check: baseline lacks '%s' — skipping\n",
-                   key);
+                   key.c_str());
       continue;
     }
     if (!cur.has_value()) {
       std::fprintf(stderr, "bench_check: FAIL %s missing from current run\n",
-                   key);
+                   key.c_str());
       ++failures;
       continue;
     }
@@ -99,12 +116,13 @@ int main(int argc, char** argv) {
       std::fprintf(stderr,
                    "bench_check: FAIL %s = %.4g vs baseline %.4g "
                    "(%+.1f%%, floor %.4g at -%.0f%%)\n",
-                   key, *cur, *base, delta, floor, max_regress * 100.0);
+                   key.c_str(), *cur, *base, delta, floor,
+                   max_regress * 100.0);
       ++failures;
     } else {
       std::fprintf(stderr, "bench_check: ok   %s = %.4g vs baseline %.4g "
                    "(%+.1f%%)\n",
-                   key, *cur, *base, delta);
+                   key.c_str(), *cur, *base, delta);
     }
   }
   if (checked == 0 && failures == 0) {

@@ -2,11 +2,15 @@
 //
 //   vidqual generate --epochs 48 --sessions 3000 --out trace.csv
 //   vidqual analyze  --in trace.csv [--min-sessions 100] [--top 5]
+//   vidqual convert  --in trace.csv --out trace.vqtc
 //   vidqual whatif   --in trace.csv --metric JoinFailure --top-frac 0.01
 //   vidqual monitor  --in trace.csv [--delay 1]
 //
-// Trace files ending in .vqtr use the binary container; anything else is
-// treated as CSV (see src/gen/trace_io.h for both formats).
+// Trace files ending in .vqtr use the row-wise binary container, .vqtc the
+// out-of-core columnar container (src/gen/columnar.h); anything else is
+// treated as CSV.  --format csv|binary|columnar overrides the extension.
+// analyze and monitor stream .vqtc inputs one epoch at a time instead of
+// materializing the trace.
 
 #include <cstdio>
 #include <filesystem>
@@ -23,6 +27,7 @@
 #include "src/core/pipeline.h"
 #include "src/core/prevalence.h"
 #include "src/core/whatif.h"
+#include "src/gen/columnar.h"
 #include "src/gen/robust_io.h"
 #include "src/gen/trace_io.h"
 #include "src/gen/tracegen.h"
@@ -45,6 +50,9 @@ int usage() {
       "                   [--on-error strict|quarantine|best-effort]\n"
       "                   [--workers N=auto] [--shards N=auto]\n"
       "                   [--stats-out FILE] [--trace-out FILE]\n"
+      "  vidqual convert  --in FILE --out FILE [--format csv|binary|"
+      "columnar]\n"
+      "                   [--on-error strict|quarantine|best-effort]\n"
       "  vidqual whatif   --in FILE [--metric NAME=JoinFailure]\n"
       "                   [--top-frac F=0.01] [--rank coverage|prevalence|"
       "persistence]\n"
@@ -56,7 +64,9 @@ int usage() {
       "[--trace-out FILE]\n"
       "  vidqual timeline --in FILE [--min-sessions N=auto] [--z 3.0]\n"
       "  vidqual report   --in FILE [--min-sessions N=auto] [--top K=5]\n"
-      "\nFILEs ending in .vqtr are binary; anything else is CSV.\n"
+      "\nFILEs ending in .vqtr are binary, .vqtc columnar; anything else is\n"
+      "CSV (--format overrides the extension on generate/convert output).\n"
+      "analyze/monitor stream .vqtc inputs at O(one epoch) memory.\n"
       "monitor --checkpoint saves detector state after every epoch (atomic\n"
       "temp-then-rename) and resumes from it when the file exists, so a\n"
       "killed monitor replays no epoch and re-raises no incident.\n"
@@ -66,13 +76,62 @@ int usage() {
   return 2;
 }
 
-bool is_binary_path(std::string_view path) {
-  return path.size() > 5 && path.substr(path.size() - 5) == ".vqtr";
+enum class TraceFormat { kCsv, kBinary, kColumnar };
+
+bool ends_with(std::string_view path, std::string_view suffix) {
+  return path.size() > suffix.size() &&
+         path.substr(path.size() - suffix.size()) == suffix;
+}
+
+TraceFormat format_for_path(std::string_view path) {
+  if (ends_with(path, ".vqtr")) return TraceFormat::kBinary;
+  if (ends_with(path, ".vqtc")) return TraceFormat::kColumnar;
+  return TraceFormat::kCsv;
+}
+
+const char* format_name(TraceFormat f) {
+  switch (f) {
+    case TraceFormat::kCsv: return "csv";
+    case TraceFormat::kBinary: return "binary";
+    case TraceFormat::kColumnar: return "columnar";
+  }
+  return "?";
+}
+
+/// Output format: explicit --format wins, otherwise the path's extension.
+/// nullopt (after a message) on an unknown --format name.
+std::optional<TraceFormat> resolve_format(const ArgParser& args,
+                                          std::string_view path) {
+  const auto name = args.option("format");
+  if (!name.has_value()) return format_for_path(path);
+  if (*name == "csv") return TraceFormat::kCsv;
+  if (*name == "binary") return TraceFormat::kBinary;
+  if (*name == "columnar") return TraceFormat::kColumnar;
+  std::fprintf(stderr,
+               "unknown --format '%s' (use csv, binary, or columnar)\n",
+               std::string{*name}.c_str());
+  return std::nullopt;
+}
+
+void write_trace_as(TraceFormat format, const std::filesystem::path& path,
+                    const SessionTable& table, const AttributeSchema& schema) {
+  switch (format) {
+    case TraceFormat::kCsv: write_trace_csv(path, table, schema); return;
+    case TraceFormat::kBinary: write_trace_binary(path, table, schema); return;
+    case TraceFormat::kColumnar:
+      write_trace_columnar(path, table, schema);
+      return;
+  }
 }
 
 LoadedTrace load(std::string_view path) {
   const std::filesystem::path p{std::string{path}};
-  return is_binary_path(path) ? read_trace_binary(p) : read_trace_csv(p);
+  switch (format_for_path(path)) {
+    case TraceFormat::kBinary: return read_trace_binary(p);
+    case TraceFormat::kColumnar: return read_trace_columnar(p);
+    case TraceFormat::kCsv: break;
+  }
+  return read_trace_csv(p);
 }
 
 /// --on-error POLICY (default strict); exits via usage() on a bad name, so
@@ -93,9 +152,15 @@ std::optional<ErrorPolicy> on_error_policy(const ArgParser& args) {
 RobustLoadedTrace load_robust(std::string_view path, ErrorPolicy policy) {
   const std::filesystem::path p{std::string{path}};
   const RobustReadOptions options{.policy = policy};
-  RobustLoadedTrace loaded = is_binary_path(path)
-                                 ? read_trace_binary_robust(p, options)
-                                 : read_trace_csv_robust(p, options);
+  RobustLoadedTrace loaded = [&] {
+    switch (format_for_path(path)) {
+      case TraceFormat::kBinary: return read_trace_binary_robust(p, options);
+      case TraceFormat::kColumnar:
+        return read_trace_columnar_robust(p, options);
+      case TraceFormat::kCsv: break;
+    }
+    return read_trace_csv_robust(p, options);
+  }();
   if (loaded.report.degraded()) {
     std::fprintf(stderr, "ingest (%s): %s\n",
                  std::string{error_policy_name(policy)}.c_str(),
@@ -147,8 +212,9 @@ int write_obs_outputs(const ObsRequest& req) {
   return 0;
 }
 
-std::uint32_t auto_min_sessions(const SessionTable& table,
-                                const ArgParser& args) {
+std::uint32_t auto_min_sessions_from(std::uint64_t total_sessions,
+                                     std::uint32_t num_epochs,
+                                     const ArgParser& args) {
   const auto explicit_value = args.option_u64("min-sessions", 0);
   if (explicit_value > 0) {
     return static_cast<std::uint32_t>(explicit_value);
@@ -156,9 +222,14 @@ std::uint32_t auto_min_sessions(const SessionTable& table,
   // ~2% of a mean epoch, floored: the statistical calibration DESIGN.md
   // derives from the paper's 1.5x ~= 2 sigma rule.
   const std::uint64_t per_epoch =
-      table.num_epochs() == 0 ? 0 : table.size() / table.num_epochs();
+      num_epochs == 0 ? 0 : total_sessions / num_epochs;
   return static_cast<std::uint32_t>(std::max<std::uint64_t>(
       30, per_epoch / 50));
+}
+
+std::uint32_t auto_min_sessions(const SessionTable& table,
+                                const ArgParser& args) {
+  return auto_min_sessions_from(table.size(), table.num_epochs(), args);
 }
 
 std::optional<Metric> parse_metric(std::string_view name) {
@@ -199,14 +270,33 @@ int cmd_generate(const ArgParser& args) {
   trace_config.seed = world_config.seed + 2;
   const SessionTable trace = generate_trace(world, events, trace_config);
 
+  const auto format = resolve_format(args, *out);
+  if (!format.has_value()) return 2;
   const std::filesystem::path path{std::string{*out}};
-  if (is_binary_path(*out)) {
-    write_trace_binary(path, trace, world.schema());
-  } else {
-    write_trace_csv(path, trace, world.schema());
-  }
+  write_trace_as(*format, path, trace, world.schema());
   std::printf("wrote %zu sessions over %u epochs to %s (%ju bytes)\n",
               trace.size(), trace.num_epochs(), path.string().c_str(),
+              static_cast<std::uintmax_t>(std::filesystem::file_size(path)));
+  return 0;
+}
+
+/// convert: re-encode a trace between the three containers.  Reads with the
+/// row-error policy (so a damaged input can still be rescued into a clean
+/// output) and writes the resolved output format.
+int cmd_convert(const ArgParser& args) {
+  const auto in = args.option("in");
+  const auto out = args.option("out");
+  if (!in.has_value() || !out.has_value()) return usage();
+  const auto policy = on_error_policy(args);
+  if (!policy.has_value()) return 2;
+  const auto format = resolve_format(args, *out);
+  if (!format.has_value()) return 2;
+  const RobustLoadedTrace loaded = load_robust(*in, *policy);
+  const std::filesystem::path path{std::string{*out}};
+  write_trace_as(*format, path, loaded.table, loaded.schema);
+  std::printf("converted %zu sessions over %u epochs to %s (%s, %ju bytes)\n",
+              loaded.table.size(), loaded.table.num_epochs(),
+              path.string().c_str(), format_name(*format),
               static_cast<std::uintmax_t>(std::filesystem::file_size(path)));
   return 0;
 }
@@ -217,18 +307,45 @@ int cmd_analyze(const ArgParser& args) {
   const auto policy = on_error_policy(args);
   if (!policy.has_value()) return 2;
   const ObsRequest obs_req = obs_request(args);  // before ingest spans start
-  const RobustLoadedTrace loaded = load_robust(*in, *policy);
-  const std::vector<std::uint32_t> degraded =
-      loaded.report.degraded_epochs();
   PipelineConfig config;
   config.workers = static_cast<std::size_t>(args.option_u64("workers", 0));
   config.shards = static_cast<std::size_t>(args.option_u64("shards", 0));
-  config.cluster_params.min_sessions = auto_min_sessions(loaded.table, args);
-  std::fprintf(stderr, "analyzing %zu sessions over %u epochs "
-               "(min_sessions=%u)...\n",
-               loaded.table.size(), loaded.table.num_epochs(),
-               config.cluster_params.min_sessions);
-  const PipelineResult result = run_pipeline(loaded.table, config, degraded);
+
+  // Columnar inputs stream epoch-by-epoch (O(one epoch) memory); the other
+  // formats materialize.  Both paths produce identical reports on the same
+  // sessions — the streaming fold is bit-identical to the row-wise one.
+  PipelineResult result;
+  AttributeSchema schema;
+  if (format_for_path(*in) == TraceFormat::kColumnar) {
+    ColumnarReader reader{std::filesystem::path{std::string{*in}},
+                          RobustReadOptions{.policy = *policy}};
+    config.cluster_params.min_sessions = auto_min_sessions_from(
+        reader.total_sessions(), reader.num_epochs(), args);
+    std::fprintf(stderr, "analyzing %zu sessions over %u epochs "
+                 "(min_sessions=%u)...\n",
+                 static_cast<std::size_t>(reader.total_sessions()),
+                 reader.num_epochs(), config.cluster_params.min_sessions);
+    result = run_pipeline_streaming(reader, config);
+    const IngestReport report = reader.report();
+    publish_ingest_metrics(report);
+    if (report.degraded()) {
+      std::fprintf(stderr, "ingest (%s): %s\n",
+                   std::string{error_policy_name(*policy)}.c_str(),
+                   report.summary().c_str());
+    }
+    schema = reader.take_schema();
+  } else {
+    RobustLoadedTrace loaded = load_robust(*in, *policy);
+    const std::vector<std::uint32_t> degraded =
+        loaded.report.degraded_epochs();
+    config.cluster_params.min_sessions = auto_min_sessions(loaded.table, args);
+    std::fprintf(stderr, "analyzing %zu sessions over %u epochs "
+                 "(min_sessions=%u)...\n",
+                 loaded.table.size(), loaded.table.num_epochs(),
+                 config.cluster_params.min_sessions);
+    result = run_pipeline(loaded.table, config, degraded);
+    schema = std::move(loaded.schema);
+  }
   if (!result.degraded_epochs.empty()) {
     std::printf("data quality: %zu epoch(s) degraded by quarantined rows:",
                 result.degraded_epochs.size());
@@ -258,7 +375,7 @@ int cmd_analyze(const ArgParser& args) {
     for (const std::uint64_t raw :
          top_critical_keys(result, m, top_k)) {
       std::printf("  %s\n",
-                  loaded.schema.describe(ClusterKey::from_raw(raw)).c_str());
+                  schema.describe(ClusterKey::from_raw(raw)).c_str());
     }
   }
   return write_obs_outputs(obs_req);
@@ -317,12 +434,32 @@ int cmd_monitor(const ArgParser& args) {
   const auto policy = on_error_policy(args);
   if (!policy.has_value()) return 2;
   const ObsRequest obs_req = obs_request(args);  // before ingest spans start
-  const RobustLoadedTrace loaded = load_robust(*in, *policy);
-  const std::vector<std::uint32_t> degraded =
-      loaded.report.degraded_epochs();
+
+  // Columnar inputs stream: one epoch's rows are materialized per detector
+  // ingest instead of the whole trace.
+  const bool streaming = format_for_path(*in) == TraceFormat::kColumnar;
+  std::optional<ColumnarReader> reader;
+  std::optional<RobustLoadedTrace> loaded;
+  std::vector<std::uint32_t> degraded;
+  std::uint32_t num_epochs = 0;
+  std::uint64_t total_sessions = 0;
+  if (streaming) {
+    reader.emplace(std::filesystem::path{std::string{*in}},
+                   RobustReadOptions{.policy = *policy});
+    num_epochs = reader->num_epochs();
+    total_sessions = reader->total_sessions();
+  } else {
+    loaded.emplace(load_robust(*in, *policy));
+    degraded = loaded->report.degraded_epochs();
+    num_epochs = loaded->table.num_epochs();
+    total_sessions = loaded->table.size();
+  }
+  const AttributeSchema& schema = streaming ? reader->schema()
+                                            : loaded->schema;
 
   MonitorConfig config;
-  config.cluster_params.min_sessions = auto_min_sessions(loaded.table, args);
+  config.cluster_params.min_sessions =
+      auto_min_sessions_from(total_sessions, num_epochs, args);
   config.escalate_after =
       static_cast<std::uint32_t>(args.option_u64("delay", 1));
   StreamingDetector detector{config};
@@ -348,21 +485,42 @@ int cmd_monitor(const ArgParser& args) {
   const auto stop_after = args.option_u64("stop-after", 0);
 
   std::uint64_t processed = 0;
-  for (std::uint32_t e = start; e < loaded.table.num_epochs(); ++e) {
-    const EpochDataQuality quality{
-        .degraded = std::binary_search(degraded.begin(), degraded.end(), e)};
-    for (const IncidentEvent& event :
-         detector.ingest(loaded.table.epoch(e), e, quality)) {
+  SessionColumns columns;  // streaming scratch, reused across epochs
+  std::vector<Session> rows;
+  for (std::uint32_t e = start; e < num_epochs; ++e) {
+    bool degraded_epoch = false;
+    std::span<const Session> sessions;
+    if (streaming) {
+      degraded_epoch = reader->read_epoch(e, columns);
+      rows.clear();
+      columns.append_rows(e, rows);
+      sessions = rows;
+    } else {
+      degraded_epoch =
+          std::binary_search(degraded.begin(), degraded.end(), e);
+      sessions = loaded->table.epoch(e);
+    }
+    const EpochDataQuality quality{.degraded = degraded_epoch};
+    for (const IncidentEvent& event : detector.ingest(sessions, e, quality)) {
       if (event.update == IncidentUpdate::kNew) continue;  // alert on action
       std::printf("%02u:00 %-9s %-11s %s (streak %u h, %.0f sessions)\n", e,
                   std::string(incident_update_name(event.update)).c_str(),
                   std::string(metric_name(event.incident.metric)).c_str(),
-                  loaded.schema.describe(event.incident.key).c_str(),
+                  schema.describe(event.incident.key).c_str(),
                   event.incident.streak, event.incident.attributed);
     }
     if (checkpoint.has_value()) detector.save_checkpoint(checkpoint_path);
     if (stop_after != 0 && ++processed >= stop_after) {
       return write_obs_outputs(obs_req);
+    }
+  }
+  if (streaming) {
+    const IngestReport report = reader->report();
+    publish_ingest_metrics(report);
+    if (report.degraded()) {
+      std::fprintf(stderr, "ingest (%s): %s\n",
+                   std::string{error_policy_name(*policy)}.c_str(),
+                   report.summary().c_str());
     }
   }
   std::printf("total incidents opened:");
@@ -470,6 +628,7 @@ int main(int argc, char** argv) {
   try {
     if (command == "generate") return cmd_generate(args);
     if (command == "analyze") return cmd_analyze(args);
+    if (command == "convert") return cmd_convert(args);
     if (command == "whatif") return cmd_whatif(args);
     if (command == "monitor") return cmd_monitor(args);
     if (command == "timeline") return cmd_timeline(args);
