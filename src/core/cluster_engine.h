@@ -22,13 +22,30 @@
 //    uint32, the merged store's content is identical to the serial
 //    expansion regardless of shard count or merge order.
 //
-// Cells are stored *indexed*: a FlatMap64 maps the packed key to a dense
-// uint32 id assigned in first-touch order, and the ClusterStats live in one
-// contiguous vector keyed by id.  As a byproduct of pass 2, expand_fold can
-// record a LeafCellIndex — for every distinct leaf, the dense ids of its
-// materialised projections — which lets the critical-cluster analysis
-// (critical_cluster.h) replace its 127 hash lookups per leaf with plain
-// array gathers over precomputed per-metric flag bitsets.
+// Pass 2 itself has two engines (ClusterEngineConfig::expand), again
+// bit-identical in cell content:
+//
+//  * mask-major (default): a smallest-parent aggregation DAG.  Masks are
+//    folded tier by tier in decreasing arity; each mask batch-projects the
+//    cells of its cheapest already-aggregated superset (or the sorted
+//    leaves) with the expand_kernels.h SIMD kernels and folds equal
+//    projected keys by linear run-length scan, radix-sorting the
+//    (projected key, source row) pairs first where the source order
+//    doesn't already group them.  Hash-free; dense ids are assigned in the
+//    canonical (mask-major, key-ascending) order, identical at any
+//    worker/shard count.
+//  * hashed: the original per-(leaf, mask) hash bump, retained as the
+//    differential baseline; dense ids in first-touch order.
+//
+// Cells are stored *indexed*: dense uint32 id -> ClusterStats in one
+// contiguous vector.  A hashed-path store maps key -> id through a
+// FlatMap64; a mask-major store is built sorted and resolves keys by
+// binary search within the key's mask group (no hash table at all).  As a
+// byproduct of pass 2, expand_fold can record a LeafCellIndex — for every
+// distinct leaf, the dense ids of its materialised projections — which lets
+// the critical-cluster analysis (critical_cluster.h) replace its 127 hash
+// lookups per leaf with plain array gathers over precomputed per-metric
+// flag bitsets.
 
 #pragma once
 
@@ -39,6 +56,7 @@
 #include <vector>
 
 #include "src/core/attributes.h"
+#include "src/core/batch_kernel.h"
 #include "src/core/session.h"
 #include "src/util/flat_hash_map.h"
 
@@ -71,15 +89,34 @@ struct ClusterStats {
   [[nodiscard]] ClusterStats minus(const ClusterStats& o) const noexcept;
 };
 
-/// Dense-id cell store: raw ClusterKey -> uint32 id (first-touch order) with
-/// the ClusterStats in one contiguous vector keyed by id.  Keeps the lookup
-/// surface of the FlatMap64 it replaced (find/size/for_each/operator[]) and
-/// adds id-based accessors for the indexed critical path.  Iteration order
-/// is id order, i.e. deterministic insertion order.
+/// Dense-id cell store: raw ClusterKey -> uint32 id with the ClusterStats
+/// in one contiguous vector keyed by id.  Keeps the lookup surface of the
+/// FlatMap64 it replaced (find/size/for_each/operator[]) and adds id-based
+/// accessors for the indexed critical path.  Iteration order is id order.
+///
+/// Two modes share this type:
+///  * mutable (default): ids assigned in first-touch order through a
+///    FlatMap64 — the hashed expansion and the unfolded path build these.
+///  * sorted (from_mask_major): keys laid out in canonical (mask-major,
+///    key-ascending) id order; lookups binary-search the key's mask group,
+///    so reads are hash-free, allocation-free, and safe from concurrent
+///    threads; every mutator throws std::logic_error.
 class CellStore {
  public:
   /// Sentinel for "no cell" in id-typed contexts.
   static constexpr std::uint32_t kNoCell = ~std::uint32_t{0};
+
+  /// Builds a sorted-mode store from the mask-major expansion's canonical
+  /// arrays: keys/stats in (mask-major, key-ascending) dense-id order, with
+  /// `mask_offsets[m] .. mask_offsets[m + 1]` delimiting mask m's id range
+  /// (the final entry must equal keys.size()).  Throws
+  /// std::invalid_argument on inconsistent array shapes.
+  static CellStore from_mask_major(
+      std::vector<std::uint64_t> keys, std::vector<ClusterStats> stats,
+      const std::array<std::uint32_t, kFullMask + 2>& mask_offsets);
+
+  /// True for sorted-mode (immutable, binary-search) stores.
+  [[nodiscard]] bool sorted() const noexcept { return sorted_; }
 
   [[nodiscard]] std::size_t size() const noexcept { return stats_.size(); }
   [[nodiscard]] bool empty() const noexcept { return stats_.empty(); }
@@ -91,7 +128,9 @@ class CellStore {
   }
 
   /// Dense id for `raw`, inserting a zero-stats cell on first touch.
+  /// Throws std::logic_error on a sorted-mode store.
   std::uint32_t id_or_insert(std::uint64_t raw) {
+    if (sorted_) throw_sorted_mutation();
     // The map stores id + 1 so the value-initialised 0 means "absent" and
     // one probe serves both hit and miss.
     std::uint32_t& slot = ids_[raw];
@@ -106,6 +145,7 @@ class CellStore {
 
   /// Dense id for `raw`, or kNoCell when absent.
   [[nodiscard]] std::uint32_t id_of(std::uint64_t raw) const noexcept {
+    if (sorted_) return sorted_id_of(raw);
     const std::uint32_t* slot = ids_.find(raw);
     return slot == nullptr ? kNoCell : *slot - 1;
   }
@@ -127,7 +167,7 @@ class CellStore {
   }
 
   [[nodiscard]] bool contains(std::uint64_t raw) const noexcept {
-    return ids_.find(raw) != nullptr;
+    return id_of(raw) != kNoCell;
   }
 
   [[nodiscard]] std::uint64_t key(std::uint32_t id) const noexcept {
@@ -162,9 +202,16 @@ class CellStore {
   }
 
  private:
-  FlatMap64<std::uint32_t> ids_;  // raw key -> dense id + 1
+  [[noreturn]] static void throw_sorted_mutation();
+  [[nodiscard]] std::uint32_t sorted_id_of(std::uint64_t raw) const noexcept;
+
+  FlatMap64<std::uint32_t> ids_;  // raw key -> dense id + 1 (mutable mode)
   std::vector<std::uint64_t> keys_;
   std::vector<ClusterStats> stats_;
+  bool sorted_ = false;
+  /// Sorted mode: id range of mask m is [mask_offsets_[m],
+  /// mask_offsets_[m + 1]); keys_ ascend within each range.
+  std::array<std::uint32_t, kFullMask + 2> mask_offsets_{};
 };
 
 /// Byproduct of the indexed pass-2 expansion: for every distinct leaf, the
@@ -189,6 +236,17 @@ struct LeafCellIndex {
   }
 };
 
+/// Pass-2 expansion engine selector (see the file comment).
+enum class ExpandStrategy : std::uint8_t {
+  /// Mask-major hash-free engine (default): batch projection kernels +
+  /// radix/run-length grouping; dense ids in canonical (mask-major,
+  /// key-ascending) order at any worker/shard count.
+  kMaskMajor = 0,
+  /// The original per-(leaf, mask) hash-bump expansion, retained as the
+  /// differential baseline; dense ids in first-touch order.
+  kHashed = 1,
+};
+
 struct ClusterEngineConfig {
   /// Largest attribute-subset size to materialise. kNumDims materialises the
   /// full 127-cell lattice (default, what the paper's method implies); lower
@@ -204,6 +262,14 @@ struct ClusterEngineConfig {
   /// results are identical either way, which
   /// tests/test_critical_differential.cpp enforces.
   bool index_cells = true;
+  /// Pass-2 expansion engine.  Cell content (keys, stats, root) is
+  /// identical either way — tests/test_expand_differential.cpp enforces it
+  /// bit for bit — only the dense-id numbering differs (canonical vs
+  /// first-touch), which no analysis output depends on.
+  ExpandStrategy expand = ExpandStrategy::kMaskMajor;
+  /// Kernel selection for the mask-major batch projections; kScalar forces
+  /// the portable fallback (differential-tested against kAuto).
+  BatchKernel expand_kernel = BatchKernel::kAuto;
 };
 
 /// All cluster statistics of one epoch.
@@ -238,11 +304,14 @@ struct LeafFold {
                                      const ProblemThresholds& thresholds,
                                      std::uint32_t epoch);
 
-/// Expands a leaf fold into the full cluster table (pass 2). With `pool`
-/// non-null and `shards > 1`, the sorted leaf array is partitioned into
-/// contiguous ranges expanded in parallel and merged; content is identical
-/// to the serial expansion. With `config.index_cells` the table additionally
-/// carries the LeafCellIndex (same dense ids for any shard count).
+/// Expands a leaf fold into the full cluster table (pass 2), dispatching on
+/// `config.expand`.  With `pool` non-null and `shards > 1` the expansion is
+/// parallelised — the mask-major engine shards whole masks within each
+/// arity tier, the hashed engine contiguous leaf ranges merged in range
+/// order; content
+/// is identical to the serial expansion either way. With
+/// `config.index_cells` the table additionally carries the LeafCellIndex
+/// (same dense ids for any shard count).
 [[nodiscard]] EpochClusterTable expand_fold(const LeafFold& fold,
                                             const ClusterEngineConfig& config,
                                             ThreadPool* pool = nullptr,

@@ -37,17 +37,12 @@
 #include <vector>
 
 #include "src/core/attributes.h"
+#include "src/core/batch_kernel.h"
 #include "src/core/session.h"
 
 namespace vq {
 
 struct LeafFold;
-
-/// Which kernel implementation the batch entry points dispatch to.  kAuto
-/// picks the widest instruction set the build supports (AVX2, else SSE2,
-/// else scalar); kScalar forces the portable fallback — the differential
-/// tests run both and require bit-identical output.
-enum class BatchKernel : std::uint8_t { kAuto = 0, kScalar = 1 };
 
 /// One batch of sessions in structure-of-arrays layout: column i of attrs
 /// holds dimension i's value ids, metric columns are parallel to it.  All

@@ -1,0 +1,182 @@
+#include "src/core/expand_kernels.h"
+
+#include <cassert>
+
+#if defined(__AVX2__)
+#include <immintrin.h>
+#elif defined(__SSE2__)
+#include <emmintrin.h>
+#endif
+
+namespace vq {
+
+namespace {
+
+/// Per-dimension value-field bit ranges, derived from the same kDimBits
+/// layout ClusterKey packs with (fields start right above the 7 mask bits).
+/// project_keys is differential-tested against ClusterKey::project, which
+/// pins this table to the authoritative layout in attributes.cpp.
+constexpr std::array<std::uint64_t, kNumDims> kDimFieldBits = [] {
+  std::array<std::uint64_t, kNumDims> out{};
+  int offset = kNumDims;
+  for (int d = 0; d < kNumDims; ++d) {
+    out[static_cast<std::size_t>(d)] =
+        ((std::uint64_t{1} << kDimBits[static_cast<std::size_t>(d)]) - 1)
+        << offset;
+    offset += kDimBits[static_cast<std::size_t>(d)];
+  }
+  return out;
+}();
+
+constexpr std::array<std::uint64_t, kFullMask + 1> kFieldMaskTable = [] {
+  std::array<std::uint64_t, kFullMask + 1> out{};
+  for (unsigned mask = 0; mask <= kFullMask; ++mask) {
+    std::uint64_t bits = 0;
+    for (int d = 0; d < kNumDims; ++d) {
+      if ((mask >> d) & 1u) bits |= kDimFieldBits[static_cast<std::size_t>(d)];
+    }
+    out[mask] = bits;
+  }
+  return out;
+}();
+
+void project_block_scalar(const std::uint64_t* keys, std::size_t n,
+                          std::uint64_t field_bits, std::uint64_t mask_bits,
+                          std::uint64_t* out) {
+  for (std::size_t i = 0; i < n; ++i) {
+    out[i] = mask_bits | (keys[i] & field_bits);
+  }
+}
+
+#if defined(__AVX2__)
+
+void project_block_simd(const std::uint64_t* keys, std::size_t n,
+                        std::uint64_t field_bits, std::uint64_t mask_bits,
+                        std::uint64_t* out) {
+  const __m256i field = _mm256_set1_epi64x(static_cast<long long>(field_bits));
+  const __m256i mask = _mm256_set1_epi64x(static_cast<long long>(mask_bits));
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256i k =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(keys + i));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + i),
+                        _mm256_or_si256(mask, _mm256_and_si256(k, field)));
+  }
+  project_block_scalar(keys + i, n - i, field_bits, mask_bits, out + i);
+}
+
+#elif defined(__SSE2__)
+
+void project_block_simd(const std::uint64_t* keys, std::size_t n,
+                        std::uint64_t field_bits, std::uint64_t mask_bits,
+                        std::uint64_t* out) {
+  const __m128i field =
+      _mm_set1_epi64x(static_cast<long long>(field_bits));
+  const __m128i mask = _mm_set1_epi64x(static_cast<long long>(mask_bits));
+  std::size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    const __m128i k =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(keys + i));
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(out + i),
+                     _mm_or_si128(mask, _mm_and_si128(k, field)));
+  }
+  project_block_scalar(keys + i, n - i, field_bits, mask_bits, out + i);
+}
+
+#endif
+
+}  // namespace
+
+std::uint64_t lattice_field_mask(std::uint8_t mask) noexcept {
+  return kFieldMaskTable[mask & kFullMask];
+}
+
+void project_keys(const std::uint64_t* keys, std::size_t n, std::uint8_t mask,
+                  std::uint64_t* out, BatchKernel kernel) {
+  const std::uint64_t field_bits = lattice_field_mask(mask);
+  const std::uint64_t mask_bits = mask & kFullMask;
+#if defined(__AVX2__) || defined(__SSE2__)
+  if (kernel == BatchKernel::kAuto) {
+    project_block_simd(keys, n, field_bits, mask_bits, out);
+    return;
+  }
+#else
+  (void)kernel;
+#endif
+  project_block_scalar(keys, n, field_bits, mask_bits, out);
+}
+
+RadixPlan radix_plan(std::uint8_t head_mask) noexcept {
+  // The low 7 mask bits are constant within a head, so only the head's
+  // value-field bits can differ between projected keys; every byte-aligned
+  // 8-bit window without such a bit is a constant digit and needs no pass.
+  const std::uint64_t varying = lattice_field_mask(head_mask);
+  RadixPlan plan;
+  for (int byte = 0; byte < 8; ++byte) {
+    if ((varying >> (8 * byte)) & 0xFFu) {
+      plan.shifts[static_cast<std::size_t>(plan.passes++)] =
+          static_cast<std::uint8_t>(8 * byte);
+    }
+  }
+  return plan;
+}
+
+std::uint64_t radix_sort_pairs(std::vector<std::uint64_t>& keys,
+                               std::vector<std::uint32_t>& rows,
+                               const RadixPlan& plan,
+                               std::vector<std::uint64_t>& key_scratch,
+                               std::vector<std::uint32_t>& row_scratch) {
+  const std::size_t n = keys.size();
+  assert(rows.size() == n);
+  if (n < 2 || plan.passes == 0) return 0;
+  // Exact-size scratch: the buffers are swapped into keys/rows below, so
+  // their length must equal n even when a previous (larger) head left more
+  // capacity behind.
+  key_scratch.resize(n);
+  row_scratch.resize(n);
+
+  // One read pass gathers every pass's digit histogram.  Only the rows the
+  // plan actually uses are zeroed: the 8 KiB full-array clear would be the
+  // dominant cost for the engine's many small per-tier sorts.
+  std::array<std::array<std::uint32_t, 256>, 8> hist;
+  for (int p = 0; p < plan.passes; ++p) {
+    hist[static_cast<std::size_t>(p)].fill(0);
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint64_t k = keys[i];
+    for (int p = 0; p < plan.passes; ++p) {
+      ++hist[static_cast<std::size_t>(p)][(k >> plan.shifts[static_cast<std::size_t>(p)]) & 0xFFu];
+    }
+  }
+
+  std::uint64_t executed = 0;
+  for (int p = 0; p < plan.passes; ++p) {
+    auto& h = hist[static_cast<std::size_t>(p)];
+    const int shift = plan.shifts[static_cast<std::size_t>(p)];
+    // The plan marks digits whose *field* can vary; the actual keys often
+    // keep a digit constant anyway (small attribute cardinalities).  Such a
+    // pass is a stable identity scatter — skip it.  The check reads the
+    // histogram already in hand, and whether it fires depends only on the
+    // key multiset, so the returned byte count stays shard/kernel-invariant.
+    if (h[(keys[0] >> shift) & 0xFFu] == n) continue;
+    ++executed;
+    std::uint32_t sum = 0;
+    for (std::uint32_t& bucket : h) {
+      const std::uint32_t count = bucket;
+      bucket = sum;
+      sum += count;
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::uint64_t k = keys[i];
+      const std::uint32_t pos = h[(k >> shift) & 0xFFu]++;
+      key_scratch[pos] = k;
+      row_scratch[pos] = rows[i];
+    }
+    keys.swap(key_scratch);
+    rows.swap(row_scratch);
+  }
+  return static_cast<std::uint64_t>(n) * executed *
+         (sizeof(std::uint64_t) + sizeof(std::uint32_t));
+}
+
+}  // namespace vq

@@ -102,6 +102,48 @@ INSTANTIATE_TEST_SUITE_P(ArityCaps, CriticalDifferential,
                            return "arity" + std::to_string(info.param);
                          });
 
+TEST(CriticalDifferential, IndexedPathAgreesAcrossExpansionEngines) {
+  // The indexed critical path must produce the same analysis whether the
+  // epoch table (and its LeafCellIndex) came from the mask-major or the
+  // hashed expansion engine — the dense-id numberings differ, but every
+  // analysis output is id-order independent.
+  static const SessionTable trace = big_trace();
+  const std::span<const Session> sessions = trace.epoch(0);
+  const ProblemThresholds thresholds;
+  const ProblemClusterParams params{.ratio_multiplier = 1.5,
+                                    .min_sessions = 150};
+
+  const LeafFold fold = fold_sessions(sessions, thresholds, 0);
+  ClusterEngineConfig hashed_config;
+  hashed_config.expand = ExpandStrategy::kHashed;
+  const EpochClusterTable from_hashed = expand_fold(fold, hashed_config);
+  const EpochClusterTable from_mask_major = expand_fold(fold, {});
+  ASSERT_TRUE(from_mask_major.clusters.sorted());
+  ASSERT_FALSE(from_hashed.clusters.sorted());
+
+  ThreadPool pool{4};
+  std::size_t total_criticals = 0;
+  for (const Metric m : kAllMetrics) {
+    const CriticalAnalysis baseline =
+        find_critical_clusters_hashed(fold, from_hashed, params, m);
+    total_criticals += baseline.criticals.size();
+    // Hashed critical extraction over the sorted-mode store (pure
+    // binary-search lookups) and indexed extraction over both tables.
+    expect_analyses_identical(
+        baseline,
+        find_critical_clusters_hashed(fold, from_mask_major, params, m));
+    for (const std::size_t shards : {1u, 4u}) {
+      expect_analyses_identical(
+          baseline, find_critical_clusters_indexed(from_mask_major, params,
+                                                   m, &pool, shards));
+      expect_analyses_identical(
+          baseline, find_critical_clusters_indexed(from_hashed, params, m,
+                                                   &pool, shards));
+    }
+  }
+  EXPECT_GT(total_criticals, 0u);
+}
+
 TEST(CriticalDifferential, DispatchSelectsStrategyByIndexPresence) {
   static const SessionTable trace = big_trace();
   const std::span<const Session> sessions = trace.epoch(0);
