@@ -12,6 +12,7 @@
 
 #include "src/obs/metrics.h"
 #include "src/obs/trace.h"
+#include "src/util/fsync.h"
 
 namespace vq {
 
@@ -84,11 +85,13 @@ std::vector<IncidentEvent> StreamingDetector::ingest(
   has_ingested_ = true;
 
   // One fold per ingested epoch, shared by the expansion and all metrics.
+  ThreadPool* pool_ptr = pool_ ? &*pool_ : nullptr;
+  const std::size_t shards = std::max<std::uint32_t>(1, config_.shards);
   const LeafFold fold =
       fold_sessions(sessions, config_.thresholds, epoch);
   const EpochClusterTable lattice =
       config_.engine.fold_leaves
-          ? expand_fold(fold, config_.engine)
+          ? expand_fold(fold, config_.engine, pool_ptr, shards)
           : aggregate_epoch_unfolded(sessions, config_.thresholds,
                                      config_.engine, epoch);
 
@@ -100,8 +103,8 @@ std::vector<IncidentEvent> StreamingDetector::ingest(
     // Dispatches to the indexed extraction when the expansion built a leaf
     // index (the fold_leaves default); falls back to the hashed baseline
     // for unfolded configs.
-    const CriticalAnalysis analysis =
-        find_critical_clusters(fold, lattice, config_.cluster_params, metric);
+    const CriticalAnalysis analysis = find_critical_clusters(
+        fold, lattice, config_.cluster_params, metric, pool_ptr, shards);
 
     // Mark every open incident as unseen; re-arm those still present.
     for (auto& [raw, incident] : incidents) incident.attributed = -1.0;
@@ -320,6 +323,11 @@ void StreamingDetector::save_checkpoint(
                                tmp.string()};
     }
   }
+  // Durability before atomicity: the rename commits whatever bytes the
+  // filesystem has — without the fsync a power cut can promote a
+  // zero-length temp file into the "committed" checkpoint.  The directory
+  // fsync afterwards persists the rename itself.
+  detail::fsync_path(tmp, /*directory=*/false, "save_checkpoint");
   std::error_code ec;
   std::filesystem::rename(tmp, path, ec);
   if (ec) {
@@ -327,6 +335,9 @@ void StreamingDetector::save_checkpoint(
     throw std::runtime_error{"save_checkpoint: rename to " + path.string() +
                              " failed"};
   }
+  const std::filesystem::path dir = path.parent_path();
+  detail::fsync_path(dir.empty() ? "." : dir, /*directory=*/true,
+                     "save_checkpoint");
 }
 
 void StreamingDetector::load_checkpoint(std::istream& in) {

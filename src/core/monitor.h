@@ -38,6 +38,7 @@
 #include <cstdint>
 #include <filesystem>
 #include <iosfwd>
+#include <optional>
 #include <span>
 #include <string_view>
 #include <unordered_map>
@@ -49,6 +50,7 @@
 #include "src/core/session.h"
 #include "src/util/mutex.h"
 #include "src/util/thread_annotations.h"
+#include "src/util/thread_pool.h"
 
 namespace vq {
 
@@ -68,6 +70,15 @@ struct MonitorConfig {
   /// escalates (the paper's reactive strategy uses 1).
   std::uint32_t escalate_after = 1;
   EpochOrderPolicy order_policy = EpochOrderPolicy::kThrow;
+  /// Detector-side parallelism for the per-epoch lattice expansion and
+  /// critical-cluster extraction (the pool/shards arguments of expand_fold
+  /// and find_critical_clusters).  workers <= 1 runs serial.  Excluded from
+  /// the checkpoint fingerprint like the engine knobs: the parallel kernels
+  /// are bit-identical to the serial ones by construction, so any
+  /// workers x shards setting yields the same incident stream
+  /// (differential-tested at {1,4} x {1,4}).
+  std::uint32_t workers = 1;
+  std::uint32_t shards = 1;
 };
 
 /// One tracked incident: a critical cluster with a live streak.
@@ -104,8 +115,9 @@ struct EpochDataQuality {
 
 class StreamingDetector {
  public:
-  explicit StreamingDetector(const MonitorConfig& config)
-      : config_(config) {}
+  explicit StreamingDetector(const MonitorConfig& config) : config_(config) {
+    if (config_.workers > 1) pool_.emplace(config_.workers);
+  }
 
   /// Processes one closed epoch. Epochs must be fed in increasing order
   /// (gaps allowed: a gap resets streaks); a non-increasing epoch follows
@@ -184,6 +196,10 @@ class StreamingDetector {
 
  private:
   const MonitorConfig config_;  // immutable after construction: unguarded
+  /// Worker pool for the parallel expand/extract kernels; engaged only when
+  /// config_.workers > 1.  Used exclusively from inside ingest() (under
+  /// mutex_), so it needs no guarding of its own.
+  std::optional<ThreadPool> pool_;
 
   mutable Mutex mutex_;
   std::array<std::unordered_map<std::uint64_t, Incident>, kNumMetrics>

@@ -50,9 +50,15 @@ class RowSink {
       // vq-lint: allow(positioned-throw)
       throw std::runtime_error{std::string{context_} + ": " + detail};
     }
-    if (report_->quarantine.size() < options_.max_quarantine_samples) {
+    if (report_->quarantine.size() < options_.max_quarantine_samples &&
+        retained_bytes_ + detail.size() <= options_.max_quarantine_bytes) {
+      retained_bytes_ += detail.size();
       report_->quarantine.push_back(
           QuarantinedRow{line, offset, kind, std::move(detail)});
+    } else {
+      // Over the sample or byte budget: the event stays exactly counted,
+      // only its payload is shed.
+      report_->quarantine_payloads_dropped += 1;
     }
   }
 
@@ -61,6 +67,7 @@ class RowSink {
   const RobustReadOptions& options_;
   Mutex mutex_;
   IngestReport* const report_ VQ_PT_GUARDED_BY(mutex_);
+  std::size_t retained_bytes_ VQ_GUARDED_BY(mutex_) = 0;
 };
 
 /// Per-epoch kept/quarantined tallies, folded into the report at the end.

@@ -32,6 +32,8 @@ void publish_ingest_metrics(const IngestReport& report) {
         std::string{row_error_name(static_cast<RowErrorKind>(k))};
     reg.counter(name).add(report.reason_counts[static_cast<std::size_t>(k)]);
   }
+  reg.counter("quarantine.dropped_payloads")
+      .add(report.quarantine_payloads_dropped);
   reg.gauge("ingest.degraded_epochs")
       .set(static_cast<std::int64_t>(report.degraded_epochs().size()));
   reg.gauge("ingest.input_truncated").set(report.input_truncated ? 1 : 0);

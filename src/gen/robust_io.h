@@ -96,6 +96,10 @@ struct IngestReport {
   /// True when the stream ended mid-record or failed (badbit): everything
   /// after the cut is missing, so trailing epochs are suspect.
   bool input_truncated = false;
+  /// Quarantined rows whose sample payload was dropped because retaining it
+  /// would exceed max_quarantine_samples or max_quarantine_bytes.  Counts
+  /// stay exact either way; only the human-readable evidence is bounded.
+  std::uint64_t quarantine_payloads_dropped = 0;
   std::array<std::uint64_t, kNumRowErrorKinds> reason_counts{};
   /// First max_quarantine_samples diverted rows (bounded so a fully
   /// corrupt multi-GB feed cannot balloon the report).
@@ -129,6 +133,12 @@ struct RobustReadOptions {
   ErrorPolicy policy = ErrorPolicy::kStrict;
   /// Cap on retained QuarantinedRow samples (counts are always exact).
   std::size_t max_quarantine_samples = 64;
+  /// Byte budget for retained sample payloads (the `detail` strings): a
+  /// hostile feed of huge malformed rows must not grow the report without
+  /// bound.  Samples beyond the budget are dropped (and counted in
+  /// IngestReport::quarantine_payloads_dropped); per-reason counts stay
+  /// exact.
+  std::size_t max_quarantine_bytes = 256 * 1024;
   /// Rows with epoch > max_epoch are rejected (kBadNumber): an epoch is a
   /// dense index, and a poisoned one is as unsalvageable as an unparseable
   /// one.

@@ -1,6 +1,8 @@
-// Internal wire-format constants shared by the trace writers (trace_io.cpp)
-// and the policy-driven readers (robust_io.cpp).  Not installed as public
-// API: include only from src/gen/*.cpp.
+// Internal wire-format constants shared by the trace writers (trace_io.cpp),
+// the policy-driven readers (robust_io.cpp), and the live ingest framing
+// (src/serve/framing.cpp, which reuses the record layout and schema section
+// on the wire).  Not installed as public API: include only from src/gen and
+// src/serve implementation files.
 
 #pragma once
 

@@ -1,0 +1,182 @@
+// Bounded row queue between the socket acceptor and the detector thread.
+//
+// The live server's contract (DESIGN.md §4.11) is that a slow consumer or a
+// flooding producer degrades *gracefully and accountably*: the queue has a
+// fixed capacity, and what happens at the brim is an explicit policy —
+//
+//   kBlockWithDeadline — the producer side waits for space up to a
+//     caller-supplied deadline; a timed-out push fails and the caller sheds
+//     the batch (counting every row).  The acceptor never parks forever on
+//     a wedged consumer.
+//   kShedOldest — the queue evicts its oldest batches to admit the new one
+//     (freshest-data-wins, the right bias for a live dashboard); evicted
+//     rows are returned to the caller so shedding is *counted*, never
+//     silent.
+//
+// Elements are pushed in batches (one decoded data frame = one batch) so
+// queue pressure is measured in rows, matching the serve.* accounting.
+// The queue is small and mutex-based on purpose: the hot cost of ingest is
+// parsing and folding, not hand-off, and vq::Mutex carries the Clang
+// thread-safety annotations the lock-free alternatives would forfeit.
+
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <deque>
+#include <utility>
+#include <vector>
+
+#include "src/util/mutex.h"
+#include "src/util/thread_annotations.h"
+
+namespace vq::serve {
+
+/// What a full queue does to an arriving batch.
+enum class OverloadPolicy : std::uint8_t {
+  kBlockWithDeadline = 0,
+  kShedOldest = 1,
+};
+
+/// Result of one push attempt.  Evicted batches are handed back whole so
+/// the caller can attribute every shed row to the connection that sent it.
+template <typename Batch>
+struct PushResult {
+  bool admitted = false;        // the new batch is in the queue
+  std::uint64_t refused = 0;    // rows of the new batch that were refused
+  std::vector<Batch> evicted;   // older batches evicted to admit the new one
+};
+
+/// Bounded multi-batch queue of row batches with explicit overload policy.
+///
+/// Capacity is counted in rows, not batches: a single huge frame and many
+/// tiny ones exert the same pressure.  One producer (the acceptor thread)
+/// and one consumer (the detector thread) in the server; the lock makes it
+/// safe for tests to hammer it from many threads anyway.
+template <typename Row>
+class BoundedRowQueue {
+ public:
+  struct Batch {
+    std::uint64_t connection_id = 0;
+    std::vector<Row> rows;
+  };
+
+  explicit BoundedRowQueue(std::size_t capacity_rows,
+                           OverloadPolicy policy)
+      : capacity_rows_(capacity_rows == 0 ? 1 : capacity_rows),
+        policy_(policy) {}
+
+  /// Pushes one batch.  Batches larger than the whole capacity are refused
+  /// outright — no deadline can ever admit them.
+  ///
+  /// kBlockWithDeadline: waits up to `deadline` for space; on timeout the
+  /// batch is refused (rows counted in `refused`).
+  /// kShedOldest: evicts oldest batches until the new one fits (the
+  /// deadline is ignored); evicted batches come back in `evicted`.
+  PushResult<Batch> push(Batch batch, std::chrono::milliseconds deadline)
+      VQ_EXCLUDES(mutex_) {
+    const std::uint64_t n = batch.rows.size();
+    PushResult<Batch> result;
+    if (n > capacity_rows_) {
+      result.refused = n;
+      return result;
+    }
+    MutexLock lock{mutex_};
+    if (policy_ == OverloadPolicy::kBlockWithDeadline) {
+      // One bounded wait per push: a re-check loop against remaining time
+      // would need a clock read, and the caller retries pushes anyway.
+      if (size_rows_ + n > capacity_rows_ && !closed_) {
+        space_.wait_for(mutex_, deadline);
+      }
+      if (closed_ || size_rows_ + n > capacity_rows_) {
+        result.refused = n;
+        return result;
+      }
+    } else {
+      while (size_rows_ + n > capacity_rows_ && !queue_.empty()) {
+        size_rows_ -= queue_.front().rows.size();
+        result.evicted.push_back(std::move(queue_.front()));
+        queue_.pop_front();
+      }
+      if (closed_ || size_rows_ + n > capacity_rows_) {
+        result.refused = n;
+        return result;
+      }
+    }
+    size_rows_ += n;
+    if (size_rows_ > highwater_rows_) highwater_rows_ = size_rows_;
+    queue_.push_back(std::move(batch));
+    result.admitted = true;
+    data_.notify_one();
+    return result;
+  }
+
+  /// Non-blocking probe: true when a push of `n` rows would currently fit.
+  [[nodiscard]] bool has_space(std::size_t n) const VQ_EXCLUDES(mutex_) {
+    const MutexLock lock{mutex_};
+    return size_rows_ + n <= capacity_rows_;
+  }
+
+  /// Pops every queued batch, blocking up to `deadline` when empty.  An
+  /// empty result means timeout (or a closed, drained queue).
+  [[nodiscard]] std::vector<Batch> pop_all(std::chrono::milliseconds deadline)
+      VQ_EXCLUDES(mutex_) {
+    MutexLock lock{mutex_};
+    if (queue_.empty() && !closed_) {
+      data_.wait_for(mutex_, deadline);
+    }
+    std::vector<Batch> out;
+    out.reserve(queue_.size());
+    while (!queue_.empty()) {
+      out.push_back(std::move(queue_.front()));
+      queue_.pop_front();
+    }
+    size_rows_ = 0;
+    space_.notify_all();
+    return out;
+  }
+
+  /// Closes the queue: pending batches remain poppable, further pushes are
+  /// refused, and blocked waiters wake immediately.
+  void close() VQ_EXCLUDES(mutex_) {
+    MutexLock lock{mutex_};
+    closed_ = true;
+    data_.notify_all();
+    space_.notify_all();
+  }
+
+  [[nodiscard]] bool closed() const VQ_EXCLUDES(mutex_) {
+    const MutexLock lock{mutex_};
+    return closed_;
+  }
+
+  [[nodiscard]] std::size_t size_rows() const VQ_EXCLUDES(mutex_) {
+    const MutexLock lock{mutex_};
+    return size_rows_;
+  }
+
+  /// Peak queued rows ever observed (the serve.queue_highwater metric).
+  [[nodiscard]] std::size_t highwater_rows() const VQ_EXCLUDES(mutex_) {
+    const MutexLock lock{mutex_};
+    return highwater_rows_;
+  }
+
+  [[nodiscard]] std::size_t capacity_rows() const noexcept {
+    return capacity_rows_;
+  }
+  [[nodiscard]] OverloadPolicy policy() const noexcept { return policy_; }
+
+ private:
+  const std::size_t capacity_rows_;
+  const OverloadPolicy policy_;
+
+  mutable Mutex mutex_;
+  CondVar data_;   // signalled on push
+  CondVar space_;  // signalled on pop
+  std::deque<Batch> queue_ VQ_GUARDED_BY(mutex_);
+  std::size_t size_rows_ VQ_GUARDED_BY(mutex_) = 0;
+  std::size_t highwater_rows_ VQ_GUARDED_BY(mutex_) = 0;
+  bool closed_ VQ_GUARDED_BY(mutex_) = false;
+};
+
+}  // namespace vq::serve

@@ -1,0 +1,137 @@
+#include "src/serve/producer.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+
+#include "src/serve/framing.h"
+
+namespace vq::serve {
+
+namespace {
+
+int connect_to(const std::string& address) {
+  int fd = -1;
+  if (address.rfind("unix:", 0) == 0) {
+    const std::string path = address.substr(5);
+    if (path.empty() || path.size() >= sizeof(sockaddr_un::sun_path)) {
+      throw std::runtime_error{"feed: bad unix socket path: " + address};
+    }
+    fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0) {
+      throw std::runtime_error{"feed: socket(): " +
+                               std::string{std::strerror(errno)}};
+    }
+    sockaddr_un sa{};
+    sa.sun_family = AF_UNIX;
+    std::strncpy(sa.sun_path, path.c_str(), sizeof(sa.sun_path) - 1);
+    if (::connect(fd, reinterpret_cast<sockaddr*>(&sa), sizeof sa) != 0) {
+      const int saved = errno;
+      ::close(fd);
+      throw std::runtime_error{"feed: connect(" + path +
+                               "): " + std::strerror(saved)};
+    }
+    return fd;
+  }
+  const std::size_t colon = address.rfind(':');
+  if (colon == std::string::npos) {
+    throw std::runtime_error{
+        "feed: address must be unix:<path> or <host>:<port>, got " + address};
+  }
+  std::string host = address.substr(0, colon);
+  if (host.empty() || host == "localhost") host = "127.0.0.1";
+  int port = -1;
+  try {
+    port = std::stoi(address.substr(colon + 1));
+  } catch (const std::exception&) {
+    port = -1;
+  }
+  if (port < 0 || port > 65535) {
+    throw std::runtime_error{"feed: bad port in address: " + address};
+  }
+  fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    throw std::runtime_error{"feed: socket(): " +
+                             std::string{std::strerror(errno)}};
+  }
+  sockaddr_in sa{};
+  sa.sin_family = AF_INET;
+  sa.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::inet_pton(AF_INET, host.c_str(), &sa.sin_addr) != 1) {
+    ::close(fd);
+    throw std::runtime_error{"feed: bad IPv4 host in address: " + address};
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&sa), sizeof sa) != 0) {
+    const int saved = errno;
+    ::close(fd);
+    throw std::runtime_error{"feed: connect(" + address +
+                             "): " + std::strerror(saved)};
+  }
+  return fd;
+}
+
+}  // namespace
+
+Producer::Producer(const std::string& address) : fd_(connect_to(address)) {}
+
+Producer::~Producer() { close(); }
+
+Producer::Producer(Producer&& other) noexcept : fd_(other.fd_) {
+  other.fd_ = -1;
+}
+
+Producer& Producer::operator=(Producer&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+void Producer::close() noexcept {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+void Producer::send_raw(std::string_view bytes) {
+  if (fd_ < 0) throw std::runtime_error{"feed: producer not connected"};
+  const char* p = bytes.data();
+  std::size_t left = bytes.size();
+  while (left > 0) {
+    // MSG_NOSIGNAL: a server that closed us yields EPIPE, not process death.
+    const ssize_t n = ::send(fd_, p, left, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      const int saved = errno;
+      close();
+      throw std::runtime_error{"feed: send(): " +
+                               std::string{std::strerror(saved)}};
+    }
+    p += n;
+    left -= static_cast<std::size_t>(n);
+  }
+}
+
+void Producer::send_hello(const AttributeSchema& schema) {
+  send_raw(encode_hello(schema));
+}
+
+void Producer::send_rows(std::span<const Session> rows,
+                         std::size_t rows_per_frame) {
+  if (rows_per_frame == 0) rows_per_frame = 1;
+  for (std::size_t i = 0; i < rows.size(); i += rows_per_frame) {
+    const std::size_t n = std::min(rows_per_frame, rows.size() - i);
+    send_raw(encode_data(rows.subspan(i, n)));
+  }
+}
+
+}  // namespace vq::serve

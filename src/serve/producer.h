@@ -1,0 +1,58 @@
+// Blocking socket producer for the live ingest server.
+//
+// The counterpart of src/serve/server.h: connects to "unix:<path>" or
+// "<host>:<port>", sends the mandatory hello (schema name tables), then
+// streams data frames.  Used by the `vidqual feed` CLI command, by the
+// serve tests, and by the chaos harness (send_raw lets a test deliver
+// arbitrary byte sequences — truncated frames, flipped bytes, garbage —
+// through a real socket).
+//
+// Producers must send rows in non-decreasing epoch order: the server's
+// watermark treats a producer's newest epoch as a promise that older
+// epochs are complete (server.h).
+
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+
+#include "src/core/attributes.h"
+#include "src/core/session.h"
+
+namespace vq::serve {
+
+class Producer {
+ public:
+  /// Connects (blocking); throws std::runtime_error on failure.
+  explicit Producer(const std::string& address);
+  ~Producer();
+
+  Producer(const Producer&) = delete;
+  Producer& operator=(const Producer&) = delete;
+  Producer(Producer&& other) noexcept;
+  Producer& operator=(Producer&& other) noexcept;
+
+  /// Sends the hello frame declaring `schema`'s name tables.  Must precede
+  /// any data frame.
+  void send_hello(const AttributeSchema& schema);
+
+  /// Streams `rows` as data frames of at most `rows_per_frame` rows each
+  /// (sized so frames stay well under the server's max-frame cap).
+  void send_rows(std::span<const Session> rows,
+                 std::size_t rows_per_frame = 4096);
+
+  /// Sends arbitrary bytes verbatim (chaos harness hook).
+  void send_raw(std::string_view bytes);
+
+  /// Closes the socket (idempotent; also done by the destructor).
+  void close() noexcept;
+
+  [[nodiscard]] bool connected() const noexcept { return fd_ >= 0; }
+
+ private:
+  int fd_ = -1;
+};
+
+}  // namespace vq::serve

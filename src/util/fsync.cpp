@@ -1,0 +1,43 @@
+#include "src/util/fsync.h"
+
+#include <stdexcept>
+#include <string>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#endif
+
+namespace vq::detail {
+
+#if defined(__unix__) || defined(__APPLE__)
+
+void fsync_path(const std::filesystem::path& path, bool directory,
+                const char* context) {
+  const int flags = directory ? (O_RDONLY | O_DIRECTORY) : O_RDONLY;
+  const int fd = ::open(path.c_str(), flags);
+  if (fd < 0) {
+    throw std::runtime_error{std::string{context} + ": cannot open " +
+                             path.string() + " for fsync: " +
+                             std::strerror(errno)};
+  }
+  const int rc = ::fsync(fd);
+  const int saved = errno;
+  ::close(fd);
+  if (rc != 0) {
+    throw std::runtime_error{std::string{context} + ": fsync(" +
+                             path.string() + ") failed: " +
+                             std::strerror(saved)};
+  }
+}
+
+#else
+
+void fsync_path(const std::filesystem::path&, bool, const char*) {}
+
+#endif
+
+}  // namespace vq::detail

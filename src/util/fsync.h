@@ -1,0 +1,21 @@
+// Durability helper for atomic temp-then-rename file commits.
+//
+// std::ofstream::flush() moves bytes into the page cache, not onto the
+// disk: a crash after rename but before writeback can commit a zero-length
+// or partial file.  fsync_path closes that window — fsync the data file,
+// rename, fsync the parent directory (the rename is a directory mutation
+// and needs its own barrier).  See StreamingDetector::save_checkpoint.
+
+#pragma once
+
+#include <filesystem>
+
+namespace vq::detail {
+
+/// fsyncs a file (or, with directory = true, a directory) by path.
+/// Throws std::runtime_error on open/fsync failure, attributed to
+/// `context`.  On platforms without POSIX fd syncing this is a no-op.
+void fsync_path(const std::filesystem::path& path, bool directory,
+                const char* context);
+
+}  // namespace vq::detail

@@ -13,6 +13,7 @@
 
 #pragma once
 
+#include <chrono>
 #include <condition_variable>
 #include <mutex>
 
@@ -71,6 +72,20 @@ class CondVar {
     std::unique_lock<std::mutex> lock{mu.m_, std::adopt_lock};
     cv_.wait(lock);
     lock.release();  // ownership stays with the caller's MutexLock
+  }
+
+  /// wait(), but gives up after `timeout`.  Returns false on timeout, true
+  /// when notified (or woken spuriously — always re-check the predicate).
+  /// The timeout is a caller-supplied relative duration, not a wall-clock
+  /// read: deterministic code never calls this, only deadline plumbing
+  /// (bounded queues, the ingest server) does.
+  template <typename Rep, typename Period>
+  bool wait_for(Mutex& mu,
+                std::chrono::duration<Rep, Period> timeout) VQ_REQUIRES(mu) {
+    std::unique_lock<std::mutex> lock{mu.m_, std::adopt_lock};
+    const std::cv_status status = cv_.wait_for(lock, timeout);
+    lock.release();  // ownership stays with the caller's MutexLock
+    return status == std::cv_status::no_timeout;
   }
 
   void notify_one() noexcept { cv_.notify_one(); }

@@ -1,0 +1,197 @@
+// Socket-level chaos harness for the live ingest server (DESIGN.md §4.11).
+//
+// Where fault_injection.h attacks the file readers through a hostile
+// streambuf, this harness attacks the server through a real socket: a
+// ServeHarness runs a serve::Server (detector loop on a background thread)
+// against a unique Unix-domain socket, and tests drive serve::Producer —
+// including its send_raw escape hatch — to deliver mid-frame disconnects,
+// flipped bytes, stalled writers, interleaved producers, and floods.  The
+// shared invariant every chaos test pins:
+//
+//   rows_received == rows_admitted + rows_quarantined + rows_shed
+//                    + rows_stale      (ServeStats::accounting_exact)
+//
+// and the server survives to serve the next, well-behaved producer.
+
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <optional>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include <unistd.h>
+
+#include "src/core/attributes.h"
+#include "src/core/monitor.h"
+#include "src/serve/producer.h"
+#include "src/serve/server.h"
+#include "src/util/mutex.h"
+#include "src/util/thread_annotations.h"
+
+namespace vq::test {
+
+/// One value interned per dimension — the minimum vocabulary for
+/// test_support's all-zero Attrs{} rows to pass the server's schema
+/// validation (every dimension id must be under the hello's cardinality).
+inline AttributeSchema one_value_schema() {
+  AttributeSchema schema;
+  for (int d = 0; d < kNumDims; ++d) {
+    (void)schema.intern(static_cast<AttrDim>(d), "v0");
+  }
+  return schema;
+}
+
+/// Unique Unix-socket path in the temp dir (pid + counter, so parallel
+/// test shards never collide).
+inline std::string unique_socket_path(std::string_view tag) {
+  static std::atomic<int> counter{0};
+  const int n = counter.fetch_add(1);
+  std::string name = "vq_" + std::string{tag} + "_" +
+                     std::to_string(::getpid()) + "_" + std::to_string(n) +
+                     ".sock";
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+/// One incident event rendered exactly as the monitor CLI prints it, so a
+/// socket-path run can be diffed byte-for-byte against a file-path run.
+inline std::string render_event(const IncidentEvent& event,
+                                const std::string& description) {
+  char line[256];
+  std::snprintf(line, sizeof line,
+                "%02u:00 %-9s %-11s %s (streak %u h, %.0f sessions)",
+                event.epoch,
+                std::string(incident_update_name(event.update)).c_str(),
+                std::string(metric_name(event.incident.metric)).c_str(),
+                description.c_str(), event.incident.streak,
+                event.incident.attributed);
+  return std::string{line};
+}
+
+/// Owns a detector + schema + server and runs Server::run() on a
+/// background thread; tests connect producers at address() and then call
+/// drain() (or rely on drain_on_idle) before reading stats()/events().
+class ServeHarness {
+ public:
+  explicit ServeHarness(serve::ServeConfig config,
+                        const MonitorConfig& monitor_config = MonitorConfig{})
+      : detector_([&] {
+          MonitorConfig mc = monitor_config;
+          // A live feed cannot take the kThrow arm (server.h).
+          mc.order_policy = EpochOrderPolicy::kSkipStale;
+          return mc;
+        }()),
+        address_(config.address.empty() ? "unix:" + unique_socket_path("srv")
+                                        : config.address) {
+    config.address = address_;
+    // Mirror the CLI's resume path: an existing checkpoint restores the
+    // detector before the server starts sealing.
+    if (!config.checkpoint_path.empty() &&
+        std::filesystem::exists(config.checkpoint_path)) {
+      detector_.load_checkpoint(config.checkpoint_path);
+    }
+    server_.emplace(std::move(config), detector_, schema_);
+    server_->set_event_callback(
+        [this](const IncidentEvent& event, const std::string& description) {
+          const MutexLock lock{mutex_};
+          events_.push_back(render_event(event, description));
+        });
+    runner_ = std::thread{[this] { rc_.store(server_->run()); }};
+  }
+
+  ~ServeHarness() {
+    if (runner_.joinable()) {
+      server_->request_drain();
+      runner_.join();
+    }
+    if (address_.rfind("unix:", 0) == 0) {
+      std::filesystem::remove(address_.substr(5));
+    }
+  }
+
+  ServeHarness(const ServeHarness&) = delete;
+  ServeHarness& operator=(const ServeHarness&) = delete;
+
+  [[nodiscard]] const std::string& address() const noexcept {
+    return address_;
+  }
+
+  [[nodiscard]] serve::Producer connect() const {
+    return serve::Producer{address_};
+  }
+
+  /// Requests a drain and joins the server thread; returns run()'s rc.
+  int drain() {
+    server_->request_drain();
+    if (runner_.joinable()) runner_.join();
+    return rc_.load();
+  }
+
+  [[nodiscard]] serve::ServeStats stats() const { return server_->stats(); }
+  [[nodiscard]] StreamingDetector& detector() noexcept { return detector_; }
+  [[nodiscard]] serve::Server& server() noexcept { return *server_; }
+
+  [[nodiscard]] std::vector<std::string> events() const {
+    const MutexLock lock{mutex_};
+    return events_;
+  }
+
+ private:
+  StreamingDetector detector_;
+  AttributeSchema schema_;
+  std::string address_;
+  std::optional<serve::Server> server_;
+  std::thread runner_;
+  std::atomic<int> rc_{-1};
+
+  mutable Mutex mutex_;
+  std::vector<std::string> events_ VQ_GUARDED_BY(mutex_);
+};
+
+// --- byte-stream fault transforms (socket-side FaultyStreambuf) --------------
+
+/// XORs `mask` into the byte at `offset` (no-op past the end).
+inline std::string flip_byte(std::string bytes, std::size_t offset,
+                             unsigned char mask = 0x01) {
+  if (offset < bytes.size()) {
+    bytes[offset] = static_cast<char>(
+        static_cast<unsigned char>(bytes[offset]) ^ mask);
+  }
+  return bytes;
+}
+
+/// The stream simply ends at `at` (a producer killed mid-frame).
+inline std::string truncate_at(std::string bytes, std::size_t at) {
+  if (at < bytes.size()) bytes.resize(at);
+  return bytes;
+}
+
+/// Sends `bytes` in `chunk`-sized writes with a pause between each — the
+/// stalled/dripping writer a read deadline exists for.
+inline void drip(serve::Producer& producer, std::string_view bytes,
+                 std::size_t chunk, std::chrono::milliseconds gap) {
+  for (std::size_t off = 0; off < bytes.size(); off += chunk) {
+    producer.send_raw(bytes.substr(off, chunk));
+    std::this_thread::sleep_for(gap);
+  }
+}
+
+/// Polls `done` until it returns true or `deadline` passes (socket tests
+/// must never hard-sleep for their whole budget).
+template <typename Pred>
+bool wait_until(Pred done, std::chrono::milliseconds deadline) {
+  const auto start = std::chrono::steady_clock::now();
+  while (!done()) {
+    if (std::chrono::steady_clock::now() - start > deadline) return false;
+    std::this_thread::sleep_for(std::chrono::milliseconds{5});
+  }
+  return true;
+}
+
+}  // namespace vq::test

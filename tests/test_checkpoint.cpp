@@ -6,12 +6,14 @@
 #include <gtest/gtest.h>
 
 #include <filesystem>
+#include <fstream>
 #include <sstream>
 #include <stdexcept>
 #include <string>
 #include <vector>
 
 #include "src/core/monitor.h"
+#include "src/util/fsync.h"
 #include "tests/test_support.h"
 
 namespace vq {
@@ -261,6 +263,64 @@ TEST(Checkpoint, AtomicFileSaveAndLoad) {
 
   std::filesystem::remove(path);
   EXPECT_THROW(restored.load_checkpoint(path), std::runtime_error);
+}
+
+TEST(Checkpoint, CrashBetweenWriteAndRenameKeepsThePreviousCheckpoint) {
+  // Simulates a process killed after writing the temp file but before the
+  // rename: the stray .tmp must never shadow the committed checkpoint, and
+  // the next save must replace it cleanly.
+  const MonitorConfig config = small_monitor();
+  StreamingDetector detector{config};
+  (void)detector.ingest(monitored_epoch(0, true), 0);
+
+  const std::filesystem::path dir{::testing::TempDir()};
+  const std::filesystem::path path = dir / "vidqual_checkpoint_crash.vqck";
+  const std::filesystem::path tmp = path.string() + ".tmp";
+  std::filesystem::remove(path);
+  std::filesystem::remove(tmp);
+
+  detector.save_checkpoint(path);  // the committed v1
+
+  // The "crash": a half-written temp file left beside the checkpoint.
+  {
+    std::ofstream garbage{tmp, std::ios::binary | std::ios::trunc};
+    garbage << "VQCKpartial-write-then-kill-9";
+  }
+  ASSERT_TRUE(std::filesystem::exists(tmp));
+
+  // Loading reads only the committed path — the garbage is invisible.
+  StreamingDetector restored{config};
+  restored.load_checkpoint(path);
+  EXPECT_EQ(restored.last_epoch(), 0u);
+  EXPECT_EQ(restored.total_opened(Metric::kBufRatio),
+            detector.total_opened(Metric::kBufRatio));
+
+  // The next save truncates the stray temp file and commits over it.
+  (void)detector.ingest(monitored_epoch(1, true), 1);
+  detector.save_checkpoint(path);
+  EXPECT_FALSE(std::filesystem::exists(tmp));
+  StreamingDetector after{config};
+  after.load_checkpoint(path);
+  EXPECT_EQ(after.last_epoch(), 1u);
+
+  std::filesystem::remove(path);
+}
+
+TEST(Checkpoint, FsyncPathFailureIsAttributedToItsCaller) {
+  const std::filesystem::path missing =
+      std::filesystem::path{::testing::TempDir()} / "vq_no_such_file.vqck";
+  std::filesystem::remove(missing);
+  try {
+    detail::fsync_path(missing, /*directory=*/false, "save_checkpoint");
+    FAIL() << "fsync_path on a missing file must throw";
+  } catch (const std::runtime_error& error) {
+    const std::string what = error.what();
+    EXPECT_NE(what.find("save_checkpoint"), std::string::npos) << what;
+    EXPECT_NE(what.find(missing.string()), std::string::npos) << what;
+  }
+  // The happy path on a real directory is a no-op worth pinning too.
+  EXPECT_NO_THROW(detail::fsync_path(::testing::TempDir(),
+                                     /*directory=*/true, "test"));
 }
 
 }  // namespace

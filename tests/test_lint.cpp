@@ -140,6 +140,20 @@ TEST(Lint, WallClockStillFiresNextToObs) {
   expect_exact({fixture("obs_clock.cpp", "src/core/timing.cpp")});
 }
 
+TEST(Lint, WallClockExemptInServe) {
+  // src/serve owns socket deadlines: idle/read timeouts are wall-clock by
+  // nature and never feed the analysis.
+  SourceFile f = fixture("wall_clock_bad.cpp", "src/serve/server.cpp");
+  const std::vector<Finding> findings = run_lint({f});
+  EXPECT_TRUE(findings.empty());
+}
+
+TEST(Lint, WallClockServeCarveOutIsSegmentAnchored) {
+  // "src/server" shares the "src/serve" prefix but is a different
+  // directory — the carve-out must not leak to it.
+  expect_exact({fixture("wall_clock_bad.cpp", "src/server/clock.cpp")});
+}
+
 TEST(Lint, FlagsNakedThreads) {
   expect_exact(
       {fixture("naked_thread_bad.cpp", "src/core/naked_thread_bad.cpp")});
@@ -149,6 +163,16 @@ TEST(Lint, NakedThreadExemptInThreadPool) {
   SourceFile f = fixture("naked_thread_bad.cpp", "src/util/thread_pool.cpp");
   const std::vector<Finding> findings = run_lint({f});
   EXPECT_TRUE(findings.empty());
+}
+
+TEST(Lint, NakedThreadExemptInServeServerOnly) {
+  // The acceptor/IO thread in serve/server.cpp is a poll loop with its own
+  // lifecycle, not ThreadPool work; only that one file is exempt.
+  SourceFile exempt =
+      fixture("naked_thread_bad.cpp", "src/serve/server.cpp");
+  EXPECT_TRUE(run_lint({exempt}).empty());
+  expect_exact(
+      {fixture("naked_thread_bad.cpp", "src/serve/producer.cpp")});
 }
 
 TEST(Lint, FlagsConsoleIoOnlyInAnalysisLayers) {

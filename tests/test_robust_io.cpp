@@ -206,6 +206,42 @@ TEST(RobustCsv, QuarantineSampleIsBoundedButCountsAreExact) {
       {.policy = ErrorPolicy::kQuarantine, .max_quarantine_samples = 4});
   EXPECT_EQ(loaded.report.rows_quarantined, 10u);
   EXPECT_EQ(loaded.report.quarantine.size(), 4u);
+  // The 6 unretained payloads are visible, not silent.
+  EXPECT_EQ(loaded.report.quarantine_payloads_dropped, 6u);
+}
+
+TEST(RobustCsv, QuarantineByteBudgetShedsPayloadsNotCounts) {
+  // Ten bad rows against a byte budget that only fits a few of their
+  // rejection details: the sink must stop retaining once the budget is
+  // spent, count every shed payload, and keep the per-reason counts exact.
+  std::vector<std::string> rows;
+  for (int i = 0; i < 10; ++i) rows.push_back("bad row");
+  const RobustLoadedTrace loaded =
+      parse(csv_of(rows), {.policy = ErrorPolicy::kQuarantine,
+                           .max_quarantine_samples = 100,
+                           .max_quarantine_bytes = 128});
+  const IngestReport& report = loaded.report;
+  EXPECT_EQ(report.rows_quarantined, 10u);
+  EXPECT_EQ(count_of(report, RowErrorKind::kFieldCount), 10u);
+  EXPECT_GT(report.quarantine.size(), 0u);  // budget admits the first few
+  EXPECT_LT(report.quarantine.size(), 10u);
+  std::size_t retained_bytes = 0;
+  for (const auto& q : report.quarantine) retained_bytes += q.detail.size();
+  EXPECT_LE(retained_bytes, 128u);
+  EXPECT_EQ(report.quarantine_payloads_dropped,
+            10u - report.quarantine.size());
+}
+
+TEST(RobustCsv, ZeroByteBudgetRetainsNothingButStaysExact) {
+  std::vector<std::string> rows;
+  for (int i = 0; i < 5; ++i) rows.push_back("bad row");
+  const RobustLoadedTrace loaded =
+      parse(csv_of(rows), {.policy = ErrorPolicy::kQuarantine,
+                           .max_quarantine_samples = 100,
+                           .max_quarantine_bytes = 0});
+  EXPECT_EQ(loaded.report.rows_quarantined, 5u);
+  EXPECT_TRUE(loaded.report.quarantine.empty());
+  EXPECT_EQ(loaded.report.quarantine_payloads_dropped, 5u);
 }
 
 TEST(RobustCsv, SummaryIsHumanReadable) {

@@ -1,0 +1,189 @@
+// BoundedRowQueue (src/serve/bounded_queue.h): capacity accounting in rows,
+// both overload policies, and the wake-ups that keep the acceptor and
+// detector threads from deadlocking.  Row conservation is the theme: every
+// pushed row ends up admitted, refused, or handed back in an evicted batch.
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <numeric>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/serve/bounded_queue.h"
+
+namespace vq::serve {
+namespace {
+
+using Queue = BoundedRowQueue<int>;
+using Batch = Queue::Batch;
+using std::chrono::milliseconds;
+
+Batch batch(std::uint64_t conn, std::size_t n, int fill = 0) {
+  Batch b;
+  b.connection_id = conn;
+  b.rows.assign(n, fill);
+  return b;
+}
+
+std::size_t total_rows(const std::vector<Batch>& batches) {
+  std::size_t n = 0;
+  for (const Batch& b : batches) n += b.rows.size();
+  return n;
+}
+
+TEST(ServeQueue, AdmitsUpToCapacityThenRefusesOnDeadline) {
+  Queue q{10, OverloadPolicy::kBlockWithDeadline};
+  EXPECT_TRUE(q.push(batch(1, 6), milliseconds{0}).admitted);
+  EXPECT_TRUE(q.push(batch(1, 4), milliseconds{0}).admitted);
+  EXPECT_EQ(q.size_rows(), 10u);
+
+  const auto result = q.push(batch(2, 1), milliseconds{10});
+  EXPECT_FALSE(result.admitted);
+  EXPECT_EQ(result.refused, 1u);
+  EXPECT_TRUE(result.evicted.empty());
+  EXPECT_EQ(q.size_rows(), 10u);  // nothing was displaced
+}
+
+TEST(ServeQueue, BatchLargerThanCapacityIsRefusedOutright) {
+  for (const OverloadPolicy policy :
+       {OverloadPolicy::kBlockWithDeadline, OverloadPolicy::kShedOldest}) {
+    Queue q{8, policy};
+    const auto result = q.push(batch(1, 9), milliseconds{0});
+    EXPECT_FALSE(result.admitted);
+    EXPECT_EQ(result.refused, 9u);
+    EXPECT_EQ(q.size_rows(), 0u);
+  }
+}
+
+TEST(ServeQueue, ShedOldestEvictsWholeBatchesWithAttribution) {
+  Queue q{10, OverloadPolicy::kShedOldest};
+  ASSERT_TRUE(q.push(batch(1, 4, 11), milliseconds{0}).admitted);
+  ASSERT_TRUE(q.push(batch(2, 4, 22), milliseconds{0}).admitted);
+  // 8 rows queued; a 7-row batch must evict both conn-1 and conn-2 batches
+  // (freshest-data-wins), and they come back whole for shed accounting.
+  const auto result = q.push(batch(3, 7, 33), milliseconds{0});
+  EXPECT_TRUE(result.admitted);
+  EXPECT_EQ(result.refused, 0u);
+  ASSERT_EQ(result.evicted.size(), 2u);
+  EXPECT_EQ(result.evicted[0].connection_id, 1u);
+  EXPECT_EQ(result.evicted[1].connection_id, 2u);
+  EXPECT_EQ(total_rows(result.evicted), 8u);
+  EXPECT_EQ(q.size_rows(), 7u);
+
+  const auto popped = q.pop_all(milliseconds{0});
+  ASSERT_EQ(popped.size(), 1u);
+  EXPECT_EQ(popped[0].connection_id, 3u);
+  EXPECT_EQ(popped[0].rows[0], 33);
+}
+
+TEST(ServeQueue, ShedOnlyEvictsWhatTheNewBatchNeeds) {
+  Queue q{10, OverloadPolicy::kShedOldest};
+  ASSERT_TRUE(q.push(batch(1, 3), milliseconds{0}).admitted);
+  ASSERT_TRUE(q.push(batch(2, 3), milliseconds{0}).admitted);
+  ASSERT_TRUE(q.push(batch(3, 3), milliseconds{0}).admitted);
+  const auto result = q.push(batch(4, 2), milliseconds{0});
+  EXPECT_TRUE(result.admitted);
+  ASSERT_EQ(result.evicted.size(), 1u);  // one batch frees enough
+  EXPECT_EQ(result.evicted[0].connection_id, 1u);
+  EXPECT_EQ(q.size_rows(), 8u);
+}
+
+TEST(ServeQueue, PopAllUnblocksAWaitingProducer) {
+  Queue q{4, OverloadPolicy::kBlockWithDeadline};
+  ASSERT_TRUE(q.push(batch(1, 4), milliseconds{0}).admitted);
+
+  std::thread producer{[&q] {
+    // Generous deadline: the pop below must wake us long before it.
+    const auto result = q.push(batch(2, 2), milliseconds{5000});
+    EXPECT_TRUE(result.admitted);
+  }};
+  std::this_thread::sleep_for(milliseconds{20});
+  const auto popped = q.pop_all(milliseconds{0});
+  EXPECT_EQ(total_rows(popped), 4u);
+  producer.join();
+  EXPECT_EQ(q.size_rows(), 2u);
+}
+
+TEST(ServeQueue, CloseWakesWaitersAndKeepsPendingPoppable) {
+  Queue q{4, OverloadPolicy::kBlockWithDeadline};
+  ASSERT_TRUE(q.push(batch(1, 4), milliseconds{0}).admitted);
+
+  std::thread producer{[&q] {
+    const auto result = q.push(batch(2, 1), milliseconds{5000});
+    EXPECT_FALSE(result.admitted);  // woken by close, not by space
+    EXPECT_EQ(result.refused, 1u);
+  }};
+  std::this_thread::sleep_for(milliseconds{20});
+  q.close();
+  producer.join();
+
+  // The drain contract: batches enqueued before close still come out.
+  const auto popped = q.pop_all(milliseconds{0});
+  EXPECT_EQ(total_rows(popped), 4u);
+  EXPECT_TRUE(q.pop_all(milliseconds{0}).empty());
+  EXPECT_FALSE(q.push(batch(3, 1), milliseconds{0}).admitted);
+}
+
+TEST(ServeQueue, PopAllBlocksUntilDataArrives) {
+  Queue q{8, OverloadPolicy::kBlockWithDeadline};
+  std::thread producer{[&q] {
+    std::this_thread::sleep_for(milliseconds{20});
+    (void)q.push(batch(1, 3), milliseconds{0});
+  }};
+  const auto popped = q.pop_all(milliseconds{5000});
+  EXPECT_EQ(total_rows(popped), 3u);
+  producer.join();
+}
+
+TEST(ServeQueue, HighwaterTracksPeakRows) {
+  Queue q{100, OverloadPolicy::kBlockWithDeadline};
+  ASSERT_TRUE(q.push(batch(1, 30), milliseconds{0}).admitted);
+  ASSERT_TRUE(q.push(batch(1, 40), milliseconds{0}).admitted);
+  (void)q.pop_all(milliseconds{0});
+  ASSERT_TRUE(q.push(batch(1, 10), milliseconds{0}).admitted);
+  EXPECT_EQ(q.highwater_rows(), 70u);
+  EXPECT_EQ(q.size_rows(), 10u);
+}
+
+TEST(ServeQueue, RowConservationUnderConcurrentHammer) {
+  // 4 producers x 50 batches against a tiny queue under kShedOldest: every
+  // row must come out exactly once as admitted-and-popped, evicted, or
+  // refused.  (SPSC in the server; the lock makes MPSC safe for tests.)
+  Queue q{64, OverloadPolicy::kShedOldest};
+  constexpr int kProducers = 4;
+  constexpr int kBatches = 50;
+  constexpr std::size_t kRows = 7;
+  std::atomic<std::uint64_t> evicted{0};
+  std::atomic<std::uint64_t> refused{0};
+  std::atomic<std::uint64_t> admitted{0};
+  std::vector<std::thread> producers;
+  producers.reserve(kProducers);
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&q, &evicted, &refused, &admitted, p] {
+      for (int i = 0; i < kBatches; ++i) {
+        auto result =
+            q.push(batch(static_cast<std::uint64_t>(p), kRows),
+                   milliseconds{0});
+        if (result.admitted) admitted.fetch_add(kRows);
+        refused.fetch_add(result.refused);
+        evicted.fetch_add(total_rows(result.evicted));
+      }
+    });
+  }
+  std::uint64_t popped = 0;
+  for (int drains = 0; drains < 200; ++drains) {
+    popped += total_rows(q.pop_all(milliseconds{1}));
+  }
+  for (std::thread& t : producers) t.join();
+  popped += total_rows(q.pop_all(milliseconds{0}));
+
+  const std::uint64_t pushed = kProducers * kBatches * kRows;
+  EXPECT_EQ(admitted.load() + refused.load(), pushed);
+  EXPECT_EQ(popped + evicted.load(), admitted.load());
+}
+
+}  // namespace
+}  // namespace vq::serve

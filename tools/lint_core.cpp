@@ -559,18 +559,27 @@ std::vector<Finding> run_lint(const std::vector<SourceFile>& files) {
       check_unordered_iter(ctx, unordered_names,
                            {&findings, &ctx, "unordered-iter"});
       // util/rng owns randomness; src/obs owns timing (steady_clock behind
-      // Stopwatch/VQ_SPAN). Everywhere else a clock or rand() call breaks
-      // seed-reproducibility. under() is segment-anchored, so e.g.
-      // "src/observability" would NOT inherit the carve-out.
+      // Stopwatch/VQ_SPAN); src/serve owns socket deadlines (idle/read
+      // timeouts and push deadlines are wall-clock by nature and never feed
+      // the analysis — the detector sees only rows). Everywhere else a
+      // clock or rand() call breaks seed-reproducibility. under() is
+      // segment-anchored, so e.g. "src/observability" would NOT inherit
+      // the carve-out.
       if (!is_file(path, "src/util/rng.h") &&
-          !is_file(path, "src/util/rng.cpp") && !under(path, "src/obs")) {
+          !is_file(path, "src/util/rng.cpp") && !under(path, "src/obs") &&
+          !under(path, "src/serve")) {
         check_wall_clock(ctx, {&findings, &ctx, "wall-clock"});
       }
     }
+    // serve/server.cpp owns the acceptor/IO thread: a poll loop with its
+    // own lifecycle, not data-parallel work a ThreadPool could express.
+    // The carve-out is that one file — serve tests and the rest of the
+    // layer still go through ThreadPool.
     if ((under(path, "src") || under(path, "tools") ||
          under(path, "bench")) &&
         !is_file(path, "src/util/thread_pool.h") &&
-        !is_file(path, "src/util/thread_pool.cpp")) {
+        !is_file(path, "src/util/thread_pool.cpp") &&
+        !is_file(path, "src/serve/server.cpp")) {
       check_naked_thread(ctx, {&findings, &ctx, "naked-thread"});
     }
     if (under(path, "src/core") || under(path, "src/stats")) {

@@ -12,6 +12,7 @@
 // analyze and monitor stream .vqtc inputs one epoch at a time instead of
 // materializing the trace.
 
+#include <csignal>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
@@ -33,11 +34,27 @@
 #include "src/gen/tracegen.h"
 #include "src/obs/metrics.h"
 #include "src/obs/trace.h"
+#include "src/serve/producer.h"
+#include "src/serve/server.h"
 #include "src/util/args.h"
 
 namespace {
 
 using namespace vq;
+
+/// Set by the SIGINT/SIGTERM handler; both the file-mode epoch loop and the
+/// socket server poll it, so drain semantics are uniform: seal the current
+/// epoch, write the checkpoint, exit 0.
+volatile std::sig_atomic_t g_drain_requested = 0;
+
+extern "C" void handle_drain_signal(int) { g_drain_requested = 1; }
+
+void install_drain_handlers() {
+  std::signal(SIGINT, handle_drain_signal);
+  std::signal(SIGTERM, handle_drain_signal);
+  // A producer that vanishes mid-write must surface as EPIPE, not kill us.
+  std::signal(SIGPIPE, SIG_IGN);
+}
 
 int usage() {
   std::fprintf(
@@ -60,8 +77,20 @@ int usage() {
       "  vidqual monitor  --in FILE [--delay H=1] [--min-sessions N=auto]\n"
       "                   [--checkpoint FILE] [--on-error strict|quarantine|"
       "best-effort]\n"
+      "                   [--workers N=1] [--shards N=1]\n"
       "                   [--stop-after N] [--stats-out FILE] "
       "[--trace-out FILE]\n"
+      "  vidqual monitor  --serve ADDR [--delay H=1] [--min-sessions N=1000]\n"
+      "                   [--checkpoint FILE] [--on-error strict|quarantine|"
+      "best-effort]\n"
+      "                   [--queue-rows N=65536] [--overload block|shed]\n"
+      "                   [--push-deadline-ms N=200] [--idle-timeout-ms "
+      "N=30000]\n"
+      "                   [--read-timeout-ms N=10000] [--max-frame-bytes N]\n"
+      "                   [--max-conns N=64] [--serve-drain]\n"
+      "                   [--workers N=1] [--shards N=1]\n"
+      "  vidqual feed     --in FILE --connect ADDR [--rows-per-frame N=4096]\n"
+      "                   [--on-error strict|quarantine|best-effort]\n"
       "  vidqual timeline --in FILE [--min-sessions N=auto] [--z 3.0]\n"
       "  vidqual report   --in FILE [--min-sessions N=auto] [--top K=5]\n"
       "\nFILEs ending in .vqtr are binary, .vqtc columnar; anything else is\n"
@@ -70,6 +99,9 @@ int usage() {
       "monitor --checkpoint saves detector state after every epoch (atomic\n"
       "temp-then-rename) and resumes from it when the file exists, so a\n"
       "killed monitor replays no epoch and re-raises no incident.\n"
+      "monitor --serve ADDR listens on \"unix:<path>\" or \"<ipv4>:<port>\"\n"
+      "for live producers (vidqual feed) instead of reading a file; SIGTERM\n"
+      "or SIGINT drains: seal pending epochs, checkpoint, exit 0.\n"
       "--stats-out writes the deterministic metric snapshot (byte-identical\n"
       "for any --workers/--shards); --trace-out writes per-stage spans as\n"
       "chrome://tracing / Perfetto JSON.\n");
@@ -428,7 +460,124 @@ int cmd_whatif(const ArgParser& args) {
   return 0;
 }
 
+/// monitor --serve ADDR: the live-socket form of cmd_monitor.  Same
+/// detector, same checkpoint container, same incident print format — the
+/// only difference is where the rows come from, which is what the
+/// file-vs-socket differential test pins.
+int cmd_monitor_serve(const ArgParser& args, std::string_view address) {
+  const auto policy = on_error_policy(args);
+  if (!policy.has_value()) return 2;
+  const ObsRequest obs_req = obs_request(args);
+
+  MonitorConfig config;
+  // No trace to auto-derive from on a live socket: --min-sessions or the
+  // library default.  Differential runs pass the same explicit value to
+  // both modes.
+  const auto min_sessions = args.option_u64("min-sessions", 0);
+  if (min_sessions > 0) {
+    config.cluster_params.min_sessions =
+        static_cast<std::uint32_t>(min_sessions);
+  }
+  config.escalate_after =
+      static_cast<std::uint32_t>(args.option_u64("delay", 1));
+  // A live feed cannot take the kThrow arm; stale rows are counted and
+  // dropped (server.h).
+  config.order_policy = EpochOrderPolicy::kSkipStale;
+  config.workers = static_cast<std::uint32_t>(args.option_u64("workers", 1));
+  config.shards = static_cast<std::uint32_t>(args.option_u64("shards", 1));
+  StreamingDetector detector{config};
+
+  serve::ServeConfig serve_config;
+  serve_config.address = std::string{address};
+  serve_config.row_policy = *policy;
+  serve_config.queue_capacity_rows =
+      static_cast<std::size_t>(args.option_u64("queue-rows", 1u << 16));
+  const auto overload = args.option("overload").value_or("block");
+  if (overload == "shed") {
+    serve_config.overload = serve::OverloadPolicy::kShedOldest;
+  } else if (overload != "block") {
+    std::fprintf(stderr, "unknown --overload '%s' (use block or shed)\n",
+                 std::string{overload}.c_str());
+    return 2;
+  }
+  serve_config.push_deadline =
+      std::chrono::milliseconds{args.option_u64("push-deadline-ms", 200)};
+  serve_config.idle_timeout =
+      std::chrono::milliseconds{args.option_u64("idle-timeout-ms", 30'000)};
+  serve_config.read_timeout =
+      std::chrono::milliseconds{args.option_u64("read-timeout-ms", 10'000)};
+  serve_config.max_frame_bytes = static_cast<std::size_t>(
+      args.option_u64("max-frame-bytes", serve::kDefaultMaxFrameBytes));
+  serve_config.max_connections =
+      static_cast<std::size_t>(args.option_u64("max-conns", 64));
+  serve_config.drain_on_idle = args.flag("serve-drain");
+  serve_config.drain_signal = &g_drain_requested;
+
+  const auto checkpoint = args.option("checkpoint");
+  if (checkpoint.has_value()) {
+    serve_config.checkpoint_path = std::string{*checkpoint};
+    if (std::filesystem::exists(serve_config.checkpoint_path)) {
+      detector.load_checkpoint(serve_config.checkpoint_path);
+      std::fprintf(stderr, "resuming from %s at epoch %u\n",
+                   serve_config.checkpoint_path.string().c_str(),
+                   detector.has_ingested() ? detector.last_epoch() + 1 : 0);
+    }
+  }
+
+  AttributeSchema schema;
+  serve::Server server{serve_config, detector, schema};
+  server.set_event_callback(
+      [](const IncidentEvent& event, const std::string& description) {
+        if (event.update == IncidentUpdate::kNew) return;  // alert on action
+        std::printf("%02u:00 %-9s %-11s %s (streak %u h, %.0f sessions)\n",
+                    event.epoch,
+                    std::string(incident_update_name(event.update)).c_str(),
+                    std::string(metric_name(event.incident.metric)).c_str(),
+                    description.c_str(), event.incident.streak,
+                    event.incident.attributed);
+        std::fflush(stdout);
+      });
+  install_drain_handlers();
+  if (server.port() != 0) {
+    std::fprintf(stderr, "serving on port %u\n", server.port());
+  } else {
+    std::fprintf(stderr, "serving on %s\n",
+                 std::string{address}.c_str());
+  }
+  const int rc = server.run();
+
+  std::printf("total incidents opened:");
+  for (const Metric m : kAllMetrics) {
+    std::printf(" %s=%ju", std::string(metric_name(m)).c_str(),
+                static_cast<std::uintmax_t>(detector.total_opened(m)));
+  }
+  std::printf("\n");
+  if (detector.suppressed_clears() > 0) {
+    std::fprintf(stderr, "suppressed %ju clear(s) on degraded epochs\n",
+                 static_cast<std::uintmax_t>(detector.suppressed_clears()));
+  }
+  const serve::ServeStats stats = server.stats();
+  std::fprintf(stderr,
+               "serve: %ju conns, rows received=%ju admitted=%ju "
+               "quarantined=%ju shed=%ju stale=%ju, %ju epochs sealed, "
+               "queue highwater=%ju%s\n",
+               static_cast<std::uintmax_t>(stats.connections_accepted),
+               static_cast<std::uintmax_t>(stats.rows_received),
+               static_cast<std::uintmax_t>(stats.rows_admitted),
+               static_cast<std::uintmax_t>(stats.rows_quarantined),
+               static_cast<std::uintmax_t>(stats.rows_shed),
+               static_cast<std::uintmax_t>(stats.rows_stale),
+               static_cast<std::uintmax_t>(stats.epochs_sealed),
+               static_cast<std::uintmax_t>(stats.queue_highwater),
+               stats.accounting_exact() ? "" : " [ACCOUNTING MISMATCH]");
+  const int obs_rc = write_obs_outputs(obs_req);
+  return rc != 0 ? rc : obs_rc;
+}
+
 int cmd_monitor(const ArgParser& args) {
+  if (const auto serve_addr = args.option("serve")) {
+    return cmd_monitor_serve(args, *serve_addr);
+  }
   const auto in = args.option("in");
   if (!in.has_value()) return usage();
   const auto policy = on_error_policy(args);
@@ -462,6 +611,8 @@ int cmd_monitor(const ArgParser& args) {
       auto_min_sessions_from(total_sessions, num_epochs, args);
   config.escalate_after =
       static_cast<std::uint32_t>(args.option_u64("delay", 1));
+  config.workers = static_cast<std::uint32_t>(args.option_u64("workers", 1));
+  config.shards = static_cast<std::uint32_t>(args.option_u64("shards", 1));
   StreamingDetector detector{config};
 
   // Resume: an existing checkpoint restores the registry/counters and skips
@@ -483,6 +634,10 @@ int cmd_monitor(const ArgParser& args) {
   // deterministic stand-in for a mid-stream kill; CI diffs the concatenated
   // partial outputs against an uninterrupted run).
   const auto stop_after = args.option_u64("stop-after", 0);
+
+  // Same drain semantics as serve mode (DESIGN.md §4.11): SIGINT/SIGTERM
+  // finishes the epoch in flight, checkpoints it, and exits 0.
+  install_drain_handlers();
 
   std::uint64_t processed = 0;
   SessionColumns columns;  // streaming scratch, reused across epochs
@@ -510,6 +665,11 @@ int cmd_monitor(const ArgParser& args) {
                   event.incident.streak, event.incident.attributed);
     }
     if (checkpoint.has_value()) detector.save_checkpoint(checkpoint_path);
+    if (g_drain_requested != 0) {
+      std::fprintf(stderr, "drain: sealed epoch %u%s, exiting\n", e,
+                   checkpoint.has_value() ? " (checkpointed)" : "");
+      return write_obs_outputs(obs_req);
+    }
     if (stop_after != 0 && ++processed >= stop_after) {
       return write_obs_outputs(obs_req);
     }
@@ -534,6 +694,29 @@ int cmd_monitor(const ArgParser& args) {
                  static_cast<std::uintmax_t>(detector.suppressed_clears()));
   }
   return write_obs_outputs(obs_req);
+}
+
+/// feed: stream a trace file into a `monitor --serve` instance.  The table
+/// is epoch-sorted after finalize, so send_rows naturally satisfies the
+/// server's non-decreasing-epoch contract.
+int cmd_feed(const ArgParser& args) {
+  const auto in = args.option("in");
+  const auto addr = args.option("connect");
+  if (!in.has_value() || !addr.has_value()) return usage();
+  const auto policy = on_error_policy(args);
+  if (!policy.has_value()) return 2;
+  std::signal(SIGPIPE, SIG_IGN);  // a dying server should EPIPE, not kill us
+
+  const RobustLoadedTrace loaded = load_robust(*in, *policy);
+  serve::Producer producer{std::string{*addr}};
+  producer.send_hello(loaded.schema);
+  const auto rows_per_frame = static_cast<std::size_t>(
+      args.option_u64("rows-per-frame", 4096));
+  producer.send_rows(loaded.table.sessions(), rows_per_frame);
+  producer.close();
+  std::printf("fed %zu rows over %u epochs to %s\n", loaded.table.size(),
+              loaded.table.num_epochs(), std::string{*addr}.c_str());
+  return 0;
 }
 
 int cmd_timeline(const ArgParser& args) {
@@ -631,6 +814,7 @@ int main(int argc, char** argv) {
     if (command == "convert") return cmd_convert(args);
     if (command == "whatif") return cmd_whatif(args);
     if (command == "monitor") return cmd_monitor(args);
+    if (command == "feed") return cmd_feed(args);
     if (command == "timeline") return cmd_timeline(args);
     if (command == "report") return cmd_report(args);
   } catch (const std::exception& e) {
