@@ -79,6 +79,7 @@ namespace {
 /// per-session predicate; the SIMD bodies reproduce it with float compares
 /// (ordered, quiet — `>`/`<` semantics including the NaN-is-false case), so
 /// all paths are bit-identical for any input.
+// vq:hot
 void threshold_block_scalar(const SessionColumns& c, std::size_t base,
                             std::size_t len, const ProblemThresholds& t,
                             std::uint8_t* out) {
@@ -107,6 +108,7 @@ inline std::uint8_t lane_bits(int m0, int m1, int m2, int lane,
 
 #endif
 
+// vq:hot
 void threshold_block_simd(const SessionColumns& c, std::size_t base,
                           std::size_t len, const ProblemThresholds& t,
                           std::uint8_t* out) {
@@ -175,6 +177,7 @@ void validate_attr_columns(const SessionColumns& c) {
 /// Branch-free full-arity packing: one widen-shift-OR sweep per dimension
 /// over the block.  Equivalent to ClusterKey::pack(kFullMask, attrs).raw()
 /// element-wise (columns pre-validated by validate_attr_columns).
+// vq:hot
 void pack_block_scalar(const SessionColumns& c, std::size_t base,
                        std::size_t len, std::uint64_t* out) {
   std::fill(out, out + len, static_cast<std::uint64_t>(kFullMask));
@@ -188,6 +191,7 @@ void pack_block_scalar(const SessionColumns& c, std::size_t base,
   }
 }
 
+// vq:hot
 void pack_block_simd(const SessionColumns& c, std::size_t base,
                      std::size_t len, std::uint64_t* out) {
 #if defined(__AVX2__)

@@ -40,6 +40,7 @@ constexpr std::array<std::uint64_t, kFullMask + 1> kFieldMaskTable = [] {
   return out;
 }();
 
+// vq:hot
 void project_block_scalar(const std::uint64_t* keys, std::size_t n,
                           std::uint64_t field_bits, std::uint64_t mask_bits,
                           std::uint64_t* out) {
@@ -50,6 +51,7 @@ void project_block_scalar(const std::uint64_t* keys, std::size_t n,
 
 #if defined(__AVX2__)
 
+// vq:hot
 void project_block_simd(const std::uint64_t* keys, std::size_t n,
                         std::uint64_t field_bits, std::uint64_t mask_bits,
                         std::uint64_t* out) {
@@ -67,6 +69,7 @@ void project_block_simd(const std::uint64_t* keys, std::size_t n,
 
 #elif defined(__SSE2__)
 
+// vq:hot
 void project_block_simd(const std::uint64_t* keys, std::size_t n,
                         std::uint64_t field_bits, std::uint64_t mask_bits,
                         std::uint64_t* out) {
@@ -121,6 +124,7 @@ RadixPlan radix_plan(std::uint8_t head_mask) noexcept {
   return plan;
 }
 
+// vq:hot
 std::uint64_t radix_sort_pairs(std::vector<std::uint64_t>& keys,
                                std::vector<std::uint32_t>& rows,
                                const RadixPlan& plan,

@@ -25,7 +25,11 @@ using detail::kColumnarChunkHeaderBytes;
 using detail::kColumnarChunkMagic;
 using detail::kColumnarChunkTrailerBytes;
 using detail::kColumnarFooterEntryBytes;
+using detail::kColumnarFooterFixedBytes;
 using detail::kColumnarFooterMagic;
+using detail::kFooterEntryChecksumPos;
+using detail::kFooterEntryCountPos;
+using detail::kFooterEntryOffsetPos;
 using detail::kColumnarMagic;
 using detail::kColumnarRowBytes;
 using detail::kColumnarTailBytes;
@@ -124,10 +128,13 @@ void write_trace_columnar(std::ostream& out, const SessionTable& table,
   std::uint64_t h = detail::kFnvOffsetBasis;
   for (const ChunkEntry& entry : entries) {
     char bytes[kColumnarFooterEntryBytes];
-    std::memcpy(bytes, &entry.epoch, 4);
-    std::memcpy(bytes + 4, &entry.offset, 8);
-    std::memcpy(bytes + 12, &entry.count, 8);
-    std::memcpy(bytes + 20, &entry.checksum, 8);
+    std::memcpy(bytes, &entry.epoch, sizeof entry.epoch);
+    std::memcpy(bytes + kFooterEntryOffsetPos, &entry.offset,
+                sizeof entry.offset);
+    std::memcpy(bytes + kFooterEntryCountPos, &entry.count,
+                sizeof entry.count);
+    std::memcpy(bytes + kFooterEntryChecksumPos, &entry.checksum,
+                sizeof entry.checksum);
     out.write(bytes, sizeof bytes);
     h = fnv1a(bytes, sizeof bytes, h);
   }
@@ -255,9 +262,9 @@ void ColumnarReader::Impl::load_index() {
         std::memcmp(tail, kColumnarTailMagic, sizeof tail) != 0) {
       return damaged("bad tail magic", file_end - kColumnarTailBytes);
     }
-    constexpr std::uint64_t kFooterFixedBytes = 4 + 4 + 4 + 8;
     if (footer_offset < data_start ||
-        footer_offset + kFooterFixedBytes > file_end - kColumnarTailBytes) {
+        footer_offset + kColumnarFooterFixedBytes >
+            file_end - kColumnarTailBytes) {
       return damaged("footer offset out of range", footer_offset);
     }
     seek(footer_offset);
@@ -269,7 +276,7 @@ void ColumnarReader::Impl::load_index() {
       return damaged("bad footer header", footer_offset);
     }
     const std::uint64_t expected =
-        kFooterFixedBytes +
+        kColumnarFooterFixedBytes +
         static_cast<std::uint64_t>(chunk_count) * kColumnarFooterEntryBytes;
     if (footer_offset + expected != file_end - kColumnarTailBytes) {
       return damaged("footer size mismatch", footer_offset);
@@ -291,9 +298,9 @@ void ColumnarReader::Impl::load_index() {
       const char* p = raw.data() + i * kColumnarFooterEntryBytes;
       ChunkEntry entry;
       entry.epoch = load_pod<std::uint32_t>(p);
-      entry.offset = load_pod<std::uint64_t>(p + 4);
-      entry.count = load_pod<std::uint64_t>(p + 12);
-      entry.checksum = load_pod<std::uint64_t>(p + 20);
+      entry.offset = load_pod<std::uint64_t>(p + kFooterEntryOffsetPos);
+      entry.count = load_pod<std::uint64_t>(p + kFooterEntryCountPos);
+      entry.checksum = load_pod<std::uint64_t>(p + kFooterEntryChecksumPos);
       if (!found.empty() && entry.epoch <= found.back().epoch) {
         return damaged("footer epochs not ascending", footer_offset);
       }

@@ -76,7 +76,20 @@ inline constexpr std::size_t kColumnarChunkHeaderBytes = 4 + 4 + 8;
 inline constexpr std::size_t kColumnarChunkTrailerBytes = 8;
 
 /// One footer index entry: u32 epoch, u64 offset, u64 count, u64 checksum.
+/// The offsets are shared by the writer's pack and the reader's unpack in
+/// columnar.cpp so the entry layout has a single definition.
 inline constexpr std::size_t kColumnarFooterEntryBytes = 4 + 8 + 8 + 8;
+inline constexpr std::size_t kFooterEntryOffsetPos = sizeof(std::uint32_t);
+inline constexpr std::size_t kFooterEntryCountPos =
+    kFooterEntryOffsetPos + sizeof(std::uint64_t);
+inline constexpr std::size_t kFooterEntryChecksumPos =
+    kFooterEntryCountPos + sizeof(std::uint64_t);
+static_assert(kFooterEntryChecksumPos + sizeof(std::uint64_t) ==
+              kColumnarFooterEntryBytes);
+
+/// Fixed footer prefix/suffix around the entry array: magic + u32
+/// chunk_count + u32 num_epochs before, u64 checksum after.
+inline constexpr std::size_t kColumnarFooterFixedBytes = 4 + 4 + 4 + 8;
 
 /// Trailing tail: u64 footer_offset + tail magic.
 inline constexpr std::size_t kColumnarTailBytes = 8 + 4;

@@ -108,6 +108,11 @@ void write_trace_binary(std::ostream& out, const SessionTable& table,
   // schema block for every id after it.
   detail::write_schema_section(out, schema, "write_trace_binary");
   write_pod(out, static_cast<std::uint64_t>(table.size()));
+  // The per-session field writes below must stay in lockstep with the
+  // record size the reader (robust_io.cpp) slices by.
+  static_assert(detail::kBinaryRecordSize ==
+                kNumDims * sizeof(std::uint16_t) + sizeof(std::uint32_t) +
+                    3 * sizeof(float) + sizeof(std::uint8_t));
   for (const Session& s : table.sessions()) {
     for (int d = 0; d < kNumDims; ++d) write_pod(out, s.attrs.v[d]);
     write_pod(out, s.epoch);

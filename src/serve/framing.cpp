@@ -153,16 +153,21 @@ void append_record(std::string& out, const Session& s) {
   append_pod(out, static_cast<std::uint8_t>(s.quality.join_failed ? 1 : 0));
 }
 
+// The frame record layout is the VQTR container's record layout verbatim;
+// a bump on either side must move both (docs/wire_contracts.json).
+static_assert(kRecordBytes == detail::kBinaryRecordSize);
+
 Session parse_record(const char* record) noexcept {
   Session s;
   for (int d = 0; d < kNumDims; ++d) {
     s.attrs.v[d] = load_pod<std::uint16_t>(record + 2 * d);
   }
-  s.epoch = load_pod<std::uint32_t>(record + 14);
-  s.quality.buffering_ratio = load_pod<float>(record + 18);
-  s.quality.bitrate_kbps = load_pod<float>(record + 22);
-  s.quality.join_time_ms = load_pod<float>(record + 26);
-  s.quality.join_failed = load_pod<std::uint8_t>(record + 30) != 0;
+  s.epoch = load_pod<std::uint32_t>(record + kRecordEpochOffset);
+  s.quality.buffering_ratio = load_pod<float>(record + kRecordBufferingOffset);
+  s.quality.bitrate_kbps = load_pod<float>(record + kRecordBitrateOffset);
+  s.quality.join_time_ms = load_pod<float>(record + kRecordJoinTimeOffset);
+  s.quality.join_failed =
+      load_pod<std::uint8_t>(record + kRecordJoinFailedOffset) != 0;
   return s;
 }
 

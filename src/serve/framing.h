@@ -52,6 +52,18 @@ inline constexpr std::size_t kFrameTrailerBytes = 8;
 /// Bytes per session record in a data frame (the VQTR record layout).
 inline constexpr std::size_t kRecordBytes = 31;
 
+/// Field offsets inside one record: 7 x u16 attrs, then epoch, the three
+/// quality metrics, and the join_failed byte.  Kept next to kRecordBytes
+/// so a layout change moves the size and every accessor together
+/// (framing.cpp asserts the layout against the VQTR container's record
+/// size; docs/wire_contracts.json pins both).
+inline constexpr std::size_t kRecordEpochOffset = kNumDims * sizeof(std::uint16_t);
+inline constexpr std::size_t kRecordBufferingOffset = kRecordEpochOffset + sizeof(std::uint32_t);
+inline constexpr std::size_t kRecordBitrateOffset = kRecordBufferingOffset + sizeof(float);
+inline constexpr std::size_t kRecordJoinTimeOffset = kRecordBitrateOffset + sizeof(float);
+inline constexpr std::size_t kRecordJoinFailedOffset = kRecordJoinTimeOffset + sizeof(float);
+static_assert(kRecordJoinFailedOffset + sizeof(std::uint8_t) == kRecordBytes);
+
 /// Default cap on one frame's payload.  Frames beyond the cap are framing
 /// errors (a corrupted length field must not demand a huge allocation);
 /// honest producers split large epochs across frames.

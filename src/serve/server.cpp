@@ -333,7 +333,8 @@ void Server::handle_data(Connection& c, const std::string& payload) {
     const char* rec = payload.data() + i * kRecordBytes;
     received += 1;
     Session s = parse_record(rec);
-    const auto join_byte = detail::load_pod<std::uint8_t>(rec + 30);
+    const auto join_byte =
+        detail::load_pod<std::uint8_t>(rec + kRecordJoinFailedOffset);
 
     const auto reject = [&](RowErrorKind kind, bool epoch_valid) {
       quarantined += 1;

@@ -1,0 +1,31 @@
+// Fixture: kernels named by hot-path manifest entries.  The expectations
+// hold only when the test passes a manifest naming `function vq::fold_rows`
+// and `namespace vq::serve`; with no manifest the file is clean (the
+// HotManifestUnconfiguredIsClean test relies on that).
+#include <cstdio>
+#include <memory>
+
+namespace vq {
+
+int fold_rows(const int* xs, int n) {
+  auto scratch = std::make_unique<int[]>(8);  // LINT-EXPECT: hot-path
+  int acc = 0;
+  for (int i = 0; i < n; ++i) acc += xs[i] + static_cast<int>(scratch[0]);
+  return acc;
+}
+
+namespace serve {
+
+int pump(int x) {
+  std::printf("x=%d\n", x);  // LINT-EXPECT: hot-path
+  return x + 1;
+}
+
+}  // namespace serve
+
+int cold_path(int x) {
+  std::printf("cold: %d\n", x);
+  return x;
+}
+
+}  // namespace vq

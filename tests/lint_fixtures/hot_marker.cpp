@@ -1,0 +1,26 @@
+// Fixture: a `// vq:hot` marker line names the next function definition as
+// a kernel; allocation, IO, throw and std::string construction inside it
+// are hot-path findings.  The sibling below the kernel is unmarked and may
+// do all of that freely.  Raw strings and comments mentioning the banned
+// constructs (or the marker itself mid-sentence) must never fire.
+
+#include <string>
+
+// vq:hot
+int hot_kernel(int n) {
+  int* scratch = new int[8];  // LINT-EXPECT: hot-path
+  std::string label = "k";    // LINT-EXPECT: hot-path
+  const char* doc = R"(throw and new inside a raw string are data)";
+  // a comment saying throw std::string new malloc() is just prose
+  scratch[0] = n;
+  const int out = scratch[0] + static_cast<int>(label.size()) +
+                  static_cast<int>(doc[0]);
+  delete[] scratch;
+  return out;
+}
+
+// mentioning the vq:hot marker mid-sentence is prose, not a marker
+int cold_sibling(int n) {
+  std::string label = "fine outside the marked kernel";
+  return n + static_cast<int>(label.size());
+}

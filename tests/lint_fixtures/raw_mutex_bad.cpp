@@ -1,0 +1,20 @@
+// Fixture: raw synchronisation primitives outside src/util/mutex.h.  Every
+// std:: mutex/condvar type and every manual .lock()/.unlock() must route
+// through vq::Mutex / MutexLock / CondVar so the thread-safety annotations
+// see every acquisition.
+#include <condition_variable>
+#include <mutex>
+
+std::mutex gate;                 // LINT-EXPECT: raw-mutex
+std::condition_variable wakeup;  // LINT-EXPECT: raw-mutex
+
+int guarded_sum(int x) {
+  gate.lock();  // LINT-EXPECT: raw-mutex
+  x += 1;
+  gate.unlock();  // LINT-EXPECT: raw-mutex
+  {
+    std::lock_guard lk{gate};  // LINT-EXPECT: raw-mutex
+    x += 2;
+  }
+  return x;
+}

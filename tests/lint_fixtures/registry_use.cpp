@@ -1,11 +1,12 @@
 // Fixture: iterates a member whose unordered type is only visible in
-// registry_decl.h — the linter must resolve the name across files.
+// registry_decl.h — the linter must resolve the name across files.  The
+// body accumulates a float in hash order, the flow the rule watches.
 #include "registry_decl.h"
 
-int sum(const Fold& fold) {
-  int total = 0;
+double sum(const Fold& fold) {
+  double total = 0;
   fold.leaves_by_key.for_each([&](unsigned long long k, int v) {  // LINT-EXPECT: unordered-iter
-    total += v + static_cast<int>(k);
+    total += v + static_cast<double>(k);
   });
   return total;
 }

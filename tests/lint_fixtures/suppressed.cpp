@@ -3,11 +3,11 @@
 #include <cstdio>
 #include <unordered_map>
 
-std::unordered_map<int, int> sizes;
+std::unordered_map<int, double> sizes;
 
-int total() {
-  int n = 0;
-  // vq-lint: allow(unordered-iter) — order-independent sum (fixture).
+double total() {
+  double n = 0;
+  // vq-lint: allow(unordered-iter) — fp addition order is accepted (fixture).
   for (const auto& [k, v] : sizes) {
     n += v + k;
   }

@@ -1,13 +1,23 @@
-// Fixture: patterns inside comments, string literals, raw strings, and
-// char/numeric literals must never fire.
+// Fixture: patterns inside comments, string literals, raw strings,
+// char/numeric literals, and preprocessor lines must never fire.
 // std::printf("in a comment") and rand() should not fire here.
 #include <string>
 
 /* block comment mentioning std::cout << rand() << std::thread */
+
+// Preprocessor tokens are exempt from every rule: a macro may *expand* to
+// a lock at a sanctioned site without being one itself.  The continuation
+// keeps the second line inside the directive.
+#define VQ_TRICKY_LOCK(m) \
+  (m).lock()
+#define VQ_TRICKY_MUTEX std::mutex
+
 std::string docs() {
   std::string s = "call std::printf(\"x\") or rand() here";
   s += R"(std::cerr << "raw" << std::thread)";
+  s += "gate.unlock() and std::mutex in a string are data";
   const int big = 1'000'000;
+  const double sci = 1.5e-3;
   const char quote = '\'';
-  return s + std::to_string(big) + quote;
+  return s + std::to_string(big + static_cast<int>(sci)) + quote;
 }

@@ -1,4 +1,6 @@
-// Fixture: unsorted iteration over an unordered container must be flagged.
+// Fixture: hash-order iteration that lets the order reach output must be
+// flagged — by appending to an ordered vector, or by accumulating a float
+// (fp addition does not commute bit-exactly).
 // Marker comments (LINT hyphen EXPECT, spelled out to stay out of the
 // parser's way here) tag the lines findings are expected on; fixtures are
 // lint inputs, never compiled or linted by CI itself.
@@ -13,4 +15,12 @@ std::vector<int> dump() {
     out.push_back(value + static_cast<int>(key));
   }
   return out;
+}
+
+double mean_value() {
+  double acc = 0;
+  for (const auto& [key, value] : totals) {  // LINT-EXPECT: unordered-iter
+    acc += static_cast<double>(value);
+  }
+  return acc / static_cast<double>(totals.size());
 }

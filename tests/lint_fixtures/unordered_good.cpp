@@ -1,4 +1,6 @@
-// Fixture: iteration followed by a sort within the window is clean.
+// Fixture: flows the flow-aware unordered-iter rule must leave alone —
+// appending followed by a sort inside the window, and integer accumulation
+// (integer addition commutes, so hash order cannot change the result).
 #include <algorithm>
 #include <unordered_map>
 #include <vector>
@@ -12,4 +14,12 @@ std::vector<int> dump_sorted() {
   }
   std::sort(out.begin(), out.end());
   return out;
+}
+
+long long count_all() {
+  long long n = 0;
+  for (const auto& [key, value] : totals2) {
+    n += value;
+  }
+  return n;
 }

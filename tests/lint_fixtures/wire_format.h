@@ -1,0 +1,6 @@
+// Fixture: header that declares and pins the demo wire constants the
+// wire-contract tests reference from their in-test manifest.
+#pragma once
+
+inline constexpr char kDemoMagic[4] = {'V', 'Q', 'X', 'X'};
+inline constexpr unsigned kDemoVersion = 3;

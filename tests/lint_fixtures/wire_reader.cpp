@@ -1,0 +1,10 @@
+// Fixture: demo wire reader — validates the magic and version against the
+// same header constants the writer uses.
+#include "wire_format.h"
+
+bool read_demo(const char* in) {
+  for (int i = 0; i < 4; ++i) {
+    if (in[i] != kDemoMagic[i]) return false;
+  }
+  return in[4] == static_cast<char>(kDemoVersion);
+}

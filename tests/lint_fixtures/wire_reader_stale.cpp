@@ -1,0 +1,9 @@
+// Fixture: stale reader — checks the magic but hard-codes the version, so a bump would pass it by.  LINT-EXPECT: wire-contract
+#include "wire_format.h"
+
+bool read_demo_stale(const char* in) {
+  for (int i = 0; i < 4; ++i) {
+    if (in[i] != kDemoMagic[i]) return false;
+  }
+  return in[4] == 3;
+}

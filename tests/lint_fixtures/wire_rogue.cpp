@@ -1,0 +1,8 @@
+// Fixture: spells the demo magic outside the contract's declared
+// writer/reader/site set — both as a string literal and as a
+// comma-separated char initialiser.
+const char* rogue_tag() {
+  return "VQXX";  // LINT-EXPECT: wire-contract
+}
+
+const char kRogue[4] = {'V', 'Q', 'X', 'X'};  // LINT-EXPECT: wire-contract

@@ -1,0 +1,9 @@
+// Fixture: demo wire writer — emits the magic and version by referencing
+// the header constants, never by spelling the bytes.
+#include "wire_format.h"
+
+unsigned long write_demo(char* out) {
+  for (int i = 0; i < 4; ++i) out[i] = kDemoMagic[i];
+  out[4] = static_cast<char>(kDemoVersion);
+  return 5;
+}

@@ -102,6 +102,9 @@ class ServeHarness {
           const MutexLock lock{mutex_};
           events_.push_back(render_event(event, description));
         });
+    // The harness must run the server off-thread while the test drives the
+    // socket; ThreadPool::parallel_for has no detached long-lived task shape.
+    // vq-lint: allow(naked-thread)
     runner_ = std::thread{[this] { rc_.store(server_->run()); }};
   }
 
@@ -147,7 +150,7 @@ class ServeHarness {
   AttributeSchema schema_;
   std::string address_;
   std::optional<serve::Server> server_;
-  std::thread runner_;
+  std::thread runner_;  // vq-lint: allow(naked-thread)
   std::atomic<int> rc_{-1};
 
   mutable Mutex mutex_;
@@ -186,9 +189,13 @@ inline void drip(serve::Producer& producer, std::string_view bytes,
 /// must never hard-sleep for their whole budget).
 template <typename Pred>
 bool wait_until(Pred done, std::chrono::milliseconds deadline) {
+  // Real elapsed time is the thing under test (socket deadlines); nothing
+  // here feeds a seeded computation.
+  // vq-lint: allow(wall-clock)
   const auto start = std::chrono::steady_clock::now();
   while (!done()) {
-    if (std::chrono::steady_clock::now() - start > deadline) return false;
+    if (std::chrono::steady_clock::now() - start > deadline)  // vq-lint: allow(wall-clock)
+      return false;
     std::this_thread::sleep_for(std::chrono::milliseconds{5});
   }
   return true;

@@ -5,12 +5,16 @@
 // on the violating line; each test loads a fixture under a virtual repo
 // path (scoping keys off the path the SourceFile carries, not where the
 // fixture sits on disk) and requires the findings to match the markers
-// exactly — same lines, same rules, nothing extra.
+// exactly — same lines, same rules, nothing extra.  Rules that need
+// configuration (hot-path manifests, the wire-contract manifest) get it
+// through the LintConfig overload; the manifests live in the tests so a
+// fixture change and its expectations stay in one review.
 
 #include <algorithm>
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <string_view>
 #include <utility>
 #include <vector>
 
@@ -51,9 +55,10 @@ std::vector<std::pair<std::size_t, std::string>> expectations(
   return out;
 }
 
-/// Lints `files` and requires findings == the union of every file's
-/// LINT-EXPECT markers.
-void expect_exact(const std::vector<SourceFile>& files) {
+/// Lints `files` under `config` and requires findings == the union of
+/// every file's LINT-EXPECT markers.
+void expect_exact(const std::vector<SourceFile>& files,
+                  const LintConfig& config) {
   std::vector<std::pair<std::string, std::pair<std::size_t, std::string>>>
       expected;
   for (const SourceFile& f : files) {
@@ -61,7 +66,7 @@ void expect_exact(const std::vector<SourceFile>& files) {
       expected.emplace_back(f.path, e);
     }
   }
-  const std::vector<Finding> findings = run_lint(files);
+  const std::vector<Finding> findings = run_lint(files, config);
   std::vector<std::pair<std::string, std::pair<std::size_t, std::string>>>
       actual;
   for (const Finding& f : findings) {
@@ -76,12 +81,16 @@ void expect_exact(const std::vector<SourceFile>& files) {
   }();
 }
 
-TEST(Lint, RuleTableListsAllFiveRules) {
+void expect_exact(const std::vector<SourceFile>& files) {
+  expect_exact(files, LintConfig{});
+}
+
+TEST(Lint, RuleTableListsAllEightRules) {
   const std::vector<RuleInfo>& table = rules();
-  ASSERT_EQ(table.size(), 5u);
+  ASSERT_EQ(table.size(), 8u);
   const std::vector<std::string> names = {
-      "unordered-iter", "wall-clock", "naked-thread", "io-in-core",
-      "positioned-throw"};
+      "unordered-iter", "wall-clock", "naked-thread",  "io-in-core",
+      "positioned-throw", "raw-mutex", "hot-path",     "wire-contract"};
   for (const std::string& name : names) {
     EXPECT_TRUE(std::any_of(table.begin(), table.end(),
                             [&](const RuleInfo& r) { return r.name == name; }))
@@ -95,11 +104,22 @@ TEST(Lint, FormatFinding) {
             "src/core/x.cpp:12: [wall-clock] call to 'rand'");
 }
 
-TEST(Lint, FlagsUnsortedUnorderedIteration) {
+TEST(Lint, FormatGithubAnnotation) {
+  const Finding f{"src/core/x.cpp", 12, "wall-clock", "call to 'rand'"};
+  EXPECT_EQ(format_github_annotation(f),
+            "::error file=src/core/x.cpp,line=12::[wall-clock] call to "
+            "'rand'");
+}
+
+// --- unordered-iter ----------------------------------------------------------
+
+TEST(Lint, FlagsHashOrderReachingOutput) {
+  // Appending to an ordered vector and accumulating a float both leak hash
+  // order into the result.
   expect_exact({fixture("unordered_bad.cpp", "src/core/unordered_bad.cpp")});
 }
 
-TEST(Lint, SortWithinWindowIsClean) {
+TEST(Lint, SortedAppendAndIntAccumulationAreClean) {
   expect_exact({fixture("unordered_good.cpp", "src/core/unordered_good.cpp")});
 }
 
@@ -110,8 +130,17 @@ TEST(Lint, ResolvesUnorderedTypeAcrossFiles) {
                 fixture("registry_use.cpp", "src/core/registry_use.cpp")});
 }
 
+// --- wall-clock --------------------------------------------------------------
+
 TEST(Lint, FlagsWallClockSources) {
   expect_exact({fixture("wall_clock_bad.cpp", "src/core/wall_clock_bad.cpp")});
+}
+
+TEST(Lint, WallClockAppliesInTests) {
+  // tests/ must be as reproducible as src/ — a clock in a test needs a
+  // justified suppression (the socket chaos harness carries them).
+  expect_exact(
+      {fixture("wall_clock_bad.cpp", "tests/wall_clock_bad.cpp")});
 }
 
 TEST(Lint, WallClockExemptInUtilRng) {
@@ -154,6 +183,8 @@ TEST(Lint, WallClockServeCarveOutIsSegmentAnchored) {
   expect_exact({fixture("wall_clock_bad.cpp", "src/server/clock.cpp")});
 }
 
+// --- naked-thread ------------------------------------------------------------
+
 TEST(Lint, FlagsNakedThreads) {
   expect_exact(
       {fixture("naked_thread_bad.cpp", "src/core/naked_thread_bad.cpp")});
@@ -175,6 +206,8 @@ TEST(Lint, NakedThreadExemptInServeServerOnly) {
       {fixture("naked_thread_bad.cpp", "src/serve/producer.cpp")});
 }
 
+// --- io-in-core / positioned-throw -------------------------------------------
+
 TEST(Lint, FlagsConsoleIoOnlyInAnalysisLayers) {
   expect_exact({fixture("io_in_core_bad.cpp", "src/core/io_in_core_bad.cpp")});
   // The same writes are fine from the generator layer or tools.
@@ -193,6 +226,161 @@ TEST(Lint, FlagsPositionFreeThrowsOnlyInGen) {
                   .empty());
 }
 
+// --- raw-mutex ---------------------------------------------------------------
+
+TEST(Lint, FlagsRawMutexPrimitives) {
+  expect_exact({fixture("raw_mutex_bad.cpp", "src/core/raw_mutex_bad.cpp")});
+}
+
+TEST(Lint, RawMutexAppliesInTests) {
+  expect_exact({fixture("raw_mutex_bad.cpp", "tests/raw_mutex_bad.cpp")});
+}
+
+TEST(Lint, RawMutexExemptInMutexHeader) {
+  // src/util/mutex.h is the single sanctioned site: it *is* the wrapper
+  // the rule points everyone else at.
+  SourceFile f = fixture("raw_mutex_bad.cpp", "src/util/mutex.h");
+  EXPECT_TRUE(run_lint({f}).empty());
+}
+
+// --- hot-path ----------------------------------------------------------------
+
+TEST(Lint, HotMarkerFlagsNextFunctionOnly) {
+  // `// vq:hot` marks hot_kernel; cold_sibling below it allocates a
+  // std::string freely.  No manifest needed — markers are in-source.
+  expect_exact({fixture("hot_marker.cpp", "src/core/hot_marker.cpp")});
+}
+
+TEST(Lint, HotManifestNamesFunctionAndNamespace) {
+  LintConfig config;
+  config.hot_paths_text =
+      "function vq::fold_rows\n"
+      "namespace vq::serve\n";
+  expect_exact({fixture("hot_manifest.cpp", "src/gen/hot_kernels.cpp")},
+               config);
+}
+
+TEST(Lint, HotManifestUnconfiguredIsClean) {
+  // The same file without a manifest has no hot functions.
+  SourceFile f = fixture("hot_manifest.cpp", "src/gen/hot_kernels.cpp");
+  EXPECT_TRUE(run_lint({f}).empty());
+}
+
+TEST(Lint, HotManifestParseErrorsSurface) {
+  LintConfig config;
+  config.hot_paths_text = "kernel vq::fold_rows\n";
+  const std::vector<Finding> findings = run_lint({}, config);
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].path, "tools/hot_paths.txt");
+  EXPECT_EQ(findings[0].rule, "hot-path");
+  EXPECT_NE(findings[0].message.find("unknown entry kind"),
+            std::string::npos);
+}
+
+// --- wire-contract -----------------------------------------------------------
+
+constexpr std::string_view kDemoManifest = R"json({
+  "contracts": [
+    {"name": "demo-magic", "kind": "magic", "value": "VQXX",
+     "constant": "kDemoMagic", "header": "src/gen/wire_format.h",
+     "writers": ["src/gen/wire_writer.cpp"],
+     "readers": ["src/gen/wire_reader.cpp"]},
+    {"name": "demo-version", "kind": "number", "value": 3,
+     "constant": "kDemoVersion", "header": "src/gen/wire_format.h",
+     "writers": ["src/gen/wire_writer.cpp"],
+     "readers": ["src/gen/wire_reader.cpp"]}
+  ]
+})json";
+
+LintConfig demo_wire_config() {
+  LintConfig config;
+  config.wire_manifest_json = std::string{kDemoManifest};
+  config.wire_manifest_path = "docs/wire_contracts.json";
+  return config;
+}
+
+std::vector<SourceFile> demo_wire_files() {
+  return {fixture("wire_format.h", "src/gen/wire_format.h"),
+          fixture("wire_writer.cpp", "src/gen/wire_writer.cpp"),
+          fixture("wire_reader.cpp", "src/gen/wire_reader.cpp")};
+}
+
+TEST(Lint, WireContractCleanWhenPinnedAndShared) {
+  EXPECT_TRUE(run_lint(demo_wire_files(), demo_wire_config()).empty());
+}
+
+TEST(Lint, WireContractFlagsOneSidedVersionBump) {
+  // The acceptance scenario: the header bumps the version but the manifest
+  // (and therefore the recorded contract) still says 3 — the pin check
+  // must fail so the bump cannot land one-sided.
+  std::vector<SourceFile> files = demo_wire_files();
+  const std::size_t at = files[0].content.find("= 3;");
+  ASSERT_NE(at, std::string::npos);
+  files[0].content.replace(at, 4, "= 4;");
+  const std::vector<Finding> findings =
+      run_lint(files, demo_wire_config());
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].path, "src/gen/wire_format.h");
+  EXPECT_EQ(findings[0].rule, "wire-contract");
+  EXPECT_NE(findings[0].message.find("not pinned to 3"), std::string::npos);
+}
+
+TEST(Lint, WireContractFlagsOneSidedMagicChange) {
+  // Same scenario for a magic: the header re-spells the bytes, the
+  // manifest still records VQXX.
+  std::vector<SourceFile> files = demo_wire_files();
+  const std::size_t at = files[0].content.find("'X', 'X'");
+  ASSERT_NE(at, std::string::npos);
+  files[0].content.replace(at, 8, "'Y', 'Y'");
+  const std::vector<Finding> findings =
+      run_lint(files, demo_wire_config());
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].path, "src/gen/wire_format.h");
+  EXPECT_NE(findings[0].message.find("not pinned to \"VQXX\""),
+            std::string::npos);
+}
+
+TEST(Lint, WireContractFlagsStaleReader) {
+  // A reader that hard-codes the version instead of referencing the
+  // constant would silently keep accepting the old format after a bump.
+  std::vector<SourceFile> files = {
+      fixture("wire_format.h", "src/gen/wire_format.h"),
+      fixture("wire_writer.cpp", "src/gen/wire_writer.cpp"),
+      fixture("wire_reader_stale.cpp", "src/gen/wire_reader.cpp")};
+  expect_exact(files, demo_wire_config());
+}
+
+TEST(Lint, WireContractFlagsRogueMagicLiteral) {
+  // The magic spelled in a file outside the declared writer/reader/site
+  // set — as a string or as a comma-separated char run — is a finding.
+  std::vector<SourceFile> files = demo_wire_files();
+  files.push_back(fixture("wire_rogue.cpp", "src/core/wire_rogue.cpp"));
+  expect_exact(files, demo_wire_config());
+}
+
+TEST(Lint, WireContractReportsManifestProblems) {
+  // Unparseable JSON and files missing from the lint set both surface as
+  // findings pinned to the manifest itself.
+  LintConfig bad = demo_wire_config();
+  bad.wire_manifest_json = "{ not json";
+  std::vector<Finding> findings = run_lint({}, bad);
+  ASSERT_FALSE(findings.empty());
+  EXPECT_EQ(findings[0].path, "docs/wire_contracts.json");
+  EXPECT_EQ(findings[0].rule, "wire-contract");
+
+  // Valid manifest, but the named header/writer/reader files are absent
+  // from the linted set (e.g. a path typo in the manifest).
+  findings = run_lint({}, demo_wire_config());
+  EXPECT_EQ(findings.size(), 6u);  // header+writer+reader per contract
+  for (const Finding& f : findings) {
+    EXPECT_EQ(f.path, "docs/wire_contracts.json");
+    EXPECT_NE(f.message.find("not in the linted file set"),
+              std::string::npos);
+  }
+}
+
+// --- suppressions, literals, scoping -----------------------------------------
+
 TEST(Lint, LineSuppressionsSilenceFindings) {
   expect_exact({fixture("suppressed.cpp", "src/core/suppressed.cpp")});
 }
@@ -202,14 +390,14 @@ TEST(Lint, FileWideSuppressionListSilencesFindings) {
       {fixture("suppressed_file.cpp", "src/core/suppressed_file.cpp")});
 }
 
-TEST(Lint, LiteralsAndCommentsNeverFire) {
+TEST(Lint, LiteralsCommentsAndPreprocessorNeverFire) {
   expect_exact(
       {fixture("tricky_literals.cpp", "src/core/tricky_literals.cpp")});
 }
 
 TEST(Lint, OutsideScopePathsAreIgnored) {
-  // Everything under tests/ (or any unscoped path) is out of bounds for
-  // every rule except naked-thread; unordered iteration there is fine.
+  // unordered-iter is scoped to src/ — the same hash-order flows under
+  // tests/ (or any unscoped path) are out of bounds.
   EXPECT_TRUE(
       run_lint({fixture("unordered_bad.cpp", "tests/unordered_bad.cpp")})
           .empty());

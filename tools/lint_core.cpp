@@ -5,134 +5,106 @@
 #include <cctype>
 #include <unordered_set>
 
+#include "tools/lint_manifest.h"
+#include "tools/lint_scope.h"
+#include "tools/lint_tokens.h"
+
 namespace vq::lint {
 
 namespace {
 
-// --- source stripping --------------------------------------------------------
+// --- token helpers -----------------------------------------------------------
 
-[[nodiscard]] bool ident_char(char c) {
-  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+[[nodiscard]] bool is_ident(const Token& t, std::string_view name) {
+  return t.kind == TokKind::kIdent && t.text == name;
 }
 
-/// Two comment-free views of a file, index-aligned with the original so a
-/// byte position maps to the same line in all three.  `code` additionally
-/// blanks string/char literals (patterns in literals must not fire);
-/// `with_strings` keeps them (the positioned-throw rule inspects message
-/// text).  Stripped bytes become spaces; newlines survive.
-struct Stripped {
-  std::string code;
-  std::string with_strings;
-};
+[[nodiscard]] bool is_punct(const Token& t, std::string_view p) {
+  return t.kind == TokKind::kPunct && t.text == p;
+}
 
-Stripped strip(std::string_view src) {
-  Stripped out;
-  out.code.assign(src.begin(), src.end());
-  out.with_strings.assign(src.begin(), src.end());
+/// True when the identifier at `i` is written `std::<ident>`.
+[[nodiscard]] bool std_qualified(const std::vector<Token>& t,
+                                 std::size_t i) {
+  return i >= 2 && is_punct(t[i - 1], "::") && is_ident(t[i - 2], "std");
+}
 
-  const auto blank_code = [&](std::size_t i) {
-    if (out.code[i] != '\n') out.code[i] = ' ';
-  };
-  const auto blank_both = [&](std::size_t i) {
-    blank_code(i);
-    if (out.with_strings[i] != '\n') out.with_strings[i] = ' ';
-  };
+/// True when the next token after `i` is "(" — i.e. the identifier at `i`
+/// is called (or declared with parameters).
+[[nodiscard]] bool called(const std::vector<Token>& t, std::size_t i) {
+  return i + 1 < t.size() && is_punct(t[i + 1], "(");
+}
 
-  std::size_t i = 0;
-  const std::size_t n = src.size();
-  while (i < n) {
-    const char c = src[i];
-    if (c == '/' && i + 1 < n && src[i + 1] == '/') {
-      while (i < n && src[i] != '\n') blank_both(i++);
-    } else if (c == '/' && i + 1 < n && src[i + 1] == '*') {
-      blank_both(i++);
-      blank_both(i++);
-      while (i < n && !(src[i] == '*' && i + 1 < n && src[i + 1] == '/')) {
-        blank_both(i++);
-      }
-      if (i < n) blank_both(i++);
-      if (i < n) blank_both(i++);
-    } else if (c == '"') {
-      // Raw string? R"delim( ... )delim"
-      if (i > 0 && src[i - 1] == 'R' &&
-          (i < 2 || !ident_char(src[i - 2]))) {
-        std::size_t j = i + 1;
-        while (j < n && src[j] != '(') ++j;
-        const std::string delim{src.substr(i + 1, j - i - 1)};
-        const std::string close = ")" + delim + "\"";
-        const std::size_t end = src.find(close, j);
-        const std::size_t stop =
-            end == std::string_view::npos ? n : end + close.size();
-        while (i < stop) blank_code(i++);
-      } else {
-        blank_code(i++);
-        while (i < n && src[i] != '"' && src[i] != '\n') {
-          if (src[i] == '\\' && i + 1 < n) blank_code(i++);
-          blank_code(i++);
-        }
-        if (i < n) blank_code(i++);
-      }
-    } else if (c == '\'') {
-      // Digit separator (1'000) vs char literal.
-      const bool sep = i > 0 && i + 1 < n &&
-                       std::isalnum(static_cast<unsigned char>(src[i - 1])) &&
-                       std::isalnum(static_cast<unsigned char>(src[i + 1]));
-      if (sep) {
-        ++i;
-      } else {
-        blank_code(i++);
-        while (i < n && src[i] != '\'' && src[i] != '\n') {
-          if (src[i] == '\\' && i + 1 < n) blank_code(i++);
-          blank_code(i++);
-        }
-        if (i < n) blank_code(i++);
-      }
-    } else {
-      ++i;
+/// One past the matching closer for the opening bracket at `i`, counting
+/// (), [] and {} in one depth.
+[[nodiscard]] std::size_t skip_balanced(const std::vector<Token>& t,
+                                        std::size_t i) {
+  int depth = 0;
+  for (; i < t.size(); ++i) {
+    if (t[i].kind != TokKind::kPunct) continue;
+    const std::string& p = t[i].text;
+    if (p == "(" || p == "[" || p == "{") ++depth;
+    if (p == ")" || p == "]" || p == "}") {
+      if (--depth == 0) return i + 1;
     }
   }
-  return out;
+  return t.size();
 }
 
-[[nodiscard]] std::size_t line_of(std::string_view s, std::size_t pos) {
-  return 1 + static_cast<std::size_t>(
-                 std::count(s.begin(), s.begin() + static_cast<long>(pos),
-                            '\n'));
-}
-
-/// Finds the next occurrence of `token` at or after `from` that is a whole
-/// identifier (boundary-checked on both sides). npos when absent.
-[[nodiscard]] std::size_t find_token(std::string_view s,
-                                     std::string_view token,
-                                     std::size_t from) {
-  for (std::size_t pos = s.find(token, from); pos != std::string_view::npos;
-       pos = s.find(token, pos + 1)) {
-    const bool left_ok = pos == 0 || !ident_char(s[pos - 1]);
-    const std::size_t end = pos + token.size();
-    const bool right_ok = end >= s.size() || !ident_char(s[end]);
-    if (left_ok && right_ok) return pos;
-  }
-  return std::string_view::npos;
-}
-
-[[nodiscard]] std::size_t skip_ws(std::string_view s, std::size_t i) {
-  while (i < s.size() &&
-         std::isspace(static_cast<unsigned char>(s[i])) != 0) {
-    ++i;
-  }
-  return i;
-}
-
-/// Skips a balanced <...> starting at `i` (s[i] == '<'); returns the index
-/// one past the closing '>', or npos if unbalanced.
-[[nodiscard]] std::size_t skip_template_args(std::string_view s,
-                                             std::size_t i) {
+/// One past the '>' matching the '<' at `i` (argument lists; "<<"/">>"
+/// count twice, as in nested template closers).
+[[nodiscard]] std::size_t skip_angles(const std::vector<Token>& t,
+                                      std::size_t i) {
   int depth = 0;
-  for (; i < s.size(); ++i) {
-    if (s[i] == '<') ++depth;
-    if (s[i] == '>' && --depth == 0) return i + 1;
+  for (; i < t.size(); ++i) {
+    if (t[i].kind != TokKind::kPunct) continue;
+    const std::string& p = t[i].text;
+    if (p == "<") ++depth;
+    if (p == "<<") depth += 2;
+    if (p == ">") --depth;
+    if (p == ">>") depth -= 2;
+    if ((p == ">" || p == ">>") && depth <= 0) return i + 1;
+    if (p == ";" || p == "{") break;  // not an argument list after all
   }
-  return std::string_view::npos;
+  return t.size();
+}
+
+/// Numeric value of a literal token ("27", "0x1b", "1'000"), or -1 when
+/// it does not parse as an integer.
+[[nodiscard]] long long literal_value(const std::string& text) {
+  std::string digits;
+  digits.reserve(text.size());
+  for (const char c : text) {
+    if (c != '\'') digits.push_back(c);
+  }
+  int base = 10;
+  std::size_t i = 0;
+  if (digits.size() > 2 && digits[0] == '0' &&
+      (digits[1] == 'x' || digits[1] == 'X')) {
+    base = 16;
+    i = 2;
+  } else if (digits.size() > 2 && digits[0] == '0' &&
+             (digits[1] == 'b' || digits[1] == 'B')) {
+    base = 2;
+    i = 2;
+  }
+  long long acc = 0;
+  bool any = false;
+  for (; i < digits.size(); ++i) {
+    const char c =
+        static_cast<char>(std::tolower(static_cast<unsigned char>(digits[i])));
+    int d = -1;
+    if (c >= '0' && c <= '9') d = c - '0';
+    if (base == 16 && c >= 'a' && c <= 'f') d = c - 'a' + 10;
+    if (d < 0 || d >= base) {
+      // Suffixes (u, l, f) end the number; a '.' makes it non-integral.
+      if (c == '.') return -1;
+      break;
+    }
+    acc = acc * base + d;
+    any = true;
+  }
+  return any ? acc : -1;
 }
 
 // --- suppressions ------------------------------------------------------------
@@ -190,6 +162,37 @@ Suppressions parse_suppressions(std::string_view raw) {
   return out;
 }
 
+/// 1-based lines carrying a hot-path marker: a `//` comment whose last
+/// word is `vq:hot`.  Requiring end-of-line keeps prose mentions (and
+/// this engine's own string literals) from registering as markers; a
+/// justification for the marker goes on the line above.
+std::vector<std::size_t> parse_hot_markers(std::string_view raw) {
+  std::vector<std::size_t> out;
+  std::size_t line = 1;
+  std::size_t start = 0;
+  const std::string_view marker = "vq:hot";
+  while (start <= raw.size()) {
+    std::size_t eol = raw.find('\n', start);
+    if (eol == std::string_view::npos) eol = raw.size();
+    std::string_view text = raw.substr(start, eol - start);
+    while (!text.empty() &&
+           (text.back() == ' ' || text.back() == '\t' ||
+            text.back() == '\r')) {
+      text.remove_suffix(1);
+    }
+    if (text.size() >= marker.size() &&
+        text.compare(text.size() - marker.size(), marker.size(), marker) ==
+            0 &&
+        text.find("//") != std::string_view::npos &&
+        text.find("//") < text.size() - marker.size()) {
+      out.push_back(line);
+    }
+    start = eol + 1;
+    ++line;
+  }
+  return out;
+}
+
 // --- path scoping ------------------------------------------------------------
 
 [[nodiscard]] std::string normalize(std::string_view path) {
@@ -222,8 +225,11 @@ Suppressions parse_suppressions(std::string_view raw) {
 
 struct FileCtx {
   const SourceFile* src = nullptr;
-  Stripped stripped;
+  std::vector<Token> toks;
+  std::vector<FunctionSpan> functions;
   Suppressions suppressions;
+  std::vector<std::size_t> hot_markers;
+  std::unordered_set<std::string> float_names;  // per-file, by design
 };
 
 struct Sink {
@@ -231,196 +237,251 @@ struct Sink {
   const FileCtx* ctx;
   std::string_view rule;
 
-  void emit(std::size_t pos_in_code, std::string message) const {
-    const std::size_t line = line_of(ctx->stripped.code, pos_in_code);
+  void emit(std::size_t line, std::string message) const {
     if (ctx->suppressions.covers(rule, line)) return;
     findings->push_back(Finding{ctx->src->path, line, std::string{rule},
                                 std::move(message)});
   }
 };
 
-// --- rule: unordered-iter ----------------------------------------------------
+// --- registries --------------------------------------------------------------
 
 constexpr std::array<std::string_view, 6> kUnorderedTypes = {
     "unordered_map",      "unordered_set", "unordered_multimap",
     "unordered_multiset", "FlatMap64",     "FlatSet64"};
 
 /// Collects identifiers declared with an unordered container type:
-/// `Type<...> [*&]* name` where the name is not immediately followed by '('
-/// (which would be a function declarator).
-void collect_unordered_names(const std::string& code,
+/// `Type<...> [*&]* name` where the name is not immediately followed by
+/// '(' (which would be a function declarator).  Cross-file by design: a
+/// member declared in a header resolves against uses in every TU.
+void collect_unordered_names(const std::vector<Token>& toks,
                              std::unordered_set<std::string>& names) {
-  for (const std::string_view type : kUnorderedTypes) {
-    for (std::size_t pos = find_token(code, type, 0);
-         pos != std::string_view::npos;
-         pos = find_token(code, type, pos + type.size())) {
-      std::size_t i = skip_ws(code, pos + type.size());
-      if (i < code.size() && code[i] == '<') {
-        i = skip_template_args(code, i);
-        if (i == std::string_view::npos) break;
-      }
-      i = skip_ws(code, i);
-      while (i < code.size() && (code[i] == '*' || code[i] == '&')) {
-        i = skip_ws(code, i + 1);
-      }
-      std::size_t end = i;
-      while (end < code.size() && ident_char(code[end])) ++end;
-      if (end == i) continue;
-      const std::size_t after = skip_ws(code, end);
-      if (after < code.size() && code[after] == '(') continue;  // function
-      names.insert(code.substr(i, end - i));
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    if (toks[i].kind != TokKind::kIdent) continue;
+    const bool unordered =
+        std::any_of(kUnorderedTypes.begin(), kUnorderedTypes.end(),
+                    [&](std::string_view ty) { return toks[i].text == ty; });
+    if (!unordered) continue;
+    std::size_t j = i + 1;
+    if (j < toks.size() && is_punct(toks[j], "<")) j = skip_angles(toks, j);
+    while (j < toks.size() &&
+           (is_punct(toks[j], "*") || is_punct(toks[j], "&") ||
+            is_punct(toks[j], "&&") || is_ident(toks[j], "const"))) {
+      ++j;
     }
+    if (j >= toks.size() || toks[j].kind != TokKind::kIdent) continue;
+    if (called(toks, j)) continue;  // function returning the container
+    names.insert(toks[j].text);
   }
 }
 
-/// A sort within this many lines after the iteration counts as the
-/// "intervening sort" that restores determinism before anything is emitted.
-constexpr std::size_t kSortWindowLines = 40;
-
-[[nodiscard]] bool sort_follows(const std::string& code, std::size_t pos) {
-  std::size_t newlines = 0;
-  for (std::size_t i = pos; i < code.size() && newlines <= kSortWindowLines;
-       ++i) {
-    if (code[i] == '\n') {
-      ++newlines;
+/// Collects identifiers declared as raw float/double in this file —
+/// `float|double [*&]* name` — the accumulator names the flow-aware
+/// unordered-iter rule watches.  Per-file (unlike the container registry):
+/// a `double value` somewhere else in the tree must not poison generic
+/// code like flat_hash_map's merge helpers.
+void collect_float_names(const std::vector<Token>& toks,
+                         std::unordered_set<std::string>& names) {
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    if (!is_ident(toks[i], "float") && !is_ident(toks[i], "double")) {
       continue;
     }
-    if (code.compare(i, 5, "sort(") == 0 &&
-        (i == 0 || !ident_char(code[i - 1]) ||
-         code.compare(i >= 7 ? i - 7 : 0, 12, "stable_sort(") == 0)) {
+    std::size_t j = i + 1;
+    while (j < toks.size() &&
+           (is_punct(toks[j], "*") || is_punct(toks[j], "&") ||
+            is_punct(toks[j], "&&") || is_ident(toks[j], "const"))) {
+      ++j;
+    }
+    if (j >= toks.size() || toks[j].kind != TokKind::kIdent) continue;
+    if (called(toks, j)) continue;  // function returning float
+    names.insert(toks[j].text);
+  }
+}
+
+// --- rule: unordered-iter ----------------------------------------------------
+
+/// A sort within this many lines after the iteration counts as the
+/// "intervening sort" that restores determinism before anything is
+/// emitted.
+constexpr std::size_t kSortWindowLines = 40;
+
+[[nodiscard]] bool sort_follows(const std::vector<Token>& toks,
+                                std::size_t i) {
+  const std::size_t limit = toks[i].line + kSortWindowLines;
+  for (; i < toks.size() && toks[i].line <= limit; ++i) {
+    if ((is_ident(toks[i], "sort") || is_ident(toks[i], "stable_sort")) &&
+        called(toks, i)) {
       return true;
     }
   }
   return false;
 }
 
-/// Last top-level identifier of an expression, with bracketed/parenthesised
-/// segments ignored — `fold.leaves` -> "leaves", `registry_[mi]` ->
-/// "registry_".
-[[nodiscard]] std::string last_identifier(std::string_view expr) {
-  std::string flat{expr};
-  int depth = 0;
-  for (char& c : flat) {
-    if (c == '(' || c == '[' || c == '{') {
-      ++depth;
-      c = ' ';
-    } else if (c == ')' || c == ']' || c == '}') {
-      --depth;
-      c = ' ';
-    } else if (depth > 0) {
-      c = ' ';
+/// Identifier written directly before the operator at `k`, looking
+/// through one trailing index/call group: `registry_[mi] += x` resolves
+/// to "registry_", `acc.total += x` to "total".
+[[nodiscard]] std::string lhs_identifier(const std::vector<Token>& toks,
+                                         std::size_t k) {
+  if (k == 0) return {};
+  std::size_t p = k - 1;
+  if (is_punct(toks[p], "]") || is_punct(toks[p], ")")) {
+    int depth = 0;
+    for (std::size_t q = p + 1; q-- > 0;) {
+      if (toks[q].kind != TokKind::kPunct) continue;
+      const std::string& s = toks[q].text;
+      if (s == "]" || s == ")") ++depth;
+      if (s == "[" || s == "(") {
+        if (--depth == 0) {
+          if (q == 0) return {};
+          p = q - 1;
+          break;
+        }
+      }
     }
   }
-  std::size_t end = flat.size();
-  while (end > 0 && !ident_char(flat[end - 1])) --end;
-  std::size_t begin = end;
-  while (begin > 0 && ident_char(flat[begin - 1])) --begin;
-  return flat.substr(begin, end - begin);
+  return toks[p].kind == TokKind::kIdent ? toks[p].text : std::string{};
+}
+
+constexpr std::array<std::string_view, 3> kOrderedAppends = {
+    "push_back", "emplace_back", "append"};
+
+/// Why iterating in hash order here is a determinism bug — or "" when the
+/// body neither accumulates floats nor appends to ordered output.
+[[nodiscard]] std::string flow_reason(
+    const FileCtx& ctx, std::size_t begin, std::size_t end) {
+  const std::vector<Token>& toks = ctx.toks;
+  for (std::size_t k = begin; k < end && k < toks.size(); ++k) {
+    const Token& t = toks[k];
+    if (t.kind == TokKind::kPunct &&
+        (t.text == "+=" || t.text == "-=" || t.text == "*=" ||
+         t.text == "/=")) {
+      const std::string lhs = lhs_identifier(toks, k);
+      if (!lhs.empty() && ctx.float_names.count(lhs) != 0) {
+        return "accumulates float '" + lhs + "' (" + t.text + ")";
+      }
+    }
+    if (t.kind == TokKind::kIdent && called(toks, k) && k > 0 &&
+        (is_punct(toks[k - 1], ".") || is_punct(toks[k - 1], "->"))) {
+      const bool appends = std::any_of(
+          kOrderedAppends.begin(), kOrderedAppends.end(),
+          [&](std::string_view fn) { return t.text == fn; });
+      if (appends) return "appends to ordered output ('" + t.text + "')";
+    }
+  }
+  return {};
 }
 
 void check_unordered_iter(const FileCtx& ctx,
                           const std::unordered_set<std::string>& names,
                           Sink sink) {
-  const std::string& code = ctx.stripped.code;
-
-  // Range-for over a tracked container.
-  for (std::size_t pos = find_token(code, "for", 0);
-       pos != std::string_view::npos;
-       pos = find_token(code, "for", pos + 3)) {
-    std::size_t i = skip_ws(code, pos + 3);
-    if (i >= code.size() || code[i] != '(') continue;
-    int depth = 0;
-    std::size_t close = i;
-    for (; close < code.size(); ++close) {
-      if (code[close] == '(') ++depth;
-      if (code[close] == ')' && --depth == 0) break;
-    }
-    if (close >= code.size()) continue;
-    const std::string_view head{code.data() + i + 1, close - i - 1};
-    // Classic for (has a top-level ';') or no range ':': skip.
-    std::size_t colon = std::string_view::npos;
-    int d = 0;
-    bool classic = false;
-    for (std::size_t k = 0; k < head.size(); ++k) {
-      const char c = head[k];
-      if (c == '(' || c == '[' || c == '{') ++d;
-      if (c == ')' || c == ']' || c == '}') --d;
-      if (d != 0) continue;
-      if (c == ';') classic = true;
-      if (c == ':' && (k == 0 || head[k - 1] != ':') &&
-          (k + 1 >= head.size() || head[k + 1] != ':') &&
-          colon == std::string_view::npos) {
-        colon = k;
+  const std::vector<Token>& toks = ctx.toks;
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    // Range-for over a tracked container.
+    if (is_ident(toks[i], "for") && called(toks, i)) {
+      const std::size_t open = i + 1;
+      const std::size_t close_past = skip_balanced(toks, open);
+      // Top-level ':' splits declaration from range expression.
+      std::size_t colon = 0;
+      int depth = 0;
+      bool classic = false;
+      for (std::size_t k = open; k < close_past - 1; ++k) {
+        if (toks[k].kind != TokKind::kPunct) continue;
+        const std::string& p = toks[k].text;
+        if (p == "(" || p == "[" || p == "{") ++depth;
+        if (p == ")" || p == "]" || p == "}") --depth;
+        if (depth != 1) continue;
+        if (p == ";") classic = true;
+        if (p == ":" && colon == 0) colon = k;
       }
+      if (classic || colon == 0) continue;
+      // Container name: last top-level identifier of the range expr.
+      std::string name;
+      depth = 0;
+      for (std::size_t k = colon + 1; k < close_past - 1; ++k) {
+        const Token& t = toks[k];
+        if (t.kind == TokKind::kPunct) {
+          const std::string& p = t.text;
+          if (p == "(" || p == "[" || p == "{") ++depth;
+          if (p == ")" || p == "]" || p == "}") --depth;
+          continue;
+        }
+        if (depth == 0 && t.kind == TokKind::kIdent) name = t.text;
+      }
+      if (name.empty() || names.count(name) == 0) continue;
+      // Body: brace block or single statement.
+      std::size_t body_begin = close_past;
+      std::size_t body_end;
+      if (body_begin < toks.size() && is_punct(toks[body_begin], "{")) {
+        body_end = skip_balanced(toks, body_begin);
+      } else {
+        body_end = body_begin;
+        while (body_end < toks.size() && !is_punct(toks[body_end], ";")) {
+          ++body_end;
+        }
+      }
+      const std::string reason = flow_reason(ctx, body_begin, body_end);
+      if (reason.empty()) continue;
+      if (sort_follows(toks, i)) continue;
+      sink.emit(toks[i].line,
+                "range-for over unordered container '" + name + "' " +
+                    reason + " with no sort in the next " +
+                    std::to_string(kSortWindowLines) +
+                    " lines; hash order must not reach output "
+                    "(sort, or justify with a suppression)");
     }
-    if (classic || colon == std::string_view::npos) continue;
-    const std::string name = last_identifier(head.substr(colon + 1));
-    if (name.empty() || names.find(name) == names.end()) continue;
-    if (sort_follows(code, pos)) continue;
-    sink.emit(pos, "range-for over unordered container '" + name +
-                       "' with no sort in the next " +
-                       std::to_string(kSortWindowLines) +
-                       " lines; hash order must not reach output "
-                       "(sort, or justify with a suppression)");
-  }
-
-  // for_each on a tracked container.
-  for (std::size_t pos = find_token(code, "for_each", 0);
-       pos != std::string_view::npos;
-       pos = find_token(code, "for_each", pos + 8)) {
-    std::size_t recv_end = pos;
-    if (recv_end >= 1 && code[recv_end - 1] == '.') {
-      recv_end -= 1;
-    } else if (recv_end >= 2 && code[recv_end - 2] == '-' &&
-               code[recv_end - 1] == '>') {
-      recv_end -= 2;
-    } else {
-      continue;
+    // for_each on a tracked container.
+    if (is_ident(toks[i], "for_each") && called(toks, i) && i >= 2 &&
+        (is_punct(toks[i - 1], ".") || is_punct(toks[i - 1], "->")) &&
+        toks[i - 2].kind == TokKind::kIdent) {
+      const std::string& name = toks[i - 2].text;
+      if (names.count(name) == 0) continue;
+      const std::size_t body_begin = i + 1;
+      const std::size_t body_end = skip_balanced(toks, body_begin);
+      const std::string reason = flow_reason(ctx, body_begin, body_end);
+      if (reason.empty()) continue;
+      if (sort_follows(toks, i)) continue;
+      sink.emit(toks[i].line,
+                "for_each over unordered container '" + name + "' " +
+                    reason + " with no sort in the next " +
+                    std::to_string(kSortWindowLines) +
+                    " lines; hash order must not reach output "
+                    "(sort, or justify with a suppression)");
     }
-    std::size_t begin = recv_end;
-    while (begin > 0 && ident_char(code[begin - 1])) --begin;
-    const std::string name = code.substr(begin, recv_end - begin);
-    if (name.empty() || names.find(name) == names.end()) continue;
-    if (sort_follows(code, pos)) continue;
-    sink.emit(pos, "for_each over unordered container '" + name +
-                       "' with no sort in the next " +
-                       std::to_string(kSortWindowLines) +
-                       " lines; hash order must not reach output "
-                       "(sort, or justify with a suppression)");
   }
 }
 
 // --- rule: wall-clock --------------------------------------------------------
 
+constexpr std::array<std::string_view, 8> kClockCalls = {
+    "rand",      "srand",        "time",   "clock",
+    "localtime", "gettimeofday", "gmtime", "mktime"};
+
+constexpr std::array<std::string_view, 4> kClockTypes = {
+    "system_clock", "steady_clock", "high_resolution_clock",
+    "random_device"};
+
 void check_wall_clock(const FileCtx& ctx, Sink sink) {
-  const std::string& code = ctx.stripped.code;
-  // Function-style: identifier must be called.
-  constexpr std::array<std::string_view, 8> kCalls = {
-      "rand",      "srand",        "time",   "clock",
-      "localtime", "gettimeofday", "gmtime", "mktime"};
-  for (const std::string_view fn : kCalls) {
-    for (std::size_t pos = find_token(code, fn, 0);
-         pos != std::string_view::npos;
-         pos = find_token(code, fn, pos + fn.size())) {
-      const std::size_t after = skip_ws(code, pos + fn.size());
-      if (after >= code.size() || code[after] != '(') continue;
-      sink.emit(pos, "call to '" + std::string{fn} +
-                         "' in a core path; all randomness and time must "
-                         "flow through util/rng's seeded streams");
+  const std::vector<Token>& toks = ctx.toks;
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    const Token& t = toks[i];
+    if (t.kind != TokKind::kIdent || t.preproc) continue;
+    for (const std::string_view fn : kClockCalls) {
+      if (t.text == fn && called(toks, i)) {
+        sink.emit(t.line,
+                  "call to '" + std::string{fn} +
+                      "' in a core path; all randomness and time must "
+                      "flow through util/rng's seeded streams");
+      }
     }
-  }
-  // Type-style: any mention is nondeterministic state.
-  constexpr std::array<std::string_view, 4> kTypes = {
-      "system_clock", "steady_clock", "high_resolution_clock",
-      "random_device"};
-  for (const std::string_view ty : kTypes) {
-    for (std::size_t pos = find_token(code, ty, 0);
-         pos != std::string_view::npos;
-         pos = find_token(code, ty, pos + ty.size())) {
-      sink.emit(pos, "'" + std::string{ty} +
-                         "' in a core path; results must be reproducible "
-                         "from a seed (use util/rng; timing belongs in "
-                         "src/obs or bench/)");
+    for (const std::string_view ty : kClockTypes) {
+      if (t.text == ty) {
+        std::string msg{"'"};
+        msg += ty;
+        msg +=
+            "' in a core path; results must be reproducible from a seed "
+            "(use util/rng; timing belongs in src/obs or bench/)";
+        sink.emit(t.line, msg);
+      }
     }
   }
 }
@@ -428,61 +489,57 @@ void check_wall_clock(const FileCtx& ctx, Sink sink) {
 // --- rule: naked-thread ------------------------------------------------------
 
 void check_naked_thread(const FileCtx& ctx, Sink sink) {
-  const std::string& code = ctx.stripped.code;
-  for (std::size_t pos = code.find("std::thread");
-       pos != std::string::npos; pos = code.find("std::thread", pos + 1)) {
-    const std::size_t end = pos + 11;
-    if (end < code.size() && (ident_char(code[end]) || code[end] == ':')) {
-      continue;  // std::thread_xxx or std::thread::hardware_concurrency
+  const std::vector<Token>& toks = ctx.toks;
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    const Token& t = toks[i];
+    if (t.kind != TokKind::kIdent || t.preproc) continue;
+    if (t.text == "thread" && std_qualified(toks, i)) {
+      // std::thread::hardware_concurrency is a query, not a spawn.
+      if (i + 1 < toks.size() && is_punct(toks[i + 1], "::")) continue;
+      sink.emit(t.line,
+                "raw std::thread outside util/thread_pool; parallelise "
+                "through ThreadPool::parallel_for so exceptions and "
+                "determinism stay handled in one place");
     }
-    sink.emit(pos, "raw std::thread outside util/thread_pool; parallelise "
-                   "through ThreadPool::parallel_for so exceptions and "
-                   "determinism stay handled in one place");
-  }
-  constexpr std::array<std::string_view, 3> kOthers = {
-      "jthread", "async", "pthread_create"};
-  for (const std::string_view tok : kOthers) {
-    for (std::size_t pos = find_token(code, tok, 0);
-         pos != std::string_view::npos;
-         pos = find_token(code, tok, pos + tok.size())) {
-      if (tok == "async") {
-        // only std::async is thread creation
-        if (pos < 5 || code.compare(pos - 5, 5, "std::") != 0) continue;
-      }
-      sink.emit(pos, "'" + std::string{tok} +
-                         "' outside util/thread_pool; parallelise through "
-                         "ThreadPool::parallel_for");
+    if (t.text == "jthread" || t.text == "pthread_create" ||
+        (t.text == "async" && std_qualified(toks, i))) {
+      sink.emit(t.line, "'" + t.text +
+                            "' outside util/thread_pool; parallelise "
+                            "through ThreadPool::parallel_for");
     }
   }
 }
 
 // --- rule: io-in-core --------------------------------------------------------
 
+constexpr std::array<std::string_view, 7> kPrintfFamily = {
+    "printf", "fprintf", "vprintf", "vfprintf", "puts", "fputs", "putchar"};
+
+constexpr std::array<std::string_view, 3> kStdStreams = {"cout", "cerr",
+                                                         "clog"};
+
 void check_io_in_core(const FileCtx& ctx, Sink sink) {
-  const std::string& code = ctx.stripped.code;
-  constexpr std::array<std::string_view, 7> kPrintf = {
-      "printf", "fprintf", "vprintf", "vfprintf", "puts", "fputs", "putchar"};
-  for (const std::string_view fn : kPrintf) {
-    for (std::size_t pos = find_token(code, fn, 0);
-         pos != std::string_view::npos;
-         pos = find_token(code, fn, pos + fn.size())) {
-      const std::size_t after = skip_ws(code, pos + fn.size());
-      if (after >= code.size() || code[after] != '(') continue;
-      sink.emit(pos, "'" + std::string{fn} +
-                         "' in the analysis layer; human-facing output goes "
-                         "through core/report");
+  const std::vector<Token>& toks = ctx.toks;
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    const Token& t = toks[i];
+    if (t.kind != TokKind::kIdent || t.preproc) continue;
+    for (const std::string_view fn : kPrintfFamily) {
+      if (t.text == fn && called(toks, i)) {
+        std::string msg{"'"};
+        msg += fn;
+        msg +=
+            "' in the analysis layer; human-facing output goes through "
+            "core/report";
+        sink.emit(t.line, msg);
+      }
     }
-  }
-  constexpr std::array<std::string_view, 3> kStreams = {
-      "std::cout", "std::cerr", "std::clog"};
-  for (const std::string_view st : kStreams) {
-    for (std::size_t pos = code.find(st); pos != std::string::npos;
-         pos = code.find(st, pos + 1)) {
-      const std::size_t end = pos + st.size();
-      if (end < code.size() && ident_char(code[end])) continue;
-      sink.emit(pos, "'" + std::string{st} +
-                         "' in the analysis layer; human-facing output goes "
-                         "through core/report");
+    for (const std::string_view st : kStdStreams) {
+      if (t.text == st && std_qualified(toks, i)) {
+        sink.emit(t.line,
+                  "'std::" + std::string{st} +
+                      "' in the analysis layer; human-facing output goes "
+                      "through core/report");
+      }
     }
   }
 }
@@ -493,26 +550,313 @@ constexpr std::array<std::string_view, 5> kPositionWords = {
     "line", "offset", "record", "position", "path"};
 
 void check_positioned_throw(const FileCtx& ctx, Sink sink) {
-  const std::string& code = ctx.stripped.code;
-  const std::string& text = ctx.stripped.with_strings;
-  for (std::size_t pos = find_token(code, "throw", 0);
-       pos != std::string_view::npos;
-       pos = find_token(code, "throw", pos + 5)) {
-    // Statement extent from the literal-blanked view (';' in a message
-    // cannot end it), message inspection on the literal-preserving view.
-    const std::size_t semi = code.find(';', pos);
-    const std::size_t end = semi == std::string::npos ? code.size() : semi;
-    const std::string_view stmt{text.data() + pos, end - pos};
-    const bool positioned = std::any_of(
-        kPositionWords.begin(), kPositionWords.end(),
-        [&](std::string_view w) {
-          return stmt.find(w) != std::string_view::npos;
-        });
+  const std::vector<Token>& toks = ctx.toks;
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    if (!is_ident(toks[i], "throw") || toks[i].preproc) continue;
+    bool positioned = false;
+    for (std::size_t k = i + 1; k < toks.size(); ++k) {
+      if (is_punct(toks[k], ";")) break;
+      if (toks[k].kind != TokKind::kIdent &&
+          toks[k].kind != TokKind::kString) {
+        continue;
+      }
+      positioned = std::any_of(
+          kPositionWords.begin(), kPositionWords.end(),
+          [&](std::string_view w) {
+            return toks[k].text.find(w) != std::string::npos;
+          });
+      if (positioned) break;
+    }
     if (positioned) continue;
-    sink.emit(pos,
+    sink.emit(toks[i].line,
               "throw without a position (line/record/offset/path) in the "
               "ingest layer; fault-tolerant readers live on positioned "
               "errors (see robust_io)");
+  }
+}
+
+// --- rule: raw-mutex ---------------------------------------------------------
+
+constexpr std::array<std::string_view, 9> kRawMutexTypes = {
+    "mutex",          "recursive_mutex",    "shared_mutex",
+    "timed_mutex",    "condition_variable", "condition_variable_any",
+    "lock_guard",     "unique_lock",        "scoped_lock"};
+
+void check_raw_mutex(const FileCtx& ctx, Sink sink) {
+  const std::vector<Token>& toks = ctx.toks;
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    const Token& t = toks[i];
+    if (t.kind != TokKind::kIdent || t.preproc) continue;
+    for (const std::string_view ty : kRawMutexTypes) {
+      if (t.text == ty && std_qualified(toks, i)) {
+        sink.emit(t.line,
+                  "raw std::" + std::string{ty} +
+                      " outside src/util/mutex.h; use vq::Mutex / "
+                      "MutexLock / CondVar so the thread-safety "
+                      "annotations see every lock");
+      }
+    }
+    if ((t.text == "lock" || t.text == "unlock") && called(toks, i) &&
+        i > 0 &&
+        (is_punct(toks[i - 1], ".") || is_punct(toks[i - 1], "->"))) {
+      sink.emit(t.line,
+                "manual ." + t.text +
+                    "() outside src/util/mutex.h; scope-based MutexLock "
+                    "keeps acquire/release paired under the annotations");
+    }
+  }
+}
+
+// --- rule: hot-path ----------------------------------------------------------
+
+struct HotViolation {
+  std::string_view what;
+  std::string_view why;
+};
+
+[[nodiscard]] const HotViolation* hot_violation(
+    const std::vector<Token>& toks, std::size_t i) {
+  static constexpr HotViolation kNew{"operator new", "heap allocation"};
+  static constexpr HotViolation kMalloc{"malloc-family call",
+                                        "heap allocation"};
+  static constexpr HotViolation kMakeSmart{"smart-pointer construction",
+                                           "heap allocation"};
+  static constexpr HotViolation kLock{"lock acquisition", "locking"};
+  static constexpr HotViolation kIo{"IO call", "IO"};
+  static constexpr HotViolation kThrow{"throw", "unwinding"};
+  static constexpr HotViolation kString{"std::string construction",
+                                        "heap allocation"};
+
+  const Token& t = toks[i];
+  if (t.kind != TokKind::kIdent || t.preproc) return nullptr;
+  const std::string& s = t.text;
+  if (s == "new") return &kNew;
+  if ((s == "malloc" || s == "calloc" || s == "realloc") &&
+      called(toks, i)) {
+    return &kMalloc;
+  }
+  if (s == "make_unique" || s == "make_shared") return &kMakeSmart;
+  if (s == "MutexLock" || s == "CondVar" || s == "lock_guard" ||
+      s == "unique_lock" || s == "scoped_lock" || s == "mutex" ||
+      s == "condition_variable") {
+    return &kLock;
+  }
+  if ((s == "lock" || s == "unlock") && called(toks, i) && i > 0 &&
+      (is_punct(toks[i - 1], ".") || is_punct(toks[i - 1], "->"))) {
+    return &kLock;
+  }
+  for (const std::string_view fn : kPrintfFamily) {
+    if (s == fn && called(toks, i)) return &kIo;
+  }
+  if ((s == "fopen" || s == "fwrite" || s == "fread" || s == "fflush" ||
+       s == "fclose") &&
+      called(toks, i)) {
+    return &kIo;
+  }
+  if (s == "ofstream" || s == "ifstream" || s == "fstream") return &kIo;
+  for (const std::string_view st : kStdStreams) {
+    if (s == st && std_qualified(toks, i)) return &kIo;
+  }
+  if (s == "throw") return &kThrow;
+  if (s == "string" && std_qualified(toks, i)) return &kString;
+  if (s == "to_string" || s == "stringstream" || s == "ostringstream" ||
+      s == "istringstream") {
+    return &kString;
+  }
+  return nullptr;
+}
+
+void check_hot_path(const FileCtx& ctx, const HotPaths& hot, Sink sink) {
+  // Hot set: manifest entries plus `// vq:hot` markers (a marker names
+  // the next function definition at or below it).
+  std::vector<const FunctionSpan*> spans;
+  for (const FunctionSpan& f : ctx.functions) {
+    if (hot_matches(hot, f.qualified)) spans.push_back(&f);
+  }
+  for (const std::size_t marker : ctx.hot_markers) {
+    const FunctionSpan* best = nullptr;
+    for (const FunctionSpan& f : ctx.functions) {
+      if (f.name_line >= marker &&
+          (best == nullptr || f.name_line < best->name_line)) {
+        best = &f;
+      }
+    }
+    if (best != nullptr &&
+        std::find(spans.begin(), spans.end(), best) == spans.end()) {
+      spans.push_back(best);
+    }
+  }
+  for (const FunctionSpan* f : spans) {
+    for (std::size_t i = f->body_open + 1; i < f->body_close; ++i) {
+      const HotViolation* v = hot_violation(ctx.toks, i);
+      if (v == nullptr) continue;
+      sink.emit(ctx.toks[i].line,
+                std::string{v->what} + " ('" + ctx.toks[i].text +
+                    "') in hot path '" + f->qualified + "'; " +
+                    std::string{v->why} +
+                    " is banned in manifested kernels "
+                    "(tools/hot_paths.txt) — hoist it out of the loop or "
+                    "justify with a suppression");
+    }
+  }
+}
+
+// --- rule: wire-contract -----------------------------------------------------
+
+/// True when some statement (`;`-delimited token run) mentioning
+/// `constant` also spells the contract value — `= 4096`, a
+/// `static_assert(k == 27)`, or a `{'V','Q','C','H'}` initialiser.
+[[nodiscard]] bool constant_pinned(const std::vector<Token>& toks,
+                                   const WireContract& c) {
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    if (!is_ident(toks[i], c.constant)) continue;
+    // Statement extent around the mention.
+    std::size_t begin = i;
+    while (begin > 0 && !is_punct(toks[begin - 1], ";") &&
+           !is_punct(toks[begin - 1], "{") &&
+           !is_punct(toks[begin - 1], "}")) {
+      --begin;
+    }
+    std::size_t end = i;
+    while (end < toks.size() && !is_punct(toks[end], ";")) ++end;
+    if (c.kind == "number") {
+      for (std::size_t k = begin; k < end; ++k) {
+        if (toks[k].kind == TokKind::kNumber &&
+            literal_value(toks[k].text) == c.number) {
+          return true;
+        }
+      }
+    } else {
+      std::string chars;
+      for (std::size_t k = begin; k < end; ++k) {
+        if (toks[k].kind == TokKind::kString &&
+            toks[k].text == c.magic) {
+          return true;
+        }
+        if (toks[k].kind == TokKind::kChar && toks[k].text.size() == 1) {
+          chars += toks[k].text;
+        }
+      }
+      if (chars.find(c.magic) != std::string::npos) return true;
+    }
+  }
+  return false;
+}
+
+[[nodiscard]] bool mentions_ident(const std::vector<Token>& toks,
+                                  const std::string& name) {
+  return std::any_of(toks.begin(), toks.end(), [&](const Token& t) {
+    return t.kind == TokKind::kIdent && t.text == name;
+  });
+}
+
+void check_wire_contract(const std::vector<FileCtx>& ctxs,
+                         const LintConfig& config,
+                         const WireManifest& manifest,
+                         std::vector<Finding>* findings) {
+  const auto manifest_finding = [&](const std::string& message) {
+    findings->push_back(Finding{config.wire_manifest_path, 1,
+                                "wire-contract", message});
+  };
+  for (const std::string& err : manifest.errors) manifest_finding(err);
+
+  const auto find_ctx = [&](const std::string& file) -> const FileCtx* {
+    for (const FileCtx& ctx : ctxs) {
+      if (is_file(ctx.src->path, file)) return &ctx;
+    }
+    return nullptr;
+  };
+
+  for (const WireContract& c : manifest.contracts) {
+    // (a) The declaring header is in the lint set and pins the value.
+    const FileCtx* header = find_ctx(c.header);
+    if (header == nullptr) {
+      manifest_finding("contract '" + c.name + "': header " + c.header +
+                       " is not in the linted file set");
+    } else if (!mentions_ident(header->toks, c.constant)) {
+      Sink{findings, header, "wire-contract"}.emit(
+          1, "contract '" + c.name + "': constant " + c.constant +
+                 " is not declared in " + c.header);
+    } else if (!constant_pinned(header->toks, c)) {
+      const std::string value =
+          c.kind == "magic" ? "\"" + c.magic + "\""
+                            : std::to_string(c.number);
+      Sink{findings, header, "wire-contract"}.emit(
+          1, "contract '" + c.name + "': " + c.constant +
+                 " is not pinned to " + value + " in " + c.header +
+                 " (declare it with the literal or add a static_assert; "
+                 "if the format changed, bump docs/wire_contracts.json "
+                 "and both sides — see docs/METHOD.md)");
+    }
+    // (b) Every writer and reader references the shared constant.
+    for (const std::vector<std::string>* side : {&c.writers, &c.readers}) {
+      const bool is_writer = side == &c.writers;
+      for (const std::string& file : *side) {
+        const FileCtx* ctx = find_ctx(file);
+        if (ctx == nullptr) {
+          manifest_finding("contract '" + c.name + "': " +
+                           (is_writer ? "writer " : "reader ") + file +
+                           " is not in the linted file set");
+          continue;
+        }
+        if (!mentions_ident(ctx->toks, c.constant)) {
+          Sink{findings, ctx, "wire-contract"}.emit(
+              1, "contract '" + c.name + "': " +
+                     (is_writer ? "writer" : "reader") +
+                     " does not reference " + c.constant +
+                     "; writer and reader must share the constant so a "
+                     "format bump moves both sides");
+        }
+      }
+    }
+    // (c) Magic bytes are spelled literally only at declared sites.
+    if (c.kind != "magic") continue;
+    const auto allowed = [&](const std::string& path) {
+      if (is_file(path, c.header)) return true;
+      for (const std::vector<std::string>* list :
+           {&c.writers, &c.readers, &c.sites}) {
+        for (const std::string& f : *list) {
+          if (is_file(path, f)) return true;
+        }
+      }
+      return false;
+    };
+    for (const FileCtx& ctx : ctxs) {
+      if (allowed(ctx.src->path)) continue;
+      Sink sink{findings, &ctx, "wire-contract"};
+      std::string run;
+      std::size_t run_line = 0;
+      const auto flush_run = [&] {
+        if (!run.empty() && run.find(c.magic) != std::string::npos) {
+          sink.emit(run_line,
+                    "magic \"" + c.magic + "\" (contract '" + c.name +
+                        "') spelled outside its declared writer/reader "
+                        "sites; reference " + c.constant +
+                        " or add the file to docs/wire_contracts.json");
+        }
+        run.clear();
+        run_line = 0;
+      };
+      for (const Token& t : ctx.toks) {
+        if (t.kind == TokKind::kString &&
+            t.text.find(c.magic) != std::string::npos) {
+          sink.emit(t.line,
+                    "magic \"" + c.magic + "\" (contract '" + c.name +
+                        "') spelled outside its declared writer/reader "
+                        "sites; reference " + c.constant +
+                        " or add the file to docs/wire_contracts.json");
+          continue;
+        }
+        if (t.kind == TokKind::kChar && t.text.size() == 1) {
+          if (run.empty()) run_line = t.line;
+          run += t.text;
+          continue;
+        }
+        if (t.kind == TokKind::kPunct && t.text == ",") continue;
+        flush_run();
+      }
+      flush_run();
+    }
   }
 }
 
@@ -521,62 +865,90 @@ void check_positioned_throw(const FileCtx& ctx, Sink sink) {
 const std::vector<RuleInfo>& rules() {
   static const std::vector<RuleInfo> kRules = {
       {"unordered-iter",
-       "iteration over an unordered container must sort before anything is "
-       "emitted (src/)"},
+       "iteration over an unordered container that accumulates floats or "
+       "appends to ordered output must sort before anything is emitted "
+       "(src/)"},
       {"wall-clock",
-       "no rand/srand/time/clock/std::chrono wall clocks outside util/rng "
-       "and obs/ (src/)"},
+       "no rand/srand/time/clock/std::chrono wall clocks outside util/rng, "
+       "obs/ and serve/ (src/, tests/)"},
       {"naked-thread",
        "no std::thread/std::async outside util/thread_pool (src/, tools/, "
-       "bench/)"},
+       "bench/, tests/)"},
       {"io-in-core",
        "no printf-family or std::cout/cerr writes in src/core or src/stats "
        "(reporting goes through core/report)"},
       {"positioned-throw",
-       "every throw in src/gen carries a position: line, record, offset, or "
-       "path"},
+       "every throw in src/gen carries a position: line, record, offset, "
+       "or path"},
+      {"raw-mutex",
+       "no raw std::mutex/condition_variable/lock_guard or manual "
+       ".lock()/.unlock() outside src/util/mutex.h (src/, tools/, bench/, "
+       "tests/)"},
+      {"hot-path",
+       "no allocation, locking, IO, throw or std::string construction in "
+       "functions named by tools/hot_paths.txt or // vq:hot markers"},
+      {"wire-contract",
+       "docs/wire_contracts.json magics/versions/sizes must be pinned in "
+       "their headers, referenced by every writer and reader, and spelled "
+       "only at declared sites"},
   };
   return kRules;
 }
 
 std::vector<Finding> run_lint(const std::vector<SourceFile>& files) {
+  return run_lint(files, LintConfig{});
+}
+
+std::vector<Finding> run_lint(const std::vector<SourceFile>& files,
+                              const LintConfig& config) {
   std::vector<FileCtx> ctxs;
   ctxs.reserve(files.size());
   std::unordered_set<std::string> unordered_names;
   for (const SourceFile& f : files) {
     FileCtx ctx;
     ctx.src = &f;
-    ctx.stripped = strip(f.content);
+    ctx.toks = tokenize(f.content);
+    ctx.functions = ScopeMap{ctx.toks}.functions();
     ctx.suppressions = parse_suppressions(f.content);
-    collect_unordered_names(ctx.stripped.code, unordered_names);
+    ctx.hot_markers = parse_hot_markers(f.content);
+    collect_unordered_names(ctx.toks, unordered_names);
+    collect_float_names(ctx.toks, ctx.float_names);
     ctxs.push_back(std::move(ctx));
   }
 
+  const HotPaths hot = parse_hot_paths(config.hot_paths_text);
+
   std::vector<Finding> findings;
+  for (const std::string& err : hot.errors) {
+    findings.push_back(Finding{"tools/hot_paths.txt", 1, "hot-path", err});
+  }
+
   for (const FileCtx& ctx : ctxs) {
     const std::string& path = ctx.src->path;
     if (under(path, "src")) {
       check_unordered_iter(ctx, unordered_names,
                            {&findings, &ctx, "unordered-iter"});
-      // util/rng owns randomness; src/obs owns timing (steady_clock behind
-      // Stopwatch/VQ_SPAN); src/serve owns socket deadlines (idle/read
-      // timeouts and push deadlines are wall-clock by nature and never feed
-      // the analysis — the detector sees only rows). Everywhere else a
-      // clock or rand() call breaks seed-reproducibility. under() is
-      // segment-anchored, so e.g. "src/observability" would NOT inherit
-      // the carve-out.
-      if (!is_file(path, "src/util/rng.h") &&
-          !is_file(path, "src/util/rng.cpp") && !under(path, "src/obs") &&
-          !under(path, "src/serve")) {
-        check_wall_clock(ctx, {&findings, &ctx, "wall-clock"});
-      }
+    }
+    // util/rng owns randomness; src/obs owns timing (steady_clock behind
+    // Stopwatch/VQ_SPAN); src/serve owns socket deadlines (idle/read
+    // timeouts and push deadlines are wall-clock by nature and never feed
+    // the analysis — the detector sees only rows).  Everywhere else in
+    // src/ and tests/ a clock or rand() call breaks seed-reproducibility;
+    // chaos harnesses that need real deadlines carry justified
+    // suppressions.  under() is segment-anchored, so e.g.
+    // "src/observability" would NOT inherit the carve-out.
+    if ((under(path, "src") || under(path, "tests")) &&
+        !is_file(path, "src/util/rng.h") &&
+        !is_file(path, "src/util/rng.cpp") && !under(path, "src/obs") &&
+        !under(path, "src/serve")) {
+      check_wall_clock(ctx, {&findings, &ctx, "wall-clock"});
     }
     // serve/server.cpp owns the acceptor/IO thread: a poll loop with its
     // own lifecycle, not data-parallel work a ThreadPool could express.
     // The carve-out is that one file — serve tests and the rest of the
-    // layer still go through ThreadPool.
+    // layer still go through ThreadPool (or suppress with justification).
     if ((under(path, "src") || under(path, "tools") ||
-         under(path, "bench")) &&
+         under(path, "bench") || under(path, "tests")) &&
         !is_file(path, "src/util/thread_pool.h") &&
         !is_file(path, "src/util/thread_pool.cpp") &&
         !is_file(path, "src/serve/server.cpp")) {
@@ -588,6 +960,20 @@ std::vector<Finding> run_lint(const std::vector<SourceFile>& files) {
     if (under(path, "src/gen")) {
       check_positioned_throw(ctx, {&findings, &ctx, "positioned-throw"});
     }
+    // mutex.h is the single sanctioned std::mutex site: it wraps the raw
+    // primitives in capability-annotated types everything else must use.
+    if ((under(path, "src") || under(path, "tools") ||
+         under(path, "bench") || under(path, "tests")) &&
+        !is_file(path, "src/util/mutex.h")) {
+      check_raw_mutex(ctx, {&findings, &ctx, "raw-mutex"});
+    }
+    check_hot_path(ctx, hot, {&findings, &ctx, "hot-path"});
+  }
+
+  if (!config.wire_manifest_json.empty()) {
+    const WireManifest manifest =
+        parse_wire_manifest(config.wire_manifest_json);
+    check_wire_contract(ctxs, config, manifest, &findings);
   }
 
   std::sort(findings.begin(), findings.end(),
@@ -602,6 +988,11 @@ std::vector<Finding> run_lint(const std::vector<SourceFile>& files) {
 std::string format_finding(const Finding& f) {
   return f.path + ":" + std::to_string(f.line) + ": [" + f.rule + "] " +
          f.message;
+}
+
+std::string format_github_annotation(const Finding& f) {
+  return "::error file=" + f.path + ",line=" + std::to_string(f.line) +
+         "::[" + f.rule + "] " + f.message;
 }
 
 }  // namespace vq::lint

@@ -1,43 +1,54 @@
-// vidqual_lint — repo-specific static analysis (DESIGN.md §4.7).
+// vidqual_lint v2 — repo-specific static analysis (DESIGN.md §4.12).
 //
-// A fast, dependency-free, file-level linter (tokenizing line scanner, no
-// libclang) for the invariants the generic tools cannot express:
+// A dependency-free analysis engine (no libclang): a real tokenizer
+// (lint_tokens.h) feeds a brace/scope tracker (lint_scope.h) that
+// attributes tokens to their enclosing namespace + function, so rules are
+// flow-aware instead of line-local.  Rule families:
 //
 //   unordered-iter    Iteration over an unordered container (FlatMap64 /
-//                     FlatSet64 / std::unordered_*) with no sort within the
-//                     following window.  Hash-order iteration that feeds
-//                     reports or serialisation is the classic determinism
-//                     bug; every legitimate use either sorts right after or
-//                     carries a justified suppression.     [scope: src/]
-//   wall-clock        rand()/srand()/time()/clock()/std::chrono wall clocks /
-//                     std::random_device in core paths.  All randomness must
-//                     flow through util/rng's seeded streams, or results are
-//                     not reproducible from a seed; all timing flows through
-//                     src/obs (Stopwatch/VQ_SPAN), whose durations feed
-//                     observability output only.  [scope: src/, except
-//                     util/rng and obs/]
-//   naked-thread      std::thread / std::jthread / std::async / pthread_create
-//                     outside util/thread_pool.  One component owns threads;
-//                     everything else parallelises through it (and inherits
-//                     its exception + determinism guarantees).
-//                     [scope: src/, tools/, bench/]
-//   io-in-core        printf-family / std::cout|cerr|clog writes in the
-//                     analysis layers; human-facing output goes through
-//                     core/report.                  [scope: src/core, src/stats]
+//                     FlatSet64 / std::unordered_*) whose body accumulates
+//                     floats or appends to ordered output, with no sort in
+//                     the following window.  Flow-aware since v2: loops
+//                     that only count or probe are clean, so the blanket
+//                     suppressions of v1 are gone.          [scope: src/]
+//   wall-clock        rand()/time()/clock()/std::chrono wall clocks /
+//                     std::random_device outside util/rng, src/obs and
+//                     src/serve.  All randomness flows through seeded
+//                     streams or results are not reproducible.
+//                                                  [scope: src/, tests/]
+//   naked-thread      std::thread / std::jthread / std::async /
+//                     pthread_create outside util/thread_pool (and the
+//                     serve acceptor).  [scope: src/ tools/ bench/ tests/]
+//   io-in-core        printf-family / std::cout|cerr|clog in the analysis
+//                     layers; output goes through core/report.
+//                                            [scope: src/core, src/stats]
 //   positioned-throw  A `throw` whose message carries no position (line /
-//                     record / offset / path).  Fault-tolerant ingest lives
-//                     and dies on positioned errors (robust_io).
-//                     [scope: src/gen]
+//                     record / offset / path).            [scope: src/gen]
+//   raw-mutex         Naked std::mutex / std::condition_variable /
+//                     lock_guard / manual .lock()/.unlock() outside
+//                     src/util/mutex.h; vq::Mutex carries the thread-
+//                     safety annotations.  [scope: src/ tools/ bench/ tests/]
+//   hot-path          Heap allocation, locking, IO, `throw` or
+//                     std::string construction inside a function named by
+//                     tools/hot_paths.txt or a `// vq:hot` marker.
+//                                            [scope: wherever manifested]
+//   wire-contract     Cross-checks docs/wire_contracts.json against the
+//                     token streams: every declared magic/version/size/cap
+//                     constant must be pinned to its manifest value in its
+//                     header, referenced by every declared writer and
+//                     reader, and (for magics) spelled literally only at
+//                     declared sites — a one-sided format bump fails lint.
+//                                                       [scope: all files]
 //
-// Suppressions: `// vq-lint: allow(rule)` on the violating line or the line
-// directly above silences that one finding; `// vq-lint: allow-file(rule)`
-// anywhere in a file silences the rule for the whole file.  Both accept a
-// comma-separated rule list.  Every suppression in the repo must carry a
-// one-line justification next to it (reviewed, not machine-checked).
+// Suppressions: `// vq-lint: allow(rule)` on the violating line or the
+// line directly above silences that one finding; `// vq-lint:
+// allow-file(rule)` anywhere in a file silences the rule for the whole
+// file.  Both accept a comma-separated rule list.  Every suppression in
+// the repo must carry a one-line justification next to it (reviewed, not
+// machine-checked).
 //
-// The scanner strips comments and string/char literals (handling raw
-// strings and digit separators) before matching, so patterns inside
-// literals never fire — which also lets this linter lint itself.
+// Patterns inside comments and literals never fire (they are distinct
+// token kinds) — which also lets this linter lint itself.
 
 #pragma once
 
@@ -65,18 +76,32 @@ struct RuleInfo {
   std::string_view summary;
 };
 
+/// Optional rule inputs.  Default-constructed config disables the
+/// wire-contract rule and runs hot-path from `// vq:hot` markers only.
+struct LintConfig {
+  std::string wire_manifest_json;  // docs/wire_contracts.json content
+  std::string wire_manifest_path = "docs/wire_contracts.json";
+  std::string hot_paths_text;      // tools/hot_paths.txt content
+};
+
 /// The rule table, in evaluation order.
 [[nodiscard]] const std::vector<RuleInfo>& rules();
 
-/// Lints a set of files as one unit.  Two passes: the first collects the
-/// names of variables/members declared with unordered container types
-/// across *all* files (so `fold.leaves` in one TU resolves against the
-/// declaration in the header), the second applies every rule.  Returns
-/// unsuppressed findings ordered by (path, line).
+/// Lints a set of files as one unit.  Two passes: the first tokenizes and
+/// collects the names of variables/members declared with unordered
+/// container types across *all* files (so `fold.leaves` in one TU
+/// resolves against the declaration in the header), the second applies
+/// every rule.  Returns unsuppressed findings ordered by (path, line).
 [[nodiscard]] std::vector<Finding> run_lint(
     const std::vector<SourceFile>& files);
+[[nodiscard]] std::vector<Finding> run_lint(
+    const std::vector<SourceFile>& files, const LintConfig& config);
 
 /// Formats one finding as "path:line: [rule] message".
 [[nodiscard]] std::string format_finding(const Finding& f);
+
+/// Formats one finding as a GitHub Actions annotation:
+/// "::error file=path,line=N::[rule] message".
+[[nodiscard]] std::string format_github_annotation(const Finding& f);
 
 }  // namespace vq::lint

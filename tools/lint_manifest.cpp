@@ -1,0 +1,347 @@
+#include "tools/lint_manifest.h"
+
+#include <cctype>
+
+namespace vq::lint {
+
+namespace {
+
+// --- minimal JSON ------------------------------------------------------------
+
+struct JsonValue {
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+  Type type = Type::kNull;
+  bool boolean = false;
+  long long number = 0;
+  std::string string;
+  std::vector<JsonValue> array;
+  std::vector<std::pair<std::string, JsonValue>> object;
+
+  [[nodiscard]] const JsonValue* get(std::string_view key) const {
+    for (const auto& [k, v] : object) {
+      if (k == key) return &v;
+    }
+    return nullptr;
+  }
+};
+
+class JsonParser {
+ public:
+  JsonParser(std::string_view src, std::vector<std::string>& errors)
+      : src_(src), errors_(errors) {}
+
+  [[nodiscard]] JsonValue parse() {
+    JsonValue v = value();
+    ws();
+    if (ok() && i_ != src_.size()) fail("trailing content after document");
+    return v;
+  }
+
+ private:
+  std::string_view src_;
+  std::vector<std::string>& errors_;
+  std::size_t i_ = 0;
+  bool failed_ = false;
+
+  [[nodiscard]] bool ok() const { return !failed_; }
+
+  void fail(const std::string& what) {
+    if (failed_) return;
+    failed_ = true;
+    std::size_t line = 1;
+    for (std::size_t k = 0; k < i_ && k < src_.size(); ++k) {
+      if (src_[k] == '\n') ++line;
+    }
+    errors_.push_back("json line " + std::to_string(line) + ": " + what);
+  }
+
+  void ws() {
+    while (i_ < src_.size() &&
+           std::isspace(static_cast<unsigned char>(src_[i_])) != 0) {
+      ++i_;
+    }
+  }
+
+  [[nodiscard]] bool eat(char c) {
+    ws();
+    if (i_ < src_.size() && src_[i_] == c) {
+      ++i_;
+      return true;
+    }
+    return false;
+  }
+
+  JsonValue value() {
+    ws();
+    if (i_ >= src_.size()) {
+      fail("unexpected end of input");
+      return {};
+    }
+    const char c = src_[i_];
+    if (c == '{') return object();
+    if (c == '[') return array();
+    if (c == '"') return string_value();
+    if (c == '-' || std::isdigit(static_cast<unsigned char>(c)) != 0) {
+      return number();
+    }
+    if (src_.compare(i_, 4, "true") == 0) {
+      i_ += 4;
+      JsonValue v;
+      v.type = JsonValue::Type::kBool;
+      v.boolean = true;
+      return v;
+    }
+    if (src_.compare(i_, 5, "false") == 0) {
+      i_ += 5;
+      JsonValue v;
+      v.type = JsonValue::Type::kBool;
+      return v;
+    }
+    if (src_.compare(i_, 4, "null") == 0) {
+      i_ += 4;
+      return {};
+    }
+    fail(std::string{"unexpected character '"} + c + "'");
+    return {};
+  }
+
+  JsonValue object() {
+    JsonValue v;
+    v.type = JsonValue::Type::kObject;
+    ++i_;  // '{'
+    if (eat('}')) return v;
+    while (ok()) {
+      ws();
+      if (i_ >= src_.size() || src_[i_] != '"') {
+        fail("expected object key string");
+        return v;
+      }
+      JsonValue key = string_value();
+      if (!eat(':')) {
+        fail("expected ':' after object key");
+        return v;
+      }
+      v.object.emplace_back(std::move(key.string), value());
+      if (eat(',')) continue;
+      if (eat('}')) return v;
+      fail("expected ',' or '}' in object");
+      return v;
+    }
+    return v;
+  }
+
+  JsonValue array() {
+    JsonValue v;
+    v.type = JsonValue::Type::kArray;
+    ++i_;  // '['
+    if (eat(']')) return v;
+    while (ok()) {
+      v.array.push_back(value());
+      if (eat(',')) continue;
+      if (eat(']')) return v;
+      fail("expected ',' or ']' in array");
+      return v;
+    }
+    return v;
+  }
+
+  JsonValue string_value() {
+    JsonValue v;
+    v.type = JsonValue::Type::kString;
+    ++i_;  // '"'
+    while (i_ < src_.size() && src_[i_] != '"') {
+      char c = src_[i_];
+      if (c == '\\' && i_ + 1 < src_.size()) {
+        const char e = src_[i_ + 1];
+        switch (e) {
+          case 'n': c = '\n'; break;
+          case 't': c = '\t'; break;
+          case 'r': c = '\r'; break;
+          case '"': c = '"'; break;
+          case '\\': c = '\\'; break;
+          case '/': c = '/'; break;
+          default: c = e; break;  // \uXXXX not needed by the manifest
+        }
+        i_ += 2;
+        v.string.push_back(c);
+        continue;
+      }
+      v.string.push_back(c);
+      ++i_;
+    }
+    if (i_ >= src_.size()) {
+      fail("unterminated string");
+    } else {
+      ++i_;  // closing '"'
+    }
+    return v;
+  }
+
+  JsonValue number() {
+    JsonValue v;
+    v.type = JsonValue::Type::kNumber;
+    const bool neg = src_[i_] == '-';
+    if (neg) ++i_;
+    long long acc = 0;
+    bool any = false;
+    while (i_ < src_.size() &&
+           std::isdigit(static_cast<unsigned char>(src_[i_])) != 0) {
+      acc = acc * 10 + (src_[i_] - '0');
+      any = true;
+      ++i_;
+    }
+    if (!any) fail("malformed number");
+    v.number = neg ? -acc : acc;
+    return v;
+  }
+};
+
+void read_string_list(const JsonValue* v, std::vector<std::string>& out,
+                      const std::string& where,
+                      std::vector<std::string>& errors) {
+  if (v == nullptr) return;
+  if (v->type != JsonValue::Type::kArray) {
+    errors.push_back(where + " must be an array of strings");
+    return;
+  }
+  for (const JsonValue& e : v->array) {
+    if (e.type != JsonValue::Type::kString) {
+      errors.push_back(where + " must contain only strings");
+      return;
+    }
+    out.push_back(e.string);
+  }
+}
+
+}  // namespace
+
+WireManifest parse_wire_manifest(std::string_view json) {
+  WireManifest out;
+  JsonParser parser{json, out.errors};
+  const JsonValue doc = parser.parse();
+  if (!out.errors.empty()) return out;
+  const JsonValue* contracts = doc.get("contracts");
+  if (contracts == nullptr ||
+      contracts->type != JsonValue::Type::kArray) {
+    out.errors.push_back("manifest must have a top-level contracts array");
+    return out;
+  }
+  for (const JsonValue& e : contracts->array) {
+    WireContract c;
+    const std::string at = "contract #" +
+                           std::to_string(out.contracts.size() + 1);
+    if (e.type != JsonValue::Type::kObject) {
+      out.errors.push_back(at + " is not an object");
+      continue;
+    }
+    const auto str = [&](std::string_view key, std::string& dst,
+                         bool required) {
+      const JsonValue* v = e.get(key);
+      if (v == nullptr) {
+        if (required) {
+          out.errors.push_back(at + " is missing \"" + std::string{key} +
+                               "\"");
+        }
+        return;
+      }
+      if (v->type != JsonValue::Type::kString) {
+        out.errors.push_back(at + " \"" + std::string{key} +
+                             "\" must be a string");
+        return;
+      }
+      dst = v->string;
+    };
+    str("name", c.name, true);
+    str("kind", c.kind, true);
+    str("constant", c.constant, true);
+    str("header", c.header, true);
+    if (c.kind == "magic") {
+      str("value", c.magic, true);
+      if (c.magic.empty()) {
+        out.errors.push_back(at + " magic value must be non-empty");
+      }
+    } else if (c.kind == "number") {
+      const JsonValue* v = e.get("value");
+      if (v == nullptr || v->type != JsonValue::Type::kNumber) {
+        out.errors.push_back(at + " number value must be an integer");
+      } else {
+        c.number = v->number;
+      }
+    } else if (!c.kind.empty()) {
+      out.errors.push_back(at + " kind must be \"magic\" or \"number\"");
+    }
+    read_string_list(e.get("writers"), c.writers, at + " writers",
+                     out.errors);
+    read_string_list(e.get("readers"), c.readers, at + " readers",
+                     out.errors);
+    read_string_list(e.get("sites"), c.sites, at + " sites", out.errors);
+    out.contracts.push_back(std::move(c));
+  }
+  return out;
+}
+
+HotPaths parse_hot_paths(std::string_view text) {
+  HotPaths out;
+  std::size_t lineno = 0;
+  std::size_t start = 0;
+  while (start <= text.size()) {
+    ++lineno;
+    std::size_t eol = text.find('\n', start);
+    if (eol == std::string_view::npos) eol = text.size();
+    std::string_view line = text.substr(start, eol - start);
+    start = eol + 1;
+    const std::size_t hash = line.find('#');
+    if (hash != std::string_view::npos) line = line.substr(0, hash);
+    while (!line.empty() && (line.front() == ' ' || line.front() == '\t')) {
+      line.remove_prefix(1);
+    }
+    while (!line.empty() &&
+           (line.back() == ' ' || line.back() == '\t' ||
+            line.back() == '\r')) {
+      line.remove_suffix(1);
+    }
+    if (line.empty()) continue;
+    const std::size_t sp = line.find(' ');
+    const std::string_view kw = line.substr(0, sp);
+    std::string_view arg =
+        sp == std::string_view::npos ? std::string_view{} : line.substr(sp);
+    while (!arg.empty() && arg.front() == ' ') arg.remove_prefix(1);
+    if (arg.empty()) {
+      out.errors.push_back("hot_paths line " + std::to_string(lineno) +
+                           ": expected '<function|namespace> <name>'");
+      continue;
+    }
+    if (kw == "function") {
+      out.functions.emplace_back(arg);
+    } else if (kw == "namespace") {
+      out.namespaces.emplace_back(arg);
+    } else {
+      out.errors.push_back("hot_paths line " + std::to_string(lineno) +
+                           ": unknown entry kind '" + std::string{kw} +
+                           "'");
+    }
+  }
+  return out;
+}
+
+bool hot_matches(const HotPaths& hot, const std::string& qualified) {
+  for (const std::string& fn : hot.functions) {
+    if (qualified == fn) return true;
+    if (qualified.size() > fn.size() + 2 &&
+        qualified.compare(qualified.size() - fn.size(), fn.size(), fn) ==
+            0 &&
+        qualified.compare(qualified.size() - fn.size() - 2, 2, "::") == 0) {
+      return true;
+    }
+  }
+  for (const std::string& ns : hot.namespaces) {
+    if (qualified.size() > ns.size() + 2 &&
+        qualified.compare(0, ns.size(), ns) == 0 &&
+        qualified.compare(ns.size(), 2, "::") == 0) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace vq::lint

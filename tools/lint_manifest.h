@@ -1,0 +1,68 @@
+// vidqual_lint v2 manifests (DESIGN.md §4.12).
+//
+// Two small inputs steer the v2 rule families:
+//
+//   docs/wire_contracts.json — the wire-contract manifest.  One entry per
+//   magic / version / record-size / cap of the VQTR, VQTC, VQCK and
+//   VQHS/VQDR formats, naming the constant, the header that declares it,
+//   and every writer/reader (plus extra sanctioned literal sites, e.g.
+//   chaos tests that forge corrupt files).  The wire-contract rule
+//   cross-checks the manifest against the token streams, so a format bump
+//   that touches one side but not the other (or not the manifest) fails
+//   lint.  docs/METHOD.md §14 documents the bump procedure.
+//
+//   tools/hot_paths.txt — hot-path manifest: `function <qualified-name>`
+//   and `namespace <prefix>` lines naming kernel code in which
+//   allocation, locking, IO, throw and std::string construction are
+//   findings.  In-source `// vq:hot` markers extend the same set without
+//   editing the manifest.
+//
+// The JSON subset parsed here is exactly what the manifest needs:
+// objects, arrays, strings (with escapes), integers, bools, null.
+// Parsing never throws; problems land in `errors` and the engine turns
+// them into findings against the manifest file itself.
+
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace vq::lint {
+
+struct WireContract {
+  std::string name;      // stable id, e.g. "vqtc-chunk-magic"
+  std::string kind;      // "magic" | "number"
+  std::string magic;     // kind == "magic": the literal bytes, e.g. "VQCH"
+  long long number = 0;  // kind == "number": the pinned value, e.g. 27
+  std::string constant;  // the C++ constant, e.g. "kColumnarChunkMagic"
+  std::string header;    // file declaring the constant (repo-relative)
+  std::vector<std::string> writers;  // files that must reference constant
+  std::vector<std::string> readers;  // files that must reference constant
+  std::vector<std::string> sites;    // extra files allowed to spell magic
+};
+
+struct WireManifest {
+  std::vector<WireContract> contracts;
+  std::vector<std::string> errors;  // human-readable parse/shape problems
+};
+
+/// Parses docs/wire_contracts.json content.  Never throws.
+[[nodiscard]] WireManifest parse_wire_manifest(std::string_view json);
+
+struct HotPaths {
+  std::vector<std::string> functions;   // fully qualified or suffix names
+  std::vector<std::string> namespaces;  // qualified prefixes
+  std::vector<std::string> errors;
+};
+
+/// Parses tools/hot_paths.txt content ('#' comments, blank lines ok).
+[[nodiscard]] HotPaths parse_hot_paths(std::string_view text);
+
+/// True when `qualified` (e.g. "vq::serve::Server::io_loop") is named by
+/// the manifest: equal to / suffix of a `function` entry, or inside a
+/// `namespace` prefix.
+[[nodiscard]] bool hot_matches(const HotPaths& hot,
+                               const std::string& qualified);
+
+}  // namespace vq::lint

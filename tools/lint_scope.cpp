@@ -1,0 +1,505 @@
+#include "tools/lint_scope.h"
+
+#include <algorithm>
+#include <array>
+
+namespace vq::lint {
+
+namespace {
+
+enum class FrameKind { kNamespace, kType, kFunction, kBlock };
+
+struct Frame {
+  FrameKind kind = FrameKind::kBlock;
+  std::string segment;         // namespace/type name for qualification
+  std::size_t span_index = 0;  // into functions_ when kind == kFunction
+};
+
+[[nodiscard]] bool is_kw(const Token& t, std::string_view kw) {
+  return t.kind == TokKind::kIdent && t.text == kw;
+}
+
+[[nodiscard]] bool is_punct(const Token& t, std::string_view p) {
+  return t.kind == TokKind::kPunct && t.text == p;
+}
+
+constexpr std::array<std::string_view, 4> kClassKeys = {"class", "struct",
+                                                        "union", "enum"};
+
+constexpr std::array<std::string_view, 8> kNotDeclNames = {
+    "if", "for", "while", "switch", "catch", "return", "sizeof", "alignof"};
+
+/// The statement parser: consumes one declaration/definition at
+/// namespace/type scope, pushing at most one frame.  See lint_scope.h for
+/// the grammar sketch.
+class Parser {
+ public:
+  Parser(const std::vector<Token>& toks, std::vector<Frame>& stack,
+         std::vector<FunctionSpan>& functions)
+      : t_(toks), stack_(stack), functions_(functions) {}
+
+  /// Parses the statement starting at `i` (not preproc, not '}');
+  /// returns the index to resume at (always > i).  Sets *pushed_function
+  /// when the statement opened a function body.
+  std::size_t statement(std::size_t i, bool* pushed_function);
+
+ private:
+  const std::vector<Token>& t_;
+  std::vector<Frame>& stack_;
+  std::vector<FunctionSpan>& functions_;
+
+  [[nodiscard]] std::size_t n() const { return t_.size(); }
+
+  /// Next non-preprocessor token at or after `i`; n() when exhausted.
+  [[nodiscard]] std::size_t skip_preproc(std::size_t i) const {
+    while (i < n() && t_[i].preproc) ++i;
+    return i;
+  }
+
+  /// Previous non-preprocessor token strictly before `i`; n() when none.
+  [[nodiscard]] std::size_t prev_tok(std::size_t i) const {
+    while (i-- > 0) {
+      if (!t_[i].preproc) return i;
+    }
+    return n();
+  }
+
+  /// `i` points at an opening bracket; returns the index one past its
+  /// match, counting all of (), [], {} in one depth (lambdas inside
+  /// argument lists nest correctly).
+  [[nodiscard]] std::size_t skip_balanced(std::size_t i) const {
+    int depth = 0;
+    for (; i < n(); ++i) {
+      if (t_[i].preproc || t_[i].kind != TokKind::kPunct) continue;
+      const std::string& p = t_[i].text;
+      if (p == "(" || p == "[" || p == "{") ++depth;
+      if (p == ")" || p == "]" || p == "}") {
+        if (--depth == 0) return i + 1;
+      }
+    }
+    return n();
+  }
+
+  /// One past the closing '>' of "template <...>" at `i`; `i` if absent.
+  [[nodiscard]] std::size_t skip_template_header(std::size_t i) const {
+    if (i >= n() || !is_kw(t_[i], "template")) return i;
+    std::size_t j = skip_preproc(i + 1);
+    if (j >= n() || !is_punct(t_[j], "<")) return i;
+    int depth = 0;
+    for (; j < n(); ++j) {
+      if (t_[j].preproc || t_[j].kind != TokKind::kPunct) continue;
+      if (t_[j].text == "<") ++depth;
+      if (t_[j].text == "<<") depth += 2;
+      if (t_[j].text == ">") --depth;
+      if (t_[j].text == ">>") depth -= 2;
+      if (depth <= 0) return j + 1;
+    }
+    return i;
+  }
+
+  [[nodiscard]] std::string qualify(const std::string& name) const {
+    std::string q;
+    for (const Frame& f : stack_) {
+      if ((f.kind == FrameKind::kNamespace || f.kind == FrameKind::kType) &&
+          !f.segment.empty()) {
+        q += f.segment;
+        q += "::";
+      }
+    }
+    return q + name;
+  }
+
+  void push_function(const std::string& name, std::size_t name_line,
+                     std::size_t body_open) {
+    Frame fr;
+    fr.kind = FrameKind::kFunction;
+    fr.span_index = functions_.size();
+    FunctionSpan span;
+    span.qualified = qualify(name);
+    span.name_line = name_line;
+    span.body_open = body_open;
+    span.body_close = n() == 0 ? 0 : n() - 1;
+    functions_.push_back(std::move(span));
+    stack_.push_back(std::move(fr));
+  }
+
+  /// Declarator name ending just before the '(' at `open`:
+  /// `A::B::name`, `~name`, `operator@`, `operator type`.  Empty when the
+  /// preceding token cannot head a declarator.
+  struct Name {
+    std::string text;
+    std::size_t line = 0;
+  };
+  [[nodiscard]] Name name_before(std::size_t open) const {
+    Name out;
+    std::size_t p = prev_tok(open);
+    if (p == n()) return out;
+    if (t_[p].kind == TokKind::kPunct) {
+      // operator@ — walk back over the operator's punctuation.
+      std::size_t q = p;
+      std::vector<std::size_t> punct_toks;
+      while (q != n() && t_[q].kind == TokKind::kPunct) {
+        punct_toks.push_back(q);
+        q = prev_tok(q);
+      }
+      if (q != n() && is_kw(t_[q], "operator")) {
+        out.text = "operator";
+        for (auto it = punct_toks.rbegin(); it != punct_toks.rend(); ++it) {
+          out.text += t_[*it].text;
+        }
+        out.line = t_[q].line;
+      }
+      return out;
+    }
+    if (t_[p].kind != TokKind::kIdent) return out;
+    for (const std::string_view bad : kNotDeclNames) {
+      if (t_[p].text == bad) return out;
+    }
+    std::size_t begin = p;
+    std::vector<std::size_t> parts{p};
+    for (;;) {
+      const std::size_t colon = prev_tok(begin);
+      if (colon == n() || !is_punct(t_[colon], "::")) break;
+      const std::size_t outer = prev_tok(colon);
+      if (outer == n() || t_[outer].kind != TokKind::kIdent) break;
+      parts.push_back(outer);
+      begin = outer;
+    }
+    std::string name;
+    const std::size_t tilde = prev_tok(begin);
+    const std::size_t op = prev_tok(begin);
+    if (op != n() && is_kw(t_[op], "operator")) {
+      name = "operator ";  // conversion operator
+    } else if (tilde != n() && is_punct(t_[tilde], "~")) {
+      name = "~";
+    }
+    for (auto it = parts.rbegin(); it != parts.rend(); ++it) {
+      if (it != parts.rbegin()) name += "::";
+      name += t_[*it].text;
+    }
+    out.text = std::move(name);
+    out.line = t_[p].line;
+    return out;
+  }
+
+  /// After a candidate declarator + parameter list at `i`: consumes
+  /// qualifiers / annotation macros / trailing return / ctor-inits.
+  /// Returns the resume index; outcomes: body opened (function pushed),
+  /// declaration ended at ';', or `bail` set with the index to re-scan
+  /// from because this was not a function after all.
+  std::size_t qualifiers(std::size_t i, const Name& name, bool* opened,
+                         std::size_t* bail) {
+    bool in_trailing_return = false;
+    while ((i = skip_preproc(i)) < n()) {
+      const Token& tok = t_[i];
+      if (is_punct(tok, ";")) return i + 1;
+      if (is_punct(tok, "{")) {
+        push_function(name.text, name.line, i);
+        *opened = true;
+        return i + 1;
+      }
+      if (is_punct(tok, "=")) return consume_initializer(i + 1);
+      if (is_punct(tok, ":")) return ctor_inits(i + 1, name, opened, bail);
+      if (in_trailing_return) {
+        // Any type tokens allowed until one of the terminators above.
+        if (is_punct(tok, "(") || is_punct(tok, "[")) {
+          i = skip_balanced(i);
+        } else {
+          ++i;
+        }
+        continue;
+      }
+      if (is_punct(tok, "->")) {
+        in_trailing_return = true;
+        ++i;
+        continue;
+      }
+      if (is_kw(tok, "const") || is_kw(tok, "noexcept") ||
+          is_kw(tok, "override") || is_kw(tok, "final") ||
+          is_kw(tok, "mutable") || is_kw(tok, "try") ||
+          is_punct(tok, "&") || is_punct(tok, "&&")) {
+        ++i;
+        const std::size_t j = skip_preproc(i);
+        if (j < n() && is_punct(t_[j], "(") && is_kw(tok, "noexcept")) {
+          i = skip_balanced(j);
+        }
+        continue;
+      }
+      if (tok.kind == TokKind::kIdent) {
+        // Annotation macro: IDENT(...) between the parameter list and the
+        // body (VQ_REQUIRES(mu_), VQ_ACQUIRE(), ...).
+        const std::size_t j = skip_preproc(i + 1);
+        if (j < n() && is_punct(t_[j], "(")) {
+          i = skip_balanced(j);
+          continue;
+        }
+      }
+      *bail = i;  // not a function declarator after all
+      return i;
+    }
+    return n();
+  }
+
+  /// Constructor member initializers: `name(expr)` / `name{expr}` groups
+  /// until the body '{'.  A '{' directly after an identifier is a member
+  /// brace-init; any other top-level '{' is the body.
+  std::size_t ctor_inits(std::size_t i, const Name& name, bool* opened,
+                         std::size_t* bail) {
+    bool prev_was_ident = false;
+    while ((i = skip_preproc(i)) < n()) {
+      const Token& tok = t_[i];
+      if (is_punct(tok, "(") || is_punct(tok, "[")) {
+        i = skip_balanced(i);
+        prev_was_ident = false;
+        continue;
+      }
+      if (is_punct(tok, "{")) {
+        if (prev_was_ident) {
+          i = skip_balanced(i);
+          prev_was_ident = false;
+          continue;
+        }
+        push_function(name.text, name.line, i);
+        *opened = true;
+        return i + 1;
+      }
+      if (is_punct(tok, ";") || is_punct(tok, "}")) {
+        *bail = i;  // bitfield or base list that never opened — give up
+        return i;
+      }
+      prev_was_ident = tok.kind == TokKind::kIdent;
+      ++i;
+    }
+    return n();
+  }
+
+  /// `= initializer ;` with full nesting — also covers `= default;`,
+  /// `= delete;`, aggregate `= { ... };` and lambda initializers.
+  [[nodiscard]] std::size_t consume_initializer(std::size_t i) const {
+    while ((i = skip_preproc(i)) < n()) {
+      const Token& tok = t_[i];
+      if (is_punct(tok, "(") || is_punct(tok, "[") || is_punct(tok, "{")) {
+        i = skip_balanced(i);
+        continue;
+      }
+      if (is_punct(tok, ";")) return i + 1;
+      if (is_punct(tok, "}")) return i;  // enclosing scope closes
+      ++i;
+    }
+    return n();
+  }
+};
+
+std::size_t Parser::statement(std::size_t i, bool* pushed_function) {
+  *pushed_function = false;
+  const std::size_t start = i;
+
+  // Access specifiers ("public:") inside class bodies.
+  if (is_kw(t_[i], "public") || is_kw(t_[i], "private") ||
+      is_kw(t_[i], "protected")) {
+    const std::size_t j = skip_preproc(i + 1);
+    if (j < n() && is_punct(t_[j], ":")) return j + 1;
+  }
+
+  // namespace [name] { ... }   |   namespace alias = ...;
+  {
+    std::size_t j = i;
+    if (is_kw(t_[j], "inline")) j = skip_preproc(j + 1);
+    if (j < n() && is_kw(t_[j], "namespace")) {
+      std::string nsname;
+      std::size_t k = skip_preproc(j + 1);
+      while (k < n() &&
+             (t_[k].kind == TokKind::kIdent || is_punct(t_[k], "::"))) {
+        nsname += t_[k].text;
+        k = skip_preproc(k + 1);
+      }
+      if (k < n() && is_punct(t_[k], "{")) {
+        Frame fr;
+        fr.kind = FrameKind::kNamespace;
+        fr.segment = std::move(nsname);
+        stack_.push_back(std::move(fr));
+        return k + 1;
+      }
+      // Alias or using-directive: run to ';'.
+      while (k < n() && !is_punct(t_[k], ";")) ++k;
+      return k < n() ? k + 1 : n();
+    }
+  }
+
+  i = skip_template_header(i);
+  if (is_punct(t_[i], "{")) {
+    // A bare block (or extern "C" caught below on re-entry).
+    stack_.push_back(Frame{});
+    return i + 1;
+  }
+
+  bool have_classkey = false;
+  bool extern_linkage = false;
+  std::string classname;
+  std::size_t j = i;
+  while ((j = skip_preproc(j)) < n()) {
+    const Token& tok = t_[j];
+    if (tok.kind == TokKind::kIdent) {
+      if (std::any_of(
+              kClassKeys.begin(), kClassKeys.end(),
+              [&](std::string_view kw) { return is_kw(tok, kw); })) {
+        // Class-key: capture the type name (skip "class" of enum class,
+        // alignas(...) and final).
+        have_classkey = true;
+        std::size_t k = skip_preproc(j + 1);
+        if (k < n() && is_kw(t_[k], "class")) k = skip_preproc(k + 1);
+        while (k < n() && is_kw(t_[k], "alignas")) {
+          const std::size_t g = skip_preproc(k + 1);
+          k = g < n() && is_punct(t_[g], "(") ? skip_balanced(g) : k + 1;
+          k = skip_preproc(k);
+        }
+        if (k < n() && t_[k].kind == TokKind::kIdent &&
+            !is_kw(t_[k], "final")) {
+          classname = t_[k].text;
+          j = k + 1;
+          continue;
+        }
+        ++j;
+        continue;
+      }
+      if (is_kw(tok, "extern")) {
+        const std::size_t k = skip_preproc(j + 1);
+        if (k < n() && t_[k].kind == TokKind::kString) extern_linkage = true;
+        ++j;
+        continue;
+      }
+      if (is_kw(tok, "operator")) {
+        // operator@ / operator() / operator type — find the param list.
+        std::size_t k = skip_preproc(j + 1);
+        if (k < n() && is_punct(t_[k], "(")) {
+          const std::size_t maybe_call = skip_preproc(skip_balanced(k));
+          if (maybe_call < n() && is_punct(t_[maybe_call], "(")) {
+            k = maybe_call;  // operator()(params)
+          }
+        } else {
+          while (k < n() && !is_punct(t_[k], "(") && !is_punct(t_[k], ";") &&
+                 !is_punct(t_[k], "{")) {
+            k = skip_preproc(k + 1);
+          }
+        }
+        if (k < n() && is_punct(t_[k], "(")) {
+          Name nm;
+          nm.line = tok.line;
+          nm.text = "operator";
+          for (std::size_t w = skip_preproc(j + 1); w < k;
+               w = skip_preproc(w + 1)) {
+            nm.text += t_[w].text;
+          }
+          std::size_t bail = n();
+          const std::size_t after =
+              qualifiers(skip_balanced(k), nm, pushed_function, &bail);
+          if (bail == n()) return after;
+          j = bail;
+          continue;
+        }
+        ++j;
+        continue;
+      }
+      ++j;
+      continue;
+    }
+    if (is_punct(tok, ";")) return j + 1;
+    if (is_punct(tok, "=")) return consume_initializer(j + 1);
+    if (is_punct(tok, "[")) {
+      j = skip_balanced(j);
+      continue;
+    }
+    if (is_punct(tok, "(")) {
+      const Name nm = name_before(j);
+      if (nm.text.empty()) {
+        j = skip_balanced(j);
+        continue;
+      }
+      std::size_t bail = n();
+      const std::size_t after =
+          qualifiers(skip_balanced(j), nm, pushed_function, &bail);
+      if (bail == n()) return after;
+      j = bail;
+      continue;
+    }
+    if (is_punct(tok, "{")) {
+      if (have_classkey) {
+        Frame fr;
+        fr.kind = FrameKind::kType;
+        fr.segment = std::move(classname);
+        stack_.push_back(std::move(fr));
+        return j + 1;
+      }
+      if (extern_linkage) {
+        stack_.push_back(Frame{});  // extern "C" { ... }
+        return j + 1;
+      }
+      // Brace initializer without '=' (`Foo x{1};`) — consume and go on.
+      j = skip_balanced(j);
+      continue;
+    }
+    if (is_punct(tok, "}")) return j;  // enclosing scope closes
+    ++j;
+  }
+  return std::max(start + 1, j);
+}
+
+}  // namespace
+
+ScopeMap::ScopeMap(const std::vector<Token>& toks) {
+  std::vector<Frame> stack;
+  Parser parser{toks, stack, functions_};
+
+  std::size_t current_span = functions_.size();  // sentinel: none
+  const auto in_function = [&] { return current_span < functions_.size(); };
+
+  std::size_t i = 0;
+  while (i < toks.size()) {
+    const Token& tok = toks[i];
+    if (tok.preproc) {
+      ++i;
+      continue;
+    }
+    if (is_punct(tok, "}")) {
+      if (!stack.empty()) {
+        const Frame fr = stack.back();
+        stack.pop_back();
+        if (fr.kind == FrameKind::kFunction) {
+          functions_[fr.span_index].body_close = i;
+          current_span = functions_.size();
+        }
+      }
+      ++i;
+      continue;
+    }
+    if (in_function()) {
+      if (is_punct(tok, "{")) {
+        Frame fr;
+        fr.kind = FrameKind::kBlock;
+        stack.push_back(std::move(fr));
+      }
+      ++i;
+      continue;
+    }
+    bool pushed = false;
+    const std::size_t next = parser.statement(i, &pushed);
+    if (pushed) current_span = stack.back().span_index;
+    i = next <= i ? i + 1 : next;
+  }
+
+  // Unterminated bodies keep their provisional close at the last token.
+}
+
+const std::string& ScopeMap::function_at(std::size_t i) const {
+  static const std::string kNone;
+  // Spans are disjoint (bodies at namespace/type scope never nest), so a
+  // linear check is fine for the file sizes this lints; the common callers
+  // iterate spans directly.
+  for (const FunctionSpan& f : functions_) {
+    if (i > f.body_open && i < f.body_close) return f.qualified;
+    if (f.body_open > i) break;
+  }
+  return kNone;
+}
+
+}  // namespace vq::lint

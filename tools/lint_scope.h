@@ -1,0 +1,54 @@
+// vidqual_lint v2 scope tracker (DESIGN.md §4.12).
+//
+// Walks a token stream (lint_tokens.h) with a brace/scope stack and
+// attributes every token to its enclosing namespace + function, so rules
+// can be flow-aware ("a `throw` inside `Server::io_loop`") instead of
+// line-local.  Function bodies are detected by a declarator state machine:
+// an identifier (possibly qualified, possibly `operator@`) followed by a
+// balanced parameter list, then qualifiers (`const`, `noexcept`,
+// `override`, `final`, `&`/`&&`, a trailing return type) or a
+// constructor-initialiser list, then `{`.  Anything that does not match —
+// brace initialisers, arrays of aggregates, lambdas assigned at namespace
+// scope — opens a plain block and inherits the surrounding attribution.
+//
+// Qualified names join enclosing namespaces, enclosing class/struct names
+// and the declarator itself with "::", skipping anonymous namespaces:
+// `namespace vq { namespace { void f() {} } }` yields `vq::f`.
+
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "tools/lint_tokens.h"
+
+namespace vq::lint {
+
+struct FunctionSpan {
+  std::string qualified;     // e.g. "vq::serve::Server::io_loop"
+  std::size_t name_line = 0;  // line of the declarator's name token
+  std::size_t body_open = 0;  // token index of the body '{'
+  std::size_t body_close = 0;  // token index of the matching '}' (or end)
+};
+
+class ScopeMap {
+ public:
+  explicit ScopeMap(const std::vector<Token>& toks);
+
+  /// Qualified name of the function enclosing token `i`, "" at file /
+  /// namespace / class scope.  Tokens inside local lambdas and blocks
+  /// attribute to the containing function.
+  [[nodiscard]] const std::string& function_at(std::size_t i) const;
+
+  /// Every detected function definition, in source order.
+  [[nodiscard]] const std::vector<FunctionSpan>& functions() const {
+    return functions_;
+  }
+
+ private:
+  std::vector<std::string> func_of_;  // per-token
+  std::vector<FunctionSpan> functions_;
+};
+
+}  // namespace vq::lint

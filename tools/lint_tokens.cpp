@@ -1,0 +1,234 @@
+#include "tools/lint_tokens.h"
+
+#include <array>
+#include <cctype>
+
+namespace vq::lint {
+
+namespace {
+
+[[nodiscard]] bool ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+[[nodiscard]] bool ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+[[nodiscard]] bool digit(char c) {
+  return std::isdigit(static_cast<unsigned char>(c)) != 0;
+}
+
+// Multi-char punctuation, longest first so maximal munch is a linear scan.
+constexpr std::array<std::string_view, 25> kPuncts3 = {
+    "<<=", ">>=", "->*", "...", "::", "->", "<<", ">>", "<=",
+    ">=",  "==",  "!=",  "&&",  "||", "+=", "-=", "*=", "/=",
+    "%=",  "&=",  "|=",  "^=",  "++", "--", "##"};
+
+}  // namespace
+
+std::vector<Token> tokenize(std::string_view src) {
+  std::vector<Token> out;
+  out.reserve(src.size() / 6 + 16);
+
+  std::size_t i = 0;
+  std::size_t line = 1;
+  const std::size_t n = src.size();
+  bool preproc = false;       // inside a preprocessor logical line
+  bool line_has_token = false;  // anything but whitespace seen on this line
+
+  const auto push = [&](TokKind kind, std::size_t start, std::string text) {
+    Token t;
+    t.kind = kind;
+    t.line = line;
+    t.offset = start;
+    t.text = std::move(text);
+    t.preproc = preproc;
+    out.push_back(std::move(t));
+  };
+
+  while (i < n) {
+    const char c = src[i];
+
+    if (c == '\n') {
+      // A preprocessor line ends at an unescaped newline.
+      if (preproc) {
+        std::size_t back = i;
+        bool continued = false;
+        while (back > 0) {
+          const char p = src[back - 1];
+          if (p == '\\') {
+            continued = true;
+            break;
+          }
+          if (p == ' ' || p == '\t' || p == '\r') {
+            --back;
+            continue;
+          }
+          break;
+        }
+        if (!continued) preproc = false;
+      }
+      ++line;
+      line_has_token = false;
+      ++i;
+      continue;
+    }
+
+    if (c == ' ' || c == '\t' || c == '\r' || c == '\\' || c == '\f' ||
+        c == '\v') {
+      ++i;
+      continue;
+    }
+
+    if (c == '#' && !line_has_token) {
+      preproc = true;
+      line_has_token = true;
+      push(TokKind::kPunct, i, "#");
+      ++i;
+      continue;
+    }
+    line_has_token = true;
+
+    // Comments.
+    if (c == '/' && i + 1 < n && src[i + 1] == '/') {
+      while (i < n && src[i] != '\n') ++i;
+      continue;
+    }
+    if (c == '/' && i + 1 < n && src[i + 1] == '*') {
+      i += 2;
+      while (i < n && !(src[i] == '*' && i + 1 < n && src[i + 1] == '/')) {
+        if (src[i] == '\n') ++line;
+        ++i;
+      }
+      if (i < n) i += 2;
+      continue;
+    }
+
+    // Identifiers / keywords — including string-literal prefixes, which are
+    // only treated as prefixes when a quote follows immediately.
+    if (ident_start(c)) {
+      std::size_t end = i;
+      while (end < n && ident_char(src[end])) ++end;
+      const std::string_view word = src.substr(i, end - i);
+      const bool raw_prefix =
+          end < n && src[end] == '"' &&
+          (word == "R" || word == "u8R" || word == "uR" || word == "UR" ||
+           word == "LR");
+      const bool str_prefix =
+          end < n && (src[end] == '"' || src[end] == '\'') &&
+          (word == "u8" || word == "u" || word == "U" || word == "L");
+      if (raw_prefix) {
+        // R"delim( ... )delim"
+        std::size_t j = end + 1;
+        while (j < n && src[j] != '(' && src[j] != '\n') ++j;
+        const std::string delim{src.substr(end + 1, j - end - 1)};
+        const std::string close = ")" + delim + "\"";
+        const std::size_t body = j + 1;
+        std::size_t stop = src.find(close, body);
+        if (stop == std::string_view::npos) stop = n;
+        push(TokKind::kString, i,
+             std::string{src.substr(body, stop - body)});
+        for (std::size_t k = i; k < stop && k < n; ++k) {
+          if (src[k] == '\n') ++line;
+        }
+        i = stop == n ? n : stop + close.size();
+        continue;
+      }
+      if (!str_prefix) {
+        push(TokKind::kIdent, i, std::string{word});
+        i = end;
+        continue;
+      }
+      i = end;  // fall through to the quote with the prefix consumed
+      continue;
+    }
+
+    // String literal.
+    if (c == '"') {
+      std::size_t j = i + 1;
+      std::string content;
+      while (j < n && src[j] != '"' && src[j] != '\n') {
+        if (src[j] == '\\' && j + 1 < n) {
+          content.push_back(src[j]);
+          content.push_back(src[j + 1]);
+          j += 2;
+          continue;
+        }
+        content.push_back(src[j]);
+        ++j;
+      }
+      push(TokKind::kString, i, std::move(content));
+      i = j < n && src[j] == '"' ? j + 1 : j;
+      continue;
+    }
+
+    // Char literal vs digit separator.  Separators are consumed while
+    // lexing numbers below, so a bare quote here is a char literal.
+    if (c == '\'') {
+      std::size_t j = i + 1;
+      std::string content;
+      while (j < n && src[j] != '\'' && src[j] != '\n') {
+        if (src[j] == '\\' && j + 1 < n) {
+          content.push_back(src[j]);
+          content.push_back(src[j + 1]);
+          j += 2;
+          continue;
+        }
+        content.push_back(src[j]);
+        ++j;
+      }
+      push(TokKind::kChar, i, std::move(content));
+      i = j < n && src[j] == '\'' ? j + 1 : j;
+      continue;
+    }
+
+    // Number: digits, hex/bin prefixes, digit separators, exponents,
+    // suffixes.  `.5` starts with '.' followed by a digit.
+    if (digit(c) || (c == '.' && i + 1 < n && digit(src[i + 1]))) {
+      std::size_t end = i;
+      while (end < n) {
+        const char d = src[end];
+        if (ident_char(d) || d == '.') {
+          ++end;
+          continue;
+        }
+        if (d == '\'' && end + 1 < n && ident_char(src[end + 1])) {
+          ++end;  // digit separator
+          continue;
+        }
+        if ((d == '+' || d == '-') && end > i &&
+            (src[end - 1] == 'e' || src[end - 1] == 'E' ||
+             src[end - 1] == 'p' || src[end - 1] == 'P')) {
+          ++end;  // exponent sign
+          continue;
+        }
+        break;
+      }
+      push(TokKind::kNumber, i, std::string{src.substr(i, end - i)});
+      i = end;
+      continue;
+    }
+
+    // Punctuation, maximal munch.
+    {
+      std::string_view matched;
+      for (const std::string_view p : kPuncts3) {
+        if (src.compare(i, p.size(), p) == 0) {
+          matched = p;
+          break;
+        }
+      }
+      if (!matched.empty()) {
+        push(TokKind::kPunct, i, std::string{matched});
+        i += matched.size();
+      } else {
+        push(TokKind::kPunct, i, std::string(1, c));
+        ++i;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace vq::lint

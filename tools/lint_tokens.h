@@ -1,0 +1,51 @@
+// vidqual_lint v2 tokenizer (DESIGN.md §4.12).
+//
+// A real (if deliberately small) C++ lexer: the v1 engine matched patterns
+// against comment-stripped text, which cannot tell a `throw` in code from a
+// `throw` in a raw string, or attribute a token to the function that
+// contains it.  This tokenizer produces a flat token stream — identifiers,
+// numbers, string/char literals, punctuation — with line numbers and a
+// preprocessor flag, handling:
+//
+//   * line and block comments (dropped),
+//   * string literals incl. raw strings R"delim(...)delim" and escapes,
+//   * char literals vs digit separators (1'000'000),
+//   * preprocessor lines incl. backslash continuations (tokens kept but
+//     flagged, so rules can ignore `#include <thread>`),
+//   * maximal-munch multi-char punctuation (::, ->, <<=, ...).
+//
+// String/char tokens carry the literal *content* (no quotes), so the
+// wire-contract rule can compare magic bytes directly and the
+// positioned-throw rule can inspect message text.
+
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace vq::lint {
+
+enum class TokKind {
+  kIdent,   // identifiers and keywords
+  kNumber,  // numeric literal (separators kept in text)
+  kString,  // string literal content, quotes/prefix/raw-delimiters removed
+  kChar,    // char literal content, quotes removed ('\n' -> "\\n")
+  kPunct,   // operator / punctuation, maximal munch
+};
+
+struct Token {
+  TokKind kind = TokKind::kPunct;
+  std::size_t line = 0;    // 1-based
+  std::size_t offset = 0;  // byte offset of the token start in the source
+  std::string text;
+  bool preproc = false;    // token sits on a preprocessor line
+};
+
+/// Lexes `src` into a token stream.  Never throws; malformed input
+/// degrades to best-effort tokens (an unterminated literal runs to the
+/// line end, an unterminated raw string to EOF).
+[[nodiscard]] std::vector<Token> tokenize(std::string_view src);
+
+}  // namespace vq::lint

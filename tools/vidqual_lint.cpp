@@ -1,12 +1,18 @@
 // vidqual_lint CLI — runs the repo-specific lint rules (tools/lint_core.h)
 // over files and directories given on the command line.
 //
-//   vidqual_lint [--list-rules] <file-or-dir>...
+//   vidqual_lint [--list-rules] [--github]
+//                [--wire-manifest <json>] [--hot-paths <txt>]
+//                <file-or-dir>...
 //
-// Directories are walked recursively for .h/.cpp/.cc.  Paths are reported
-// as given (CI invokes it from the repo root with `src tools bench`, so the
-// scoping rules see repo-relative paths).  Exit status: 0 when clean, 1
-// when any finding survives suppressions, 2 on usage/IO errors.
+// Directories are walked recursively for .h/.cpp/.cc, skipping any
+// directory named lint_fixtures (those files contain planted violations
+// for tests/test_lint.cpp).  Paths are reported as given (CI invokes it
+// from the repo root with `src tools bench tests`, so the scoping rules
+// see repo-relative paths).  --github additionally prints findings as
+// GitHub Actions annotations (::error file=...,line=...) on stdout.
+// Exit status: 0 when clean, 1 when any finding survives suppressions,
+// 2 on usage/IO errors.
 
 #include <cstdio>
 #include <filesystem>
@@ -17,14 +23,29 @@
 #include <vector>
 
 #include "tools/lint_core.h"
+#include "tools/lint_scope.h"
+#include "tools/lint_tokens.h"
 
 namespace {
 
 namespace fs = std::filesystem;
 
+constexpr std::string_view kUsage =
+    "usage: vidqual_lint [--list-rules] [--github] "
+    "[--wire-manifest <json>] [--hot-paths <txt>] <file-or-dir>...\n";
+
 [[nodiscard]] bool lintable(const fs::path& p) {
   const std::string ext = p.extension().string();
   return ext == ".h" || ext == ".cpp" || ext == ".cc";
+}
+
+/// True when any directory segment of `p` is lint_fixtures — planted
+/// violations for the engine's own tests must not fail a tree-wide run.
+[[nodiscard]] bool in_fixture_dir(const fs::path& p) {
+  for (const fs::path& part : p.parent_path()) {
+    if (part == "lint_fixtures") return true;
+  }
+  return false;
 }
 
 [[nodiscard]] bool read_file(const fs::path& p, std::string& out) {
@@ -40,6 +61,10 @@ namespace fs = std::filesystem;
 
 int main(int argc, char** argv) {
   std::vector<std::string> roots;
+  bool github = false;
+  bool dump_functions = false;
+  std::string wire_manifest_path;
+  std::string hot_paths_path;
   for (int i = 1; i < argc; ++i) {
     const std::string_view arg = argv[i];
     if (arg == "--list-rules") {
@@ -49,15 +74,48 @@ int main(int argc, char** argv) {
       }
       return 0;
     }
+    if (arg == "--github") {
+      github = true;
+      continue;
+    }
+    if (arg == "--dump-functions") {
+      dump_functions = true;
+      continue;
+    }
+    if (arg == "--wire-manifest" || arg == "--hot-paths") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "vidqual_lint: %s needs a file argument\n",
+                     std::string{arg}.c_str());
+        return 2;
+      }
+      (arg == "--wire-manifest" ? wire_manifest_path : hot_paths_path) =
+          argv[++i];
+      continue;
+    }
     if (arg == "--help" || arg == "-h") {
-      std::printf("usage: vidqual_lint [--list-rules] <file-or-dir>...\n");
+      std::printf("%s", std::string{kUsage}.c_str());
       return 0;
     }
     roots.emplace_back(arg);
   }
   if (roots.empty()) {
-    std::fprintf(stderr,
-                 "usage: vidqual_lint [--list-rules] <file-or-dir>...\n");
+    std::fprintf(stderr, "%s", std::string{kUsage}.c_str());
+    return 2;
+  }
+
+  vq::lint::LintConfig config;
+  if (!wire_manifest_path.empty()) {
+    config.wire_manifest_path = wire_manifest_path;
+    if (!read_file(wire_manifest_path, config.wire_manifest_json)) {
+      std::fprintf(stderr, "vidqual_lint: cannot read %s\n",
+                   wire_manifest_path.c_str());
+      return 2;
+    }
+  }
+  if (!hot_paths_path.empty() &&
+      !read_file(hot_paths_path, config.hot_paths_text)) {
+    std::fprintf(stderr, "vidqual_lint: cannot read %s\n",
+                 hot_paths_path.c_str());
     return 2;
   }
 
@@ -72,7 +130,8 @@ int main(int argc, char** argv) {
     std::vector<fs::path> paths;
     if (fs::is_directory(st)) {
       for (const auto& entry : fs::recursive_directory_iterator{root}) {
-        if (entry.is_regular_file() && lintable(entry.path())) {
+        if (entry.is_regular_file() && lintable(entry.path()) &&
+            !in_fixture_dir(entry.path())) {
           paths.push_back(entry.path());
         }
       }
@@ -91,9 +150,28 @@ int main(int argc, char** argv) {
     }
   }
 
-  const std::vector<vq::lint::Finding> findings = vq::lint::run_lint(files);
+  if (dump_functions) {
+    // Maintenance aid for tools/hot_paths.txt: the qualified function
+    // names the scope tracker attributes, with body line ranges.
+    for (const vq::lint::SourceFile& f : files) {
+      const std::vector<vq::lint::Token> toks = vq::lint::tokenize(f.content);
+      const vq::lint::ScopeMap scopes{toks};
+      for (const vq::lint::FunctionSpan& fn : scopes.functions()) {
+        std::printf("%s:%zu-%zu %s\n", f.path.c_str(),
+                    toks[fn.body_open].line, toks[fn.body_close].line,
+                    fn.qualified.c_str());
+      }
+    }
+    return 0;
+  }
+
+  const std::vector<vq::lint::Finding> findings =
+      vq::lint::run_lint(files, config);
   for (const vq::lint::Finding& f : findings) {
     std::fprintf(stderr, "%s\n", vq::lint::format_finding(f).c_str());
+    if (github) {
+      std::printf("%s\n", vq::lint::format_github_annotation(f).c_str());
+    }
   }
   if (!findings.empty()) {
     std::fprintf(stderr, "vidqual_lint: %zu finding(s) in %zu file(s)\n",
