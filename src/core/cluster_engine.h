@@ -157,6 +157,16 @@ class CellStore {
     return id;
   }
 
+  /// Adds `s` to an existing cell by dense id — the incremental delta
+  /// engine's hash-free hot path (the id was resolved once when the leaf's
+  /// projection row was built).  Counter addition is over uint32, so
+  /// applying a wrapped-difference delta (new - old mod 2^32) lands exactly
+  /// on the new value.  Throws std::logic_error on a sorted-mode store.
+  void add_to(std::uint32_t id, const ClusterStats& s) {
+    if (sorted_) throw_sorted_mutation();
+    stats_[id] += s;
+  }
+
   ClusterStats& operator[](std::uint64_t raw) {
     return stats_[id_or_insert(raw)];
   }

@@ -5,78 +5,15 @@
 #include <bit>
 #include <stdexcept>
 
+#include "src/core/mask_bits.h"
 #include "src/obs/trace.h"
 #include "src/util/thread_pool.h"
 
 namespace vq {
 
-namespace {
+namespace detail {
 
-constexpr int kNumMasks = kFullMask + 1;  // 128 subsets incl. root
-
-/// 128-bit bitset over the 7-dimension subset lattice; bit index is the
-/// attribute mask value (0..127).
-struct MaskBits {
-  std::uint64_t lo = 0;
-  std::uint64_t hi = 0;
-
-  void set(unsigned m) noexcept {
-    (m < 64 ? lo : hi) |= std::uint64_t{1} << (m & 63);
-  }
-  [[nodiscard]] bool test(unsigned m) const noexcept {
-    return ((m < 64 ? lo : hi) >> (m & 63)) & 1u;
-  }
-  [[nodiscard]] bool any() const noexcept { return (lo | hi) != 0; }
-};
-
-/// kDimAbsent[d] selects, within one 64-bit word, the mask values whose
-/// dimension-d bit is clear. Dimension 6 needs no pattern: its bit weight is
-/// 64, so "bit 6 clear" is exactly the lo word.
-constexpr std::array<std::uint64_t, 6> kDimAbsent = {
-    0x5555555555555555ULL, 0x3333333333333333ULL, 0x0F0F0F0F0F0F0F0FULL,
-    0x00FF00FF00FF00FFULL, 0x0000FFFF0000FFFFULL, 0x00000000FFFFFFFFULL};
-
-/// strict[m] = OR over every strict superset s of m of b[s], for all 128
-/// masks at once. Two sweeps of seven shifted-OR steps each: the first
-/// closes b upward (h[m] = OR over s >= m), the second ORs h over the seven
-/// single-dimension extensions of m — every strict superset contains at
-/// least one added dimension, so that union is exactly the strict cone.
-[[nodiscard]] MaskBits strict_superset_or(const MaskBits& b) noexcept {
-  MaskBits h = b;
-  for (int d = 0; d < 6; ++d) {
-    const int k = 1 << d;
-    h.lo |= (h.lo >> k) & kDimAbsent[d];
-    h.hi |= (h.hi >> k) & kDimAbsent[d];
-  }
-  h.lo |= h.hi;
-
-  MaskBits strict;
-  for (int d = 0; d < 6; ++d) {
-    const int k = 1 << d;
-    strict.lo |= (h.lo >> k) & kDimAbsent[d];
-    strict.hi |= (h.hi >> k) & kDimAbsent[d];
-  }
-  strict.lo |= h.hi;
-  return strict;
-}
-
-/// Keeps only masks minimal by inclusion ("closest to the root").
-void filter_minimal(const std::vector<std::uint8_t>& candidates,
-                    std::vector<std::uint8_t>& out) {
-  out.clear();
-  for (const std::uint8_t m : candidates) {
-    const bool dominated = std::any_of(
-        candidates.begin(), candidates.end(), [m](std::uint8_t other) {
-          return other != m && (other & m) == other;
-        });
-    if (!dominated) out.push_back(m);
-  }
-}
-
-/// Shared tail of every strategy: deterministic record order (attributed
-/// mass descending, raw key ascending) and the attributed-mass total summed
-/// in that order, so hashed/indexed/sharded runs agree bit for bit.
-void finalize_analysis(CriticalAnalysis& out) {
+void finalize_critical_analysis(CriticalAnalysis& out) {
   std::sort(out.criticals.begin(), out.criticals.end(),
             [](const CriticalRecord& a, const CriticalRecord& b) {
               if (a.attributed != b.attributed) {
@@ -88,6 +25,23 @@ void finalize_analysis(CriticalAnalysis& out) {
   for (const CriticalRecord& rec : out.criticals) {
     out.attributed_mass += rec.attributed;
   }
+}
+
+}  // namespace detail
+
+namespace {
+
+using detail::MaskBits;
+using detail::filter_minimal;
+using detail::strict_superset_or;
+
+constexpr int kNumMasks = kFullMask + 1;  // 128 subsets incl. root
+
+/// Shared tail of every strategy: deterministic record order (attributed
+/// mass descending, raw key ascending) and the attributed-mass total summed
+/// in that order, so hashed/indexed/sharded runs agree bit for bit.
+void finalize_analysis(CriticalAnalysis& out) {
+  detail::finalize_critical_analysis(out);
 }
 
 void fill_header(CriticalAnalysis& out, const EpochClusterTable& table,

@@ -153,4 +153,15 @@ struct LeafCandidates {
     const ClusterKey& leaf, const EpochClusterTable& table,
     const ProblemClusterParams& params, Metric metric);
 
+namespace detail {
+
+/// Shared tail of every extraction strategy: deterministic record order
+/// (attributed mass descending, raw key ascending) and the attributed-mass
+/// total summed in that order. Exported so the incremental delta engine
+/// (src/core/incremental.cpp) finalizes with the exact same sort and
+/// floating-point summation sequence as the from-scratch strategies.
+void finalize_critical_analysis(CriticalAnalysis& out);
+
+}  // namespace detail
+
 }  // namespace vq

@@ -83,28 +83,60 @@ std::vector<IncidentEvent> StreamingDetector::ingest(
   const bool contiguous = !has_ingested_ || epoch == last_epoch_ + 1;
   last_epoch_ = epoch;
   has_ingested_ = true;
+  epochs_observed_ += 1;
 
-  // One fold per ingested epoch, shared by the expansion and all metrics.
+  // One fold per ingested epoch, shared by the expansion (or the delta
+  // engine) and all metrics.
   ThreadPool* pool_ptr = pool_ ? &*pool_ : nullptr;
   const std::size_t shards = std::max<std::uint32_t>(1, config_.shards);
   const LeafFold fold =
       fold_sessions(sessions, config_.thresholds, epoch);
-  const EpochClusterTable lattice =
-      config_.engine.fold_leaves
-          ? expand_fold(fold, config_.engine, pool_ptr, shards)
-          : aggregate_epoch_unfolded(sessions, config_.thresholds,
-                                     config_.engine, epoch);
+
+  // Incremental mode applies the fold as a per-leaf delta against the
+  // retained lattice; otherwise re-expand from scratch.  Both paths yield
+  // bit-identical analyses (tests/test_incremental.cpp), so the incident
+  // stream cannot depend on the mode.
+  std::array<CriticalAnalysis, kNumMetrics> analyses;
+  if (lattice_) {
+    analyses = lattice_->advance(fold, pool_ptr, shards);
+  } else {
+    const EpochClusterTable lattice =
+        config_.engine.fold_leaves
+            ? expand_fold(fold, config_.engine, pool_ptr, shards)
+            : aggregate_epoch_unfolded(sessions, config_.thresholds,
+                                       config_.engine, epoch);
+    for (const Metric metric : kAllMetrics) {
+      // Dispatches to the indexed extraction when the expansion built a
+      // leaf index (the fold_leaves default); falls back to the hashed
+      // baseline for unfolded configs.
+      analyses[static_cast<std::uint8_t>(metric)] = find_critical_clusters(
+          fold, lattice, config_.cluster_params, metric, pool_ptr, shards);
+    }
+  }
 
   std::vector<IncidentEvent> events;
   for (const Metric metric : kAllMetrics) {
     const auto mi = static_cast<std::uint8_t>(metric);
     auto& incidents = registry_[mi];
+    const CriticalAnalysis& analysis = analyses[mi];
 
-    // Dispatches to the indexed extraction when the expansion built a leaf
-    // index (the fold_leaves default); falls back to the hashed baseline
-    // for unfolded configs.
-    const CriticalAnalysis analysis = find_critical_clusters(
-        fold, lattice, config_.cluster_params, metric, pool_ptr, shards);
+    // Roll the prevalence/persistence streaks forward from the epoch's
+    // problem-cluster keys (published by the critical extraction, so no
+    // extra per-cell sweep happens here).
+    for (const std::uint64_t raw : analysis.problem_cluster_keys) {
+      auto [it, inserted] = streaks_[mi].try_emplace(raw);
+      ProblemStreak& streak = it->second;
+      if (inserted) {
+        streak.key = ClusterKey::from_raw(raw);
+        streak.first_epoch = epoch;
+      }
+      streak.streak =
+          (!inserted && streak.last_epoch + 1 == epoch) ? streak.streak + 1
+                                                        : 1;
+      streak.max_streak = std::max(streak.max_streak, streak.streak);
+      streak.last_epoch = epoch;
+      streak.epochs_seen += 1;
+    }
 
     // Mark every open incident as unseen; re-arm those still present.
     for (auto& [raw, incident] : incidents) incident.attributed = -1.0;
@@ -182,12 +214,35 @@ std::vector<Incident> StreamingDetector::active(Metric metric) const {
   return out;
 }
 
+std::vector<ProblemStreak> StreamingDetector::problem_streaks(
+    Metric metric) const {
+  const MutexLock lock{mutex_};
+  std::vector<ProblemStreak> out;
+  const auto& streaks = streaks_[static_cast<std::uint8_t>(metric)];
+  out.reserve(streaks.size());
+  for (const auto& [raw, streak] : streaks) out.push_back(streak);
+  std::sort(out.begin(), out.end(),
+            [](const ProblemStreak& a, const ProblemStreak& b) {
+              return a.key.raw() < b.key.raw();
+            });
+  for (ProblemStreak& s : out) {
+    s.prevalence = epochs_observed_ == 0
+                       ? 0.0
+                       : static_cast<double>(s.epochs_seen) /
+                             static_cast<double>(epochs_observed_);
+  }
+  return out;
+}
+
 // --- checkpoint/restore ------------------------------------------------------
 
 namespace {
 
 constexpr char kCheckpointMagic[4] = {'V', 'Q', 'C', 'K'};
-constexpr std::uint32_t kCheckpointVersion = 1;
+/// Version 2 appended the epochs-observed count and the per-metric
+/// problem-streak registry to the payload (one-sided bump: version-1
+/// checkpoints are rejected, per the docs/wire_contracts.json recipe).
+constexpr std::uint32_t kCheckpointVersion = 2;
 
 [[nodiscard]] std::uint64_t fnv1a(std::string_view bytes) noexcept {
   std::uint64_t h = 14695981039346656037ULL;
@@ -292,6 +347,27 @@ void StreamingDetector::save_checkpoint(std::ostream& out) const {
       for (int k = 0; k < kNumMetrics; ++k) {
         put(payload, incident->stats.problems[k]);
       }
+    }
+  }
+  // Version-2 tail: the rolling prevalence/persistence state.
+  put(payload, epochs_observed_);
+  for (int m = 0; m < kNumMetrics; ++m) {
+    const auto& streaks = streaks_[m];
+    std::vector<const ProblemStreak*> sorted;
+    sorted.reserve(streaks.size());
+    for (const auto& [raw, streak] : streaks) sorted.push_back(&streak);
+    std::sort(sorted.begin(), sorted.end(),
+              [](const ProblemStreak* a, const ProblemStreak* b) {
+                return a->key.raw() < b->key.raw();
+              });
+    put(payload, static_cast<std::uint32_t>(sorted.size()));
+    for (const ProblemStreak* streak : sorted) {
+      put(payload, streak->key.raw());
+      put(payload, streak->first_epoch);
+      put(payload, streak->last_epoch);
+      put(payload, streak->epochs_seen);
+      put(payload, streak->streak);
+      put(payload, streak->max_streak);
     }
   }
 
@@ -419,17 +495,40 @@ void StreamingDetector::load_checkpoint(std::istream& in) {
       }
     }
   }
+  const auto epochs_observed = cursor.get<std::uint64_t>();
+  std::array<std::unordered_map<std::uint64_t, ProblemStreak>, kNumMetrics>
+      streaks;
+  for (int m = 0; m < kNumMetrics; ++m) {
+    const auto count = cursor.get<std::uint32_t>();
+    streaks[m].reserve(count);
+    for (std::uint32_t i = 0; i < count; ++i) {
+      ProblemStreak streak;
+      const auto raw = cursor.get<std::uint64_t>();
+      streak.key = ClusterKey::from_raw(raw);
+      streak.first_epoch = cursor.get<std::uint32_t>();
+      streak.last_epoch = cursor.get<std::uint32_t>();
+      streak.epochs_seen = cursor.get<std::uint32_t>();
+      streak.streak = cursor.get<std::uint32_t>();
+      streak.max_streak = cursor.get<std::uint32_t>();
+      if (!streaks[m].emplace(raw, streak).second) {
+        throw std::runtime_error{
+            "load_checkpoint: duplicate key in streak section"};
+      }
+    }
+  }
   if (!cursor.done()) {
     throw std::runtime_error{
-        "load_checkpoint: trailing bytes after registry section"};
+        "load_checkpoint: trailing bytes after streak section"};
   }
 
   // Parse happened into locals; only the commit needs the state lock.
   const MutexLock lock{mutex_};
   registry_ = std::move(registry);
+  streaks_ = std::move(streaks);
   opened_ = opened;
   stale_epochs_dropped_ = stale_dropped;
   suppressed_clears_ = suppressed;
+  epochs_observed_ = epochs_observed;
   last_epoch_ = last_epoch;
   has_ingested_ = has_ingested;
 }

@@ -40,12 +40,14 @@
 #include <iosfwd>
 #include <optional>
 #include <span>
+#include <stdexcept>
 #include <string_view>
 #include <unordered_map>
 #include <vector>
 
 #include "src/core/cluster_engine.h"
 #include "src/core/critical_cluster.h"
+#include "src/core/incremental.h"
 #include "src/core/problem_cluster.h"
 #include "src/core/session.h"
 #include "src/util/mutex.h"
@@ -79,6 +81,13 @@ struct MonitorConfig {
   /// (differential-tested at {1,4} x {1,4}).
   std::uint32_t workers = 1;
   std::uint32_t shards = 1;
+  /// Maintain the lattice across epochs with the incremental delta engine
+  /// (src/core/incremental.h) instead of re-expanding every epoch.  The
+  /// incident event stream is bit-identical either way (the engine's
+  /// differential contract), so — like the engine/worker knobs — this is
+  /// excluded from the checkpoint fingerprint and may change across a
+  /// save/restore.  Requires engine.fold_leaves.
+  bool incremental = false;
 };
 
 /// One tracked incident: a critical cluster with a live streak.
@@ -113,10 +122,37 @@ struct EpochDataQuality {
   bool degraded = false;
 };
 
+/// Rolling prevalence/persistence state for one problem cluster (paper
+/// §4.1/§4.2), maintained online instead of rebuilt from the full per-epoch
+/// key history: on each ingested epoch the streak either extends (the key
+/// recurred on the next consecutive epoch) or restarts at 1.  Keys are never
+/// forgotten — prevalence is a whole-stream fraction.  Equivalence with the
+/// batch build_prevalence (src/core/prevalence.h) over a contiguous epoch
+/// stream is enforced by tests/test_incremental.cpp.
+struct ProblemStreak {
+  ClusterKey key;
+  std::uint32_t first_epoch = 0;  // first epoch the key was a problem cluster
+  std::uint32_t last_epoch = 0;   // most recent such epoch
+  std::uint32_t epochs_seen = 0;  // total epochs the key was a problem cluster
+  std::uint32_t streak = 0;       // current consecutive-epoch run
+  std::uint32_t max_streak = 0;   // longest run ever (max persistence)
+  /// epochs_seen / epochs observed by the detector; filled by
+  /// problem_streaks(), not serialised (derived).
+  double prevalence = 0.0;
+};
+
 class StreamingDetector {
  public:
   explicit StreamingDetector(const MonitorConfig& config) : config_(config) {
+    if (config_.incremental && !config_.engine.fold_leaves) {
+      throw std::invalid_argument{
+          "StreamingDetector: incremental mode requires engine.fold_leaves "
+          "(deltas are per-leaf)"};
+    }
     if (config_.workers > 1) pool_.emplace(config_.workers);
+    if (config_.incremental) {
+      lattice_.emplace(config_.cluster_params, config_.engine.max_arity);
+    }
   }
 
   /// Processes one closed epoch. Epochs must be fed in increasing order
@@ -159,6 +195,19 @@ class StreamingDetector {
     return has_ingested_;
   }
 
+  /// Epochs the detector has accepted (stale-dropped epochs excluded,
+  /// degraded epochs included) — the denominator of streak prevalence.
+  [[nodiscard]] std::uint64_t epochs_observed() const VQ_EXCLUDES(mutex_) {
+    const MutexLock lock{mutex_};
+    return epochs_observed_;
+  }
+
+  /// Rolling prevalence/persistence for every problem cluster ever seen on
+  /// this metric, sorted by key, with prevalence filled against
+  /// epochs_observed().
+  [[nodiscard]] std::vector<ProblemStreak> problem_streaks(Metric metric) const
+      VQ_EXCLUDES(mutex_);
+
   /// Last ingested epoch; meaningful only when has_ingested().
   [[nodiscard]] std::uint32_t last_epoch() const VQ_EXCLUDES(mutex_) {
     const MutexLock lock{mutex_};
@@ -171,10 +220,15 @@ class StreamingDetector {
 
   // --- checkpoint/restore ----------------------------------------------
   // Container: magic "VQCK", u32 version, u64 config fingerprint, the
-  // detector state (counters, last epoch, incident registry sorted by key),
-  // and a trailing FNV-1a checksum over the payload.  load_checkpoint
-  // throws std::runtime_error on bad magic, unsupported version, checksum
-  // mismatch, truncation, or a fingerprint from a different configuration.
+  // detector state (counters, last epoch, incident registry sorted by key,
+  // and — since version 2 — the epochs-observed count and the per-metric
+  // problem-streak registry sorted by key), and a trailing FNV-1a checksum
+  // over the payload.  load_checkpoint throws std::runtime_error on bad
+  // magic, unsupported version, checksum mismatch, truncation, or a
+  // fingerprint from a different configuration.  The incremental lattice is
+  // deliberately NOT serialised: advance() lands on the current fold's
+  // exact cell content from any prior state, so the first epoch after a
+  // restore is simply a full delta build with identical output.
 
   void save_checkpoint(std::ostream& out) const VQ_EXCLUDES(mutex_);
   /// Atomic file save: writes `path`.tmp, then renames over `path`, so an
@@ -200,13 +254,19 @@ class StreamingDetector {
   /// config_.workers > 1.  Used exclusively from inside ingest() (under
   /// mutex_), so it needs no guarding of its own.
   std::optional<ThreadPool> pool_;
+  /// Cross-epoch lattice state; engaged only when config_.incremental.
+  /// Used exclusively from inside ingest() (under mutex_).
+  std::optional<IncrementalLattice> lattice_;
 
   mutable Mutex mutex_;
   std::array<std::unordered_map<std::uint64_t, Incident>, kNumMetrics>
       registry_ VQ_GUARDED_BY(mutex_);
+  std::array<std::unordered_map<std::uint64_t, ProblemStreak>, kNumMetrics>
+      streaks_ VQ_GUARDED_BY(mutex_);
   std::array<std::uint64_t, kNumMetrics> opened_ VQ_GUARDED_BY(mutex_){};
   std::uint64_t stale_epochs_dropped_ VQ_GUARDED_BY(mutex_) = 0;
   std::uint64_t suppressed_clears_ VQ_GUARDED_BY(mutex_) = 0;
+  std::uint64_t epochs_observed_ VQ_GUARDED_BY(mutex_) = 0;
   std::uint32_t last_epoch_ VQ_GUARDED_BY(mutex_) = 0;
   bool has_ingested_ VQ_GUARDED_BY(mutex_) = false;
 };

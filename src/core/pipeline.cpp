@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <optional>
 #include <stdexcept>
+#include <utility>
+
+#include "src/core/incremental.h"
 
 #include "src/obs/metrics.h"
 #include "src/obs/trace.h"
@@ -162,6 +165,16 @@ PipelineResult run_pipeline_streaming(EpochColumnsSource& source,
   // Largest batch ever held: the structural O(one epoch) memory witness.
   obs::Gauge& held_max = reg.gauge("pipeline.stream_epoch_sessions_max");
 
+  if (config.incremental && !config.engine.fold_leaves) {
+    throw std::invalid_argument{
+        "run_pipeline_streaming: incremental mode requires "
+        "engine.fold_leaves (deltas are per-leaf)"};
+  }
+  std::optional<IncrementalLattice> incremental;
+  if (config.incremental) {
+    incremental.emplace(config.cluster_params, config.engine.max_arity);
+  }
+
   SessionColumns columns;  // reused across epochs; capacity is retained
   std::vector<Session> rows;  // only for the unfolded (diagnostic) engine
   for (std::uint32_t epoch = 0; epoch < result.num_epochs; ++epoch) {
@@ -175,8 +188,26 @@ PipelineResult run_pipeline_streaming(EpochColumnsSource& source,
 
     const LeafFold fold = [&] {
       VQ_SPAN_EPOCH("pipeline.fold_sessions", epoch);
-      return fold_sessions_columns(columns, config.thresholds, epoch);
+      return config.fold_provider
+                 ? config.fold_provider(columns, config.thresholds, epoch)
+                 : fold_sessions_columns(columns, config.thresholds, epoch);
     }();
+
+    if (incremental) {
+      std::array<CriticalAnalysis, kNumMetrics> analyses =
+          incremental->advance(fold, pool_ptr, shards);
+      for (const Metric m : kAllMetrics) {
+        const auto mi = static_cast<std::uint8_t>(m);
+        EpochMetricSummary& summary = result.per_metric[mi][epoch];
+        summary.analysis = std::move(analyses[mi]);
+        problem_clusters.add(summary.analysis.num_problem_clusters);
+        critical_clusters.add(summary.analysis.criticals.size());
+      }
+      epochs_done.add(1);
+      sessions_seen.add(columns.size());
+      continue;
+    }
+
     const EpochClusterTable lattice = [&] {
       VQ_SPAN_EPOCH("pipeline.expand_lattice", epoch);
       if (config.engine.fold_leaves) {

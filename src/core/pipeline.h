@@ -18,6 +18,7 @@
 #include <algorithm>
 #include <array>
 #include <cstdint>
+#include <functional>
 #include <span>
 #include <vector>
 
@@ -40,6 +41,21 @@ struct PipelineConfig {
   /// from the worker/epoch ratio (shard only when epochs alone cannot keep
   /// the pool busy). Any value yields identical results.
   std::size_t shards = 0;
+  /// Streaming only: maintain the lattice across epochs with the
+  /// incremental delta engine (src/core/incremental.h) instead of
+  /// re-expanding every epoch from scratch.  Results are bit-identical
+  /// (tests/test_incremental.cpp); per-epoch cost becomes proportional to
+  /// leaf churn.  Requires engine.fold_leaves.  Ignored by run_pipeline
+  /// (epoch-parallel batch analysis has no epoch order to exploit).
+  bool incremental = false;
+  /// Streaming only: optional replacement for the pass-1 fold, e.g. the
+  /// sketch-bounded admission tier (src/baseline/hhh.h) that folds only
+  /// heavy leaves under a --max-cells budget.  The returned fold must carry
+  /// the requested epoch id; its root is taken as the epoch's global
+  /// counters.  Null uses fold_sessions_columns (exact).
+  std::function<LeafFold(const SessionColumns&, const ProblemThresholds&,
+                         std::uint32_t)>
+      fold_provider;
 };
 
 /// Everything retained per (epoch, metric).  The problem-cluster keys that

@@ -1,0 +1,282 @@
+// StreamingDetector with the incremental lattice (MonitorConfig::incremental):
+// event-stream equivalence against the rebuild-every-epoch detector,
+// checkpoint resume mid-stream (the lattice is deliberately not serialised —
+// the first post-restore epoch rebuilds it as one big delta), and the rolling
+// prevalence/persistence streak registry against the batch build_prevalence
+// analytics.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/core/monitor.h"
+#include "src/core/pipeline.h"
+#include "src/core/prevalence.h"
+#include "src/gen/tracegen.h"
+#include "tests/test_support.h"
+
+namespace vq {
+namespace {
+
+using test::Attrs;
+
+MonitorConfig detector_config(bool incremental) {
+  MonitorConfig config;
+  config.cluster_params.min_sessions = 50;
+  config.escalate_after = 1;
+  config.incremental = incremental;
+  return config;
+}
+
+/// A churny scripted epoch: one CDN goes bad on flagged epochs, a second
+/// rotating ASN block keeps leaves arriving and retiring.
+std::vector<Session> scripted_epoch(std::uint32_t epoch, bool cdn_bad) {
+  std::vector<Session> sessions;
+  for (std::uint16_t asn = 1; asn <= 4; ++asn) {
+    test::add_sessions(sessions, epoch, Attrs{.cdn = 1, .asn = asn},
+                       cdn_bad ? test::bad_buffering() : test::good_quality(),
+                       15);
+    test::add_sessions(sessions, epoch, Attrs{.cdn = 1, .asn = asn},
+                       test::good_quality(), 10);
+  }
+  // The rotating block: a different ASN range each epoch, so every epoch
+  // both adds and retires leaves under the incremental engine.
+  const auto base = static_cast<std::uint16_t>(10 + 6 * (epoch % 3));
+  for (std::uint16_t asn = base; asn < base + 6; ++asn) {
+    test::add_sessions(sessions, epoch, Attrs{.cdn = 2, .asn = asn},
+                       test::bad_buffering(), 2);
+    test::add_sessions(sessions, epoch, Attrs{.cdn = 2, .asn = asn},
+                       test::good_quality(), 48);
+  }
+  return sessions;
+}
+
+std::string fmt(const std::vector<IncidentEvent>& events) {
+  std::ostringstream out;
+  out << std::hexfloat;
+  for (const IncidentEvent& e : events) {
+    out << incident_update_name(e.update) << " epoch=" << e.epoch
+        << " metric=" << static_cast<int>(e.incident.metric)
+        << " key=" << e.incident.key.raw()
+        << " first=" << e.incident.first_epoch
+        << " streak=" << e.incident.streak
+        << " escalated=" << e.incident.escalated
+        << " attributed=" << e.incident.attributed
+        << " sessions=" << e.incident.stats.sessions << "\n";
+  }
+  return out.str();
+}
+
+constexpr bool kScript[] = {true, true, false, true,
+                            true, false, false, true};
+constexpr std::uint32_t kEpochs = 8;
+
+void expect_streaks_equal(const StreamingDetector& a,
+                          const StreamingDetector& b) {
+  EXPECT_EQ(a.epochs_observed(), b.epochs_observed());
+  for (const Metric m : kAllMetrics) {
+    const auto lhs = a.problem_streaks(m);
+    const auto rhs = b.problem_streaks(m);
+    ASSERT_EQ(lhs.size(), rhs.size());
+    for (std::size_t i = 0; i < lhs.size(); ++i) {
+      EXPECT_EQ(lhs[i].key.raw(), rhs[i].key.raw());
+      EXPECT_EQ(lhs[i].first_epoch, rhs[i].first_epoch);
+      EXPECT_EQ(lhs[i].last_epoch, rhs[i].last_epoch);
+      EXPECT_EQ(lhs[i].epochs_seen, rhs[i].epochs_seen);
+      EXPECT_EQ(lhs[i].streak, rhs[i].streak);
+      EXPECT_EQ(lhs[i].max_streak, rhs[i].max_streak);
+      EXPECT_EQ(lhs[i].prevalence, rhs[i].prevalence);
+    }
+  }
+}
+
+TEST(IncrementalDetector, EventStreamMatchesRebuildDetector) {
+  StreamingDetector rebuild{detector_config(false)};
+  StreamingDetector incremental{detector_config(true)};
+  for (std::uint32_t e = 0; e < kEpochs; ++e) {
+    const std::vector<Session> sessions = scripted_epoch(e, kScript[e]);
+    EXPECT_EQ(fmt(incremental.ingest(sessions, e)),
+              fmt(rebuild.ingest(sessions, e)))
+        << "diverged at epoch " << e;
+  }
+  for (const Metric m : kAllMetrics) {
+    EXPECT_EQ(incremental.total_opened(m), rebuild.total_opened(m));
+  }
+  expect_streaks_equal(incremental, rebuild);
+}
+
+TEST(IncrementalDetector, GeneratedTraceEventStreamMatchesRebuild) {
+  WorldConfig world_config;
+  world_config.num_sites = 10;
+  world_config.num_cdns = 3;
+  world_config.num_asns = 20;
+  const World world = World::build(world_config);
+  EventScheduleConfig event_config;
+  event_config.num_epochs = 10;
+  const EventSchedule events = EventSchedule::generate(world, event_config);
+  TraceConfig trace_config;
+  trace_config.num_epochs = 10;
+  trace_config.sessions_per_epoch = 8000;
+
+  MonitorConfig config = detector_config(false);
+  config.cluster_params.min_sessions = 60;
+  config.workers = 4;
+  config.shards = 4;
+  MonitorConfig inc_config = config;
+  inc_config.incremental = true;
+  StreamingDetector rebuild{config};
+  StreamingDetector incremental{inc_config};
+  for (std::uint32_t e = 0; e < trace_config.num_epochs; ++e) {
+    const std::vector<Session> sessions =
+        generate_epoch(world, events, trace_config, e);
+    EXPECT_EQ(fmt(incremental.ingest(sessions, e)),
+              fmt(rebuild.ingest(sessions, e)))
+        << "diverged at epoch " << e;
+  }
+  expect_streaks_equal(incremental, rebuild);
+}
+
+TEST(IncrementalDetector, CheckpointResumeReproducesIdenticalEventSequence) {
+  // The lattice carries no checkpoint bytes by design: advance() lands on
+  // the current fold's exact content from any prior state, so the first
+  // post-restore epoch is one full-delta build with identical output.
+  const MonitorConfig config = detector_config(true);
+  StreamingDetector uninterrupted{config};
+  std::string baseline;
+  for (std::uint32_t e = 0; e < kEpochs; ++e) {
+    baseline += fmt(uninterrupted.ingest(scripted_epoch(e, kScript[e]), e));
+  }
+
+  for (std::uint32_t cut = 1; cut < kEpochs; ++cut) {
+    StreamingDetector first{config};
+    std::string replay;
+    for (std::uint32_t e = 0; e < cut; ++e) {
+      replay += fmt(first.ingest(scripted_epoch(e, kScript[e]), e));
+    }
+    std::stringstream checkpoint{std::ios::in | std::ios::out |
+                                 std::ios::binary};
+    first.save_checkpoint(checkpoint);
+
+    StreamingDetector resumed{config};
+    resumed.load_checkpoint(checkpoint);
+    for (std::uint32_t e = cut; e < kEpochs; ++e) {
+      replay += fmt(resumed.ingest(scripted_epoch(e, kScript[e]), e));
+    }
+    EXPECT_EQ(replay, baseline) << "killed at epoch boundary " << cut;
+    expect_streaks_equal(resumed, uninterrupted);
+  }
+}
+
+TEST(IncrementalDetector, RestoreIntoOppositeEngineStaysIdentical) {
+  // Checkpoints are engine-agnostic (config fingerprint excludes
+  // `incremental`): a rebuild-mode checkpoint restored into an incremental
+  // detector — and vice versa — continues the identical event stream.
+  constexpr std::uint32_t kCut = 4;
+  StreamingDetector uninterrupted{detector_config(false)};
+  std::string baseline;
+  for (std::uint32_t e = 0; e < kEpochs; ++e) {
+    baseline += fmt(uninterrupted.ingest(scripted_epoch(e, kScript[e]), e));
+  }
+  for (const bool first_incremental : {false, true}) {
+    StreamingDetector first{detector_config(first_incremental)};
+    std::string replay;
+    for (std::uint32_t e = 0; e < kCut; ++e) {
+      replay += fmt(first.ingest(scripted_epoch(e, kScript[e]), e));
+    }
+    std::stringstream checkpoint{std::ios::in | std::ios::out |
+                                 std::ios::binary};
+    first.save_checkpoint(checkpoint);
+    StreamingDetector resumed{detector_config(!first_incremental)};
+    resumed.load_checkpoint(checkpoint);
+    for (std::uint32_t e = kCut; e < kEpochs; ++e) {
+      replay += fmt(resumed.ingest(scripted_epoch(e, kScript[e]), e));
+    }
+    EXPECT_EQ(replay, baseline)
+        << "restore " << (first_incremental ? "inc->rebuild" : "rebuild->inc");
+  }
+}
+
+TEST(IncrementalCheckpoint, V2RoundTripsStreakRegistry) {
+  const MonitorConfig config = detector_config(true);
+  StreamingDetector detector{config};
+  for (std::uint32_t e = 0; e < kEpochs; ++e) {
+    (void)detector.ingest(scripted_epoch(e, kScript[e]), e);
+  }
+  std::stringstream checkpoint{std::ios::in | std::ios::out |
+                               std::ios::binary};
+  detector.save_checkpoint(checkpoint);
+  StreamingDetector restored{config};
+  restored.load_checkpoint(checkpoint);
+
+  EXPECT_EQ(restored.epochs_observed(), kEpochs);
+  expect_streaks_equal(restored, detector);
+  // The registry is non-trivial on this script (flagged epochs with gaps).
+  bool any = false;
+  for (const Metric m : kAllMetrics) {
+    any = any || !detector.problem_streaks(m).empty();
+  }
+  EXPECT_TRUE(any);
+}
+
+TEST(IncrementalStreaks, MatchBatchPrevalenceAnalytics) {
+  // The rolling streak registry must agree with the offline §4.1 analytics:
+  // epochs_seen/prevalence with build_prevalence's timeline, max_streak
+  // with max_persistence, first/last epoch with the timeline endpoints.
+  WorldConfig world_config;
+  world_config.num_sites = 10;
+  world_config.num_cdns = 3;
+  world_config.num_asns = 20;
+  const World world = World::build(world_config);
+  EventScheduleConfig event_config;
+  event_config.num_epochs = 12;
+  const EventSchedule events = EventSchedule::generate(world, event_config);
+  TraceConfig trace_config;
+  trace_config.num_epochs = 12;
+  trace_config.sessions_per_epoch = 8000;
+  const SessionTable trace = generate_trace(world, events, trace_config);
+
+  PipelineConfig pipeline_config;
+  pipeline_config.cluster_params.min_sessions = 60;
+  const PipelineResult result = run_pipeline(trace, pipeline_config);
+
+  MonitorConfig config = detector_config(true);
+  config.cluster_params.min_sessions = 60;
+  StreamingDetector detector{config};
+  for (std::uint32_t e = 0; e < trace.num_epochs(); ++e) {
+    (void)detector.ingest(trace.epoch(e), e);
+  }
+  EXPECT_EQ(detector.epochs_observed(), trace.num_epochs());
+
+  for (const Metric m : kAllMetrics) {
+    const PrevalenceReport report = build_prevalence(
+        problem_cluster_keys(result, m), trace.num_epochs());
+    const std::vector<ProblemStreak> streaks = detector.problem_streaks(m);
+    ASSERT_EQ(streaks.size(), report.timelines.size());
+    // Both sides sorted by key: timelines come from per-epoch key lists.
+    std::vector<const ClusterTimeline*> timelines;
+    timelines.reserve(report.timelines.size());
+    for (const ClusterTimeline& t : report.timelines) {
+      timelines.push_back(&t);
+    }
+    std::sort(timelines.begin(), timelines.end(),
+              [](const ClusterTimeline* a, const ClusterTimeline* b) {
+                return a->key.raw() < b->key.raw();
+              });
+    for (std::size_t i = 0; i < streaks.size(); ++i) {
+      const ProblemStreak& streak = streaks[i];
+      const ClusterTimeline& timeline = *timelines[i];
+      EXPECT_EQ(streak.key.raw(), timeline.key.raw());
+      EXPECT_EQ(streak.epochs_seen, timeline.epochs.size());
+      EXPECT_EQ(streak.first_epoch, timeline.epochs.front());
+      EXPECT_EQ(streak.last_epoch, timeline.epochs.back());
+      EXPECT_EQ(streak.max_streak, timeline.max_persistence);
+      EXPECT_DOUBLE_EQ(streak.prevalence, timeline.prevalence);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace vq

@@ -350,6 +350,25 @@ TEST(Lint, WireContractFlagsStaleReader) {
   expect_exact(files, demo_wire_config());
 }
 
+TEST(Lint, WireContractBumpRecipeCatchesUnbumpedReader) {
+  // The full version-bump recipe (the one kCheckpointVersion 1 -> 2
+  // followed): manifest bumped, header pinned to the new value, writer on
+  // the constant — but the reader still hard-codes acceptance of the old
+  // version.  The stale-reader rule is what keeps the recipe two-sided.
+  LintConfig config = demo_wire_config();
+  const std::size_t manifest_at = config.wire_manifest_json.find("\"value\": 3");
+  ASSERT_NE(manifest_at, std::string::npos);
+  config.wire_manifest_json.replace(manifest_at, 10, "\"value\": 4");
+  std::vector<SourceFile> files = {
+      fixture("wire_format.h", "src/gen/wire_format.h"),
+      fixture("wire_writer.cpp", "src/gen/wire_writer.cpp"),
+      fixture("wire_reader_stale.cpp", "src/gen/wire_reader.cpp")};
+  const std::size_t header_at = files[0].content.find("= 3;");
+  ASSERT_NE(header_at, std::string::npos);
+  files[0].content.replace(header_at, 4, "= 4;");
+  expect_exact(files, config);
+}
+
 TEST(Lint, WireContractFlagsRogueMagicLiteral) {
   // The magic spelled in a file outside the declared writer/reader/site
   // set — as a string or as a comma-separated char run — is a finding.

@@ -2,6 +2,7 @@
 //
 //   usage: bench_check <current.json> <baseline.json>
 //                      [--max-regress F=0.30] [--track KEY]...
+//                      [--allow-missing-baseline] [--summary-md FILE]
 //
 // Compares a perf harness run (typically `perf_critical --smoke` or
 // `perf_fold --smoke` in CI) against the checked-in baseline
@@ -14,6 +15,12 @@
 // With no --track flags the perf_critical keys are checked (the original
 // behaviour); each --track KEY replaces that default with an explicit
 // higher-is-better key list, so one binary gates every harness.
+//
+// --allow-missing-baseline makes an absent/unreadable baseline file a
+// clean pass (exit 0) instead of a usage error — the bootstrap case when a
+// new harness lands before its baseline has been recorded on the CI
+// runner class.  --summary-md FILE appends a markdown throughput table to
+// FILE (CI points it at $GITHUB_STEP_SUMMARY), one row per tracked key.
 //
 // Only the flat numeric keys it tracks are read — the JSON "parser" is a
 // deliberate 30-line key scanner, same dependency budget as the rest of
@@ -64,10 +71,13 @@ int main(int argc, char** argv) {
   if (argc < 3) {
     std::fprintf(stderr,
                  "usage: bench_check <current.json> <baseline.json> "
-                 "[--max-regress F=0.30] [--track KEY]...\n");
+                 "[--max-regress F=0.30] [--track KEY]... "
+                 "[--allow-missing-baseline] [--summary-md FILE]\n");
     return 2;
   }
   double max_regress = 0.30;
+  bool allow_missing_baseline = false;
+  std::string summary_md;
   std::vector<std::string> tracked;
   for (int i = 3; i < argc; ++i) {
     const std::string arg{argv[i]};
@@ -75,6 +85,10 @@ int main(int argc, char** argv) {
       max_regress = std::atof(argv[++i]);
     } else if (arg == "--track" && i + 1 < argc) {
       tracked.emplace_back(argv[++i]);
+    } else if (arg == "--allow-missing-baseline") {
+      allow_missing_baseline = true;
+    } else if (arg == "--summary-md" && i + 1 < argc) {
+      summary_md = argv[++i];
     } else {
       std::fprintf(stderr, "bench_check: unknown argument '%s'\n",
                    arg.c_str());
@@ -87,14 +101,26 @@ int main(int argc, char** argv) {
 
   const auto current = slurp(argv[1]);
   const auto baseline = slurp(argv[2]);
-  if (!current.has_value() || !baseline.has_value()) {
-    std::fprintf(stderr, "bench_check: cannot read %s\n",
-                 current.has_value() ? argv[2] : argv[1]);
+  if (!current.has_value()) {
+    std::fprintf(stderr, "bench_check: cannot read %s\n", argv[1]);
+    return 2;
+  }
+  if (!baseline.has_value()) {
+    if (allow_missing_baseline) {
+      std::fprintf(stderr,
+                   "bench_check: baseline %s missing — passing "
+                   "(--allow-missing-baseline); record one to arm the "
+                   "gate\n",
+                   argv[2]);
+      return 0;
+    }
+    std::fprintf(stderr, "bench_check: cannot read %s\n", argv[2]);
     return 2;
   }
 
   int failures = 0;
   int checked = 0;
+  std::vector<std::string> summary_rows;
   for (const std::string& key : tracked) {
     const auto cur = number_field(*current, key);
     const auto base = number_field(*baseline, key);
@@ -106,13 +132,15 @@ int main(int argc, char** argv) {
     if (!cur.has_value()) {
       std::fprintf(stderr, "bench_check: FAIL %s missing from current run\n",
                    key.c_str());
+      summary_rows.push_back("| `" + key + "` | missing | — | — | FAIL |");
       ++failures;
       continue;
     }
     ++checked;
     const double floor = *base * (1.0 - max_regress);
     const double delta = *base > 0.0 ? (*cur - *base) / *base * 100.0 : 0.0;
-    if (*cur < floor) {
+    const bool regressed = *cur < floor;
+    if (regressed) {
       std::fprintf(stderr,
                    "bench_check: FAIL %s = %.4g vs baseline %.4g "
                    "(%+.1f%%, floor %.4g at -%.0f%%)\n",
@@ -123,6 +151,24 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "bench_check: ok   %s = %.4g vs baseline %.4g "
                    "(%+.1f%%)\n",
                    key.c_str(), *cur, *base, delta);
+    }
+    char row[256];
+    std::snprintf(row, sizeof(row),
+                  "| `%s` | %.4g | %.4g | %+.1f%% | %s |", key.c_str(), *cur,
+                  *base, delta, regressed ? "FAIL" : "ok");
+    summary_rows.emplace_back(row);
+  }
+  if (!summary_md.empty()) {
+    std::ofstream out{summary_md, std::ios::app};
+    if (out) {
+      out << "### bench_check: " << argv[1] << "\n\n"
+          << "| metric | current | baseline | delta | status |\n"
+          << "| --- | ---: | ---: | ---: | --- |\n";
+      for (const std::string& row : summary_rows) out << row << "\n";
+      out << "\n";
+    } else {
+      std::fprintf(stderr, "bench_check: cannot append to %s\n",
+                   summary_md.c_str());
     }
   }
   if (checked == 0 && failures == 0) {

@@ -21,6 +21,7 @@
 
 #include <algorithm>
 
+#include "src/baseline/hhh.h"
 #include "src/core/anomaly.h"
 #include "src/core/monitor.h"
 #include "src/core/report.h"
@@ -66,6 +67,7 @@ int usage() {
       "  vidqual analyze  --in FILE [--min-sessions N=auto] [--top K=5]\n"
       "                   [--on-error strict|quarantine|best-effort]\n"
       "                   [--workers N=auto] [--shards N=auto]\n"
+      "                   [--incremental] [--max-cells N]\n"
       "                   [--stats-out FILE] [--trace-out FILE]\n"
       "  vidqual convert  --in FILE --out FILE [--format csv|binary|"
       "columnar]\n"
@@ -77,7 +79,7 @@ int usage() {
       "  vidqual monitor  --in FILE [--delay H=1] [--min-sessions N=auto]\n"
       "                   [--checkpoint FILE] [--on-error strict|quarantine|"
       "best-effort]\n"
-      "                   [--workers N=1] [--shards N=1]\n"
+      "                   [--workers N=1] [--shards N=1] [--incremental]\n"
       "                   [--stop-after N] [--stats-out FILE] "
       "[--trace-out FILE]\n"
       "  vidqual monitor  --serve ADDR [--delay H=1] [--min-sessions N=1000]\n"
@@ -88,7 +90,7 @@ int usage() {
       "N=30000]\n"
       "                   [--read-timeout-ms N=10000] [--max-frame-bytes N]\n"
       "                   [--max-conns N=64] [--serve-drain]\n"
-      "                   [--workers N=1] [--shards N=1]\n"
+      "                   [--workers N=1] [--shards N=1] [--incremental]\n"
       "  vidqual feed     --in FILE --connect ADDR [--rows-per-frame N=4096]\n"
       "                   [--on-error strict|quarantine|best-effort]\n"
       "  vidqual timeline --in FILE [--min-sessions N=auto] [--z 3.0]\n"
@@ -104,7 +106,13 @@ int usage() {
       "or SIGINT drains: seal pending epochs, checkpoint, exit 0.\n"
       "--stats-out writes the deterministic metric snapshot (byte-identical\n"
       "for any --workers/--shards); --trace-out writes per-stage spans as\n"
-      "chrome://tracing / Perfetto JSON.\n");
+      "chrome://tracing / Perfetto JSON.\n"
+      "--incremental maintains the cluster lattice across epochs with\n"
+      "per-leaf deltas instead of re-expanding every epoch; results are\n"
+      "bit-identical, per-epoch cost proportional to leaf churn.\n"
+      "--max-cells N bounds the lattice by sketch-based admission: only\n"
+      "each epoch's heavy leaves (space-saving summary, N/127 leaf budget)\n"
+      "enter the exact lattice; global ratios stay exact.\n");
   return 2;
 }
 
@@ -333,6 +341,29 @@ int cmd_convert(const ArgParser& args) {
   return 0;
 }
 
+/// In-memory EpochColumnsSource over a loaded SessionTable, so streaming-only
+/// modes (--incremental, --max-cells) also apply to csv/binary inputs.
+class TableColumnsSource final : public EpochColumnsSource {
+ public:
+  TableColumnsSource(const SessionTable& table,
+                     std::vector<std::uint32_t> degraded)
+      : table_{table}, degraded_{std::move(degraded)} {}
+
+  [[nodiscard]] std::uint32_t num_epochs() const override {
+    return table_.num_epochs();
+  }
+
+  bool read_epoch(std::uint32_t e, SessionColumns& out) override {
+    out.clear();
+    for (const Session& s : table_.epoch(e)) out.push_back(s);
+    return std::binary_search(degraded_.begin(), degraded_.end(), e);
+  }
+
+ private:
+  const SessionTable& table_;
+  std::vector<std::uint32_t> degraded_;
+};
+
 int cmd_analyze(const ArgParser& args) {
   const auto in = args.option("in");
   if (!in.has_value()) return usage();
@@ -342,6 +373,23 @@ int cmd_analyze(const ArgParser& args) {
   PipelineConfig config;
   config.workers = static_cast<std::size_t>(args.option_u64("workers", 0));
   config.shards = static_cast<std::size_t>(args.option_u64("shards", 0));
+  config.incremental = args.flag("incremental");
+
+  // --max-cells: sketch-bounded admission replaces the exact pass-1 fold.
+  const auto max_cells =
+      static_cast<std::size_t>(args.option_u64("max-cells", 0));
+  std::optional<SketchAdmission> sketch;
+  if (max_cells > 0) {
+    sketch.emplace(SketchAdmissionParams{.max_cells = max_cells});
+    config.fold_provider = [&sketch](const SessionColumns& columns,
+                                     const ProblemThresholds& thresholds,
+                                     std::uint32_t epoch) {
+      return sketch->fold(columns, thresholds, epoch);
+    };
+  }
+  // Both knobs are streaming-only (pipeline.h); non-columnar inputs go
+  // through the in-memory adapter above when either is set.
+  const bool force_streaming = config.incremental || max_cells > 0;
 
   // Columnar inputs stream epoch-by-epoch (O(one epoch) memory); the other
   // formats materialize.  Both paths produce identical reports on the same
@@ -375,8 +423,26 @@ int cmd_analyze(const ArgParser& args) {
                  "(min_sessions=%u)...\n",
                  loaded.table.size(), loaded.table.num_epochs(),
                  config.cluster_params.min_sessions);
-    result = run_pipeline(loaded.table, config, degraded);
+    if (force_streaming) {
+      TableColumnsSource source{loaded.table, degraded};
+      result = run_pipeline_streaming(source, config);
+    } else {
+      result = run_pipeline(loaded.table, config, degraded);
+    }
     schema = std::move(loaded.schema);
+  }
+  if (sketch.has_value()) {
+    const SketchAdmissionReport& rep = sketch->report();
+    std::fprintf(stderr,
+                 "sketch admission: %ju of %ju sessions admitted over %ju "
+                 "epochs (budget %zu leaves/epoch, %ju admitted leaves, %ju "
+                 "evictions)\n",
+                 static_cast<std::uintmax_t>(rep.sessions_admitted),
+                 static_cast<std::uintmax_t>(rep.sessions_seen),
+                 static_cast<std::uintmax_t>(rep.epochs),
+                 sketch->leaf_capacity(),
+                 static_cast<std::uintmax_t>(rep.leaves_admitted),
+                 static_cast<std::uintmax_t>(rep.evictions));
   }
   if (!result.degraded_epochs.empty()) {
     std::printf("data quality: %zu epoch(s) degraded by quarantined rows:",
@@ -485,6 +551,7 @@ int cmd_monitor_serve(const ArgParser& args, std::string_view address) {
   config.order_policy = EpochOrderPolicy::kSkipStale;
   config.workers = static_cast<std::uint32_t>(args.option_u64("workers", 1));
   config.shards = static_cast<std::uint32_t>(args.option_u64("shards", 1));
+  config.incremental = args.flag("incremental");
   StreamingDetector detector{config};
 
   serve::ServeConfig serve_config;
@@ -613,6 +680,7 @@ int cmd_monitor(const ArgParser& args) {
       static_cast<std::uint32_t>(args.option_u64("delay", 1));
   config.workers = static_cast<std::uint32_t>(args.option_u64("workers", 1));
   config.shards = static_cast<std::uint32_t>(args.option_u64("shards", 1));
+  config.incremental = args.flag("incremental");
   StreamingDetector detector{config};
 
   // Resume: an existing checkpoint restores the registry/counters and skips
